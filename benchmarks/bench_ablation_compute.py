@@ -1,0 +1,67 @@
+"""Ablation A — naive vs pipelined sequence computation (section 2.2).
+
+The paper's claim: the recursive (pipelined) form needs three operations
+per position *independent of the window size*, while the explicit form
+needs O(w).  Wall clocks and operation counters must both show the naive
+cost growing with w while the pipelined cost stays flat.
+"""
+
+import pytest
+
+from repro.core.compute import OpCounter, compute_naive, compute_pipelined
+from repro.core.window import cumulative, sliding
+from repro.warehouse import sequence_values
+
+N = 20000
+WIDTHS = [(1, 1), (5, 5), (50, 50)]
+RAW = sequence_values(N, seed=1)
+
+
+@pytest.mark.parametrize("l,h", WIDTHS)
+def test_naive(benchmark, l, h):
+    benchmark.group = f"compute w={l + h + 1}"
+    out = benchmark.pedantic(
+        compute_naive, args=(RAW, sliding(l, h)), rounds=1, iterations=1
+    )
+    assert len(out) == N
+
+
+@pytest.mark.parametrize("l,h", WIDTHS)
+def test_pipelined(benchmark, l, h):
+    benchmark.group = f"compute w={l + h + 1}"
+    out = benchmark.pedantic(
+        compute_pipelined, args=(RAW, sliding(l, h)), rounds=3, iterations=1
+    )
+    assert len(out) == N
+
+
+@pytest.mark.parametrize("l,h", WIDTHS)
+def test_vectorized(benchmark, l, h):
+    """The NumPy bulk backend (extension): prefix-sum differences."""
+    from repro.core.vectorized import compute_vectorized
+
+    benchmark.group = f"compute w={l + h + 1}"
+    out = benchmark.pedantic(
+        compute_vectorized, args=(RAW, sliding(l, h)), rounds=3, iterations=1
+    )
+    assert len(out) == N
+
+
+def test_cumulative_pipelined(benchmark):
+    benchmark.group = "compute cumulative"
+    out = benchmark(compute_pipelined, RAW, cumulative())
+    assert len(out) == N
+
+
+def test_operation_counts_scale_as_claimed():
+    """The O(w) vs O(1) claim, measured in operations rather than seconds."""
+    results = {}
+    for l, h in WIDTHS:
+        naive, pipe = OpCounter(), OpCounter()
+        compute_naive(RAW, sliding(l, h), counter=naive)
+        compute_pipelined(RAW, sliding(l, h), counter=pipe)
+        results[l + h + 1] = (naive.ops, pipe.ops)
+    # Naive grows with w...
+    assert results[101][0] > 10 * results[3][0]
+    # ...pipelined does not.
+    assert results[101][1] < 1.1 * results[3][1]

@@ -1,0 +1,67 @@
+"""Ablation B — incremental maintenance vs full recomputation (section 2.3).
+
+The paper: "incrementally updating sequence data is more efficient than
+recomputing the whole sequence, because only the affected values have to be
+recomputed."  We time a batch of point updates propagated through the rules
+against refreshing the materialized view from scratch after each update.
+"""
+
+import pytest
+
+from repro.core.complete import CompleteSequence
+from repro.core.maintenance import apply_insert, apply_update
+from repro.core.window import sliding
+from repro.warehouse import sequence_values
+
+N = 10000
+BATCH = 50
+WINDOW = sliding(3, 3)
+
+
+def _fresh():
+    raw = list(sequence_values(N, seed=5))
+    return raw, CompleteSequence.from_raw(raw, WINDOW)
+
+
+def test_incremental_updates(benchmark):
+    benchmark.group = "maintenance: batch of point updates"
+
+    def run():
+        raw, seq = _fresh()
+        for i in range(BATCH):
+            apply_update(raw, seq, (i * 97) % N + 1, float(i))
+        return seq
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_full_recomputation(benchmark):
+    benchmark.group = "maintenance: batch of point updates"
+
+    def run():
+        raw, seq = _fresh()
+        for i in range(BATCH):
+            raw[(i * 97) % N] = float(i)
+            seq = CompleteSequence.from_raw(raw, WINDOW)  # recompute all
+        return seq
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_incremental_inserts(benchmark):
+    benchmark.group = "maintenance: batch of inserts"
+
+    def run():
+        raw, seq = _fresh()
+        for i in range(BATCH):
+            apply_insert(raw, seq, (i * 31) % (len(raw) + 1) + 1, float(i))
+        return seq
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_locality_of_updates():
+    """Not a timing: the update rule touches exactly w values."""
+    raw, seq = _fresh()
+    result = apply_update(raw, seq, N // 2, 1.0)
+    assert result.values_touched == WINDOW.width

@@ -1,0 +1,79 @@
+"""Table 1 — Computing Sequence Data.
+
+Paper setup: ``SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1
+PRECEDING AND 1 FOLLOWING) FROM seq`` evaluated four ways:
+
+====================  =========================================================
+column                 implementation here
+====================  =========================================================
+reporting func.        native window operator (``window_strategy="native"``)
+self join method       fig. 2 pattern, nested-loop join (``use_index=False``)
+reporting func. + pk   native window operator (index present but irrelevant)
+self join + pk index   fig. 2 pattern, index-nested-loop band join
+====================  =========================================================
+
+Expected shape (paper): native is fast and linear; the self join without an
+index blows up quadratically (~50-150x); the pk index collapses the self
+join to near-linear, within a small factor of native.
+
+Run: ``pytest benchmarks/bench_table1.py --benchmark-only``
+(``REPRO_BENCH_FULL=1`` for the paper's 5k/10k/15k sizes).
+"""
+
+import pytest
+
+from benchmarks.conftest import TABLE1_SIZES, sequence_table
+
+QUERY = (
+    "SELECT pos, SUM(val) OVER (ORDER BY pos "
+    "ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS s FROM {table}"
+)
+
+
+def _run(db, table, strategy, use_index):
+    return db.sql(
+        QUERY.format(table=table),
+        window_strategy=strategy,
+        use_index=use_index,
+    )
+
+
+@pytest.mark.parametrize("n", TABLE1_SIZES)
+def test_reporting_functionality_no_index(benchmark, seq_db, n):
+    """Column 1: native reporting functionality, no primary index."""
+    table = sequence_table(seq_db, n, primary_key=False)
+    benchmark.group = f"table1 n={n}"
+    result = benchmark(_run, seq_db, table, "native", False)
+    assert len(result) == n
+
+
+@pytest.mark.parametrize("n", TABLE1_SIZES)
+def test_self_join_method_no_index(benchmark, seq_db, n):
+    """Column 2: the fig. 2 self join without any index (O(n^2) pairs)."""
+    table = sequence_table(seq_db, n, primary_key=False)
+    benchmark.group = f"table1 n={n}"
+    result = benchmark.pedantic(
+        _run, args=(seq_db, table, "selfjoin", False), rounds=1, iterations=1
+    )
+    assert len(result) == n
+    assert result.stats.pairs_examined == n * n
+
+
+@pytest.mark.parametrize("n", TABLE1_SIZES)
+def test_reporting_functionality_with_pk(benchmark, seq_db, n):
+    """Column 3: native reporting functionality with a primary key index."""
+    table = sequence_table(seq_db, n, primary_key=True)
+    benchmark.group = f"table1 n={n}"
+    result = benchmark(_run, seq_db, table, "native", "auto")
+    assert len(result) == n
+
+
+@pytest.mark.parametrize("n", TABLE1_SIZES)
+def test_self_join_method_with_pk(benchmark, seq_db, n):
+    """Column 4: the self join probing the pk index (O(n*w) pairs)."""
+    table = sequence_table(seq_db, n, primary_key=True)
+    benchmark.group = f"table1 n={n}"
+    result = benchmark(_run, seq_db, table, "selfjoin", True)
+    assert len(result) == n
+    assert result.stats.pairs_examined <= 3 * n
+    assert result.stats.index_lookups == n

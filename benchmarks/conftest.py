@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures.
+
+Default sizes are scaled down so the whole suite finishes in a couple of
+minutes on a laptop; set ``REPRO_BENCH_FULL=1`` to run the paper's original
+sweep (Table 1: 5k/10k/15k rows; Table 2: up to 5000 rows — expect a long
+runtime, exactly like the paper's DB2 runs did).
+
+Interpreting results: compare *shapes* with the paper, not absolute times —
+this engine is pure Python, the paper measured DB2 V7.1 on a PII-466.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.relational import Database
+from repro.warehouse import create_sequence_table
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0", "false")
+
+# Table 1 (computing sequence data): paper used 5000/10000/15000.
+TABLE1_SIZES = [5000, 10000, 15000] if FULL else [500, 1000, 2000, 3000]
+
+# Table 2 (deriving sequence data): paper used 100..5000.
+TABLE2_SIZES = [100, 500, 1000, 1500, 2000, 3000, 5000] if FULL else [100, 500, 1000, 1500]
+
+
+@pytest.fixture(scope="module")
+def seq_db():
+    """Module-scoped database; benches create tables named per size."""
+    return Database()
+
+
+def sequence_table(db: Database, n: int, *, primary_key: bool) -> str:
+    """Create (once) and return the name of a seq table of size n."""
+    suffix = "pk" if primary_key else "nopk"
+    name = f"seq_{n}_{suffix}"
+    if not db.catalog.has_table(name):
+        create_sequence_table(db, name, n, seed=n, primary_key=primary_key)
+    return name

@@ -1,0 +1,75 @@
+"""Section 6: ordering and partitioning reduction of reporting sequences.
+
+A sales cube partitioned by region and ordered by (month, day) is
+materialized once; coarser analyses — per-month windows, region-free
+sequences — are then *derived* from it:
+
+* **ordering reduction** drops trailing ordering columns, collapsing each
+  remaining prefix into one value via position-function arithmetic;
+* **partitioning reduction** drops partition columns; completeness
+  (header/trailer per partition) lets the warehouse reconstruct and merge
+  the underlying data without touching base tables.
+
+Run:  python examples/reporting_reductions.py
+"""
+
+import random
+
+from repro import DataWarehouse
+
+rng = random.Random(42)
+wh = DataWarehouse()
+wh.create_table(
+    "sales",
+    [("region", "TEXT"), ("month", "INTEGER"), ("day", "INTEGER"),
+     ("amount", "FLOAT")],
+)
+rows = []
+for region in ("north", "south", "west"):
+    for month in range(1, 7):
+        for day in range(1, 31):
+            rows.append((region, month, day, round(rng.uniform(50, 900), 2)))
+wh.insert("sales", rows)
+print(f"{len(rows)} sales rows: 3 regions x 6 months x 30 days\n")
+
+# One fine-grained materialized view: weekly moving sum per region by day.
+wh.create_view(
+    "mv_daily",
+    "SELECT region, month, day, SUM(amount) OVER (PARTITION BY region "
+    "ORDER BY month, day ROWS BETWEEN 3 PRECEDING AND 3 FOLLOWING) AS w "
+    "FROM sales",
+)
+
+# --- ordering reduction: monthly 2-month trailing sums per region -----------
+monthly_q = (
+    "SELECT region, month, SUM(amount) OVER (PARTITION BY region "
+    "ORDER BY month ROWS 1 PRECEDING) AS two_month FROM sales "
+    "ORDER BY region, month")
+res = wh.query(monthly_q)
+assert res.rewrite is not None and res.rewrite.kind == "ordering_reduction"
+print("EXPLAIN:", wh.explain(monthly_q))
+print(res.pretty(limit=8))
+
+native = wh.query(monthly_q, use_views=False, window_strategy="native")
+# Native evaluation needs one row per (region, month) group: emulate by
+# checking the derived values against manual accumulation instead.
+by_group = {}
+for region, month, day, amount in rows:
+    by_group[(region, month)] = by_group.get((region, month), 0.0) + amount
+for region, month, value in res.rows:
+    expected = by_group[(region, month)] + by_group.get((region, month - 1), 0.0)
+    assert abs(value - expected) < 1e-6, (region, month)
+print("monthly trailing sums derived from the daily view ✓\n")
+
+# --- partitioning reduction: drop the region partition -----------------------
+global_q = (
+    "SELECT month, day, SUM(amount) OVER (ORDER BY month, day "
+    "ROWS BETWEEN 3 PRECEDING AND 3 FOLLOWING) AS w FROM sales "
+    "ORDER BY month, day")
+res = wh.query(global_q)
+assert res.rewrite is not None and res.rewrite.kind == "partition_reduction"
+print("EXPLAIN:", wh.explain(global_q))
+print(res.pretty(limit=6))
+print("region-free sequence derived by partitioning reduction ✓")
+print("(rows from different regions interleave in (month, day) order; the")
+print(" complete per-partition views made their raw data reconstructible)")

@@ -1,0 +1,167 @@
+"""Command-line interface: demos, paper-table sweeps, view advice.
+
+Usage::
+
+    python -m repro demo [--rows N]
+    python -m repro table1 [--sizes 500,1000,2000]
+    python -m repro table2 [--sizes 100,500,1000]
+    python -m repro advise --query "SELECT ..." [--query "..."]
+
+The ``table1``/``table2`` subcommands rerun the paper's evaluation sweeps
+with simple wall-clock timing and print rows in the papers' table layout
+(see ``benchmarks/`` for the statistically careful pytest-benchmark
+version, and EXPERIMENTS.md for recorded results).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.core.complete import CompleteSequence
+from repro.core.window import sliding
+from repro.relational import Database, FLOAT, INTEGER
+from repro.sql.patterns import maxoa_pattern, minoa_pattern
+from repro.warehouse import DataWarehouse, create_sequence_table, sequence_values
+
+__all__ = ["main"]
+
+
+def _sizes(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid size list {text!r}") from None
+
+
+def _timed(fn, *args, **kwargs) -> float:
+    start = time.perf_counter()
+    fn(*args, **kwargs)
+    return time.perf_counter() - start
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """End-to-end demo: build a table, materialize a view, derive a query."""
+    wh = DataWarehouse()
+    create_sequence_table(wh.db, "seq", args.rows, seed=1, distribution="walk")
+    wh.create_view(
+        "mv",
+        "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING "
+        "AND 1 FOLLOWING) AS s FROM seq")
+    query = ("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 "
+             "PRECEDING AND 1 FOLLOWING) AS s FROM seq ORDER BY pos")
+    print(f"base table: seq ({args.rows} rows)")
+    print("materialized view 'mv': window (2, 1), complete sequence")
+    print("\nquery window (3, 1):")
+    print(" ", wh.explain(query))
+    result = wh.query(query)
+    print()
+    print(result.pretty(limit=8))
+    print(f"\nengine stats: {result.stats.summary()}")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """Rerun the paper's Table 1 sweep with simple wall-clock timing."""
+    query = ("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 "
+             "PRECEDING AND 1 FOLLOWING) AS s FROM {t}")
+    print("Table 1: Computing Sequence Data (seconds)")
+    header = ("# seq values", "reporting func.", "self join (no idx)",
+              "reporting func. (pk)", "self join (pk)")
+    print("{:>12} | {:>16} | {:>18} | {:>20} | {:>15}".format(*header))
+    db = Database()
+    for n in args.sizes:
+        create_sequence_table(db, "nopk", n, seed=n, primary_key=False)
+        create_sequence_table(db, "pk", n, seed=n, primary_key=True)
+        row = (
+            _timed(db.sql, query.format(t="nopk"), window_strategy="native"),
+            _timed(db.sql, query.format(t="nopk"), window_strategy="selfjoin",
+                   use_index=False),
+            _timed(db.sql, query.format(t="pk"), window_strategy="native"),
+            _timed(db.sql, query.format(t="pk"), window_strategy="selfjoin",
+                   use_index=True),
+        )
+        print("{:>12} | {:>16.3f} | {:>18.3f} | {:>20.3f} | {:>15.3f}".format(n, *row))
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    """Rerun the paper's Table 2 sweep (MaxOA/MinOA x disjunctive/union)."""
+    view, target = sliding(2, 1), sliding(3, 1)
+    print("Table 2: Deriving Sequence Data (seconds), view (2,1) -> query (3,1)")
+    header = ("# seq values", "MaxOA disj.", "MaxOA union", "MinOA disj.", "MinOA union")
+    print("{:>12} | {:>12} | {:>12} | {:>12} | {:>12}".format(*header))
+    db = Database()
+    for n in args.sizes:
+        raw = sequence_values(n, seed=n)
+        seq = CompleteSequence.from_raw(raw, view)
+        db.drop_table("m", if_exists=True)
+        db.create_table("m", [("pos", INTEGER), ("val", FLOAT)], primary_key=["pos"])
+        db.insert("m", list(seq.items()))
+        times = []
+        for pattern in (maxoa_pattern, minoa_pattern):
+            for variant in ("disjunctive", "union"):
+                plan = pattern(db, "m", n, view, target, variant=variant)
+                times.append(_timed(db.run, plan))
+        print("{:>12} | {:>12.3f} | {:>12.3f} | {:>12.3f} | {:>12.3f}".format(n, *times))
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    """Recommend view windows for a workload of reporting-function SQL."""
+    wh = DataWarehouse()
+    queries = [(q, 1.0) for q in args.query]
+    advice = wh.advise(queries, top=args.top)
+    if not advice:
+        print("no rewritable reporting-function queries in the workload")
+        return 1
+    for key, recommendations in advice.items():
+        base, value, partition, order, where = key
+        print(f"workload group: {value} over {base} "
+              f"(partition {list(partition) or '-'}, order {list(order)})")
+        for i, rec in enumerate(recommendations, 1):
+            print(f"\n#{i}")
+            print(rec.describe())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reporting-function views in a data warehouse (ICDE 2002 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="end-to-end view derivation demo")
+    demo.add_argument("--rows", type=int, default=200)
+    demo.set_defaults(func=cmd_demo)
+
+    t1 = sub.add_parser("table1", help="rerun the paper's Table 1 sweep")
+    t1.add_argument("--sizes", type=_sizes, default=[500, 1000, 2000])
+    t1.set_defaults(func=cmd_table1)
+
+    t2 = sub.add_parser("table2", help="rerun the paper's Table 2 sweep")
+    t2.add_argument("--sizes", type=_sizes, default=[100, 500, 1000])
+    t2.set_defaults(func=cmd_table2)
+
+    advise = sub.add_parser("advise", help="recommend views for a SQL workload")
+    advise.add_argument("--query", action="append", required=True,
+                        help="a reporting-function SELECT (repeatable)")
+    advise.add_argument("--top", type=int, default=3)
+    advise.set_defaults(func=cmd_advise)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

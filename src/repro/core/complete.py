@@ -1,0 +1,242 @@
+"""Complete simple sequences: header and trailer (paper section 3.2, fig. 7).
+
+Definition (Complete Simple Sequence, CSS): a simple sequence is *complete*
+if its representation exhibits a *header* (sequence values for positions
+``-inf .. 0``) and a *trailer* (positions ``n+1 .. inf``).
+
+Only finitely many of those values are interesting: raw data ``x_1 .. x_n``
+still contributes to positions ``-h+1 .. 0`` and ``n+1 .. n+l``; everything
+further out aggregates the empty window (0 under SUM semantics).
+:class:`CompleteSequence` therefore materializes exactly the positions
+``1-h .. n+l`` and *extrapolates* all other positions, giving a total
+function ``value(k)`` over the integers — precisely what the derivation
+algorithms (sections 3-5) require.
+
+A sequence built with ``complete=False`` stores only positions ``1 .. n``
+and raises :class:`~repro.errors.IncompleteSequenceError` when a derivation
+touches a missing header/trailer value; the view matcher uses this to refuse
+underivable rewrites.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.aggregates import SUM, Aggregate
+from repro.core.sequence import SequenceSpec
+from repro.core.window import WindowSpec
+from repro.errors import IncompleteSequenceError, SequenceError
+
+__all__ = ["CompleteSequence"]
+
+
+class CompleteSequence:
+    """Materialized sequence values including header and trailer.
+
+    The canonical constructor is :meth:`from_raw`; :meth:`from_values` wraps
+    already-computed values (e.g. read back from a warehouse table).
+
+    Instances are mutable only through the maintenance functions in
+    :mod:`repro.core.maintenance`.
+    """
+
+    def __init__(
+        self,
+        window: WindowSpec,
+        aggregate: Aggregate,
+        n: int,
+        values: List[float],
+        complete: bool = True,
+    ) -> None:
+        if n < 0:
+            raise SequenceError(f"sequence cardinality must be >= 0, got {n}")
+        self.window = window
+        self.aggregate = aggregate
+        self._n = n
+        self._complete = complete
+        expected = self._last() - self._first() + 1
+        if len(values) != expected:
+            raise SequenceError(
+                f"expected {expected} stored values for positions "
+                f"{self._first()}..{self._last()}, got {len(values)}"
+            )
+        self._values = values
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_raw(
+        cls,
+        raw: Sequence[float],
+        window: WindowSpec,
+        aggregate: Aggregate = SUM,
+        *,
+        complete: bool = True,
+    ) -> "CompleteSequence":
+        """Compute a (complete) sequence over raw values ``x_1 .. x_n``."""
+        n = len(raw)
+        spec = SequenceSpec(window, aggregate)
+        if complete:
+            first = 1 - window.header_span()
+            last = n + window.trailer_span()
+        else:
+            first, last = 1, n
+        values = [spec.value_at(raw, k) for k in range(first, last + 1)]
+        return cls(window, aggregate, n, values, complete)
+
+    @classmethod
+    def from_values(
+        cls,
+        window: WindowSpec,
+        aggregate: Aggregate,
+        n: int,
+        values_by_position: Sequence[Tuple[int, float]],
+        *,
+        complete: bool = True,
+    ) -> "CompleteSequence":
+        """Wrap externally computed ``(position, value)`` pairs.
+
+        The pairs must cover exactly the stored range (``1-h .. n+l`` when
+        complete, ``1 .. n`` otherwise), in any order.
+        """
+        tmp = cls.__new__(cls)
+        tmp.window, tmp.aggregate, tmp._n, tmp._complete = window, aggregate, n, complete
+        first, last = tmp._first(), tmp._last()
+        slots: List[Optional[float]] = [None] * (last - first + 1)
+        for pos, val in values_by_position:
+            if pos < first or pos > last:
+                raise SequenceError(
+                    f"position {pos} outside stored range {first}..{last}"
+                )
+            slots[pos - first] = float(val)
+        missing = [first + i for i, v in enumerate(slots) if v is None]
+        if missing:
+            raise IncompleteSequenceError(
+                f"missing sequence values at positions {missing[:5]}"
+                + ("..." if len(missing) > 5 else "")
+            )
+        return cls(window, aggregate, n, [v for v in slots if v is not None], complete)
+
+    # -- stored range --------------------------------------------------------
+
+    def _first(self) -> int:
+        if not self._complete:
+            return 1
+        return 1 - self.window.header_span()
+
+    def _last(self) -> int:
+        if not self._complete:
+            return self._n
+        return self._n + self.window.trailer_span()
+
+    @property
+    def n(self) -> int:
+        """Cardinality of the underlying raw data."""
+        return self._n
+
+    @property
+    def is_complete(self) -> bool:
+        return self._complete
+
+    @property
+    def stored_range(self) -> Tuple[int, int]:
+        """Inclusive range of materialized positions."""
+        return self._first(), self._last()
+
+    def positions(self) -> Iterator[int]:
+        """Iterate over materialized positions in order."""
+        return iter(range(self._first(), self._last() + 1))
+
+    def items(self) -> Iterator[Tuple[int, float]]:
+        """Iterate over materialized ``(position, value)`` pairs."""
+        first = self._first()
+        return ((first + i, v) for i, v in enumerate(self._values))
+
+    def core_values(self) -> List[float]:
+        """The values at positions ``1 .. n`` (the query-visible part)."""
+        first = self._first()
+        return self._values[1 - first : 1 - first + self._n]
+
+    # -- total value function -------------------------------------------------
+
+    def value(self, k: int) -> float:
+        """``x̃_k`` for *any* integer ``k`` (SUM/COUNT semantics).
+
+        Positions outside the materialized range extrapolate per the CSS
+        definition: 0 for sliding windows (the window no longer intersects
+        ``1..n``) and, for cumulative windows, 0 on the left and ``x̃_n`` on
+        the right.
+
+        Raises:
+            IncompleteSequenceError: if the position lies in the missing
+                header/trailer of an incomplete sequence.
+        """
+        first, last = self._first(), self._last()
+        if first <= k <= last:
+            return self._values[k - first]
+        if not self._complete and self._needs_materialized(k):
+            raise IncompleteSequenceError(
+                f"position {k} requires the sequence header/trailer, but the "
+                f"materialized sequence is not complete (stored {first}..{last})"
+            )
+        return self._extrapolate(k)
+
+    def value_or_none(self, k: int) -> Optional[float]:
+        """``x̃_k`` under MIN/MAX semantics: ``None`` where the window is empty.
+
+        MaxOA's MIN/MAX cover must skip shifted values whose window does not
+        intersect ``1..n`` instead of treating them as zero.
+        """
+        lo, hi = self.window.bounds(k)
+        if hi < 1 or lo > self._n:
+            return None
+        return self.value(k)
+
+    def _needs_materialized(self, k: int) -> bool:
+        """Would a complete sequence have materialized position ``k``?"""
+        return (1 - self.window.header_span()) <= k <= (
+            self._n + self.window.trailer_span()
+        )
+
+    def _extrapolate(self, k: int) -> float:
+        if self.window.is_cumulative:
+            if k <= 0:
+                return 0.0
+            # k > n: the running total stays at x̃_n.
+            return self._values[self._n - self._first()] if self._n else 0.0
+        return 0.0
+
+    # -- mutation hooks (used by repro.core.maintenance only) -----------------
+
+    def _replace_values(self, n: int, values: List[float]) -> None:
+        self._n = n
+        expected = self._last() - self._first() + 1
+        if len(values) != expected:
+            raise SequenceError(
+                f"maintenance produced {len(values)} values, expected {expected}"
+            )
+        self._values = values
+
+    # -- comparison / debugging ------------------------------------------------
+
+    def to_list(self) -> List[float]:
+        """Copy of all stored values, ordered by position."""
+        return list(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CompleteSequence):
+            return NotImplemented
+        return (
+            self.window == other.window
+            and self.aggregate.name == other.aggregate.name
+            and self._n == other._n
+            and self._complete == other._complete
+            and self._values == other._values
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "complete" if self._complete else "incomplete"
+        return (
+            f"CompleteSequence({self.aggregate.name} over {self.window}, "
+            f"n={self._n}, {kind})"
+        )

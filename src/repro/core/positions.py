@@ -1,0 +1,189 @@
+"""Position functions for multi-column orderings (paper section 6).
+
+Definition (Position Function): ``pos: N^n -> N`` returns the global
+position of a multidimensional sequence entry according to the linear
+(lexicographic) ordering of its coordinates; for ``n = 1`` it is the
+identity.
+
+:class:`PositionFunction` implements the mixed-radix arithmetic over
+explicit, ordered column domains, plus the coordinate increment/decrement
+(``(2,4) + 1 = (3,1)`` in the paper's example, where the second domain has
+four values) that the ordering-reduction lemma uses to address neighbouring
+combinations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SequenceError
+
+__all__ = ["PositionFunction"]
+
+Coords = Tuple[object, ...]
+
+
+class PositionFunction:
+    """Linear (lexicographic) positions over ordered column domains.
+
+    Args:
+        domains: one ordered sequence of distinct values per ordering
+            column, most significant first.  Positions are 1-based, matching
+            the paper's sequence convention.
+
+    Example:
+        >>> pos = PositionFunction([[2001, 2002], ["jan", "feb", "mar"]])
+        >>> pos((2001, "jan")), pos((2002, "mar"))
+        (1, 6)
+    """
+
+    def __init__(self, domains: Sequence[Sequence[object]]) -> None:
+        if not domains:
+            raise SequenceError("a position function needs at least one domain")
+        self._domains: List[Tuple[object, ...]] = []
+        self._index: List[Dict[object, int]] = []
+        for d, domain in enumerate(domains):
+            values = tuple(domain)
+            if not values:
+                raise SequenceError(f"ordering domain {d} is empty")
+            index = {v: i for i, v in enumerate(values)}
+            if len(index) != len(values):
+                raise SequenceError(f"ordering domain {d} contains duplicates")
+            self._domains.append(values)
+            self._index.append(index)
+        self._strides = [1] * len(self._domains)
+        for d in range(len(self._domains) - 2, -1, -1):
+            self._strides[d] = self._strides[d + 1] * len(self._domains[d + 1])
+
+    # -- basic geometry ------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self._domains)
+
+    @property
+    def cardinality(self) -> int:
+        """Total number of combinations (the sequence length ``n``)."""
+        return self._strides[0] * len(self._domains[0])
+
+    def domain(self, d: int) -> Tuple[object, ...]:
+        return self._domains[d]
+
+    # -- pos() and its inverse -------------------------------------------------
+
+    def __call__(self, coords: Sequence[object]) -> int:
+        """``pos(k1, ..., kn)`` — the 1-based global position.
+
+        Shorter coordinate lists address the *first* combination with that
+        prefix (the lemma's padding with 1s).
+        """
+        if not 0 < len(coords) <= self.arity:
+            raise SequenceError(
+                f"expected 1..{self.arity} coordinates, got {len(coords)}"
+            )
+        k = 0
+        for d, value in enumerate(coords):
+            try:
+                k += self._index[d][value] * self._strides[d]
+            except KeyError:
+                raise SequenceError(
+                    f"value {value!r} not in ordering domain {d}"
+                ) from None
+        return k + 1
+
+    def coords(self, k: int) -> Coords:
+        """Inverse of :meth:`__call__`: coordinates of global position ``k``."""
+        if not 1 <= k <= self.cardinality:
+            raise SequenceError(
+                f"position {k} outside 1..{self.cardinality}"
+            )
+        rest = k - 1
+        out = []
+        for d in range(self.arity):
+            idx, rest = divmod(rest, self._strides[d])
+            out.append(self._domains[d][idx])
+        return tuple(out)
+
+    # -- prefix arithmetic (ordering reduction) ---------------------------------
+
+    def prefix_cardinality(self, keep: int) -> int:
+        """Number of distinct prefixes of length ``keep``."""
+        if not 0 < keep <= self.arity:
+            raise SequenceError(f"prefix length must be 1..{self.arity}")
+        card = 1
+        for d in range(keep):
+            card *= len(self._domains[d])
+        return card
+
+    def prefix_rank(self, prefix: Sequence[object]) -> int:
+        """1-based lexicographic rank of a prefix among equal-length prefixes."""
+        rank = 0
+        for d, value in enumerate(prefix):
+            stride = 1
+            for dd in range(d + 1, len(prefix)):
+                stride *= len(self._domains[dd])
+            rank += self._index[d][value] * stride
+        return rank + 1
+
+    def prefix_from_rank(self, keep: int, rank: int) -> Coords:
+        """Inverse of :meth:`prefix_rank`."""
+        card = self.prefix_cardinality(keep)
+        if not 1 <= rank <= card:
+            raise SequenceError(f"prefix rank {rank} outside 1..{card}")
+        rest = rank - 1
+        out = []
+        for d in range(keep):
+            stride = 1
+            for dd in range(d + 1, keep):
+                stride *= len(self._domains[dd])
+            idx, rest = divmod(rest, stride)
+            out.append(self._domains[d][idx])
+        return tuple(out)
+
+    def shift_prefix(self, prefix: Sequence[object], delta: int) -> Coords:
+        """``prefix (+/-) delta`` in lexicographic order — the paper's
+        ``(2,4)+1 = (3,1)`` carry arithmetic.
+
+        Raises:
+            SequenceError: when the shift leaves the domain (callers saturate
+                with :meth:`group_bounds` clipping instead).
+        """
+        keep = len(prefix)
+        return self.prefix_from_rank(keep, self.prefix_rank(prefix) + delta)
+
+    def group_bounds(self, prefix: Sequence[object]) -> Tuple[int, int]:
+        """Global position range ``[first, last]`` of all entries with ``prefix``."""
+        first = self(prefix)
+        span = self._strides[len(prefix) - 1]
+        return first, first + span - 1
+
+    def lemma_window_bounds(self, coords: Sequence[object], drop: int) -> Tuple[int, int]:
+        """The ordering-reduction lemma's ``(w'L(k), w'H(k))`` offsets.
+
+        For the full coordinates of global position ``k`` and ``j = drop``
+        trailing ordering columns to eliminate:
+
+            ``w'L(k) = k - pos(prefix - 1, 1, ..., 1)``
+            ``w'H(k) = pos(prefix + 1, 1, ..., 1) - k - 1``
+
+        where the +/-1 use the carrying prefix arithmetic.  At domain edges
+        the missing neighbour prefix saturates to the first/last combination
+        (sequence values outside ``1..n`` are zero anyway).
+        """
+        if not 0 < drop < self.arity:
+            raise SequenceError(
+                f"must drop between 1 and {self.arity - 1} ordering columns"
+            )
+        k = self(coords)
+        prefix = tuple(coords[: self.arity - drop])
+        keep = len(prefix)
+        # In a dense cross-product domain, equal prefixes occupy contiguous
+        # blocks of `span` positions, so the neighbouring prefixes start
+        # exactly one span away — even at the domain edges, where the
+        # "virtual" neighbour addresses positions outside 1..n (whose
+        # sequence values are zero by convention).
+        span = self._strides[keep - 1]
+        start = self(prefix)
+        lower = k - (start - span)
+        upper = (start + span) - k - 1
+        return lower, upper

@@ -1,0 +1,132 @@
+"""Reconstructing raw data and deriving from cumulative views (paper section 3).
+
+Three building blocks:
+
+* :func:`raw_from_cumulative` — ``x_k = x̃_k - x̃_{k-1}`` (section 3.1,
+  relational mapping in fig. 4).
+* :func:`sliding_from_cumulative` — ``ỹ_k = x̃_{k+h} - x̃_{k-l-1}`` (fig. 5);
+  holds for small ``k`` because ``x̃_j = 0`` for ``j <= 0``.
+* :func:`raw_from_sliding` — from a *complete* sliding-window sequence
+  ``x̃ = (l, h)`` with window size ``w = l + h + 1`` (section 3.2).  Both the
+  recursive form
+
+      ``x_k = x̃_{k-h} - x̃_{k-h-1} + x_{k-w}``
+
+  and the explicit form
+
+      ``x_k = Σ_{i>=0} ( x̃_{k-h-i·w} - x̃_{k-h-1-i·w} )``
+
+  are provided; the sum stops at ``i_up = ceil(k / w)`` because beyond that
+  point ``k - h - i·w <= -h`` and the sequence values vanish.
+
+All functions work on :class:`~repro.core.complete.CompleteSequence` values
+and use its total value function, so headers/trailers and the paper's
+zero-extension conventions apply uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.core.complete import CompleteSequence
+from repro.core.window import WindowSpec
+from repro.errors import DerivationError
+
+__all__ = [
+    "raw_from_cumulative",
+    "raw_at_from_cumulative",
+    "sliding_from_cumulative",
+    "raw_from_sliding",
+    "raw_at_from_sliding",
+]
+
+
+def _require_sum_family(seq: CompleteSequence, what: str) -> None:
+    if not seq.aggregate.invertible:
+        raise DerivationError(
+            f"{what} requires an invertible aggregate (SUM/COUNT); "
+            f"the materialized sequence uses {seq.aggregate.name}"
+        )
+
+
+def raw_at_from_cumulative(seq: CompleteSequence, k: int) -> float:
+    """Single raw value ``x_k = x̃_k - x̃_{k-1}`` from a cumulative sequence."""
+    if not seq.window.is_cumulative:
+        raise DerivationError("raw_at_from_cumulative needs a cumulative sequence")
+    _require_sum_family(seq, "raw-data reconstruction")
+    return seq.value(k) - seq.value(k - 1)
+
+
+def raw_from_cumulative(seq: CompleteSequence) -> List[float]:
+    """All raw values ``x_1 .. x_n`` from a cumulative sequence (fig. 4)."""
+    return [raw_at_from_cumulative(seq, k) for k in range(1, seq.n + 1)]
+
+
+def sliding_from_cumulative(seq: CompleteSequence, target: WindowSpec) -> List[float]:
+    """Derive a sliding-window sequence ``ỹ = (l, h)`` from a cumulative view.
+
+    ``ỹ_k = x̃_{k+h} - x̃_{k-l-1}`` (fig. 5); the cumulative trailer
+    (``x̃_j = x̃_n`` for ``j > n``) makes the formula total.
+    """
+    if not seq.window.is_cumulative:
+        raise DerivationError("sliding_from_cumulative needs a cumulative view")
+    if not target.is_sliding:
+        raise DerivationError("target window must be sliding")
+    _require_sum_family(seq, "sliding-window derivation")
+    l, h = target.l, target.h
+    return [seq.value(k + h) - seq.value(k - l - 1) for k in range(1, seq.n + 1)]
+
+
+def raw_at_from_sliding(seq: CompleteSequence, k: int, *, form: str = "explicit") -> float:
+    """Single raw value ``x_k`` from a complete sliding-window sequence.
+
+    Args:
+        form: ``"explicit"`` uses the bounded telescoping sum directly at
+            position ``k``;  ``"recursive"`` unrolls the recursion
+            ``x_k = x̃_{k-h} - x̃_{k-h-1} + x_{k-w}`` down to the base case.
+            Both cost ``O(k / w)`` sequence lookups for one value.
+    """
+    if not seq.window.is_sliding:
+        raise DerivationError("raw_at_from_sliding needs a sliding-window view")
+    _require_sum_family(seq, "raw-data reconstruction")
+    h = seq.window.h
+    w = seq.window.width
+    if form == "recursive":
+        if k <= 0:
+            return 0.0
+        return seq.value(k - h) - seq.value(k - h - 1) + raw_at_from_sliding(
+            seq, k - w, form="recursive"
+        )
+    if form != "explicit":
+        raise DerivationError(f"unknown reconstruction form {form!r}")
+    i_up = max(math.ceil(k / w), 0)
+    total = 0.0
+    for i in range(0, i_up + 1):
+        pos = k - h - i * w
+        total += seq.value(pos) - seq.value(pos - 1)
+    return total
+
+
+def raw_from_sliding(seq: CompleteSequence, *, form: str = "explicit") -> List[float]:
+    """All raw values ``x_1 .. x_n`` from a complete sliding-window sequence.
+
+    The whole-sequence reconstruction runs the recursion forward in one pass
+    (O(n) total) regardless of ``form``'s per-value strategy when
+    ``form="recursive"``; ``form="explicit"`` evaluates the bounded sum at
+    every position (O(n²/w) total), matching the relational pattern's cost
+    profile.
+    """
+    if not seq.window.is_sliding:
+        raise DerivationError("raw_from_sliding needs a sliding-window view")
+    _require_sum_family(seq, "raw-data reconstruction")
+    n = seq.n
+    if form == "recursive":
+        h = seq.window.h
+        w = seq.window.width
+        out = [0.0] * n
+        for k in range(1, n + 1):
+            prev = out[k - w - 1] if k - w >= 1 else 0.0
+            out[k - 1] = seq.value(k - h) - seq.value(k - h - 1) + prev
+        return out
+    return [raw_at_from_sliding(seq, k, form=form) for k in range(1, n + 1)]

@@ -1,0 +1,148 @@
+"""The paper's formal sequence model (section 2.1).
+
+Definition (Simple Sequence): a triple ``(S, W, FA)`` where
+
+* ``S = (SL, SH)`` gives start and stop positions of the sequence;
+* ``W = (WL, WH)`` gives, per position ``k``, the inclusive raw-data bounds
+  ``wL(k) .. wH(k)`` of the aggregation window;
+* ``FA`` is a regular aggregation function.
+
+The sequence value at position ``k`` is
+``x̃_k = FA{ x_wL(k), ..., x_wH(k) }`` with raw values ``x_i = 0`` for
+``i`` outside ``1..n``.
+
+:class:`SequenceSpec` realises this triple.  For the two standard shapes —
+cumulative and sliding windows — the per-position bounds come from a
+:class:`~repro.core.window.WindowSpec`; section 6's ordering reduction
+produces *irregular* per-position bounds, modelled by
+:class:`CustomBoundsSequenceSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+from repro.core.aggregates import SUM, Aggregate
+from repro.core.window import WindowSpec
+from repro.errors import SequenceError
+
+__all__ = ["SequenceSpec", "CustomBoundsSequenceSpec", "raw_value"]
+
+
+def raw_value(raw: Sequence[float], i: int) -> float:
+    """``x_i`` with the paper's convention ``x_i = 0`` outside ``1..n``.
+
+    ``raw`` is a 0-based Python sequence holding ``x_1 .. x_n``.
+    """
+    if 1 <= i <= len(raw):
+        return raw[i - 1]
+    return 0.0
+
+
+@dataclass(frozen=True)
+class SequenceSpec:
+    """A simple sequence ``(S, W, FA)`` with a regular window shape.
+
+    ``start``/``stop`` default to the paper's canonical range ``1..n`` (the
+    stop position is supplied by the data at evaluation time when left at
+    the sentinel ``None``).
+
+    Attributes:
+        window: cumulative or sliding :class:`WindowSpec`.
+        aggregate: the aggregation function ``FA`` (default SUM, the paper's
+            emphasis).
+    """
+
+    window: WindowSpec
+    aggregate: Aggregate = SUM
+
+    # -- bound functions (W component of the triple) -------------------------
+
+    def lower_bound(self, k: int) -> int:
+        """``wL(k)``."""
+        return self.window.bounds(k)[0]
+
+    def upper_bound(self, k: int) -> int:
+        """``wH(k)``."""
+        return self.window.bounds(k)[1]
+
+    def window_size(self, k: int) -> int:
+        """``W(k) = 1 + wH(k) - wL(k)``."""
+        return self.window.size(k)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def value_at(self, raw: Sequence[float], k: int) -> float:
+        """Explicit-form sequence value ``x̃_k`` over 0-based raw data.
+
+        This is the naive ``O(W(k))`` evaluation; :mod:`repro.core.compute`
+        provides the pipelined alternative for whole sequences.
+        """
+        lo, hi = self.window.bounds(k)
+        out = self.aggregate.apply(
+            raw[i - 1] for i in range(max(lo, 1), min(hi, len(raw)) + 1)
+        )
+        if out is None:
+            # MIN/MAX/AVG over a window that lies entirely outside 1..n.
+            # The paper's arithmetic convention treats absent raw data as 0.
+            return 0.0
+        return out
+
+    def materialize(self, raw: Sequence[float]) -> List[float]:
+        """All sequence values ``x̃_1 .. x̃_n`` (naive evaluation)."""
+        return [self.value_at(raw, k) for k in range(1, len(raw) + 1)]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.aggregate.name} over {self.window}"
+
+
+@dataclass(frozen=True)
+class CustomBoundsSequenceSpec:
+    """A simple sequence whose window bounds vary per position.
+
+    Produced by ordering reduction (section 6.1), where the derived window
+    at global position ``k`` stretches to the previous/next combination of
+    the remaining ordering columns:
+
+        ``w'L(k) = k - pos((k1,...,kn-j) - 1, 1, ..., 1)``
+        ``w'H(k) = pos((k1,...,kn-j) + 1, 1, ..., 1) - k - 1``
+
+    ``lower``/``upper`` are callables ``k -> bound`` implementing ``WL``/
+    ``WH`` of the formal triple directly.
+    """
+
+    lower: Callable[[int], int]
+    upper: Callable[[int], int]
+    aggregate: Aggregate = SUM
+    description: str = field(default="custom-bounds sequence")
+
+    def lower_bound(self, k: int) -> int:
+        return self.lower(k)
+
+    def upper_bound(self, k: int) -> int:
+        return self.upper(k)
+
+    def window_size(self, k: int) -> int:
+        return 1 + self.upper(k) - self.lower(k)
+
+    def bounds(self, k: int) -> Tuple[int, int]:
+        lo, hi = self.lower(k), self.upper(k)
+        if lo > hi:
+            raise SequenceError(
+                f"window bounds inverted at position {k}: [{lo}, {hi}]"
+            )
+        return lo, hi
+
+    def value_at(self, raw: Sequence[float], k: int) -> float:
+        lo, hi = self.bounds(k)
+        out = self.aggregate.apply(
+            raw[i - 1] for i in range(max(lo, 1), min(hi, len(raw)) + 1)
+        )
+        return 0.0 if out is None else out
+
+    def materialize(self, raw: Sequence[float]) -> List[float]:
+        return [self.value_at(raw, k) for k in range(1, len(raw) + 1)]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.aggregate.name} over {self.description}"

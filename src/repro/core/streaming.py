@@ -1,0 +1,133 @@
+"""Online (streaming) sequence computation with the paper's bounded cache.
+
+Section 2.2: "referring to the given relationship requires only three
+operations independent of the window size.  The cache needs the size of
+w(k)+2, holding x̃_{k-1} and x_{k-l-1} up to x_{k+h}."
+
+:class:`SlidingWindowStream` is that operator: values are pushed one at a
+time; each push performs O(1) work and retains at most ``w + 2`` numbers
+(the previous output plus the raw values still inside or just left of the
+window).  Because a sliding window looks ``h`` rows ahead, outputs lag the
+input by ``h`` positions: ``push`` returns the next completed sequence
+value once enough lookahead has arrived, and ``finish()`` flushes the last
+``h`` positions when the stream ends.
+
+:class:`CumulativeStream` is the trivial cumulative counterpart (cache of
+one value).  Both agree exactly with the batch strategies — verified by
+tests against :func:`repro.core.compute.compute_pipelined`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from repro.core.aggregates import SUM, Aggregate
+from repro.core.window import WindowSpec
+from repro.errors import SequenceError
+
+__all__ = ["SlidingWindowStream", "CumulativeStream"]
+
+
+class SlidingWindowStream:
+    """Push-based sliding-window SUM/COUNT/AVG with an O(w) cache."""
+
+    def __init__(self, window: WindowSpec, aggregate: Aggregate = SUM) -> None:
+        if not window.is_sliding:
+            raise SequenceError("SlidingWindowStream needs a sliding window")
+        if not (aggregate.invertible or aggregate.name == "AVG"):
+            raise SequenceError(
+                f"streaming evaluation needs an invertible aggregate "
+                f"(SUM/COUNT) or AVG, got {aggregate.name}"
+            )
+        self.window = window
+        self.aggregate = aggregate
+        self._l, self._h = window.l, window.h
+        # Raw values from x_{k-l-1} (the value about to leave) to x_{k+h}:
+        # at most w + 1 raw values; plus the running sum -> w + 2 numbers.
+        # (Size is bounded by the push/emit discipline, not by the deque.)
+        self._cache: deque = deque()
+        self._sum = 0.0
+        self._pushed = 0   # raw values received
+        self._emitted = 0  # sequence values produced
+
+    @property
+    def cache_size(self) -> int:
+        """Current cached numbers (raw values + running sum) — <= w + 2."""
+        return len(self._cache) + 1
+
+    def push(self, value: float) -> Optional[float]:
+        """Feed ``x_{pushed+1}``; returns ``x̃_k`` once position ``k`` completes.
+
+        The first ``h`` pushes return None (lookahead filling up).
+        """
+        self._pushed += 1
+        self._cache.append(float(value))
+        self._sum += float(value)
+        if self._pushed <= self._h:
+            return None
+        return self._emit()
+
+    def _emit(self) -> float:
+        self._emitted += 1
+        k = self._emitted
+        # Remove the value that left the window: x_{k-l-1}.
+        leaving_pos = k - self._l - 1
+        if leaving_pos >= 1:
+            # It is the oldest cached value (cache spans k-l-1 .. k+h).
+            self._sum -= self._cache.popleft()
+        result = self._sum
+        if self.aggregate.name == "AVG":
+            lo = max(k - self._l, 1)
+            hi = min(k + self._h, self._pushed)
+            return result / (hi - lo + 1)
+        if self.aggregate.name == "COUNT":
+            lo = max(k - self._l, 1)
+            hi = min(k + self._h, self._pushed)
+            return float(hi - lo + 1)
+        return result
+
+    def finish(self) -> List[float]:
+        """Flush the trailing ``h`` positions after the last push."""
+        out: List[float] = []
+        while self._emitted < self._pushed:
+            # Simulate the missing lookahead: absent raw values are 0, but
+            # the window upper bound clips at n, so nothing enters; values
+            # keep leaving on the left.
+            out.append(self._emit())
+        return out
+
+    def process(self, values) -> List[float]:
+        """Convenience: stream a whole iterable and return all outputs."""
+        out = [v for v in (self.push(x) for x in values) if v is not None]
+        out.extend(self.finish())
+        return out
+
+
+class CumulativeStream:
+    """Push-based cumulative SUM/COUNT/AVG/MIN/MAX (cache of one value)."""
+
+    def __init__(self, aggregate: Aggregate = SUM) -> None:
+        self.aggregate = aggregate
+        self._acc: Optional[float] = None
+        self._count = 0
+
+    def push(self, value: float) -> float:
+        """Feed the next raw value; returns ``x̃_k`` immediately."""
+        self._count += 1
+        value = float(value)
+        name = self.aggregate.name
+        if name == "COUNT":
+            return float(self._count)
+        if self._acc is None:
+            self._acc = value
+        elif name in ("SUM", "AVG"):
+            self._acc += value
+        else:  # MIN / MAX
+            self._acc = self.aggregate.combine(self._acc, value)
+        if name == "AVG":
+            return self._acc / self._count
+        return self._acc
+
+    def process(self, values) -> List[float]:
+        return [self.push(v) for v in values]

@@ -1,0 +1,122 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  Subclasses are grouped by subsystem: the core sequence algebra,
+the relational engine, the SQL layer, and the materialized-view manager.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Core sequence algebra (repro.core)
+# ---------------------------------------------------------------------------
+
+class SequenceError(ReproError):
+    """Invalid sequence specification or sequence operation."""
+
+
+class WindowError(SequenceError):
+    """Invalid window specification (e.g. negative bounds on a sliding window)."""
+
+
+class IncompleteSequenceError(SequenceError):
+    """An operation required a complete sequence (header/trailer) that is missing.
+
+    See section 3.2 of the paper: derivation from a materialized sliding
+    window sequence needs the sequence *header* (positions ``-h+1 .. 0``) and
+    *trailer* (positions ``n+1 .. n+l``).
+    """
+
+
+class DerivationError(ReproError):
+    """A sequence query is not derivable from the given materialized sequence."""
+
+
+class MaintenanceError(ReproError):
+    """An incremental maintenance rule could not be applied."""
+
+
+# ---------------------------------------------------------------------------
+# Relational engine (repro.relational)
+# ---------------------------------------------------------------------------
+
+class RelationalError(ReproError):
+    """Base class for relational-engine errors."""
+
+
+class SchemaError(RelationalError):
+    """Schema mismatch: unknown column, duplicate column, wrong arity/type."""
+
+
+class CatalogError(RelationalError):
+    """Unknown or duplicate table/index/view name."""
+
+
+class ConstraintError(RelationalError):
+    """Violation of a declared constraint (e.g. duplicate primary key)."""
+
+
+class ExpressionError(RelationalError):
+    """Malformed expression tree or evaluation failure."""
+
+
+class PlanError(RelationalError):
+    """Malformed or non-executable query plan."""
+
+
+# ---------------------------------------------------------------------------
+# SQL layer (repro.sql)
+# ---------------------------------------------------------------------------
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class LexerError(SqlError):
+    """Unrecognised token in the SQL input."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(SqlError):
+    """The SQL input does not match the supported grammar."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(SqlError):
+    """Name resolution failure: unknown table, column, or function."""
+
+
+class UnsupportedSqlError(SqlError):
+    """Syntactically valid SQL that this engine intentionally does not support."""
+
+
+# ---------------------------------------------------------------------------
+# Materialized views / warehouse (repro.views, repro.warehouse)
+# ---------------------------------------------------------------------------
+
+class ViewError(ReproError):
+    """Base class for materialized-view errors."""
+
+
+class ViewDefinitionError(ViewError):
+    """The view definition is not a recognisable reporting-function view."""
+
+
+class NoRewriteError(ViewError):
+    """No registered materialized view can answer the query.
+
+    Raised only when the caller demanded a rewrite
+    (``require_rewrite=True``); the default behaviour is to fall back to
+    evaluation over base tables.
+    """

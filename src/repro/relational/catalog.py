@@ -1,0 +1,74 @@
+"""Catalog: the named-object registry of a database instance."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import CatalogError
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+from repro.relational.types import DataType, type_by_name
+
+__all__ = ["Catalog"]
+
+ColumnSpec = Union[Tuple[str, DataType], Tuple[str, str], Column]
+
+
+def _normalize_columns(specs: Sequence[ColumnSpec]) -> Schema:
+    columns: List[Column] = []
+    for spec in specs:
+        if isinstance(spec, Column):
+            columns.append(Column(spec.name, spec.type))
+        else:
+            name, typ = spec
+            if isinstance(typ, str):
+                typ = type_by_name(typ)
+            columns.append(Column(name, typ))
+    return Schema(columns)
+
+
+class Catalog:
+    """Case-preserving, name-keyed table registry."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[ColumnSpec],
+        *,
+        primary_key: Optional[Sequence[str]] = None,
+        if_not_exists: bool = False,
+    ) -> Table:
+        if name in self._tables:
+            if if_not_exists:
+                return self._tables[name]
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(name, _normalize_columns(columns), primary_key=primary_key)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str, *, if_exists: bool = False) -> None:
+        if name not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(f"no table {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(
+                f"no table {name!r} (have {sorted(self._tables)})"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def tables(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def names(self) -> List[str]:
+        return sorted(self._tables)

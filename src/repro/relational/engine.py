@@ -1,0 +1,176 @@
+"""The database facade: DDL/DML plus plan execution.
+
+:class:`Database` is the engine's user-facing object.  SQL text goes
+through :meth:`Database.sql` (which delegates to :mod:`repro.sql`);
+programmatic plans built from the operator classes execute via
+:meth:`Database.run`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.relational.catalog import Catalog, ColumnSpec
+from repro.relational.operators import Operator, TableScan
+from repro.relational.schema import Schema
+from repro.relational.stats import ExecutionStats
+from repro.relational.table import Table
+
+__all__ = ["Database", "Result"]
+
+Row = Tuple[Any, ...]
+
+
+@dataclass
+class Result:
+    """Materialized result of one plan execution."""
+
+    schema: Schema
+    rows: List[Row]
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+
+    @property
+    def columns(self) -> List[str]:
+        return self.schema.names()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def first(self) -> Optional[Row]:
+        return self.rows[0] if self.rows else None
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one output column."""
+        i = self.schema.resolve(name)
+        return [row[i] for row in self.rows]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        names = self.columns
+        return [dict(zip(names, row)) for row in self.rows]
+
+    def to_csv(self, path: str, *, header: bool = True) -> int:
+        """Write the rows as CSV; returns the number of data rows written.
+
+        NULL becomes an empty field; dates use ISO format.
+        """
+        import csv
+        import datetime
+
+        def cell(value: Any) -> Any:
+            if value is None:
+                return ""
+            if isinstance(value, datetime.date):
+                return value.isoformat()
+            return value
+
+        with open(path, "w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            if header:
+                writer.writerow(self.columns)
+            for row in self.rows:
+                writer.writerow([cell(v) for v in row])
+        return len(self.rows)
+
+    def pretty(self, limit: int = 20) -> str:
+        """Fixed-width text rendering (for examples and EXPERIMENTS logs)."""
+        names = self.columns
+        shown = self.rows[:limit]
+        cells = [[_fmt(v) for v in row] for row in shown]
+        widths = [
+            max(len(names[i]), *(len(r[i]) for r in cells)) if cells else len(names[i])
+            for i in range(len(names))
+        ]
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        sep = "-+-".join("-" * w for w in widths)
+        body = [" | ".join(c.rjust(w) for c, w in zip(row, widths)) for row in cells]
+        suffix = [] if len(self.rows) <= limit else [f"... ({len(self.rows)} rows)"]
+        return "\n".join([header, sep] + body + suffix)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+class Database:
+    """An in-memory relational database instance."""
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+
+    # -- DDL -----------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[ColumnSpec],
+        *,
+        primary_key: Optional[Sequence[str]] = None,
+        if_not_exists: bool = False,
+    ) -> Table:
+        return self.catalog.create_table(
+            name, columns, primary_key=primary_key, if_not_exists=if_not_exists
+        )
+
+    def drop_table(self, name: str, *, if_exists: bool = False) -> None:
+        self.catalog.drop_table(name, if_exists=if_exists)
+
+    def create_index(
+        self,
+        table: str,
+        name: str,
+        columns: Sequence[str],
+        *,
+        kind: str = "sorted",
+        unique: bool = False,
+    ):
+        return self.catalog.table(table).create_index(
+            name, columns, kind=kind, unique=unique
+        )
+
+    def drop_index(self, table: str, name: str) -> None:
+        self.catalog.table(table).drop_index(name)
+
+    # -- DML -----------------------------------------------------------------
+
+    def insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
+        return self.catalog.table(table).insert_many(rows)
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    def scan(self, name: str, alias: Optional[str] = None) -> TableScan:
+        """A table-scan leaf for programmatic plan building."""
+        return TableScan(self.catalog.table(name), alias)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, plan: Operator, stats: Optional[ExecutionStats] = None) -> Result:
+        """Execute a physical plan and materialize the result."""
+        stats = stats if stats is not None else ExecutionStats()
+        rows = list(plan.execute(stats))
+        return Result(plan.schema, rows, stats)
+
+    def explain(self, plan: Operator) -> str:
+        return plan.explain()
+
+    # -- SQL front door (delegates to repro.sql; import deferred to avoid a
+    #    package cycle: repro.sql depends on the relational layer) -------------
+
+    def sql(self, text: str, **options: Any) -> Result:
+        """Parse, plan and execute a SQL statement (SELECT or DDL/DML)."""
+        from repro.sql.statements import execute_statement, parse_statement
+
+        return execute_statement(self, parse_statement(text), **options)
+
+    def explain_sql(self, text: str, **options: Any) -> str:
+        from repro.sql.planner import explain_sql
+
+        return explain_sql(self, text, **options)

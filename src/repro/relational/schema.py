@@ -1,0 +1,117 @@
+"""Schemas: ordered, optionally qualified column lists.
+
+A :class:`Schema` describes the shape of the tuples an operator produces.
+Columns carry an optional *qualifier* (table name or alias) so that join
+outputs can be addressed as ``s1.pos`` vs ``s2.pos`` — exactly the way the
+paper's operator patterns (figs. 2, 4, 10, 13) reference their self-join
+sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.types import DataType
+
+__all__ = ["Column", "Schema"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column with an optional qualifier."""
+
+    name: str
+    type: DataType
+    qualifier: Optional[str] = None
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+    def matches(self, name: str, qualifier: Optional[str]) -> bool:
+        if self.name != name:
+            return False
+        return qualifier is None or self.qualifier == qualifier
+
+    def with_qualifier(self, qualifier: Optional[str]) -> "Column":
+        return Column(self.name, self.type, qualifier)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.qualified_name} {self.type.name}"
+
+
+class Schema:
+    """An ordered list of :class:`Column` with name resolution."""
+
+    def __init__(self, columns: Iterable[Column]) -> None:
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        seen = set()
+        for col in self.columns:
+            key = (col.qualifier, col.name)
+            if key in seen:
+                raise SchemaError(f"duplicate column {col.qualified_name!r}")
+            seen.add(key)
+
+    @classmethod
+    def of(cls, *specs: Tuple[str, DataType]) -> "Schema":
+        """Build from ``(name, type)`` pairs."""
+        return cls(Column(name, typ) for name, typ in specs)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.columns == other.columns
+
+    def names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    # -- resolution ------------------------------------------------------------
+
+    def resolve(self, name: str, qualifier: Optional[str] = None) -> int:
+        """Index of the column matching ``name`` (optionally ``qualifier``).
+
+        Accepts dotted names (``"s1.pos"``) when no explicit qualifier is
+        given.
+
+        Raises:
+            SchemaError: unknown or ambiguous column reference.
+        """
+        if qualifier is None and "." in name:
+            qualifier, name = name.split(".", 1)
+        matches = [
+            i for i, col in enumerate(self.columns) if col.matches(name, qualifier)
+        ]
+        if not matches:
+            ref = f"{qualifier}.{name}" if qualifier else name
+            raise SchemaError(f"unknown column {ref!r} (have {[c.qualified_name for c in self.columns]})")
+        if len(matches) > 1:
+            ref = f"{qualifier}.{name}" if qualifier else name
+            raise SchemaError(f"ambiguous column {ref!r}")
+        return matches[0]
+
+    def column(self, name: str, qualifier: Optional[str] = None) -> Column:
+        return self.columns[self.resolve(name, qualifier)]
+
+    # -- construction helpers -----------------------------------------------------
+
+    def qualify(self, qualifier: str) -> "Schema":
+        """Re-qualify every column (table scan under an alias)."""
+        return Schema(c.with_qualifier(qualifier) for c in self.columns)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Join output schema (left columns then right columns)."""
+        return Schema(tuple(self.columns) + tuple(other.columns))
+
+    def project(self, indexes: Sequence[int]) -> "Schema":
+        return Schema(self.columns[i] for i in indexes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "Schema(" + ", ".join(str(c) for c in self.columns) + ")"

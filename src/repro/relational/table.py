@@ -1,0 +1,166 @@
+"""Heap tables with optional primary key and secondary indexes."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import CatalogError, ConstraintError, SchemaError
+from repro.relational.index import HashIndex, SortedIndex
+from repro.relational.schema import Schema
+
+__all__ = ["Table"]
+
+Row = Tuple[Any, ...]
+Index = Union[HashIndex, SortedIndex]
+
+
+class Table:
+    """A named heap of tuples plus its indexes.
+
+    Rows live in a Python list; *slots* (list positions) identify rows for
+    index maintenance.  Primary keys are backed by a unique sorted index
+    named ``<table>_pk`` — sorted rather than hash so that the engine can
+    exploit it for the paper's band-predicate joins.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        primary_key: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.rows: List[Row] = []
+        self.indexes: Dict[str, Index] = {}
+        self.primary_key: Optional[Tuple[str, ...]] = None
+        if primary_key:
+            self.primary_key = tuple(primary_key)
+            cols = [schema.resolve(c) for c in self.primary_key]
+            self.indexes[f"{name}_pk"] = SortedIndex(f"{name}_pk", cols, unique=True)
+
+    # -- row access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def row(self, slot: int) -> Row:
+        return self.rows[slot]
+
+    # -- mutation ------------------------------------------------------------------
+
+    def _coerce(self, values: Sequence[Any]) -> Row:
+        if len(values) != len(self.schema):
+            raise SchemaError(
+                f"table {self.name!r} expects {len(self.schema)} values, "
+                f"got {len(values)}"
+            )
+        return tuple(
+            column.type.validate(value)
+            for column, value in zip(self.schema, values)
+        )
+
+    def insert(self, values: Sequence[Any]) -> int:
+        """Append one row; returns its slot.
+
+        Raises:
+            ConstraintError: primary key / unique index violation (the row
+                is not inserted).
+        """
+        row = self._coerce(values)
+        slot = len(self.rows)
+        added: List[Index] = []
+        try:
+            for index in self.indexes.values():
+                index.add(row, slot)
+                added.append(index)
+        except ConstraintError:
+            for index in added:
+                index.remove(row, slot)
+            raise
+        self.rows.append(row)
+        return slot
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        count = 0
+        for values in rows:
+            self.insert(values)
+            count += 1
+        return count
+
+    def update_slot(self, slot: int, values: Sequence[Any]) -> None:
+        """Replace the row at ``slot`` (indexes maintained incrementally)."""
+        new_row = self._coerce(values)
+        old_row = self.rows[slot]
+        for index in self.indexes.values():
+            index.remove(old_row, slot)
+        try:
+            for index in self.indexes.values():
+                index.add(new_row, slot)
+        except ConstraintError:
+            for index in self.indexes.values():
+                index.remove(new_row, slot)
+                index.add(old_row, slot)
+            raise
+        self.rows[slot] = new_row
+
+    def delete_slots(self, slots: Iterable[int]) -> int:
+        """Delete rows by slot; remaining slots are renumbered and all
+        indexes rebuilt (documented O(n))."""
+        doomed = set(slots)
+        if not doomed:
+            return 0
+        self.rows = [row for i, row in enumerate(self.rows) if i not in doomed]
+        for index in self.indexes.values():
+            index.rebuild(self.rows)
+        return len(doomed)
+
+    def truncate(self) -> None:
+        self.rows.clear()
+        for index in self.indexes.values():
+            index.rebuild(self.rows)
+
+    # -- index management -----------------------------------------------------------
+
+    def create_index(
+        self,
+        name: str,
+        columns: Sequence[str],
+        *,
+        kind: str = "sorted",
+        unique: bool = False,
+    ) -> Index:
+        if name in self.indexes:
+            raise CatalogError(f"index {name!r} already exists on {self.name!r}")
+        cols = [self.schema.resolve(c) for c in columns]
+        index: Index
+        if kind == "sorted":
+            index = SortedIndex(name, cols, unique=unique)
+        elif kind == "hash":
+            index = HashIndex(name, cols, unique=unique)
+        else:
+            raise CatalogError(f"unknown index kind {kind!r}")
+        index.rebuild(self.rows)
+        self.indexes[name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        if name not in self.indexes:
+            raise CatalogError(f"no index {name!r} on table {self.name!r}")
+        del self.indexes[name]
+
+    def find_index(self, columns: Sequence[str], *, sorted_only: bool = False) -> Optional[Index]:
+        """An index whose key is exactly ``columns`` (first match wins)."""
+        wanted = tuple(self.schema.resolve(c) for c in columns)
+        for index in self.indexes.values():
+            if index.column_indexes == wanted:
+                if sorted_only and index.kind != "sorted":
+                    continue
+                return index
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self.name!r}, rows={len(self.rows)}, indexes={list(self.indexes)})"

@@ -1,0 +1,274 @@
+"""AST nodes for the supported SQL subset.
+
+Scalar expressions reuse the relational expression nodes
+(:mod:`repro.relational.expr`) directly — the parser emits them as-is, so no
+separate lowering step is needed.  Only constructs the relational layer
+cannot represent get dedicated nodes here: aggregate calls, window
+(reporting) function calls with their ``OVER`` clause (fig. 1 of the
+paper), select items, and the statement itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.core.window import WindowSpec
+from repro.errors import UnsupportedSqlError
+from repro.relational.expr import Expr
+
+__all__ = [
+    "CompoundSelect",
+    "FrameBound",
+    "FrameSpec",
+    "OverClause",
+    "AggregateCall",
+    "WindowCall",
+    "SelectItem",
+    "TableRef",
+    "OrderItem",
+    "SelectStmt",
+]
+
+
+@dataclass(frozen=True)
+class FrameBound:
+    """One end of a ROWS/RANGE frame.
+
+    ``kind`` is ``"preceding"``, ``"following"`` or ``"current"``;
+    ``offset`` is the row count (ROWS) or ordering-value distance (RANGE);
+    ``None`` = UNBOUNDED.
+    """
+
+    kind: str
+    offset: Optional[float] = None
+
+    def __str__(self) -> str:
+        if self.kind == "current":
+            return "CURRENT ROW"
+        word = self.kind.upper()
+        return ("UNBOUNDED " if self.offset is None else f"{self.offset} ") + word
+
+
+@dataclass(frozen=True)
+class FrameSpec:
+    """A ``ROWS`` or ``RANGE`` window aggregation group (fig. 1's third
+    component; RANGE is a value-distance extension beyond the paper)."""
+
+    start: FrameBound
+    end: FrameBound
+    unit: str = "rows"
+
+    def range_bounds(self) -> "Tuple[Optional[float], Optional[float]]":
+        """RANGE frames: ``(low_distance, high_distance)``; None = unbounded.
+
+        Raises:
+            UnsupportedSqlError: invalid bound combinations.
+        """
+        s, e = self.start, self.end
+        if s.kind == "following" or e.kind == "preceding":
+            raise UnsupportedSqlError(
+                f"unsupported RANGE frame: BETWEEN {s} AND {e}"
+            )
+        low = None if s.offset is None else (s.offset if s.kind == "preceding" else 0.0)
+        if s.kind == "current":
+            low = 0.0
+        high = None if e.offset is None else (e.offset if e.kind == "following" else 0.0)
+        if e.kind == "current":
+            high = 0.0
+        return low, high
+
+    def to_window(self) -> WindowSpec:
+        """Lower to the paper's window algebra.
+
+        * ``UNBOUNDED PRECEDING .. CURRENT ROW`` -> cumulative
+        * ``l PRECEDING .. h FOLLOWING``         -> sliding(l, h)
+
+        Raises:
+            UnsupportedSqlError: frames outside the paper's model
+                (UNBOUNDED FOLLOWING, or frames not containing the current
+                row, e.g. ``BETWEEN 5 PRECEDING AND 2 PRECEDING``).
+        """
+        if self.unit == "range":
+            raise UnsupportedSqlError(
+                "RANGE frames have value-distance semantics outside the "
+                "paper's row-based sequence model; they are evaluated "
+                "natively and never rewritten against views"
+            )
+        s, e = self.start, self.end
+        if s.kind == "preceding" and s.offset is None:
+            if e.kind == "current":
+                return WindowSpec.cumulative()
+            raise UnsupportedSqlError(
+                f"unsupported frame: ROWS BETWEEN {s} AND {e} (only "
+                "UNBOUNDED PRECEDING .. CURRENT ROW is cumulative)"
+            )
+        l = s.offset if s.kind == "preceding" else 0 if s.kind == "current" else None
+        h = e.offset if e.kind == "following" else 0 if e.kind == "current" else None
+        if l is not None and l != int(l):
+            raise UnsupportedSqlError("ROWS offsets must be integers")
+        if h is not None and h != int(h):
+            raise UnsupportedSqlError("ROWS offsets must be integers")
+        if l is not None:
+            l = int(l)
+        if h is not None:
+            h = int(h)
+        if l is None or h is None:
+            raise UnsupportedSqlError(
+                f"unsupported frame: ROWS BETWEEN {s} AND {e}; the sequence "
+                "model requires l PRECEDING .. h FOLLOWING"
+            )
+        return WindowSpec.sliding(l, h, allow_point=True)
+
+    def __str__(self) -> str:
+        return f"{self.unit.upper()} BETWEEN {self.start} AND {self.end}"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+    def __str__(self) -> str:
+        return f"{self.expr} {'ASC' if self.ascending else 'DESC'}"
+
+
+@dataclass(frozen=True)
+class OverClause:
+    """``OVER (PARTITION BY ... ORDER BY ... ROWS ...)``."""
+
+    partition_by: Tuple[Expr, ...] = ()
+    order_by: Tuple[OrderItem, ...] = ()
+    frame: Optional[FrameSpec] = None
+
+    def window(self) -> WindowSpec:
+        """The effective window: SQL defaults to cumulative when an ORDER BY
+        is present and no explicit frame is given."""
+        if self.frame is not None:
+            return self.frame.to_window()
+        if self.order_by:
+            return WindowSpec.cumulative()
+        raise UnsupportedSqlError(
+            "OVER () without ORDER BY or frame has whole-partition scope, "
+            "which is outside the paper's sequence model"
+        )
+
+    def __str__(self) -> str:
+        parts = []
+        if self.partition_by:
+            parts.append("PARTITION BY " + ", ".join(map(str, self.partition_by)))
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(map(str, self.order_by)))
+        if self.frame is not None:
+            parts.append(str(self.frame))
+        return "OVER (" + " ".join(parts) + ")"
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """A plain aggregate in the select list (``SUM(x)``, ``COUNT(*)``)."""
+
+    func: str
+    arg: Optional[Expr]  # None = COUNT(*)
+    distinct: bool = False
+
+    def __str__(self) -> str:
+        inner = "*" if self.arg is None else str(self.arg)
+        if self.distinct:
+            inner = "DISTINCT " + inner
+        return f"{self.func}({inner})"
+
+
+@dataclass(frozen=True)
+class WindowCall:
+    """A reporting function: ``agg(arg) OVER (...)``."""
+
+    func: str
+    arg: Optional[Expr]
+    over: OverClause
+
+    def __str__(self) -> str:
+        inner = "*" if self.arg is None else str(self.arg)
+        return f"{self.func}({inner}) {self.over}"
+
+
+SelectValue = Union[Expr, AggregateCall, WindowCall]
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One select-list entry; ``star=True`` for ``*``."""
+
+    value: Optional[SelectValue]
+    alias: Optional[str] = None
+    star: bool = False
+
+    def __str__(self) -> str:
+        if self.star:
+            return "*"
+        base = str(self.value)
+        return f"{base} AS {self.alias}" if self.alias else base
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM item: a base table or a derived table (subquery).
+
+    For derived tables ``name`` is empty, ``subquery`` holds the inner
+    statement, and ``alias`` is mandatory.
+    """
+
+    name: str
+    alias: Optional[str] = None
+    subquery: Optional["SelectStmt"] = None
+
+    @property
+    def is_subquery(self) -> bool:
+        return self.subquery is not None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+    def __str__(self) -> str:
+        if self.is_subquery:
+            return f"(<subquery>) {self.alias}"
+        return f"{self.name} {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    """The supported statement shape.
+
+    ``SELECT [DISTINCT] items FROM t1 [a1], t2 [a2], ... [WHERE ...]
+    [GROUP BY ...] [HAVING ...] [ORDER BY ...] [LIMIT n]``
+    """
+
+    items: Tuple[SelectItem, ...]
+    tables: Tuple[TableRef, ...]
+    where: Optional[Expr] = None
+    group_by: Tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+
+    def window_calls(self) -> List[WindowCall]:
+        return [i.value for i in self.items if isinstance(i.value, WindowCall)]
+
+    def aggregate_calls(self) -> List[AggregateCall]:
+        return [i.value for i in self.items if isinstance(i.value, AggregateCall)]
+
+
+@dataclass(frozen=True)
+class CompoundSelect:
+    """``select UNION ALL select [UNION ALL ...] [ORDER BY ...] [LIMIT n]``.
+
+    The members' own ORDER BY/LIMIT apply per branch; the trailing ORDER
+    BY/LIMIT of the compound applies to the concatenated rows and binds
+    against the first branch's output columns.
+    """
+
+    selects: Tuple[SelectStmt, ...]
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None

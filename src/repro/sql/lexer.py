@@ -1,0 +1,135 @@
+"""Tokenizer for the SQL subset.
+
+Produces a flat token list consumed by the recursive-descent parser.
+Keywords are case-insensitive and normalised to upper case; identifiers
+keep their original spelling.  Comments (``-- ...`` to end of line) are
+skipped — the paper's example queries use them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import LexerError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "AS", "AND", "OR", "NOT", "IN", "IS", "NULL", "CASE", "WHEN", "THEN",
+    "ELSE", "END", "OVER", "PARTITION", "ROWS", "BETWEEN", "UNBOUNDED",
+    "PRECEDING", "FOLLOWING", "CURRENT", "ROW", "ASC", "DESC", "DISTINCT",
+    "COALESCE", "TRUE", "FALSE", "UNION", "ALL", "RANGE",
+    # DDL / DML
+    "CREATE", "TABLE", "INDEX", "DROP", "PRIMARY", "KEY", "UNIQUE",
+    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "ON", "IF",
+    "EXISTS", "LIKE",
+}
+
+_SYMBOLS = ("<>", "!=", "<=", ">=", "=", "<", ">", "(", ")", ",", ".", "+", "-", "*", "/", "%")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token.
+
+    ``kind`` is one of ``KEYWORD``, ``IDENT``, ``NUMBER``, ``STRING``,
+    ``SYMBOL``, ``EOF``; ``value`` holds the normalised text (numbers stay
+    as strings until the parser types them).
+    """
+
+    kind: str
+    value: str
+    position: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind == "KEYWORD" and self.value in words
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.kind == "SYMBOL" and self.value in symbols
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}:{self.value}"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SQL text.
+
+    Raises:
+        LexerError: unrecognised character or unterminated string literal.
+    """
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and text[i : i + 2] == "--":
+            end = text.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts: List[str] = []
+            while True:
+                if j >= n:
+                    raise LexerError("unterminated string literal", i)
+                if text[j] == "'":
+                    if text[j : j + 2] == "''":  # escaped quote
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token("STRING", "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot not followed by a digit is a qualifier separator.
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            # Optional exponent: 1e9, 2.5E-3, 4e+2.
+            if j < n and text[j] in "eE":
+                k = j + 1
+                if k < n and text[k] in "+-":
+                    k += 1
+                if k < n and text[k].isdigit():
+                    while k < n and text[k].isdigit():
+                        k += 1
+                    j = k
+            tokens.append(Token("NUMBER", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        matched = False
+        for sym in _SYMBOLS:
+            if text.startswith(sym, i):
+                tokens.append(Token("SYMBOL", "<>" if sym == "!=" else sym, i))
+                i += len(sym)
+                matched = True
+                break
+        if not matched:
+            raise LexerError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("EOF", "", n))
+    return tokens

@@ -1,0 +1,554 @@
+"""The paper's relational operator patterns (figs. 2, 4, 5, 10, 13).
+
+Each pattern builds a physical plan over plain tables — no window operator,
+no internal caches — exactly the "pure relational model" route the paper
+proposes for engines without reporting-function support:
+
+* :func:`self_join_window` (fig. 2) — compute a reporting function from raw
+  data via a band self join + GROUP BY.
+* :func:`raw_from_cumulative_pattern` (fig. 4) — reconstruct raw values
+  from a materialized cumulative view (difference of neighbours via CASE
+  negation).
+* :func:`sliding_from_cumulative_pattern` (fig. 5) — derive a sliding
+  window from a cumulative view (``ỹ_k = x̃_{k+h} - x̃_{k-l-1}``).
+* :func:`maxoa_pattern` (fig. 10) and :func:`minoa_pattern` (fig. 13) —
+  derive a sliding window from a materialized sliding-window view.  Both
+  come in two variants, matching the paper's Table 2 columns:
+
+  - ``"disjunctive"`` — one self join whose predicate ORs the MOD-residue
+    branch conditions; only a nested-loop join can evaluate it.
+  - ``"union"`` — one simple-predicate query per branch, combined with
+    UNION ALL before the final grouping; each branch's residue equality is
+    served by a hash join on the computed ``MOD(pos, P)`` keys (the
+    optimisation a real optimizer applies to simple predicates).
+
+Conventions: the materialized view table stores the *complete* sequence —
+core positions ``1..n`` plus header/trailer rows; patterns filter outputs
+back to ``1..n``.  Position columns must be dense consecutive integers
+(the paper's relational mappings assume exactly this; ``ROWS`` frames and
+position bands then coincide).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.maxoa import check_preconditions as maxoa_preconditions
+from repro.core.minoa import check_preconditions as minoa_preconditions
+from repro.core.window import WindowSpec
+from repro.errors import DerivationError, PlanError
+from repro.relational.aggregate import AggSpec, HashAggregate
+from repro.relational.engine import Database
+from repro.relational.expr import And, CaseExpr, Coalesce, Comparison, Expr, FuncCall, InList, Literal, Or, col, lit
+from repro.relational.join import HashJoin, IndexNestedLoopJoin, NestedLoopJoin
+from repro.relational.operators import Filter, Operator, Project, Sort, UnionAll
+
+__all__ = [
+    "self_join_window",
+    "raw_from_cumulative_pattern",
+    "sliding_from_cumulative_pattern",
+    "maxoa_pattern",
+    "minoa_pattern",
+]
+
+
+def _mod(expr: Expr, modulus: int) -> Expr:
+    return FuncCall("MOD", (expr, lit(modulus)))
+
+
+def _resolve_index(db: Database, table: str, pos_col: str, use_index) -> Optional[str]:
+    """Name of a sorted index on the position column, honouring ``use_index``.
+
+    ``use_index`` may be ``"auto"`` (use one if present), ``True`` (require
+    one), or ``False`` (never use one).
+    """
+    if use_index is False:
+        return None
+    tbl = db.table(table)
+    index = tbl.find_index([pos_col], sorted_only=True)
+    if index is None:
+        if use_index is True:
+            raise PlanError(
+                f"table {table!r} has no sorted index on {pos_col!r}"
+            )
+        return None
+    return index.name
+
+
+def self_join_window(
+    db: Database,
+    table: str,
+    *,
+    window: WindowSpec,
+    func: str = "SUM",
+    pos_col: str = "pos",
+    val_col: str = "val",
+    partition_cols: Sequence[str] = (),
+    use_index="auto",
+    output_name: str = "wval",
+) -> Operator:
+    """Fig. 2: simulate a reporting function with a self join + GROUP BY.
+
+    Emits ``(partition_cols..., pos, wval)`` sorted by position.  The band
+    predicate is ``s2.pos IN (s1.pos - l .. s1.pos + h)`` (``s2.pos <=
+    s1.pos`` for cumulative windows), extended with partition-column
+    equality when a PARTITION BY is simulated.
+    """
+    s1 = db.scan(table, "s1")
+    pos1, pos2 = col(pos_col, "s1"), col(pos_col, "s2")
+    part_eq = [
+        Comparison("=", col(c, "s1"), col(c, "s2")) for c in partition_cols
+    ]
+
+    index_name = _resolve_index(db, table, pos_col, use_index)
+    if window.is_cumulative:
+        band_low: Optional[Tuple[Expr, ...]] = None
+        band_high = (pos1,)
+        predicate: Expr = Comparison("<=", pos2, pos1)
+    else:
+        band_low = (pos1 - window.l,)
+        band_high = (pos1 + window.h,)
+        predicate = And(
+            Comparison(">=", pos2, pos1 - window.l),
+            Comparison("<=", pos2, pos1 + window.h),
+        )
+    residual = And(*part_eq) if part_eq else None
+
+    if index_name is not None:
+        join: Operator = IndexNestedLoopJoin(
+            s1,
+            db.table(table),
+            index_name,
+            alias="s2",
+            band_low=list(band_low) if band_low else None,
+            band_high=list(band_high) if band_high else None,
+            residual=residual,
+            join_type="inner",
+        )
+    else:
+        full = And(predicate, *part_eq) if part_eq else predicate
+        join = NestedLoopJoin(s1, db.scan(table, "s2"), full)
+
+    group = [(col(c, "s1"), c) for c in partition_cols] + [(pos1, pos_col)]
+    agg = HashAggregate(join, group, [AggSpec(func, col(val_col, "s2"), output_name)])
+    keys = [(col(c), True) for c in partition_cols] + [(col(pos_col), True)]
+    return Sort(agg, keys)
+
+
+def _core_rows(
+    db: Database,
+    table: str,
+    alias: str,
+    pos_col: str,
+    n: int,
+    core_col: Optional[str] = None,
+) -> Operator:
+    """Scan of the view's core positions (drop header/trailer rows).
+
+    Two filters are supported: a global ``1..n`` position band (the paper's
+    single-sequence tables), or a per-row ``core_col`` boolean marker —
+    needed for partitioned views where ``n`` differs per partition.
+    """
+    scan = db.scan(table, alias)
+    if core_col is not None:
+        return Filter(scan, Comparison("=", col(core_col, alias), lit(True)))
+    pos = col(pos_col, alias)
+    return Filter(scan, And(Comparison(">=", pos, lit(1)), Comparison("<=", pos, lit(n))))
+
+
+def raw_from_cumulative_pattern(
+    db: Database,
+    matseq: str,
+    n: int,
+    *,
+    pos_col: str = "pos",
+    val_col: str = "val",
+    use_index="auto",
+    output_name: str = "val",
+) -> Operator:
+    """Fig. 4: reconstruct raw values from a cumulative view.
+
+    ``x_k = SUM(CASE WHEN s2.pos = s1.pos THEN val ELSE -val END)`` over the
+    neighbour pair ``s2.pos IN (s1.pos - 1, s1.pos)``.
+    """
+    s1 = _core_rows(db, matseq, "s1", pos_col, n)
+    pos1, pos2 = col(pos_col, "s1"), col(pos_col, "s2")
+    index_name = _resolve_index(db, matseq, pos_col, use_index)
+    if index_name is not None:
+        join: Operator = IndexNestedLoopJoin(
+            s1,
+            db.table(matseq),
+            index_name,
+            alias="s2",
+            band_low=[pos1 - 1],
+            band_high=[pos1],
+        )
+    else:
+        join = NestedLoopJoin(
+            s1, db.scan(matseq, "s2"), InList(pos2, (pos1 - 1, pos1))
+        )
+    signed = CaseExpr(
+        whens=((Comparison("=", pos1, pos2), col(val_col, "s2")),),
+        default=Literal(-1) * col(val_col, "s2"),
+    )
+    agg = HashAggregate(join, [(pos1, pos_col)], [AggSpec("SUM", signed, output_name)])
+    return Sort(agg, [(col(pos_col), True)])
+
+
+def sliding_from_cumulative_pattern(
+    db: Database,
+    matseq: str,
+    n: int,
+    target: WindowSpec,
+    *,
+    pos_col: str = "pos",
+    val_col: str = "val",
+    use_index="auto",
+    output_name: str = "val",
+) -> Operator:
+    """Fig. 5: derive a sliding window ``(l, h)`` from a cumulative view.
+
+    ``ỹ_k = x̃_{min(k+h, n)} - x̃_{k-l-1}``; the cumulative view has no
+    materialized trailer, so the upper probe clamps to ``n`` (the paper's
+    ``x̃_j = x̃_n`` for ``j > n`` convention).  A LEFT OUTER JOIN preserves
+    positions whose lower probe falls off the header (``x̃_{<=0} = 0``).
+    """
+    if not target.is_sliding:
+        raise DerivationError("fig. 5 derives sliding windows")
+    s1 = _core_rows(db, matseq, "s1", pos_col, n)
+    pos1, pos2 = col(pos_col, "s1"), col(pos_col, "s2")
+    upper_probe = CaseExpr(
+        whens=((Comparison(">", pos1 + target.h, lit(n)), lit(n)),),
+        default=pos1 + target.h,
+    )
+    lower_probe = pos1 - (target.l + 1)
+    predicate = Or(
+        Comparison("=", pos2, upper_probe), Comparison("=", pos2, lower_probe)
+    )
+    join = NestedLoopJoin(s1, db.scan(matseq, "s2"), predicate, join_type="left")
+    signed = CaseExpr(
+        whens=((Comparison("=", pos2, upper_probe), col(val_col, "s2")),),
+        default=Literal(-1) * col(val_col, "s2"),
+    )
+    agg = HashAggregate(
+        join, [(pos1, pos_col)], [AggSpec("SUM", Coalesce(signed, lit(0.0)), output_name)]
+    )
+    return Sort(agg, [(col(pos_col), True)])
+
+
+def _signed_case(positive_residue: Expr, pos2_mod: Expr, val2: Expr) -> Expr:
+    """``CASE WHEN MOD(s2.pos,P) = <positive residue> THEN val ELSE -val END``."""
+    return CaseExpr(
+        whens=((Comparison("=", pos2_mod, positive_residue), val2),),
+        default=Literal(-1) * val2,
+    )
+
+
+def _finalize_with_view(
+    db: Database,
+    matseq: str,
+    n: int,
+    inner: Operator,
+    *,
+    pos_col: str,
+    val_col: str,
+    add_view_value: bool,
+    output_name: str,
+    partition_cols: Sequence[str] = (),
+    core_col: Optional[str] = None,
+) -> Operator:
+    """Left-outer-join the compensation aggregate back to the view rows.
+
+    MaxOA adds ``s.val + COALESCE(comp, 0)`` (fig. 10); MinOA only keeps
+    ``COALESCE(comp, 0)`` (fig. 13) but still needs the outer join so that
+    positions without any join partner are preserved.  The join is a plain
+    (partition..., position) equality, which any optimizer serves with a
+    hash join.
+    """
+    s = _core_rows(db, matseq, "s", pos_col, n, core_col)
+    join = HashJoin(
+        s,
+        inner,
+        left_keys=[col(c, "s") for c in partition_cols] + [col(pos_col, "s")],
+        right_keys=[col(f"inner_{c}") for c in partition_cols] + [col("inner_pos")],
+        join_type="left",
+    )
+    comp = Coalesce(col("comp"), lit(0.0))
+    value = (col(val_col, "s") + comp) if add_view_value else comp
+    outputs = [(col(c, "s"), c) for c in partition_cols]
+    outputs += [(col(pos_col, "s"), pos_col), (value, output_name)]
+    project = Project(join, outputs)
+    keys = [(col(c), True) for c in partition_cols] + [(col(pos_col), True)]
+    return Sort(project, keys)
+
+
+def maxoa_pattern(
+    db: Database,
+    matseq: str,
+    n: int,
+    view: WindowSpec,
+    target: WindowSpec,
+    *,
+    variant: str = "disjunctive",
+    pos_col: str = "pos",
+    val_col: str = "val",
+    partition_cols: Sequence[str] = (),
+    core_col: Optional[str] = None,
+    use_index="auto",
+    output_name: str = "val",
+) -> Operator:
+    """Fig. 10: the MaxOA derivation as a relational plan.
+
+    Explicit form per output position ``k`` (period ``P = Wx``)::
+
+        ỹ_k = x̃_k + Σ_{i>=1} (x̃_{k-iP} - x̃_{k-iP-Δl})     -- if Δl > 0
+                   + Σ_{i>=1} (x̃_{k+iP} - x̃_{k+iP+Δh})     -- if Δh > 0
+
+    Join-branch conditions on ``s2`` (all residues mod ``P``):
+
+    * positive: ``s2.pos ≡ s1.pos`` and strictly left/right/both of ``s1.pos``
+      depending on which coverage factors are active;
+    * negative left: ``s2.pos < s1.pos - Δl`` and ``s2.pos ≡ s1.pos - Δl``;
+    * negative right: ``s2.pos > s1.pos + Δh`` and ``s2.pos ≡ s1.pos + Δh``.
+
+    Raises:
+        DerivationError: invalid coverage factors, or ``Δ ≡ 0 (mod P)``
+            corner cases the relational CASE cannot disambiguate (the
+            paper's precondition ``ly <= hx - 1 + 2·lx`` excludes them too).
+    """
+    params = maxoa_preconditions(view, target)
+    period = params.period
+    delta_l, delta_h = params.delta_l, params.delta_h
+    if delta_l >= period or delta_h >= period:
+        raise DerivationError(
+            f"the relational MaxOA pattern requires Δl, Δh < Wx "
+            f"(got Δl={delta_l}, Δh={delta_h}, Wx={period}); positive and "
+            "negative join branches would share a residue class"
+        )
+    if delta_l == 0 and delta_h == 0:
+        raise DerivationError("target equals view; no derivation needed")
+
+    s1 = _core_rows(db, matseq, "s1", pos_col, n, core_col)
+    pos1, pos2 = col(pos_col, "s1"), col(pos_col, "s2")
+    val2 = col(val_col, "s2")
+    pos1_mod = _mod(pos1, period)
+    pos2_mod = _mod(pos2, period)
+
+    # Positive branch: same residue as s1.pos, on the active side(s).
+    if delta_l and delta_h:
+        pos_cmp: Expr = Comparison("<>", pos2, pos1)
+    elif delta_l:
+        pos_cmp = Comparison("<", pos2, pos1)
+    else:
+        pos_cmp = Comparison(">", pos2, pos1)
+    branches = [
+        (And(pos_cmp, Comparison("=", pos2_mod, pos1_mod)), pos1_mod, pos1_mod)
+    ]
+    if delta_l:
+        left_mod = _mod(pos1 - delta_l, period)
+        branches.append(
+            (
+                And(Comparison("<", pos2, pos1 - delta_l), Comparison("=", pos2_mod, left_mod)),
+                left_mod,
+                pos1_mod,
+            )
+        )
+    if delta_h:
+        right_mod = _mod(pos1 + delta_h, period)
+        branches.append(
+            (
+                And(Comparison(">", pos2, pos1 + delta_h), Comparison("=", pos2_mod, right_mod)),
+                right_mod,
+                pos1_mod,
+            )
+        )
+
+    signed = _signed_case(pos1_mod, pos2_mod, val2)
+    inner = _combine_branches(
+        db,
+        matseq,
+        s1,
+        branches,
+        signed,
+        variant=variant,
+        pos_col=pos_col,
+        pos1=pos1,
+        pos2=pos2,
+        partition_cols=partition_cols,
+    )
+    return _finalize_with_view(
+        db,
+        matseq,
+        n,
+        inner,
+        pos_col=pos_col,
+        val_col=val_col,
+        add_view_value=True,
+        output_name=output_name,
+        partition_cols=partition_cols,
+        core_col=core_col,
+    )
+
+
+def minoa_pattern(
+    db: Database,
+    matseq: str,
+    n: int,
+    view: WindowSpec,
+    target: WindowSpec,
+    *,
+    variant: str = "disjunctive",
+    pos_col: str = "pos",
+    val_col: str = "val",
+    partition_cols: Sequence[str] = (),
+    core_col: Optional[str] = None,
+    use_index="auto",
+    output_name: str = "val",
+) -> Operator:
+    """Fig. 13: the MinOA derivation as a relational plan.
+
+    Explicit form (period ``P = Wx``)::
+
+        ỹ_k = Σ_{i>=0} x̃_{k+Δh-iP} - Σ_{i>=1} x̃_{k-Δl-iP}
+
+    Branch conditions: positive ``s2.pos <= s1.pos + Δh`` with residue of
+    ``s1.pos + Δh``; negative ``s2.pos < s1.pos - Δl`` with residue of
+    ``s1.pos - Δl``.  Unlike MaxOA, no second reference to the view value is
+    needed; the final LEFT OUTER JOIN only protects positions with no join
+    partner (fig. 13's remark about the first sequence values).
+
+    Raises:
+        DerivationError: when ``Δl + Δh ≡ 0 (mod Wx)`` with a non-identity
+            target — the two branches would share a residue class and the
+            CASE negation becomes ambiguous.
+    """
+    params = minoa_preconditions(view, target)
+    period = params.period
+    delta_l, delta_h = params.delta_l, params.delta_h
+    if delta_l == 0 and delta_h == 0:
+        raise DerivationError("target equals view; no derivation needed")
+    if (delta_l + delta_h) % period == 0:
+        raise DerivationError(
+            f"the relational MinOA pattern cannot disambiguate its branches "
+            f"when Δl + Δh ≡ 0 (mod Wx) (Δl={delta_l}, Δh={delta_h}, "
+            f"Wx={period}); use MaxOA or the in-memory MinOA form"
+        )
+
+    s1 = _core_rows(db, matseq, "s1", pos_col, n, core_col)
+    pos1, pos2 = col(pos_col, "s1"), col(pos_col, "s2")
+    val2 = col(val_col, "s2")
+    pos2_mod = _mod(pos2, period)
+    plus_mod = _mod(pos1 + delta_h, period)
+    minus_mod = _mod(pos1 - delta_l, period)
+
+    branches = [
+        (
+            And(Comparison("<=", pos2, pos1 + delta_h), Comparison("=", pos2_mod, plus_mod)),
+            plus_mod,
+            plus_mod,
+        ),
+        (
+            And(Comparison("<", pos2, pos1 - delta_l), Comparison("=", pos2_mod, minus_mod)),
+            minus_mod,
+            plus_mod,
+        ),
+    ]
+    signed = _signed_case(plus_mod, pos2_mod, val2)
+    inner = _combine_branches(
+        db,
+        matseq,
+        s1,
+        branches,
+        signed,
+        variant=variant,
+        pos_col=pos_col,
+        pos1=pos1,
+        pos2=pos2,
+        partition_cols=partition_cols,
+    )
+    return _finalize_with_view(
+        db,
+        matseq,
+        n,
+        inner,
+        pos_col=pos_col,
+        val_col=val_col,
+        add_view_value=False,
+        output_name=output_name,
+        partition_cols=partition_cols,
+        core_col=core_col,
+    )
+
+
+def _combine_branches(
+    db: Database,
+    matseq: str,
+    s1: Operator,
+    branches,
+    signed: Expr,
+    *,
+    variant: str,
+    pos_col: str,
+    pos1: Expr,
+    pos2: Expr,
+    partition_cols: Sequence[str] = (),
+) -> Operator:
+    """Build the compensation aggregate ``(inner_part..., inner_pos, comp)``.
+
+    ``branches`` is a list of ``(predicate, s2_residue_expr,
+    s1_residue_expr)`` triples — for the union variant the residue pair
+    becomes hash-join keys (computed on each side), with the branch's
+    position inequality as the residual.  With ``partition_cols``, partition
+    equality is added to the join and the grouping (per-partition
+    sequences).
+    """
+    part_eq = [
+        Comparison("=", col(c, "s1"), col(c, "s2")) for c in partition_cols
+    ]
+    group = [(col(c, "s1"), f"inner_{c}") for c in partition_cols]
+    group.append((pos1, "inner_pos"))
+    if variant == "disjunctive":
+        predicate = Or(*(b[0] for b in branches)) if len(branches) > 1 else branches[0][0]
+        if part_eq:
+            predicate = And(*part_eq, predicate)
+        join = NestedLoopJoin(s1, db.scan(matseq, "s2"), predicate)
+        agg = HashAggregate(join, group, [AggSpec("SUM", signed, "comp")])
+        return agg
+    if variant != "union":
+        raise PlanError(f"unknown pattern variant {variant!r}; use 'disjunctive' or 'union'")
+
+    parts = []
+    for predicate, branch_residue, _positive_residue in branches:
+        # Simple-predicate query: residue equality becomes a hash-join key
+        # (branch residue computed over s1, plain MOD(s2.pos, P) over s2,
+        # partition columns appended); the position inequality stays as a
+        # residual check.
+        join = HashJoin(
+            s1,
+            db.scan(matseq, "s2"),
+            left_keys=[branch_residue] + [col(c, "s1") for c in partition_cols],
+            right_keys=[_rebind_to_s2(branch_residue, pos_col)]
+            + [col(c, "s2") for c in partition_cols],
+            residual=predicate,
+        )
+        outputs = [(col(c, "s1"), f"inner_{c}") for c in partition_cols]
+        outputs += [(pos1, "inner_pos"), (signed, "signed_val")]
+        parts.append(Project(join, outputs))
+    union = UnionAll(parts)
+    group_u = [(col(f"inner_{c}"), f"inner_{c}") for c in partition_cols]
+    group_u.append((col("inner_pos"), "inner_pos"))
+    return HashAggregate(
+        union, group_u, [AggSpec("SUM", col("signed_val"), "comp")]
+    )
+
+
+def _rebind_to_s2(residue_expr: Expr, pos_col: str) -> Expr:
+    """The right-side hash key is always ``MOD(s2.pos, P)``.
+
+    ``residue_expr`` as constructed always has the shape
+    ``MOD(<something over s1>, P)`` for the left side; the matching right
+    key is the plain residue of ``s2.pos`` with the same modulus.
+    """
+    assert isinstance(residue_expr, FuncCall) and residue_expr.name == "MOD"
+    modulus = residue_expr.args[1]
+    return FuncCall("MOD", (col(pos_col, "s2"), modulus))

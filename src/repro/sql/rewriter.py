@@ -1,0 +1,521 @@
+"""Query rewriting against materialized reporting-function views.
+
+Given a parsed reporting-function query and the warehouse's registered
+views, the rewriter (1) asks the matcher for candidate views, (2) picks the
+cheapest, and (3) executes the derivation — either
+
+* **relationally** (``mode="relational"``): the fig. 10 / fig. 13 operator
+  patterns against the view's storage table (the route the paper's
+  evaluation measures), available for unpartitioned SUM/COUNT views; or
+* **in memory** (``mode="memory"``): the explicit/recursive derivation
+  forms over the view's in-memory mirror — needed for partitioned views,
+  MIN/MAX, prefix derivations and the section-6 reductions.
+
+``mode="auto"`` prefers the relational route when available, mirroring a
+real engine that rewrites the SQL plan.  The rewritten result is returned
+as a normal :class:`~repro.relational.engine.Result` plus a
+:class:`RewriteInfo` describing what happened — warehouse ``EXPLAIN``
+surfaces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import derivation as core_derivation
+from repro.core import reporting as core_reporting
+from repro.core.window import WindowSpec
+from repro.errors import DerivationError, NoRewriteError
+from repro.relational.engine import Database, Result
+from repro.relational.expr import ColumnRef
+from repro.relational.schema import Column, Schema
+from repro.relational.stats import ExecutionStats
+from repro.relational.types import FLOAT
+from repro.sql.ast_nodes import SelectStmt, WindowCall
+from repro.sql.patterns import (
+    maxoa_pattern,
+    minoa_pattern,
+    raw_from_cumulative_pattern,
+    sliding_from_cumulative_pattern,
+)
+from repro.views.matcher import Match, QueryShape, rank_matches
+from repro.views.materialized import MaterializedSequenceView
+
+__all__ = ["RewriteInfo", "describe_rewrite", "try_rewrite"]
+
+Key = Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class RewriteInfo:
+    """Record of a successful rewrite (surfaced by warehouse EXPLAIN)."""
+
+    view: str
+    kind: str
+    algorithm: str
+    mode: str
+    variant: Optional[str]
+    description: str
+
+
+def try_rewrite(
+    db: Database,
+    stmt: SelectStmt,
+    views: Sequence[MaterializedSequenceView],
+    *,
+    algorithm: str = "auto",
+    variant: str = "disjunctive",
+    mode: str = "auto",
+) -> Optional[Tuple[Result, RewriteInfo]]:
+    """Attempt to answer ``stmt`` from a materialized view.
+
+    Returns ``None`` when the statement shape is not rewritable or no view
+    matches; raises only on internal errors of a chosen rewrite.
+    """
+    shape_info = _rewritable_shape(stmt)
+    if shape_info is None:
+        return None
+    shape, call = shape_info
+    matches = rank_matches(shape, list(views))
+    if matches:
+        return _execute_match(
+            db, stmt, shape, call, matches[0],
+            algorithm=algorithm, variant=variant, mode=mode,
+        )
+    if shape.func == "AVG":
+        return _try_avg_combination(db, stmt, shape, views, mode=mode)
+    return None
+
+
+def _try_avg_combination(
+    db: Database,
+    stmt: SelectStmt,
+    shape: QueryShape,
+    views: Sequence[MaterializedSequenceView],
+    *,
+    mode: str,
+) -> Optional[Tuple[Result, RewriteInfo]]:
+    """Answer an AVG reporting function from a SUM view and a COUNT view.
+
+    Section 2.1: "AVG may be directly derived from SUM and COUNT" — the
+    same holds at the view level.  Both component shapes must be
+    independently answerable; the quotient is taken per output row.
+    """
+    from dataclasses import replace
+
+    sum_shape = replace(shape, func="SUM")
+    count_shape = replace(shape, func="COUNT")
+    sum_matches = rank_matches(sum_shape, list(views))
+    count_matches = rank_matches(count_shape, list(views))
+    if not sum_matches or not count_matches:
+        return None
+    component_mode = "memory" if mode == "auto" else mode
+    sum_rows, sum_stats, sum_info = _match_rows(
+        db, sum_shape, sum_matches[0],
+        algorithm="auto", variant="disjunctive", mode=component_mode)
+    count_rows, count_stats, count_info = _match_rows(
+        db, count_shape, count_matches[0],
+        algorithm="auto", variant="disjunctive", mode=component_mode)
+
+    key_cols = list(shape.partition_by) + list(shape.order_by)
+    counts = {
+        tuple(row[c] for c in key_cols): row["__window__"] for row in count_rows
+    }
+    rows: List[Dict[str, object]] = []
+    for row in sum_rows:
+        key = tuple(row[c] for c in key_cols)
+        count = counts.get(key)
+        quotient = row["__window__"] / count if count else None
+        rows.append({**row, "__window__": quotient})
+    sum_stats.merge(count_stats)
+    info = RewriteInfo(
+        f"{sum_info.view}+{count_info.view}",
+        "avg_combination",
+        f"{sum_info.algorithm}+{count_info.algorithm}",
+        component_mode,
+        None,
+        f"AVG = SUM/COUNT combined from views {sum_info.view!r} and "
+        f"{count_info.view!r}",
+    )
+    return _assemble(db, stmt, shape, rows, sum_stats), info
+
+
+def describe_rewrite(
+    db: Database,
+    stmt: SelectStmt,
+    views: Sequence[MaterializedSequenceView],
+    *,
+    algorithm: str = "auto",
+    variant: str = "disjunctive",
+    mode: str = "auto",
+) -> Optional[RewriteInfo]:
+    """Plan (but do not execute) the rewrite ``try_rewrite`` would choose.
+
+    Used by warehouse EXPLAIN so that explaining a query stays cheap.
+    Returns None when the query would not be rewritten.  The AVG
+    combination is described when both component views match.
+    """
+    shape_info = _rewritable_shape(stmt)
+    if shape_info is None:
+        return None
+    shape, _call = shape_info
+    matches = rank_matches(shape, list(views))
+    if matches:
+        match = matches[0]
+        view = match.view
+        if match.kind == "direct":
+            dplan = match.derivation
+            if algorithm != "auto" and dplan is not None and dplan.algorithm != algorithm:
+                try:
+                    dplan = core_derivation.plan(
+                        view.definition.window,
+                        shape.window,
+                        minmax=view.definition.aggregate.duplicate_insensitive,
+                        algorithm=algorithm,
+                    )
+                except DerivationError:
+                    return None
+            assert dplan is not None
+            relational = (
+                mode != "memory"
+                and dplan.algorithm
+                in ("identity", "maxoa", "minoa", "cumulative", "reconstruct")
+                and (view.definition.aggregate.invertible or dplan.algorithm == "identity")
+                and (not view.is_partitioned or dplan.algorithm != "cumulative")
+            )
+            return RewriteInfo(
+                view.name,
+                "direct",
+                dplan.algorithm,
+                "relational" if relational else "memory",
+                variant if relational else None,
+                dplan.describe(),
+            )
+        return RewriteInfo(
+            view.name,
+            match.kind,
+            "reconstruct+recompute"
+            if match.kind == "partition_reduction"
+            else "prefix-tiling",
+            "memory",
+            None,
+            match.describe(),
+        )
+    if shape.func == "AVG":
+        from dataclasses import replace
+
+        sum_matches = rank_matches(replace(shape, func="SUM"), list(views))
+        count_matches = rank_matches(replace(shape, func="COUNT"), list(views))
+        if sum_matches and count_matches:
+            return RewriteInfo(
+                f"{sum_matches[0].view.name}+{count_matches[0].view.name}",
+                "avg_combination",
+                "sum/count",
+                "memory",
+                None,
+                "AVG = SUM/COUNT combined from two views",
+            )
+    return None
+
+
+def _rewritable_shape(stmt: SelectStmt) -> Optional[Tuple[QueryShape, WindowCall]]:
+    if len(stmt.tables) != 1 or stmt.group_by or stmt.having is not None:
+        return None
+    if stmt.tables[0].is_subquery:
+        return None
+    calls = stmt.window_calls()
+    if len(calls) != 1:
+        return None
+    if stmt.aggregate_calls():
+        return None
+    shape = QueryShape.from_call(stmt.tables[0].name, calls[0], stmt.where)
+    if shape is None:
+        return None
+    # Plain select items must be partition/order columns of the query.
+    allowed = set(shape.partition_by) | set(shape.order_by)
+    for item in stmt.items:
+        if item.star:
+            return None
+        if isinstance(item.value, WindowCall):
+            continue
+        if not isinstance(item.value, ColumnRef) or item.value.name not in allowed:
+            return None
+    return shape, calls[0]
+
+
+def _execute_match(
+    db: Database,
+    stmt: SelectStmt,
+    shape: QueryShape,
+    call: WindowCall,
+    match: Match,
+    *,
+    algorithm: str,
+    variant: str,
+    mode: str,
+) -> Tuple[Result, RewriteInfo]:
+    rows, stats, info = _match_rows(
+        db, shape, match, algorithm=algorithm, variant=variant, mode=mode
+    )
+    return _assemble(db, stmt, shape, rows, stats), info
+
+
+def _match_rows(
+    db: Database,
+    shape: QueryShape,
+    match: Match,
+    *,
+    algorithm: str,
+    variant: str,
+    mode: str,
+) -> Tuple[List[Dict[str, object]], ExecutionStats, RewriteInfo]:
+    """Derive the labelled output rows for one match (no final projection)."""
+    view = match.view
+    if match.kind == "direct":
+        return _direct_rows(
+            db, shape, match, algorithm=algorithm, variant=variant, mode=mode
+        )
+    if match.kind == "partition_reduction":
+        derived = core_reporting.partitioning_reduction(
+            view.reporting,
+            shape.partition_by,
+            target_window=shape.window,
+        )
+        rows = _rows_from_reporting(derived, shape, drop_tiebreak=True)
+        info = RewriteInfo(
+            view.name,
+            "partition_reduction",
+            "reconstruct+recompute",
+            "memory",
+            None,
+            f"partitioning reduction {view.definition.partition_by} -> "
+            f"{shape.partition_by}",
+        )
+        return rows, ExecutionStats(), info
+    if match.kind == "ordering_reduction":
+        drop = len(view.definition.order_by) - len(shape.order_by)
+        derived = core_reporting.ordering_reduction(
+            view.reporting, drop, target_window=shape.window
+        )
+        rows = _rows_from_reporting(derived, shape)
+        info = RewriteInfo(
+            view.name,
+            "ordering_reduction",
+            "prefix-tiling",
+            "memory",
+            None,
+            f"ordering reduction {view.definition.order_by} -> {shape.order_by}",
+        )
+        return rows, ExecutionStats(), info
+    raise NoRewriteError(f"unknown match kind {match.kind!r}")  # pragma: no cover
+
+
+def _direct_rows(
+    db: Database,
+    shape: QueryShape,
+    match: Match,
+    *,
+    algorithm: str,
+    variant: str,
+    mode: str,
+) -> Tuple[List[Dict[str, object]], ExecutionStats, RewriteInfo]:
+    view = match.view
+    d = view.definition
+    dplan = match.derivation
+    if algorithm != "auto" and dplan is not None and dplan.algorithm != algorithm:
+        dplan = core_derivation.plan(
+            d.window,
+            shape.window,
+            minmax=d.aggregate.duplicate_insensitive,
+            algorithm=algorithm,
+        )
+    assert dplan is not None
+
+    # The cumulative-view patterns (figs. 4/5) are built for one global
+    # sequence; everything else now supports partitioned views too.
+    partition_ok = not view.is_partitioned or dplan.algorithm in (
+        "identity", "maxoa", "minoa", "reconstruct"
+    )
+    relational_ok = partition_ok and (
+        dplan.algorithm in ("identity", "maxoa", "minoa", "cumulative", "reconstruct")
+        and d.aggregate.invertible
+        or dplan.algorithm == "identity"
+    )
+    use_relational = mode == "relational" or (mode == "auto" and relational_ok)
+    if use_relational and not relational_ok:
+        raise NoRewriteError(
+            f"relational rewrite unavailable for {dplan.algorithm} over a "
+            f"{'partitioned ' if view.is_partitioned else ''}"
+            f"{d.aggregate_name} view"
+        )
+
+    if use_relational:
+        n = 0 if view.is_partitioned else view.single_partition().seq.n
+        try:
+            plan = _relational_plan(
+                db,
+                d.storage_table,
+                n,
+                d.window,
+                shape.window,
+                dplan,
+                variant,
+                partition_cols=d.partition_by,
+            )
+        except DerivationError:
+            if mode == "relational":
+                raise
+            # Relational corner case (e.g. MinOA residue collision,
+            # Δl + Δh ≡ 0 mod Wx): the in-memory form below handles it.
+            plan = None
+        if plan is not None:
+            exec_result = db.run(plan)
+            n_part = len(d.partition_by)
+            rows = []
+            for row in exec_result.rows:
+                pkey = tuple(row[:n_part])
+                pos = row[n_part]
+                rows.extend(
+                    _label_values(view, pkey, [row[-1]], shape, start_pos=pos)
+                )
+            info = RewriteInfo(
+                view.name, "direct", dplan.algorithm, "relational", variant, dplan.describe()
+            )
+            return rows, exec_result.stats, info
+
+    # In-memory derivation, partition-wise.
+    rows: List[Dict[str, object]] = []
+    for pkey, part in view.reporting.partitions.items():
+        values = core_derivation.derive(
+            part.seq, shape.window, chosen=dplan, form="recursive"
+        )
+        rows.extend(_label_values(view, pkey, values, shape))
+    info = RewriteInfo(
+        view.name, "direct", dplan.algorithm, "memory", None, dplan.describe()
+    )
+    return rows, ExecutionStats(), info
+
+
+def _relational_plan(
+    db: Database,
+    storage: str,
+    n: int,
+    view_window: WindowSpec,
+    target: WindowSpec,
+    dplan,
+    variant: str,
+    partition_cols=(),
+):
+    from repro.relational.expr import Comparison, col, lit
+    from repro.relational.operators import Filter, Project, Sort
+
+    kw = dict(
+        pos_col="__pos",
+        val_col="__val",
+        partition_cols=tuple(partition_cols),
+        core_col="__core",
+    )
+    algo = dplan.algorithm
+    if algo == "identity":
+        scan = db.scan(storage, "s")
+        core = Filter(scan, Comparison("=", col("__core", "s"), lit(True)))
+        outputs = [(col(c, "s"), c) for c in partition_cols]
+        outputs += [(col("__pos", "s"), "pos"), (col("__val", "s"), "val")]
+        proj = Project(core, outputs)
+        keys = [(col(c), True) for c in partition_cols] + [(col("pos"), True)]
+        return Sort(proj, keys)
+    if algo == "maxoa":
+        return maxoa_pattern(db, storage, n, view_window, target, variant=variant, **kw)
+    if algo == "minoa":
+        return minoa_pattern(db, storage, n, view_window, target, variant=variant, **kw)
+    if algo == "cumulative":
+        cum_kw = dict(pos_col="__pos", val_col="__val")
+        if target.is_point:
+            return raw_from_cumulative_pattern(db, storage, n, **cum_kw)
+        return sliding_from_cumulative_pattern(db, storage, n, target, **cum_kw)
+    if algo == "reconstruct":
+        # Raw reconstruction from a sliding view is MinOA with target (0,0).
+        return minoa_pattern(db, storage, n, view_window, WindowSpec.point(), variant=variant, **kw)
+    raise NoRewriteError(f"no relational pattern for algorithm {algo!r}")
+
+
+def _label_values(
+    view: MaterializedSequenceView,
+    pkey: Key,
+    values: Sequence[float],
+    shape: QueryShape,
+    start_pos: int = 1,
+) -> List[Dict[str, object]]:
+    """Attach partition/order keys to derived per-position values."""
+    d = view.definition
+    part = view.reporting.partition(pkey)
+    rows = []
+    for i, value in enumerate(values):
+        row: Dict[str, object] = {}
+        for c, v in zip(d.partition_by, pkey):
+            row[c] = v
+        for c, v in zip(d.order_by, part.order_keys[start_pos - 1 + i]):
+            row[c] = v
+        row["__window__"] = value
+        rows.append(row)
+    return rows
+
+
+def _rows_from_reporting(
+    derived: core_reporting.ReportingSequence,
+    shape: QueryShape,
+    *,
+    drop_tiebreak: bool = False,
+) -> List[Dict[str, object]]:
+    rows = []
+    order_cols = list(derived.order_by)
+    if drop_tiebreak and order_cols and order_cols[-1] == "__drop__":
+        order_cols = order_cols[:-1]
+    for pkey, okey, value in derived.values():
+        row: Dict[str, object] = {}
+        for c, v in zip(derived.partition_by, pkey):
+            row[c] = v
+        for c, v in zip(order_cols, okey):
+            row[c] = v
+        row["__window__"] = value
+        rows.append(row)
+    return rows
+
+
+def _assemble(
+    db: Database,
+    stmt: SelectStmt,
+    shape: QueryShape,
+    rows: List[Dict[str, object]],
+    stats: ExecutionStats,
+) -> Result:
+    """Project the labelled rows into the statement's select-item order."""
+    base = db.table(shape.base_table)
+    columns: List[Column] = []
+    pickers = []
+    for i, item in enumerate(stmt.items):
+        if isinstance(item.value, WindowCall):
+            name = item.alias or f"{item.value.func.lower()}_over_{i}"
+            columns.append(Column(name, FLOAT))
+            pickers.append("__window__")
+        else:
+            assert isinstance(item.value, ColumnRef)
+            col_name = item.value.name
+            name = item.alias or col_name
+            columns.append(Column(name, base.schema.column(col_name).type))
+            pickers.append(col_name)
+    out_schema = Schema(columns)
+    out_rows = [tuple(row[p] for p in pickers) for row in rows]
+    result = Result(out_schema, out_rows, stats)
+
+    if stmt.order_by:
+        keyed = []
+        for o in stmt.order_by:
+            compiled = o.expr.bind(out_schema)
+            keyed.append((compiled, o.ascending))
+        for compiled, asc in reversed(keyed):
+            result.rows.sort(key=compiled, reverse=not asc)
+    if stmt.limit is not None:
+        result.rows = result.rows[: stmt.limit]
+    return result

@@ -1,0 +1,35 @@
+"""Materialized reporting-function views: definitions, storage, matching,
+incremental maintenance."""
+
+from repro.views.advisor import Recommendation, WorkloadQuery, candidate_windows, recommend
+from repro.views.definition import SequenceViewDefinition
+from repro.views.maintenance import (
+    position_of,
+    propagate_delete,
+    propagate_insert,
+    propagate_update,
+)
+from repro.views.matcher import Match, QueryShape, match_view, rank_matches
+from repro.views.materialized import MaterializedSequenceView
+from repro.views.verify import ConsistencyReport, Discrepancy, verify_view, verify_warehouse
+
+__all__ = [
+    "Match",
+    "Recommendation",
+    "WorkloadQuery",
+    "candidate_windows",
+    "recommend",
+    "MaterializedSequenceView",
+    "QueryShape",
+    "SequenceViewDefinition",
+    "match_view",
+    "position_of",
+    "propagate_delete",
+    "propagate_insert",
+    "propagate_update",
+    "rank_matches",
+    "ConsistencyReport",
+    "Discrepancy",
+    "verify_view",
+    "verify_warehouse",
+]

@@ -1,0 +1,195 @@
+"""Incremental maintenance of materialized views (paper section 2.3, applied).
+
+These functions propagate a point modification of the base data into a
+materialized view *without* recomputing the sequence: the core rules of
+:mod:`repro.core.maintenance` adjust only the ``w = l + h + 1`` sequence
+values whose windows contain the modified position.
+
+Synchronisation strategy for the two representations:
+
+* the in-memory mirror is updated via the core rules (O(w) adjusted values);
+* the storage table is patched in place for the affected band on *update*;
+  for *insert*/*delete* the partition's rows are rewritten because dense
+  positions shift — the sequence *values* still change only locally, which
+  is what :class:`~repro.core.maintenance.MaintenanceResult` accounts.
+
+All functions mutate the view only; updating the base table itself is the
+caller's (warehouse's) job.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core import maintenance as core_maintenance
+from repro.core.maintenance import MaintenanceResult
+from repro.errors import MaintenanceError
+from repro.views.materialized import MaterializedSequenceView
+
+__all__ = ["propagate_update", "propagate_insert", "propagate_delete", "position_of"]
+
+Key = Tuple[object, ...]
+
+
+def position_of(
+    view: MaterializedSequenceView, partition_key: Key, order_key: Key
+) -> int:
+    """1-based sequence position of the row with the given ordering key.
+
+    Raises:
+        MaintenanceError: unknown partition or ordering key.
+    """
+    assert view.reporting is not None
+    try:
+        part = view.reporting.partition(tuple(partition_key))
+    except Exception as exc:
+        raise MaintenanceError(
+            f"view {view.name!r} has no partition {tuple(partition_key)!r}"
+        ) from exc
+    try:
+        return part.order_keys.index(tuple(order_key)) + 1
+    except ValueError:
+        raise MaintenanceError(
+            f"view {view.name!r}: no row with ordering key "
+            f"{tuple(order_key)!r} in partition {tuple(partition_key)!r}"
+        ) from None
+
+
+def insertion_position(
+    view: MaterializedSequenceView, partition_key: Key, order_key: Key
+) -> int:
+    """Position a new row with ``order_key`` would take (1-based)."""
+    assert view.reporting is not None
+    part = view.reporting.partitions.get(tuple(partition_key))
+    if part is None:
+        raise MaintenanceError(
+            f"view {view.name!r}: inserting into a brand-new partition "
+            f"{tuple(partition_key)!r} requires refresh()"
+        )
+    okey = tuple(order_key)
+    if okey in part.order_keys:
+        raise MaintenanceError(
+            f"view {view.name!r}: ordering key {okey!r} already exists"
+        )
+    position = 1
+    for existing in part.order_keys:
+        if existing < okey:
+            position += 1
+    return position
+
+
+def propagate_update(
+    view: MaterializedSequenceView,
+    order_key: Sequence[object],
+    new_value: float,
+    *,
+    partition_key: Sequence[object] = (),
+) -> MaintenanceResult:
+    """Apply the update rule: base value at ``order_key`` becomes ``new_value``."""
+    pkey = tuple(partition_key)
+    k = position_of(view, pkey, tuple(order_key))
+    part = view.reporting.partition(pkey)
+    result = core_maintenance.apply_update(view.raw[pkey], part.seq, k, float(new_value))
+    _patch_storage_band(view, pkey, result)
+    return result
+
+
+def propagate_insert(
+    view: MaterializedSequenceView,
+    order_key: Sequence[object],
+    value: float,
+    *,
+    partition_key: Sequence[object] = (),
+) -> MaintenanceResult:
+    """Apply the insert rule for a new base row."""
+    pkey = tuple(partition_key)
+    okey = tuple(order_key)
+    k = insertion_position(view, pkey, okey)
+    part = view.reporting.partition(pkey)
+    result = core_maintenance.apply_insert(view.raw[pkey], part.seq, k, float(value))
+    part.order_keys.insert(k - 1, okey)
+    _rewrite_partition_storage(view, pkey)
+    return result
+
+
+def propagate_delete(
+    view: MaterializedSequenceView,
+    order_key: Sequence[object],
+    *,
+    partition_key: Sequence[object] = (),
+) -> MaintenanceResult:
+    """Apply the delete rule for a removed base row."""
+    pkey = tuple(partition_key)
+    okey = tuple(order_key)
+    k = position_of(view, pkey, okey)
+    part = view.reporting.partition(pkey)
+    result = core_maintenance.apply_delete(view.raw[pkey], part.seq, k)
+    del part.order_keys[k - 1]
+    _rewrite_partition_storage(view, pkey)
+    return result
+
+
+# -- storage synchronisation ----------------------------------------------------
+
+
+def _patch_storage_band(
+    view: MaterializedSequenceView, pkey: Key, result: MaintenanceResult
+) -> None:
+    """In-place update of the storage rows in the affected band."""
+    d = view.definition
+    table = view.db.table(d.storage_table)
+    index = table.find_index(list(d.partition_by) + ["__pos"], sorted_only=True)
+    part = view.reporting.partition(pkey)
+    window = d.window
+    first, last = part.seq.stored_range
+    if window.is_cumulative:
+        band = range(max(result.position, first), last + 1)
+    else:
+        band = range(
+            max(result.position - window.h, first),
+            min(result.position + window.l, last) + 1,
+        )
+    pos_slot = table.schema.resolve("__pos")
+    val_slot = table.schema.resolve("__val")
+    for pos in band:
+        slots = index.lookup(pkey + (pos,)) if index is not None else _scan_slots(
+            table, pkey, pos, len(d.partition_by), pos_slot
+        )
+        if not slots:
+            raise MaintenanceError(
+                f"storage row for position {pos} missing in view {view.name!r}"
+            )
+        slot = slots[0]
+        row = list(table.row(slot))
+        row[val_slot] = part.seq.value(pos)
+        table.update_slot(slot, row)
+
+
+def _scan_slots(table, pkey: Key, pos: int, n_part: int, pos_slot: int):
+    return [
+        i
+        for i, row in enumerate(table.rows)
+        if row[pos_slot] == pos and tuple(row[:n_part]) == pkey
+    ]
+
+
+def _rewrite_partition_storage(view: MaterializedSequenceView, pkey: Key) -> None:
+    """Replace all storage rows of one partition (positions shifted)."""
+    d = view.definition
+    table = view.db.table(d.storage_table)
+    n_part = len(d.partition_by)
+    doomed = [
+        i for i, row in enumerate(table.rows) if tuple(row[:n_part]) == pkey
+    ]
+    table.delete_slots(doomed)
+    part = view.reporting.partition(pkey)
+    order_arity = len(d.order_by)
+    rows = []
+    for pos, value in part.seq.items():
+        core = 1 <= pos <= part.seq.n
+        if core:
+            okey = part.order_keys[pos - 1]
+        else:
+            okey = (None,) * order_arity
+        rows.append(pkey + okey + (pos, value, core))
+    table.insert_many(rows)

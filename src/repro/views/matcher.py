@@ -1,0 +1,165 @@
+"""Query/view matching: decide whether a view can answer a reporting query.
+
+Section 3 of the paper: "storing materialized views with reporting
+functions requires that incoming queries are able to take advantage of the
+existence of the materialized views and can be rewritten by utilizing
+these views".  The matcher checks, for one reporting-function query and one
+candidate view:
+
+1. same base table and (textually) same selection;
+2. same measure column and aggregate;
+3. compatible partitioning scheme — equal, or the query's partition columns
+   are a subset of the view's (**partitioning reduction**, section 6.2,
+   requires a complete view);
+4. compatible ordering scheme — equal, or a proper prefix of the view's
+   (**ordering reduction**, section 6.1);
+5. the query window derivable from the view window
+   (:func:`repro.core.derivation.plan` — identity / cumulative / MaxOA /
+   MinOA / reconstruction).
+
+The result is a ranked list of :class:`Match` objects; the rewriter executes
+the best one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.derivation import DerivationPlan, plan as derivation_plan
+from repro.core.window import WindowSpec
+from repro.errors import DerivationError
+from repro.relational.expr import ColumnRef, Expr
+from repro.sql.ast_nodes import WindowCall
+from repro.views.materialized import MaterializedSequenceView
+
+__all__ = ["QueryShape", "Match", "match_view", "rank_matches"]
+
+
+@dataclass(frozen=True)
+class QueryShape:
+    """The normalised reporting-function query the matcher reasons about."""
+
+    base_table: str
+    value_col: str
+    func: str
+    partition_by: Tuple[str, ...]
+    order_by: Tuple[str, ...]
+    window: WindowSpec
+    where_text: Optional[str]
+
+    @classmethod
+    def from_call(
+        cls, base_table: str, call: WindowCall, where: Optional[Expr]
+    ) -> Optional["QueryShape"]:
+        """Extract the shape from a window call; None when not rewritable
+        (non-column arguments/partitions/orders)."""
+        if call.arg is None or not isinstance(call.arg, ColumnRef):
+            return None
+        partition = []
+        for p in call.over.partition_by:
+            if not isinstance(p, ColumnRef):
+                return None
+            partition.append(p.name)
+        order = []
+        for o in call.over.order_by:
+            if not isinstance(o.expr, ColumnRef) or not o.ascending:
+                return None
+            order.append(o.expr.name)
+        if not order:
+            return None
+        try:
+            window = call.over.window()
+        except Exception:
+            return None
+        return cls(
+            base_table=base_table,
+            value_col=call.arg.name,
+            func=call.func,
+            partition_by=tuple(partition),
+            order_by=tuple(order),
+            window=window,
+            where_text=str(where) if where is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class Match:
+    """One way of answering the query from a view.
+
+    Attributes:
+        view: the matched materialized view.
+        kind: ``"direct"``, ``"partition_reduction"`` or
+            ``"ordering_reduction"``.
+        derivation: the window-level derivation plan (for ``direct``; the
+            reductions recompute the target window after collapsing).
+        cost: heuristic for ranking (lower is better).
+    """
+
+    view: MaterializedSequenceView
+    kind: str
+    derivation: Optional[DerivationPlan]
+    cost: float
+
+    def describe(self) -> str:
+        base = f"view {view_name(self.view)} [{self.kind}]"
+        if self.derivation is not None:
+            base += f": {self.derivation.describe()}"
+        return base
+
+
+def view_name(view: MaterializedSequenceView) -> str:
+    """Stable display name of a view (ranking tiebreaker)."""
+    return view.definition.name
+
+
+def match_view(shape: QueryShape, view: MaterializedSequenceView) -> Optional[Match]:
+    """Check one candidate view against the query shape."""
+    d = view.definition
+    if d.base_table != shape.base_table:
+        return None
+    if d.value_col != shape.value_col:
+        return None
+    if d.where_text != shape.where_text:
+        return None
+    if d.aggregate_name != shape.func:
+        return None
+    minmax = d.aggregate.duplicate_insensitive
+
+    same_partition = tuple(d.partition_by) == shape.partition_by
+    partition_subset = set(shape.partition_by) < set(d.partition_by)
+    same_order = tuple(d.order_by) == shape.order_by
+    order_prefix = (
+        len(shape.order_by) < len(d.order_by)
+        and tuple(d.order_by[: len(shape.order_by)]) == shape.order_by
+    )
+
+    if same_partition and same_order:
+        try:
+            dplan = derivation_plan(d.window, shape.window, minmax=minmax)
+        except DerivationError:
+            return None
+        return Match(view, "direct", dplan, cost=dplan.estimated_lookups)
+
+    if partition_subset and same_order:
+        if not view.complete or minmax or not d.aggregate.invertible:
+            return None
+        # Partitioning reduction reconstructs raw data per partition; cost
+        # is dominated by that reconstruction.
+        return Match(view, "partition_reduction", None, cost=5e5)
+
+    if same_partition and order_prefix:
+        if minmax or not d.aggregate.invertible:
+            return None
+        return Match(view, "ordering_reduction", None, cost=2e5)
+
+    return None
+
+
+def rank_matches(
+    shape: QueryShape, views: List[MaterializedSequenceView]
+) -> List[Match]:
+    """All candidate matches, best (cheapest) first; ties broken by name."""
+    matches = [m for m in (match_view(shape, v) for v in views) if m is not None]
+    matches.sort(key=lambda m: (m.cost, view_name(m.view)))
+    return matches

@@ -1,0 +1,171 @@
+"""Materialized reporting-function views: storage and refresh.
+
+A materialized view keeps two synchronized representations:
+
+* a **storage table** in the warehouse database named
+  ``__mv_<view>`` with columns ``(partition..., order..., pos, val)`` —
+  the *complete* sequence per partition, i.e. core positions ``1..n`` plus
+  header (``1-h..0``) and trailer (``n+1..n+l``) rows whose ordering
+  columns are NULL.  The relational rewrite patterns (figs. 10/13) run
+  against this table.
+* an in-memory :class:`~repro.core.reporting.ReportingSequence` mirror used
+  by the in-memory derivation forms, by incremental maintenance, and to
+  label derived values with their original ordering keys.
+
+``refresh()`` rebuilds both from the base table; the incremental
+maintenance entry points in :mod:`repro.views.maintenance` keep them in
+sync under point updates/inserts/deletes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.complete import CompleteSequence
+from repro.core.reporting import PartitionData, ReportingSequence
+from repro.errors import ViewError
+from repro.relational.engine import Database
+from repro.relational.schema import Column
+from repro.relational.types import BOOLEAN, FLOAT, INTEGER
+from repro.views.definition import SequenceViewDefinition
+
+__all__ = ["MaterializedSequenceView"]
+
+Key = Tuple[object, ...]
+
+
+class MaterializedSequenceView:
+    """One materialized reporting-function view inside a warehouse."""
+
+    def __init__(
+        self,
+        db: Database,
+        definition: SequenceViewDefinition,
+        *,
+        complete: bool = True,
+    ) -> None:
+        self.db = db
+        self.definition = definition
+        self.complete = complete
+        self.reporting: Optional[ReportingSequence] = None
+        self._create_storage()
+        self.refresh()
+
+    # -- storage ------------------------------------------------------------------
+
+    def _create_storage(self) -> None:
+        d = self.definition
+        base = self.db.table(d.base_table)
+        columns: List[Tuple[str, object]] = []
+        for c in d.partition_by:
+            columns.append((c, base.schema.column(c).type))
+        for c in d.order_by:
+            columns.append((c, base.schema.column(c).type))
+        columns.append(("__pos", INTEGER))
+        columns.append(("__val", FLOAT))
+        # True for core positions 1..n, False for header/trailer rows; the
+        # relational patterns filter on it (per-partition n varies).
+        columns.append(("__core", BOOLEAN))
+        self.db.drop_table(d.storage_table, if_exists=True)
+        table = self.db.create_table(d.storage_table, columns)
+        # The paper's Table 2 setting: primary-key index over the position.
+        key_cols = list(d.partition_by) + ["__pos"]
+        table.create_index(
+            f"{d.storage_table}_pk", key_cols, kind="sorted", unique=True
+        )
+        if d.partition_by:
+            # A plain position index serves single-partition probes too.
+            table.create_index(f"{d.storage_table}_pos", ["__pos"], kind="sorted")
+
+    def refresh(self) -> None:
+        """Full recomputation from the base table (section 2.3's baseline)."""
+        d = self.definition
+        rows = self._base_rows()
+        self.reporting = ReportingSequence.from_rows(
+            rows,
+            d.value_col,
+            partition_by=d.partition_by,
+            order_by=d.order_by,
+            window=d.window,
+            aggregate=d.aggregate,
+            complete=self.complete,
+        )
+        # Per-partition raw mirror (the slice of base data the view covers);
+        # incremental maintenance reads old raw values from here.
+        self.raw: Dict[Key, List[float]] = {}
+        groups: Dict[Key, List[dict]] = {}
+        for row in rows:
+            key = tuple(row[c] for c in d.partition_by)
+            groups.setdefault(key, []).append(row)
+        for key, part_rows in groups.items():
+            part_rows.sort(key=lambda r: tuple(r[c] for c in d.order_by))
+            self.raw[key] = [float(r[d.value_col]) for r in part_rows]
+        self._write_storage()
+
+    def _base_rows(self) -> List[dict]:
+        d = self.definition
+        from repro.relational.operators import Filter, TableScan
+
+        plan = TableScan(self.db.table(d.base_table))
+        if d.where is not None:
+            plan = Filter(plan, d.where)
+        result = self.db.run(plan)
+        return result.to_dicts()
+
+    def _write_storage(self) -> None:
+        d = self.definition
+        table = self.db.table(d.storage_table)
+        table.truncate()
+        assert self.reporting is not None
+        rows: List[Sequence[object]] = []
+        order_arity = len(d.order_by)
+        for pkey, part in self.reporting.partitions.items():
+            first, _last = part.seq.stored_range
+            for pos, value in part.seq.items():
+                core = 1 <= pos <= part.seq.n
+                if core:
+                    okey: Tuple[object, ...] = part.order_keys[pos - 1]
+                else:
+                    okey = (None,) * order_arity  # header/trailer rows
+                rows.append(tuple(pkey) + okey + (pos, value, core))
+        table.insert_many(rows)
+
+    # -- inspection ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def is_partitioned(self) -> bool:
+        return bool(self.definition.partition_by)
+
+    def partition_sizes(self) -> Dict[Key, int]:
+        assert self.reporting is not None
+        return {k: p.seq.n for k, p in self.reporting.partitions.items()}
+
+    def single_partition(self) -> PartitionData:
+        """The only partition of an unpartitioned view.
+
+        Raises:
+            ViewError: when the view is partitioned or empty.
+        """
+        assert self.reporting is not None
+        if self.is_partitioned:
+            raise ViewError(f"view {self.name!r} is partitioned")
+        if not self.reporting.partitions:
+            raise ViewError(f"view {self.name!r} is empty")
+        return self.reporting.partitions[()]
+
+    def sequence(self, partition_key: Key = ()) -> CompleteSequence:
+        assert self.reporting is not None
+        return self.reporting.partition(partition_key).seq
+
+    def row_count(self) -> int:
+        return len(self.db.table(self.definition.storage_table))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MaterializedSequenceView({self.name!r}: "
+            f"{self.definition.describe()})"
+        )

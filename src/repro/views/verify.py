@@ -1,0 +1,138 @@
+"""Consistency verification of materialized views.
+
+A materialized view has three representations that must agree: the base
+table (ground truth), the in-memory mirror, and the storage table the
+relational patterns read.  :func:`verify_view` recomputes the sequence from
+base data and cross-checks both against it; the warehouse-level
+:func:`verify_warehouse` runs it for every registered view.
+
+This is the defence against silent corruption — a maintenance-rule bug, a
+manual edit of the storage table, a stale mirror after external base
+changes — and the hook for fault-injection tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.reporting import ReportingSequence
+from repro.views.materialized import MaterializedSequenceView
+
+__all__ = ["Discrepancy", "ConsistencyReport", "verify_view", "verify_warehouse"]
+
+TOLERANCE = 1e-7
+
+
+@dataclass(frozen=True)
+class Discrepancy:
+    """One detected inconsistency.
+
+    Attributes:
+        representation: ``"mirror"`` or ``"storage"``.
+        partition: partition key of the affected sequence.
+        position: sequence position, or None for structural problems.
+        detail: human-readable description.
+    """
+
+    representation: str
+    partition: Tuple[object, ...]
+    position: object
+    detail: str
+
+
+@dataclass
+class ConsistencyReport:
+    """Outcome of verifying one view."""
+
+    view: str
+    checked_values: int = 0
+    discrepancies: List[Discrepancy] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.discrepancies
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.discrepancies)} DISCREPANCIES"
+        return f"view {self.view!r}: {self.checked_values} values checked, {status}"
+
+
+def _differs(a: float, b: float) -> bool:
+    return abs(a - b) > TOLERANCE * max(1.0, abs(a), abs(b))
+
+
+def verify_view(view: MaterializedSequenceView, *, max_report: int = 20) -> ConsistencyReport:
+    """Recompute the view from base data and cross-check mirror and storage."""
+    d = view.definition
+    report = ConsistencyReport(view.name)
+    truth = ReportingSequence.from_rows(
+        view._base_rows(),
+        d.value_col,
+        partition_by=d.partition_by,
+        order_by=d.order_by,
+        window=d.window,
+        aggregate=d.aggregate,
+        complete=view.complete,
+    )
+
+    def add(representation, partition, position, detail) -> None:
+        if len(report.discrepancies) < max_report:
+            report.discrepancies.append(
+                Discrepancy(representation, partition, position, detail)
+            )
+
+    # -- mirror vs truth -------------------------------------------------------
+    mirror = view.reporting
+    if set(mirror.partitions) != set(truth.partitions):
+        add("mirror", (), None,
+            f"partition sets differ: mirror {sorted(map(repr, mirror.partitions))} "
+            f"vs base {sorted(map(repr, truth.partitions))}")
+    for pkey, tpart in truth.partitions.items():
+        mpart = mirror.partitions.get(pkey)
+        if mpart is None:
+            continue
+        if mpart.order_keys != tpart.order_keys:
+            add("mirror", pkey, None, "ordering keys out of sync with base data")
+        expected = dict(tpart.seq.items())
+        for pos, value in mpart.seq.items():
+            report.checked_values += 1
+            want = expected.get(pos)
+            if want is None or _differs(value, want):
+                add("mirror", pkey, pos,
+                    f"mirror value {value!r} != recomputed {want!r}")
+
+    # -- storage vs truth ---------------------------------------------------------
+    table = view.db.table(d.storage_table)
+    n_part = len(d.partition_by)
+    pos_slot = table.schema.resolve("__pos")
+    val_slot = table.schema.resolve("__val")
+    seen: Dict[Tuple, set] = {}
+    for row in table.rows:
+        pkey = tuple(row[:n_part])
+        pos = row[pos_slot]
+        seen.setdefault(pkey, set()).add(pos)
+        tpart = truth.partitions.get(pkey)
+        if tpart is None:
+            add("storage", pkey, pos, "storage row for unknown partition")
+            continue
+        first, last = tpart.seq.stored_range
+        if not first <= pos <= last:
+            add("storage", pkey, pos, "storage row outside the stored range")
+            continue
+        report.checked_values += 1
+        want = tpart.seq.value(pos)
+        if _differs(row[val_slot], want):
+            add("storage", pkey, pos,
+                f"storage value {row[val_slot]!r} != recomputed {want!r}")
+    for pkey, tpart in truth.partitions.items():
+        first, last = tpart.seq.stored_range
+        missing = set(range(first, last + 1)) - seen.get(pkey, set())
+        for pos in sorted(missing):
+            add("storage", pkey, pos, "storage row missing")
+    return report
+
+
+def verify_warehouse(warehouse) -> Dict[str, ConsistencyReport]:
+    """Verify every registered view; returns reports keyed by view name."""
+    return {name: verify_view(view) for name, view in warehouse.views.items()}

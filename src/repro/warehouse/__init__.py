@@ -1,0 +1,27 @@
+"""Data warehouse environment: facade, view registry, synthetic workloads."""
+
+from repro.warehouse.cache import CacheStats, QueryCache
+from repro.warehouse.warehouse import DataWarehouse, QueryResult
+from repro.warehouse.workload import (
+    create_credit_card_schema,
+    densify_daily,
+    create_sequence_table,
+    generate_locations,
+    generate_transactions,
+    load_credit_card_warehouse,
+    sequence_values,
+)
+
+__all__ = [
+    "CacheStats",
+    "DataWarehouse",
+    "QueryCache",
+    "QueryResult",
+    "create_credit_card_schema",
+    "densify_daily",
+    "create_sequence_table",
+    "generate_locations",
+    "generate_transactions",
+    "load_credit_card_warehouse",
+    "sequence_values",
+]

@@ -1,0 +1,129 @@
+"""Semantic query caching of reporting-function results (paper section 3).
+
+The paper motivates derivability with exactly this scenario: "a data
+warehouse system may propose a caching strategy of incoming user queries
+([WATCHMAN], ...) to avoid the costly process of explicitly computing
+candidates of materialized views.  If users are heavily relying on sequence
+processing and the system is not able to consider the derivation of
+sequence queries from materialized sequence views, no support can be
+achieved."
+
+:class:`QueryCache` implements that strategy on top of the view machinery:
+whenever a rewritable reporting-function query misses every registered view
+and is answered from base data, its *defining shape* is admitted as a new
+materialized (complete) view.  Later queries — including ones with
+*different* windows — then hit the cache through MaxOA/MinOA derivation.
+Eviction is LRU over cache-created views, bounded by ``max_views``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.errors import ViewError
+from repro.views.definition import SequenceViewDefinition
+from repro.views.matcher import QueryShape
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.warehouse.warehouse import DataWarehouse
+
+__all__ = ["CacheStats", "QueryCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counters for cache behaviour.
+
+    Attributes:
+        hits: queries answered from a cache-created view.
+        misses: rewritable queries that hit no view at all.
+        admissions: views created by the cache.
+        evictions: cache views dropped by the LRU policy.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    admissions: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class QueryCache:
+    """LRU cache of reporting-function query shapes, stored as views."""
+
+    PREFIX = "__cache_"
+
+    def __init__(self, warehouse: "DataWarehouse", max_views: int = 8) -> None:
+        if max_views < 1:
+            raise ViewError("query cache needs max_views >= 1")
+        self.warehouse = warehouse
+        self.max_views = max_views
+        self.stats = CacheStats()
+        self._lru: "OrderedDict[str, None]" = OrderedDict()
+        self._counter = 0
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def cached_views(self) -> List[str]:
+        """Names of currently cached views, least recently used first."""
+        return list(self._lru)
+
+    def note_hit(self, view_name: str) -> None:
+        """Called by the warehouse when a rewrite used a cached view."""
+        if view_name in self._lru:
+            self._lru.move_to_end(view_name)
+            self.stats.hits += 1
+
+    # -- admission ------------------------------------------------------------------
+
+    def admit(self, shape: QueryShape) -> Optional[str]:
+        """Admit a missed query shape as a new cached view.
+
+        Returns the created view name, or None when the shape cannot be a
+        view definition (e.g. a ranking function).
+        """
+        self.stats.misses += 1
+        if shape.func not in ("SUM", "COUNT", "AVG", "MIN", "MAX"):
+            return None
+        self._counter += 1
+        name = f"{self.PREFIX}{self._counter}"
+        definition = SequenceViewDefinition(
+            name=name,
+            base_table=shape.base_table,
+            value_col=shape.value_col,
+            order_by=shape.order_by,
+            partition_by=shape.partition_by,
+            window=shape.window,
+            aggregate_name=shape.func,
+            where=self._parse_where(shape.where_text),
+        )
+        self.warehouse.create_view(name, definition, complete=True)
+        self._lru[name] = None
+        self.stats.admissions += 1
+        self._evict_if_needed()
+        return name
+
+    def _parse_where(self, where_text: Optional[str]):
+        if where_text is None:
+            return None
+        from repro.sql.parser import parse_expression
+
+        return parse_expression(where_text)
+
+    def _evict_if_needed(self) -> None:
+        while len(self._lru) > self.max_views:
+            victim, _ = self._lru.popitem(last=False)
+            self.warehouse.drop_view(victim)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every cache-created view."""
+        for name in list(self._lru):
+            self.warehouse.drop_view(name)
+        self._lru.clear()

@@ -1,0 +1,574 @@
+"""The data warehouse facade: tables + materialized reporting-function views
++ transparent query rewriting.
+
+:class:`DataWarehouse` is the library's top-level object.  It owns a
+relational :class:`~repro.relational.engine.Database`, a registry of
+materialized sequence views, and the query entry point that transparently
+answers reporting-function queries from views (sections 3-6) with fallback
+to native evaluation.
+
+Typical use::
+
+    wh = DataWarehouse()
+    wh.create_table("sales", [("day", INTEGER), ("amount", FLOAT)])
+    wh.insert("sales", rows)
+    wh.create_view(
+        "mv_week",
+        "SELECT day, SUM(amount) OVER (ORDER BY day "
+        "ROWS BETWEEN 3 PRECEDING AND 3 FOLLOWING) AS w FROM sales")
+    res = wh.query(
+        "SELECT day, SUM(amount) OVER (ORDER BY day "
+        "ROWS BETWEEN 4 PRECEDING AND 3 FOLLOWING) AS w FROM sales")
+    res.rewrite           # -> RewriteInfo(view='mv_week', algorithm='minoa', ...)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import CatalogError, NoRewriteError, ViewError
+from repro.relational.engine import Database, Result
+from repro.sql.ast_nodes import SelectStmt
+from repro.sql.parser import parse_select
+from repro.sql.planner import build_plan
+from repro.sql.rewriter import RewriteInfo, try_rewrite
+from repro.views.definition import SequenceViewDefinition
+from repro.views.maintenance import (
+    propagate_delete,
+    propagate_insert,
+    propagate_update,
+)
+from repro.views.materialized import MaterializedSequenceView
+
+__all__ = ["DataWarehouse", "QueryResult"]
+
+
+class QueryResult(Result):
+    """A :class:`Result` carrying optional rewrite provenance."""
+
+    rewrite: Optional[RewriteInfo] = None
+
+    @classmethod
+    def wrap(cls, result: Result, rewrite: Optional[RewriteInfo]) -> "QueryResult":
+        out = cls(result.schema, result.rows, result.stats)
+        out.rewrite = rewrite
+        return out
+
+
+class DataWarehouse:
+    """Facade over the engine, the view registry and the rewriter."""
+
+    def __init__(self) -> None:
+        self.db = Database()
+        self.views: Dict[str, MaterializedSequenceView] = {}
+        self.cache = None  # set by enable_query_cache()
+
+    def enable_query_cache(self, max_views: int = 8):
+        """Turn on semantic caching of reporting-function query shapes.
+
+        Missed (non-view-answerable) reporting-function queries are admitted
+        as complete materialized views; later queries — same or *different*
+        windows — then hit the cache via derivation.  See
+        :class:`repro.warehouse.cache.QueryCache`.
+        """
+        from repro.warehouse.cache import QueryCache
+
+        self.cache = QueryCache(self, max_views=max_views)
+        return self.cache
+
+    # -- table management (delegation) ------------------------------------------
+
+    def create_table(self, name: str, columns, **kwargs):
+        return self.db.create_table(name, columns, **kwargs)
+
+    def drop_table(self, name: str, **kwargs) -> None:
+        self.db.drop_table(name, **kwargs)
+
+    def insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
+        return self.db.insert(table, rows)
+
+    def create_index(self, table: str, name: str, columns, **kwargs):
+        return self.db.create_index(table, name, columns, **kwargs)
+
+    # -- view management ------------------------------------------------------------
+
+    def create_view(
+        self,
+        name: str,
+        definition,
+        *,
+        complete: bool = True,
+    ) -> MaterializedSequenceView:
+        """Materialize a reporting-function view.
+
+        Args:
+            definition: a defining SELECT text or a
+                :class:`SequenceViewDefinition`.
+            complete: materialize header/trailer rows (required for most
+                derivations — section 3.2).
+        """
+        if name in self.views:
+            raise CatalogError(f"view {name!r} already exists")
+        if isinstance(definition, str):
+            definition = SequenceViewDefinition.from_sql(name, definition)
+        elif definition.name != name:
+            raise ViewError(
+                f"definition is named {definition.name!r}, expected {name!r}"
+            )
+        view = MaterializedSequenceView(self.db, definition, complete=complete)
+        self.views[name] = view
+        return view
+
+    def create_views_for_query(
+        self, prefix: str, sql: str, *, complete: bool = True
+    ) -> List[MaterializedSequenceView]:
+        """Materialize one view per reporting function of a multi-window query.
+
+        The intro example computes four reporting functions in one SELECT;
+        this helper splits such a statement into one sequence view per
+        window call (named ``<prefix>_1 .. <prefix>_k``), skipping calls the
+        view model cannot capture (ranking functions, expression
+        arguments).
+
+        Returns:
+            The created views (possibly fewer than the query's calls).
+
+        Raises:
+            ViewError: when the statement yields no materializable call.
+        """
+        stmt = parse_select(sql)
+        if len(stmt.tables) != 1:
+            raise ViewError(
+                "create_views_for_query needs a single-table statement"
+            )
+        created: List[MaterializedSequenceView] = []
+        from repro.views.matcher import QueryShape
+
+        for i, call in enumerate(stmt.window_calls(), start=1):
+            shape = QueryShape.from_call(stmt.tables[0].name, call, stmt.where)
+            if shape is None or shape.func not in ("SUM", "COUNT", "AVG", "MIN", "MAX"):
+                continue
+            name = f"{prefix}_{i}"
+            definition = SequenceViewDefinition(
+                name=name,
+                base_table=shape.base_table,
+                value_col=shape.value_col,
+                order_by=shape.order_by,
+                partition_by=shape.partition_by,
+                window=shape.window,
+                aggregate_name=shape.func,
+                where=stmt.where,
+            )
+            created.append(self.create_view(name, definition, complete=complete))
+        if not created:
+            raise ViewError(
+                "no materializable reporting function found in the statement"
+            )
+        return created
+
+    def drop_view(self, name: str) -> None:
+        view = self.views.pop(name, None)
+        if view is None:
+            raise CatalogError(f"no view {name!r}")
+        self.db.drop_table(view.definition.storage_table, if_exists=True)
+
+    def view(self, name: str) -> MaterializedSequenceView:
+        try:
+            return self.views[name]
+        except KeyError:
+            raise CatalogError(f"no view {name!r} (have {sorted(self.views)})") from None
+
+    def refresh_view(self, name: str) -> None:
+        self.view(name).refresh()
+
+    # -- querying ----------------------------------------------------------------------
+
+    def query(
+        self,
+        sql: str,
+        *,
+        use_views: bool = True,
+        require_rewrite: bool = False,
+        algorithm: str = "auto",
+        variant: str = "disjunctive",
+        mode: str = "auto",
+        window_strategy: str = "native",
+        use_index: Any = "auto",
+    ) -> QueryResult:
+        """Run a SELECT, preferring materialized views when possible.
+
+        Args:
+            use_views: attempt view-based rewriting first.
+            require_rewrite: raise :class:`NoRewriteError` instead of
+                falling back to base tables.
+            algorithm: derivation algorithm (``"auto"``/``"maxoa"``/
+                ``"minoa"``).
+            variant: relational pattern variant (``"disjunctive"``/
+                ``"union"``).
+            mode: rewrite execution mode (``"auto"``/``"relational"``/
+                ``"memory"``).
+            window_strategy / use_index: forwarded to the native planner
+                (Table 1's execution alternatives).
+        """
+        from repro.sql.ast_nodes import CompoundSelect
+        from repro.sql.parser import parse_query
+
+        stmt = parse_query(sql)
+        if isinstance(stmt, CompoundSelect):
+            # UNION ALL compounds are evaluated natively (branch rewriting
+            # would need per-branch provenance; run them against base data).
+            plan = build_plan(
+                self.db, stmt, window_strategy=window_strategy, use_index=use_index
+            )
+            return QueryResult.wrap(self.db.run(plan), None)
+        if use_views and self.views:
+            rewritten = try_rewrite(
+                self.db,
+                stmt,
+                list(self.views.values()),
+                algorithm=algorithm,
+                variant=variant,
+                mode=mode,
+            )
+            if rewritten is not None:
+                result, info = rewritten
+                if self.cache is not None:
+                    for name in info.view.split("+"):
+                        self.cache.note_hit(name)
+                return QueryResult.wrap(result, info)
+        if use_views and self.cache is not None:
+            admitted = self._cache_admit(stmt)
+            if admitted:
+                rewritten = try_rewrite(
+                    self.db, stmt, list(self.views.values()),
+                    algorithm=algorithm, variant=variant, mode=mode)
+                if rewritten is not None:
+                    return QueryResult.wrap(*rewritten)
+        if require_rewrite:
+            raise NoRewriteError(
+                "no materialized view can answer this query "
+                f"(registered: {sorted(self.views)})"
+            )
+        plan = build_plan(
+            self.db, stmt, window_strategy=window_strategy, use_index=use_index
+        )
+        return QueryResult.wrap(self.db.run(plan), None)
+
+    def explain(self, sql: str, **options: Any) -> str:
+        """Describe how a query would be answered (rewrite or native plan)."""
+        stmt = parse_select(sql)
+        if self.views:
+            from repro.sql.rewriter import describe_rewrite
+
+            info = describe_rewrite(
+                self.db,
+                stmt,
+                list(self.views.values()),
+                algorithm=options.get("algorithm", "auto"),
+                variant=options.get("variant", "disjunctive"),
+                mode=options.get("mode", "auto"),
+            )
+            if info is not None:
+                return (
+                    f"REWRITE using view {info.view!r} [{info.kind}, "
+                    f"{info.algorithm}, {info.mode}"
+                    + (f", {info.variant}" if info.variant else "")
+                    + f"]: {info.description}"
+                )
+        plan = build_plan(
+            self.db,
+            stmt,
+            window_strategy=options.get("window_strategy", "native"),
+            use_index=options.get("use_index", "auto"),
+        )
+        return "NATIVE PLAN:\n" + plan.explain()
+
+    def value_at(
+        self,
+        view_name: str,
+        order_key,
+        *,
+        window=None,
+        partition_key=(),
+        algorithm: str = "auto",
+    ) -> float:
+        """Point lookup: one derived sequence value from a view.
+
+        Evaluates ``ỹ_k`` for the row identified by ``order_key`` (and
+        ``partition_key`` for partitioned views) using the single-position
+        explicit derivation forms — O(k/Wx) view lookups instead of a full
+        sequence derivation.
+
+        Args:
+            window: target window (defaults to the view's own window —
+                an O(1) lookup).
+            algorithm: ``"auto"`` (planner choice), ``"maxoa"`` or ``"minoa"``.
+
+        Raises:
+            MaintenanceError: unknown order/partition key.
+            DerivationError: window not derivable from the view.
+        """
+        from repro.core import derivation as core_derivation
+        from repro.core import maxoa as core_maxoa
+        from repro.core import minoa as core_minoa
+        from repro.views.maintenance import position_of
+
+        view = self.view(view_name)
+        pkey = tuple(partition_key) if not isinstance(partition_key, tuple) else partition_key
+        okey = order_key if isinstance(order_key, tuple) else (order_key,)
+        k = position_of(view, pkey, okey)
+        seq = view.sequence(pkey)
+        target = window or view.definition.window
+        dplan = core_derivation.plan(
+            seq.window,
+            target,
+            minmax=view.definition.aggregate.duplicate_insensitive,
+            algorithm=algorithm,
+        )
+        if dplan.algorithm == "identity":
+            return seq.value(k)
+        if dplan.algorithm == "maxoa":
+            return core_maxoa.derive_at(seq, target, k)
+        if dplan.algorithm == "minoa":
+            return core_minoa.derive_at(seq, target, k)
+        # Remaining plans (cumulative source, prefix, reconstruct) are all
+        # single-position computable through the generic facade.
+        return core_derivation.derive(seq, target, chosen=dplan)[k - 1]
+
+    def verify(self):
+        """Cross-check every view against base data; see
+        :func:`repro.views.verify.verify_warehouse`."""
+        from repro.views.verify import verify_warehouse
+
+        return verify_warehouse(self)
+
+    # -- persistence ----------------------------------------------------------------------
+
+    def save(self, directory: str) -> None:
+        """Persist base tables, indexes and view definitions to a directory.
+
+        Views are stored as definitions and re-materialized on load (the
+        dump also contains their storage tables, which load() replaces with
+        a fresh refresh — guaranteeing base/view consistency).
+        """
+        import json
+        import os
+
+        from repro.relational.persist import save_database
+
+        save_database(self.db, directory)
+        views = []
+        for view in self.views.values():
+            d = view.definition
+            entry = {
+                "name": d.name,
+                "base_table": d.base_table,
+                "value_col": d.value_col,
+                "order_by": list(d.order_by),
+                "partition_by": list(d.partition_by),
+                "window": {
+                    "kind": d.window.kind,
+                    "l": d.window.l,
+                    "h": d.window.h,
+                },
+                "aggregate": d.aggregate_name,
+                "where": d.where_text,
+                "complete": view.complete,
+            }
+            views.append(entry)
+        with open(os.path.join(directory, "views.json"), "w", encoding="utf-8") as fh:
+            json.dump({"views": views}, fh, indent=2)
+
+    @classmethod
+    def load(cls, directory: str) -> "DataWarehouse":
+        """Rebuild a warehouse saved with :meth:`save`."""
+        import json
+        import os
+
+        from repro.core.window import WindowSpec
+        from repro.relational.persist import load_database
+        from repro.sql.parser import parse_expression
+
+        wh = cls()
+        wh.db = load_database(directory)
+        views_path = os.path.join(directory, "views.json")
+        entries = []
+        if os.path.exists(views_path):
+            with open(views_path, encoding="utf-8") as fh:
+                entries = json.load(fh).get("views", [])
+        for entry in entries:
+            w = entry["window"]
+            window = (
+                WindowSpec.cumulative()
+                if w["kind"] == "cumulative"
+                else WindowSpec.sliding(w["l"], w["h"], allow_point=True)
+            )
+            definition = SequenceViewDefinition(
+                name=entry["name"],
+                base_table=entry["base_table"],
+                value_col=entry["value_col"],
+                order_by=tuple(entry["order_by"]),
+                partition_by=tuple(entry["partition_by"]),
+                window=window,
+                aggregate_name=entry["aggregate"],
+                where=parse_expression(entry["where"]) if entry["where"] else None,
+            )
+            wh.create_view(entry["name"], definition, complete=entry["complete"])
+        return wh
+
+    def _cache_admit(self, stmt: SelectStmt) -> bool:
+        """Admit a missed, rewritable reporting-function shape into the cache."""
+        from repro.sql.rewriter import _rewritable_shape
+
+        shape_info = _rewritable_shape(stmt)
+        if shape_info is None:
+            return False
+        return self.cache.admit(shape_info[0]) is not None
+
+    # -- workload-driven view advice ------------------------------------------------------
+
+    def advise(self, queries: Sequence, *, top: int = 3):
+        """Recommend view windows for a workload of reporting-function SQL.
+
+        Args:
+            queries: SQL strings, or ``(sql, weight)`` pairs.
+            top: recommendations per query group.
+
+        Returns:
+            dict mapping a group key ``(base_table, value_col, partition_by,
+            order_by, where_text)`` to a ranked list of
+            :class:`~repro.views.advisor.Recommendation`.
+
+        Queries that are not rewritable reporting-function shapes (joins,
+        GROUP BY, expression arguments, ...) are ignored.
+        """
+        from repro.views.advisor import WorkloadQuery, recommend
+        from repro.views.matcher import QueryShape
+
+        groups: Dict[tuple, List[WorkloadQuery]] = {}
+        for entry in queries:
+            sql, weight = entry if isinstance(entry, tuple) else (entry, 1.0)
+            stmt = parse_select(sql)
+            calls = stmt.window_calls()
+            if len(stmt.tables) != 1 or len(calls) != 1:
+                continue
+            shape = QueryShape.from_call(stmt.tables[0].name, calls[0], stmt.where)
+            if shape is None:
+                continue
+            key = (
+                shape.base_table,
+                shape.value_col,
+                shape.partition_by,
+                shape.order_by,
+                shape.where_text,
+            )
+            groups.setdefault(key, []).append(
+                WorkloadQuery(
+                    shape.window,
+                    weight=weight,
+                    minmax=shape.func in ("MIN", "MAX"),
+                )
+            )
+        return {
+            key: recommend(workload, top=top) for key, workload in groups.items()
+        }
+
+    # -- base-data modification with incremental view maintenance ------------------------
+
+    def _dependent_views(self, table: str) -> List[MaterializedSequenceView]:
+        return [
+            v for v in self.views.values() if v.definition.base_table == table
+        ]
+
+    def _locate_base_slot(self, table: str, match: Dict[str, Any]) -> int:
+        tbl = self.db.table(table)
+        idx = {c: tbl.schema.resolve(c) for c in match}
+        slots = [
+            i
+            for i, row in enumerate(tbl.rows)
+            if all(row[idx[c]] == v for c, v in match.items())
+        ]
+        if len(slots) != 1:
+            raise ViewError(
+                f"expected exactly one row in {table!r} matching {match!r}, "
+                f"found {len(slots)}"
+            )
+        return slots[0]
+
+    def update_measure(
+        self,
+        table: str,
+        *,
+        keys: Dict[str, Any],
+        value_col: str,
+        new_value: float,
+    ) -> List[Any]:
+        """Point-update a measure and incrementally maintain dependent views.
+
+        ``keys`` must identify exactly one base row (e.g. the partition and
+        ordering column values).  Returns the per-view
+        :class:`~repro.core.maintenance.MaintenanceResult` list.
+        """
+        tbl = self.db.table(table)
+        slot = self._locate_base_slot(table, keys)
+        row = list(tbl.row(slot))
+        row[tbl.schema.resolve(value_col)] = float(new_value)
+        tbl.update_slot(slot, row)
+        results = []
+        for view in self._dependent_views(table):
+            d = view.definition
+            if d.value_col != value_col:
+                continue
+            if not self._row_in_view(view, dict(zip(tbl.schema.names(), row))):
+                continue
+            pkey = tuple(keys[c] for c in d.partition_by)
+            okey = tuple(keys[c] for c in d.order_by)
+            results.append(
+                propagate_update(view, okey, new_value, partition_key=pkey)
+            )
+        return results
+
+    def insert_row(self, table: str, values: Sequence[Any]) -> List[Any]:
+        """Insert one base row and incrementally maintain dependent views."""
+        tbl = self.db.table(table)
+        tbl.insert(values)
+        row = dict(zip(tbl.schema.names(), values))
+        results = []
+        for view in self._dependent_views(table):
+            if not self._row_in_view(view, row):
+                continue
+            d = view.definition
+            pkey = tuple(row[c] for c in d.partition_by)
+            okey = tuple(row[c] for c in d.order_by)
+            results.append(
+                propagate_insert(
+                    view, okey, float(row[d.value_col]), partition_key=pkey
+                )
+            )
+        return results
+
+    def delete_row(self, table: str, *, keys: Dict[str, Any]) -> List[Any]:
+        """Delete one base row and incrementally maintain dependent views."""
+        tbl = self.db.table(table)
+        slot = self._locate_base_slot(table, keys)
+        row = dict(zip(tbl.schema.names(), tbl.row(slot)))
+        tbl.delete_slots([slot])
+        results = []
+        for view in self._dependent_views(table):
+            if not self._row_in_view(view, row):
+                continue
+            d = view.definition
+            pkey = tuple(row[c] for c in d.partition_by)
+            okey = tuple(row[c] for c in d.order_by)
+            results.append(propagate_delete(view, okey, partition_key=pkey))
+        return results
+
+    def _row_in_view(self, view: MaterializedSequenceView, row: Dict[str, Any]) -> bool:
+        """Does the view's selection cover this base row?"""
+        d = view.definition
+        if d.where is None:
+            return True
+        schema = self.db.table(d.base_table).schema
+        compiled = d.where.bind(schema)
+        ordered = tuple(row[c.name] for c in schema)
+        return compiled(ordered) is True

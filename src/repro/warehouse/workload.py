@@ -1,0 +1,253 @@
+"""Synthetic workload generators.
+
+Two workload families drive the examples, tests and benchmarks:
+
+* **sequence tables** ``seq(pos, val)`` with dense integer positions — the
+  shape of the paper's evaluation (Tables 1 and 2);
+* the **credit-card warehouse** of the paper's introduction:
+  ``c_transactions(c_custid, c_locid, c_date, c_transaction)`` joined with
+  ``l_locations(l_locid, l_city, l_region)``.
+
+All generators are deterministic given a seed (no ambient randomness), so
+benchmark runs and tests are reproducible.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.relational.engine import Database
+from repro.relational.types import DATE, FLOAT, INTEGER, TEXT
+
+__all__ = [
+    "sequence_values",
+    "create_sequence_table",
+    "create_credit_card_schema",
+    "generate_locations",
+    "generate_transactions",
+    "load_credit_card_warehouse",
+    "densify_daily",
+]
+
+
+def sequence_values(
+    n: int,
+    *,
+    seed: int = 0,
+    distribution: str = "uniform",
+    low: float = 0.0,
+    high: float = 100.0,
+) -> List[float]:
+    """Raw sequence values ``x_1 .. x_n``.
+
+    Distributions: ``"uniform"`` draws i.i.d. values from ``[low, high)``;
+    ``"walk"`` produces a random walk (smooth series typical for
+    time-series smoothing workloads); ``"seasonal"`` adds a sine component
+    on top of the walk.
+    """
+    rng = random.Random(seed)
+    if distribution == "uniform":
+        return [rng.uniform(low, high) for _ in range(n)]
+    if distribution == "walk":
+        out = []
+        value = (low + high) / 2.0
+        step = (high - low) / 50.0 or 1.0
+        for _ in range(n):
+            value += rng.uniform(-step, step)
+            out.append(value)
+        return out
+    if distribution == "seasonal":
+        base = sequence_values(n, seed=seed, distribution="walk", low=low, high=high)
+        amplitude = (high - low) / 10.0 or 1.0
+        return [
+            v + amplitude * math.sin(2.0 * math.pi * i / 30.0)
+            for i, v in enumerate(base)
+        ]
+    raise ValueError(f"unknown distribution {distribution!r}")
+
+
+def create_sequence_table(
+    db: Database,
+    name: str,
+    n: int,
+    *,
+    seed: int = 0,
+    distribution: str = "uniform",
+    primary_key: bool = True,
+) -> List[float]:
+    """Create and fill ``name(pos INTEGER, val FLOAT)``; returns the raw values.
+
+    ``primary_key=False`` reproduces Table 1's "no primary index" setting.
+    """
+    values = sequence_values(n, seed=seed, distribution=distribution)
+    db.drop_table(name, if_exists=True)
+    db.create_table(
+        name,
+        [("pos", INTEGER), ("val", FLOAT)],
+        primary_key=["pos"] if primary_key else None,
+    )
+    db.insert(name, list(zip(range(1, n + 1), values)))
+    return values
+
+
+_CITIES = [
+    ("Nuremberg", "south"),
+    ("Erlangen", "south"),
+    ("Munich", "south"),
+    ("Berlin", "east"),
+    ("Dresden", "east"),
+    ("Hamburg", "north"),
+    ("Kiel", "north"),
+    ("Cologne", "west"),
+    ("Frankfurt", "west"),
+    ("Stuttgart", "south"),
+]
+
+
+def create_credit_card_schema(db: Database) -> None:
+    """Create ``c_transactions`` and ``l_locations`` (the intro example)."""
+    db.drop_table("c_transactions", if_exists=True)
+    db.drop_table("l_locations", if_exists=True)
+    db.create_table(
+        "l_locations",
+        [("l_locid", INTEGER), ("l_city", TEXT), ("l_region", TEXT)],
+        primary_key=["l_locid"],
+    )
+    db.create_table(
+        "c_transactions",
+        [
+            ("c_txid", INTEGER),
+            ("c_custid", INTEGER),
+            ("c_locid", INTEGER),
+            ("c_date", DATE),
+            ("c_transaction", FLOAT),
+        ],
+        primary_key=["c_txid"],
+    )
+
+
+def generate_locations(n_shops: int = 10) -> List[Tuple[int, str, str]]:
+    """``(l_locid, l_city, l_region)`` rows (cities cycle through a fixed list)."""
+    rows = []
+    for locid in range(1, n_shops + 1):
+        city, region = _CITIES[(locid - 1) % len(_CITIES)]
+        rows.append((locid, city, region))
+    return rows
+
+
+def generate_transactions(
+    *,
+    customers: Sequence[int] = (4711, 4712, 4713),
+    days: int = 90,
+    per_day: int = 1,
+    n_shops: int = 10,
+    seed: int = 0,
+    start: Optional[datetime.date] = None,
+) -> List[Tuple[int, int, int, datetime.date, float]]:
+    """Credit-card transactions: one sequence of purchases per customer.
+
+    Every customer makes ``per_day`` purchases on each of ``days``
+    consecutive days (dense daily ordering — the shape reporting functions
+    assume), at a pseudo-random shop with a pseudo-random amount.
+    """
+    rng = random.Random(seed)
+    start = start or datetime.date(2001, 1, 1)
+    rows = []
+    txid = 1
+    for cust in customers:
+        for day in range(days):
+            for _ in range(per_day):
+                rows.append(
+                    (
+                        txid,
+                        cust,
+                        rng.randint(1, n_shops),
+                        start + datetime.timedelta(days=day),
+                        round(rng.uniform(5.0, 500.0), 2),
+                    )
+                )
+                txid += 1
+    return rows
+
+
+def load_credit_card_warehouse(
+    db: Database,
+    *,
+    customers: Sequence[int] = (4711, 4712, 4713),
+    days: int = 90,
+    n_shops: int = 10,
+    seed: int = 0,
+) -> int:
+    """Create and populate the intro-example schema; returns the row count."""
+    create_credit_card_schema(db)
+    db.insert("l_locations", generate_locations(n_shops))
+    rows = generate_transactions(
+        customers=customers, days=days, n_shops=n_shops, seed=seed
+    )
+    db.insert("c_transactions", rows)
+    return len(rows)
+
+
+def densify_daily(
+    rows: Sequence[dict],
+    *,
+    date_col: str,
+    value_col: str,
+    group_cols: Sequence[str] = (),
+    fill: float = 0.0,
+    aggregate: str = "sum",
+) -> List[dict]:
+    """Densify a gappy daily series so ROWS frames behave like day windows.
+
+    The paper's sequence model (and SQL ``ROWS`` frames) count *rows*, not
+    calendar distance: a 7-rows window over data with missing days silently
+    spans more than a week.  This helper closes the gap the way warehouse
+    ETL does — one output row per calendar day per group between each
+    group's first and last day, summing (or counting/averaging) same-day
+    rows and filling absent days with ``fill``.
+
+    Args:
+        rows: input dicts.
+        date_col: :class:`datetime.date`-valued ordering column.
+        value_col: measure to aggregate per day.
+        group_cols: partitioning columns densified independently.
+        fill: value for absent days.
+        aggregate: ``"sum"``, ``"count"`` or ``"mean"`` for same-day rows.
+
+    Returns:
+        New row dicts with exactly ``group_cols + [date_col, value_col]``
+        keys, dense and sorted per group.
+    """
+    if aggregate not in ("sum", "count", "mean"):
+        raise ValueError(f"unknown same-day aggregate {aggregate!r}")
+    groups: dict = {}
+    for row in rows:
+        key = tuple(row[c] for c in group_cols)
+        day = row[date_col]
+        if not isinstance(day, datetime.date):
+            raise TypeError(f"{date_col!r} must hold datetime.date values")
+        groups.setdefault(key, {}).setdefault(day, []).append(float(row[value_col]))
+    out: List[dict] = []
+    for key in sorted(groups, key=repr):
+        days = groups[key]
+        first, last = min(days), max(days)
+        day = first
+        while day <= last:
+            values = days.get(day)
+            if values is None:
+                value = fill
+            elif aggregate == "sum":
+                value = sum(values)
+            elif aggregate == "count":
+                value = float(len(values))
+            else:
+                value = sum(values) / len(values)
+            row = {c: v for c, v in zip(group_cols, key)}
+            row[date_col] = day
+            row[value_col] = value
+            out.append(row)
+            day += datetime.timedelta(days=1)
+    return out

@@ -1,0 +1,121 @@
+"""Position functions for multi-column orderings (paper section 6)."""
+
+import pytest
+
+from repro.core.positions import PositionFunction
+from repro.errors import SequenceError
+
+
+@pytest.fixture
+def pos34():
+    """Two ordering columns with |D1| = 3, |D2| = 4 (the paper's example shape)."""
+    return PositionFunction([[1, 2, 3], [1, 2, 3, 4]])
+
+
+class TestBasics:
+    def test_identity_for_single_column(self):
+        pos = PositionFunction([[10, 20, 30]])
+        assert pos((10,)) == 1 and pos((30,)) == 3
+
+    def test_lexicographic(self, pos34):
+        assert pos34((1, 1)) == 1
+        assert pos34((1, 4)) == 4
+        assert pos34((2, 1)) == 5
+        assert pos34((3, 4)) == 12
+
+    def test_cardinality(self, pos34):
+        assert pos34.cardinality == 12
+        assert pos34.arity == 2
+
+    def test_inverse(self, pos34):
+        for k in range(1, 13):
+            assert pos34(pos34.coords(k)) == k
+
+    def test_prefix_addressing(self, pos34):
+        # Shorter coordinate lists address the first entry of the group.
+        assert pos34((2,)) == 5
+
+    def test_non_numeric_domains(self):
+        pos = PositionFunction([["jan", "feb"], ["mon", "tue", "wed"]])
+        assert pos(("feb", "wed")) == 6
+        assert pos.coords(4) == ("feb", "mon")
+
+
+class TestValidation:
+    def test_empty_domains_rejected(self):
+        with pytest.raises(SequenceError):
+            PositionFunction([])
+        with pytest.raises(SequenceError):
+            PositionFunction([[]])
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(SequenceError):
+            PositionFunction([[1, 1, 2]])
+
+    def test_unknown_value(self, pos34):
+        with pytest.raises(SequenceError):
+            pos34((99, 1))
+
+    def test_out_of_range_position(self, pos34):
+        with pytest.raises(SequenceError):
+            pos34.coords(0)
+        with pytest.raises(SequenceError):
+            pos34.coords(13)
+
+    def test_wrong_arity(self, pos34):
+        with pytest.raises(SequenceError):
+            pos34((1, 2, 3))
+
+
+class TestPrefixArithmetic:
+    def test_shift_with_carry(self, pos34):
+        # The paper's example: (2, 4) + 1 = (3, 1) when |D2| = 4.
+        assert pos34.shift_prefix((2, 4), 1) == (3, 1)
+        assert pos34.shift_prefix((3, 1), -1) == (2, 4)
+
+    def test_shift_out_of_domain(self, pos34):
+        with pytest.raises(SequenceError):
+            pos34.shift_prefix((3, 4), 1)
+
+    def test_prefix_rank_roundtrip(self, pos34):
+        for rank in range(1, 4):
+            assert pos34.prefix_rank(pos34.prefix_from_rank(1, rank)) == rank
+
+    def test_prefix_cardinality(self, pos34):
+        assert pos34.prefix_cardinality(1) == 3
+        assert pos34.prefix_cardinality(2) == 12
+
+    def test_group_bounds(self, pos34):
+        assert pos34.group_bounds((2,)) == (5, 8)
+        assert pos34.group_bounds((2, 3)) == (7, 7)
+
+
+class TestLemmaWindowBounds:
+    def test_interior_group(self, pos34):
+        # For coords (2, 2) (k = 6), the lemma's window spans from the start
+        # of group (1,*) to the end of group (2,*): positions 1..8.
+        wl, wh = pos34.lemma_window_bounds((2, 2), drop=1)
+        k = pos34((2, 2))
+        assert (k - wl, k + wh) == (1, 8)
+
+    def test_first_group_extends_virtually_left(self, pos34):
+        wl, wh = pos34.lemma_window_bounds((1, 3), drop=1)
+        k = pos34((1, 3))
+        # Virtual previous group occupies positions -3..0.
+        assert (k - wl, k + wh) == (-3, 4)
+
+    def test_three_column_example(self):
+        # The paper's worked example: eliminate the rightmost of three
+        # ordering columns at address (2, 4, 2); bounds come from
+        # pos(2,3,1) and pos(3,1,1).
+        pos = PositionFunction([[1, 2, 3], [1, 2, 3, 4], [1, 2]])
+        k = pos((2, 4, 2))
+        wl, wh = pos.lemma_window_bounds((2, 4, 2), drop=1)
+        assert k - wl == pos((2, 3, 1))
+        assert k + wh == pos((3, 1, 1)) - 1
+
+    def test_invalid_drop(self, pos34):
+        with pytest.raises(SequenceError):
+            pos34.lemma_window_bounds((1, 1), drop=0)
+        with pytest.raises(SequenceError):
+            pos34.lemma_window_bounds((1, 1), drop=2)

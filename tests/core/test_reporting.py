@@ -1,0 +1,213 @@
+"""Reporting sequences and the section-6 reduction lemmas."""
+
+import pytest
+
+from repro.core.aggregates import MAX, SUM
+from repro.core.reporting import (
+    ReportingSequence,
+    lemma_bounds_spec,
+    ordering_reduction,
+    partitioning_reduction,
+)
+from repro.core.window import cumulative, sliding
+from repro.errors import DerivationError, IncompleteSequenceError, SequenceError
+from tests.conftest import assert_close, brute_window
+
+
+def sales_rows(rng, regions=("east", "west"), months=(1, 2, 3), days=(1, 2, 3, 4)):
+    rows = []
+    for region in regions:
+        for m in months:
+            for d in days:
+                rows.append(
+                    {"region": region, "month": m, "day": d,
+                     "amt": round(rng.uniform(1.0, 9.0), 2)}
+                )
+    return rows
+
+
+@pytest.fixture
+def rows(rng):
+    return sales_rows(rng)
+
+
+@pytest.fixture
+def view(rows):
+    return ReportingSequence.from_rows(
+        rows, "amt", partition_by=("region",), order_by=("month", "day"),
+        window=sliding(2, 1),
+    )
+
+
+class TestConstruction:
+    def test_partitions(self, view):
+        assert set(view.partitions) == {("east",), ("west",)}
+        assert view.partition(("east",)).seq.n == 12
+
+    def test_values_iteration(self, view, rows):
+        out = list(view.values())
+        assert len(out) == 24
+        east = [v for pk, ok, v in out if pk == ("east",)]
+        raw = [r["amt"] for r in rows if r["region"] == "east"]
+        assert_close(east, brute_window(raw, sliding(2, 1)))
+
+    def test_complete_reporting_function(self, rows):
+        east = [r for r in rows if r["region"] == "east"]
+        complete = ReportingSequence.from_rows(
+            east, "amt", order_by=("month", "day"), window=sliding(1, 1))
+        assert complete.is_complete
+        incomplete = ReportingSequence.from_rows(
+            east, "amt", order_by=("month", "day"), window=sliding(1, 1),
+            complete=False)
+        assert not incomplete.is_complete
+
+    def test_duplicate_order_keys_rejected(self, rows):
+        rows = rows + [dict(rows[0])]
+        with pytest.raises(SequenceError):
+            ReportingSequence.from_rows(
+                rows, "amt", partition_by=("region",),
+                order_by=("month", "day"), window=sliding(1, 1))
+
+    def test_empty_order_by_rejected(self, rows):
+        with pytest.raises(SequenceError):
+            ReportingSequence.from_rows(rows, "amt", order_by=(), window=sliding(1, 1))
+
+    def test_unknown_partition(self, view):
+        with pytest.raises(SequenceError):
+            view.partition(("north",))
+
+
+class TestDeriveWindow:
+    def test_per_partition_derivation(self, view, rows):
+        derived = view.derive_window(sliding(3, 2))
+        for region in ("east", "west"):
+            raw = [r["amt"] for r in rows if r["region"] == region]
+            got = derived.partition((region,)).seq.core_values()
+            assert_close(got, brute_window(raw, sliding(3, 2)))
+
+    def test_reconstruct_raw(self, view, rows):
+        raws = view.reconstruct_raw()
+        for region in ("east", "west"):
+            expected = [r["amt"] for r in rows if r["region"] == region]
+            assert_close(raws[(region,)], expected)
+
+    def test_reconstruct_needs_completeness(self, rows):
+        rs = ReportingSequence.from_rows(
+            rows, "amt", partition_by=("region",), order_by=("month", "day"),
+            window=sliding(2, 1), complete=False)
+        with pytest.raises(IncompleteSequenceError):
+            rs.reconstruct_raw()
+
+    def test_reconstruct_from_cumulative(self, rows):
+        rs = ReportingSequence.from_rows(
+            rows, "amt", partition_by=("region",), order_by=("month", "day"),
+            window=cumulative())
+        raws = rs.reconstruct_raw()
+        expected = [r["amt"] for r in rows if r["region"] == "west"]
+        assert_close(raws[("west",)], expected)
+
+
+class TestPartitioningReduction:
+    def test_drop_all_partitions(self, view, rows):
+        reduced = partitioning_reduction(view, ())
+        # Merged ordering: (month, day) with the dropped key as tie-breaker.
+        merged = sorted(rows, key=lambda r: (r["month"], r["day"], (r["region"],)))
+        raw = [r["amt"] for r in merged]
+        got = [v for _, _, v in reduced.values()]
+        assert_close(got, brute_window(raw, sliding(2, 1)))
+
+    def test_target_window_override(self, view, rows):
+        reduced = partitioning_reduction(view, (), target_window=sliding(1, 1))
+        merged = sorted(rows, key=lambda r: (r["month"], r["day"], (r["region"],)))
+        raw = [r["amt"] for r in merged]
+        got = [v for _, _, v in reduced.values()]
+        assert_close(got, brute_window(raw, sliding(1, 1)))
+
+    def test_subset_reduction(self, rng):
+        rows = []
+        for region in ("east", "west"):
+            for tier in ("gold", "silver"):
+                for day in range(1, 6):
+                    rows.append({"region": region, "tier": tier, "day": day,
+                                 "amt": round(rng.uniform(1, 9), 2)})
+        fine = ReportingSequence.from_rows(
+            rows, "amt", partition_by=("region", "tier"), order_by=("day",),
+            window=sliding(1, 1))
+        coarse = partitioning_reduction(fine, ("region",))
+        assert set(coarse.partitions) == {("east",), ("west",)}
+        east = sorted(
+            (r for r in rows if r["region"] == "east"),
+            key=lambda r: (r["day"], (r["tier"],)),
+        )
+        raw = [r["amt"] for r in east]
+        got = coarse.partition(("east",)).seq.core_values()
+        assert_close(got, brute_window(raw, sliding(1, 1)))
+
+    def test_superset_rejected(self, view):
+        with pytest.raises(DerivationError):
+            partitioning_reduction(view, ("region", "city"))
+
+    def test_incomplete_rejected(self, rows):
+        rs = ReportingSequence.from_rows(
+            rows, "amt", partition_by=("region",), order_by=("month", "day"),
+            window=sliding(2, 1), complete=False)
+        with pytest.raises(IncompleteSequenceError):
+            partitioning_reduction(rs, ())
+
+
+class TestOrderingReduction:
+    def test_monthly_totals(self, view, rows):
+        reduced = ordering_reduction(view, 1, target_window=sliding(1, 0))
+        assert reduced.order_by == ("month",)
+        for region in ("east", "west"):
+            monthly = [
+                sum(r["amt"] for r in rows if r["region"] == region and r["month"] == m)
+                for m in (1, 2, 3)
+            ]
+            got = reduced.partition((region,)).seq.core_values()
+            assert_close(got, brute_window(monthly, sliding(1, 0)))
+
+    def test_default_window_carries_over(self, view, rows):
+        reduced = ordering_reduction(view, 1)
+        assert reduced.window == view.window
+
+    def test_cumulative_view_source(self, rows):
+        rs = ReportingSequence.from_rows(
+            rows, "amt", partition_by=("region",), order_by=("month", "day"),
+            window=cumulative())
+        reduced = ordering_reduction(rs, 1, target_window=cumulative())
+        for region in ("east", "west"):
+            monthly = [
+                sum(r["amt"] for r in rows if r["region"] == region and r["month"] == m)
+                for m in (1, 2, 3)
+            ]
+            got = reduced.partition((region,)).seq.core_values()
+            assert_close(got, brute_window(monthly, cumulative()))
+
+    def test_non_dense_rejected(self, rows):
+        sparse = [r for r in rows if not (r["month"] == 2 and r["day"] == 3)]
+        rs = ReportingSequence.from_rows(
+            sparse, "amt", partition_by=("region",), order_by=("month", "day"),
+            window=sliding(2, 1))
+        with pytest.raises(DerivationError):
+            ordering_reduction(rs, 1)
+
+    def test_minmax_rejected(self, rows):
+        rs = ReportingSequence.from_rows(
+            rows, "amt", partition_by=("region",), order_by=("month", "day"),
+            window=sliding(2, 1), aggregate=MAX)
+        with pytest.raises(DerivationError):
+            ordering_reduction(rs, 1)
+
+    def test_invalid_drop_count(self, view):
+        with pytest.raises(DerivationError):
+            ordering_reduction(view, 0)
+        with pytest.raises(DerivationError):
+            ordering_reduction(view, 2)
+
+    def test_lemma_bounds_spec(self, view, rows):
+        # The lemma's variable window at k spans [prev group start, own group end].
+        spec = lemma_bounds_spec(view, ("east",), 1)
+        lo, hi = spec.bounds(6)  # coords (2, 2) in a 3x4 grid
+        assert (lo, hi) == (1, 8)
+        assert spec.window_size(6) == 8

@@ -1,0 +1,77 @@
+"""Streaming sequence computation (section 2.2's bounded-cache operator)."""
+
+import pytest
+
+from repro.core.aggregates import AVG, COUNT, MAX, MIN, SUM
+from repro.core.streaming import CumulativeStream, SlidingWindowStream
+from repro.core.window import cumulative, sliding
+from repro.errors import SequenceError
+from tests.conftest import assert_close, brute_window
+
+WINDOWS = [sliding(1, 1), sliding(2, 1), sliding(0, 4), sliding(3, 0), sliding(4, 4)]
+
+
+class TestSlidingWindowStream:
+    @pytest.mark.parametrize("window", WINDOWS, ids=str)
+    def test_matches_batch(self, raw40, window):
+        stream = SlidingWindowStream(window)
+        assert_close(stream.process(raw40), brute_window(raw40, window))
+
+    @pytest.mark.parametrize("agg", [COUNT, AVG], ids=lambda a: a.name)
+    def test_count_avg(self, raw40, agg):
+        stream = SlidingWindowStream(sliding(2, 1), agg)
+        assert_close(stream.process(raw40), brute_window(raw40, sliding(2, 1), agg))
+
+    def test_output_lags_by_h(self, raw40):
+        stream = SlidingWindowStream(sliding(1, 2))
+        assert stream.push(raw40[0]) is None
+        assert stream.push(raw40[1]) is None
+        third = stream.push(raw40[2])
+        assert third == pytest.approx(sum(raw40[:3]))
+
+    def test_finish_flushes_trailing_positions(self, raw40):
+        window = sliding(1, 2)
+        stream = SlidingWindowStream(window)
+        live = [v for v in (stream.push(x) for x in raw40) if v is not None]
+        tail = stream.finish()
+        assert len(tail) == window.h
+        assert_close(live + tail, brute_window(raw40, window))
+
+    def test_cache_bound_is_w_plus_2(self, raw40):
+        # The paper's claim: the cache needs size w + 2.
+        for window in WINDOWS:
+            stream = SlidingWindowStream(window)
+            peak = 0
+            for value in raw40:
+                stream.push(value)
+                peak = max(peak, stream.cache_size)
+            assert peak <= window.width + 2, str(window)
+
+    def test_empty_stream(self):
+        stream = SlidingWindowStream(sliding(1, 1))
+        assert stream.finish() == []
+
+    def test_stream_shorter_than_lookahead(self):
+        stream = SlidingWindowStream(sliding(0, 5))
+        assert stream.process([1.0, 2.0]) == [3.0, 2.0]
+
+    def test_cumulative_window_rejected(self):
+        with pytest.raises(SequenceError):
+            SlidingWindowStream(cumulative())
+
+    def test_minmax_rejected(self):
+        with pytest.raises(SequenceError):
+            SlidingWindowStream(sliding(1, 1), MIN)
+
+
+class TestCumulativeStream:
+    @pytest.mark.parametrize("agg", [SUM, COUNT, AVG, MIN, MAX], ids=lambda a: a.name)
+    def test_matches_batch(self, raw40, agg):
+        stream = CumulativeStream(agg)
+        assert_close(stream.process(raw40), brute_window(raw40, cumulative(), agg))
+
+    def test_incremental_pushes(self):
+        stream = CumulativeStream(SUM)
+        assert stream.push(2.0) == 2.0
+        assert stream.push(3.0) == 5.0
+        assert stream.push(-1.0) == 4.0

@@ -1,0 +1,119 @@
+"""Kitchen-sink integration: every SQL feature in one session."""
+
+import pytest
+
+from repro.core.aggregates import AVG
+from repro.core.window import sliding
+from repro.errors import NoRewriteError
+from repro.warehouse import DataWarehouse
+from tests.conftest import assert_close, brute_window
+
+
+@pytest.fixture
+def wh():
+    """A small retail warehouse built entirely through SQL DDL/DML."""
+    wh = DataWarehouse()
+    wh.db.sql("CREATE TABLE stores (sid INTEGER, region VARCHAR, "
+              "PRIMARY KEY (sid))")
+    wh.db.sql("INSERT INTO stores VALUES (1, 'east'), (2, 'east'), (3, 'west')")
+    wh.db.sql("CREATE TABLE sales (sid INTEGER, day INTEGER, amount FLOAT)")
+    rows = []
+    for sid in (1, 2, 3):
+        for day in range(1, 21):
+            rows.append(f"({sid}, {day}, {float((sid * 13 + day * 7) % 29)})")
+    wh.db.sql(f"INSERT INTO sales VALUES {', '.join(rows)}")
+    wh.db.sql("CREATE INDEX sales_day ON sales (day)")
+    return wh
+
+
+class TestFullQuerySurface:
+    def test_join_group_having_order_limit(self, wh):
+        res = wh.query(
+            "SELECT region, SUM(amount) AS total, COUNT(*) AS n "
+            "FROM sales, stores WHERE sid = stores.sid "  # noqa: alias-free equality
+            "GROUP BY region HAVING n > 10 "
+            "ORDER BY total DESC LIMIT 2")
+        assert res.columns == ["region", "total", "n"]
+        assert len(res) == 2
+        assert res.rows[0][1] >= res.rows[1][1]
+        assert {r[0] for r in res.rows} == {"east", "west"}
+
+    def test_window_over_join_with_case(self, wh):
+        res = wh.query(
+            "SELECT day, CASE WHEN region = 'east' THEN amount ELSE -amount "
+            "END AS signed, "
+            "SUM(amount) OVER (PARTITION BY region ORDER BY day, sales.sid "
+            "ROWS UNBOUNDED PRECEDING) AS running "
+            "FROM sales, stores WHERE sales.sid = stores.sid "
+            "ORDER BY region, day, signed")
+        assert len(res) == 60
+        east_rows = res.rows[:40]
+        assert all(r[1] >= 0 for r in east_rows)
+
+    def test_rank_top3_per_region(self, wh):
+        res = wh.query(
+            "SELECT region, day, amount, "
+            "RANK() OVER (PARTITION BY region ORDER BY amount DESC) AS r "
+            "FROM sales, stores WHERE sales.sid = stores.sid "
+            "ORDER BY region, r, day LIMIT 3")
+        assert all(row[3] <= 3 for row in res.rows)
+
+    def test_update_then_windows_shift(self, wh):
+        before = wh.query(
+            "SELECT day, SUM(amount) OVER (ORDER BY day, sid ROWS BETWEEN 1 "
+            "PRECEDING AND 1 FOLLOWING) w FROM sales ORDER BY day, sid")
+        wh.db.sql("UPDATE sales SET amount = amount + 100 WHERE day = 10")
+        after = wh.query(
+            "SELECT day, SUM(amount) OVER (ORDER BY day, sid ROWS BETWEEN 1 "
+            "PRECEDING AND 1 FOLLOWING) w FROM sales ORDER BY day, sid")
+        changed = [i for i, (a, b) in enumerate(zip(before.rows, after.rows))
+                   if a[1] != b[1]]
+        # Three updated rows (one per store) influence their w=3 windows only.
+        assert 0 < len(changed) <= 3 * 5
+
+    def test_view_lifecycle_with_sql_dml(self, wh):
+        wh.create_view(
+            "mv_store1",
+            "SELECT day, SUM(amount) OVER (ORDER BY day ROWS BETWEEN 2 "
+            "PRECEDING AND 2 FOLLOWING) w FROM sales WHERE sid = 1")
+        q = ("SELECT day, SUM(amount) OVER (ORDER BY day ROWS BETWEEN 3 "
+             "PRECEDING AND 2 FOLLOWING) w FROM sales WHERE sid = 1 "
+             "ORDER BY day")
+        res = wh.query(q)
+        assert res.rewrite is not None and res.rewrite.view == "mv_store1"
+        raw = wh.query("SELECT amount FROM sales WHERE sid = 1 ORDER BY day",
+                       use_views=False).column("amount")
+        assert_close(res.column("w"), brute_window(raw, sliding(3, 2)))
+        # DELETE through SQL bypasses maintenance: verification must flag it,
+        # refresh must repair it.
+        wh.db.sql("DELETE FROM sales WHERE sid = 1 AND day = 20")
+        assert not wh.verify()["mv_store1"].ok
+        wh.refresh_view("mv_store1")
+        assert wh.verify()["mv_store1"].ok
+        res2 = wh.query(q)
+        assert len(res2) == 19
+
+    def test_avg_from_sum_count_over_selection(self, wh):
+        for func, name in (("SUM", "s"), ("COUNT", "c")):
+            wh.create_view(
+                f"mv_{name}",
+                f"SELECT day, {func}(amount) OVER (ORDER BY day ROWS BETWEEN "
+                "1 PRECEDING AND 1 FOLLOWING) x FROM sales WHERE sid = 2")
+        res = wh.query(
+            "SELECT day, AVG(amount) OVER (ORDER BY day ROWS BETWEEN 2 "
+            "PRECEDING AND 1 FOLLOWING) a FROM sales WHERE sid = 2 "
+            "ORDER BY day")
+        assert res.rewrite is not None and res.rewrite.kind == "avg_combination"
+        raw = wh.query("SELECT amount FROM sales WHERE sid = 2 ORDER BY day",
+                       use_views=False).column("amount")
+        assert_close(res.column("a"), brute_window(raw, sliding(2, 1), AVG))
+
+    def test_require_rewrite_respects_where_mismatch(self, wh):
+        wh.create_view(
+            "mv1", "SELECT day, SUM(amount) OVER (ORDER BY day ROWS 2 "
+            "PRECEDING) w FROM sales WHERE sid = 1")
+        with pytest.raises(NoRewriteError):
+            wh.query(
+                "SELECT day, SUM(amount) OVER (ORDER BY day ROWS 2 "
+                "PRECEDING) w FROM sales WHERE sid = 3",
+                require_rewrite=True)

@@ -1,0 +1,102 @@
+"""Randomized end-to-end soak test.
+
+Simulates a warehouse session: a base table under a stream of point
+updates/inserts/deletes with several dependent materialized views, while
+reporting-function queries with random windows are answered through every
+execution strategy.  After every step, all strategies must agree with the
+brute-force reference.
+"""
+
+import random
+
+import pytest
+
+from repro.core.window import cumulative, sliding
+from repro.warehouse import DataWarehouse, create_sequence_table
+from tests.conftest import assert_close, brute_window
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_soak_session(seed):
+    rng = random.Random(seed)
+    wh = DataWarehouse()
+    raw = list(create_sequence_table(wh.db, "seq", 30, seed=seed))
+    wh.create_view(
+        "mv_a",
+        "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING "
+        "AND 1 FOLLOWING) s FROM seq")
+    wh.create_view(
+        "mv_b",
+        "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) "
+        "s FROM seq")
+    next_pos = 31.0  # appended rows get fresh keys
+    dense = True  # fig. 2's self join needs dense positions; deletes break that
+
+    def positions():
+        res = wh.query("SELECT pos FROM seq ORDER BY pos", use_views=False)
+        return [r[0] for r in res.rows]
+
+    for step in range(25):
+        # -- random base modification -------------------------------------
+        op = rng.choice(["update", "insert", "delete", "none"])
+        pos_list = positions()
+        if op == "update" and pos_list:
+            target = rng.choice(pos_list)
+            value = round(rng.uniform(-50, 50), 2)
+            wh.update_measure("seq", keys={"pos": target}, value_col="val",
+                              new_value=value)
+            raw[pos_list.index(target)] = value
+        elif op == "insert":
+            value = round(rng.uniform(-50, 50), 2)
+            wh.insert_row("seq", (next_pos, value))
+            raw.append(value)
+            next_pos += 1
+        elif op == "delete" and len(pos_list) > 10:
+            target = rng.choice(pos_list)
+            wh.delete_row("seq", keys={"pos": target})
+            del raw[pos_list.index(target)]
+            dense = False  # a positional hole invalidates the self join
+
+        # -- random query through every strategy ---------------------------
+        l, h = rng.randint(0, 5), rng.randint(0, 5)
+        if l + h == 0:
+            window, frame = cumulative(), "ROWS UNBOUNDED PRECEDING"
+        else:
+            window = sliding(l, h)
+            frame = window.to_frame_sql()
+        q = (f"SELECT pos, SUM(val) OVER (ORDER BY pos {frame}) s "
+             "FROM seq ORDER BY pos")
+        expected = brute_window(raw, window)
+
+        native = wh.query(q, use_views=False)
+        assert_close(native.column("s"), expected, tol=1e-6)
+
+        rewritten = wh.query(q)
+        assert_close(rewritten.column("s"), expected, tol=1e-6)
+
+        memory = wh.query(q, mode="memory")
+        assert_close(memory.column("s"), expected, tol=1e-6)
+
+        if dense and window.is_sliding and rng.random() < 0.4:
+            sj = wh.query(q, use_views=False, window_strategy="selfjoin")
+            assert_close(sj.column("s"), expected, tol=1e-6)
+
+
+def test_soak_with_query_cache():
+    rng = random.Random(99)
+    wh = DataWarehouse()
+    raw = create_sequence_table(wh.db, "seq", 25, seed=99)
+    wh.enable_query_cache(max_views=4)
+    for step in range(30):
+        l, h = rng.randint(0, 4), rng.randint(0, 4)
+        if l + h == 0:
+            continue
+        window = sliding(l, h)
+        q = (f"SELECT pos, SUM(val) OVER (ORDER BY pos "
+             f"{window.to_frame_sql()}) s FROM seq ORDER BY pos")
+        res = wh.query(q)
+        assert_close(res.column("s"), brute_window(raw, window), tol=1e-6)
+        assert res.rewrite is not None  # cache guarantees a view answer
+    # SUM windows all derive from the very first cached view.
+    assert wh.cache.stats.admissions == 1
+    assert wh.cache.stats.hits >= 20

@@ -1,0 +1,114 @@
+"""Property tests: join operators agree with naive cross-product semantics,
+aggregation agrees with Python groupby."""
+
+from collections import defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (
+    AggSpec,
+    Database,
+    FLOAT,
+    HashAggregate,
+    HashJoin,
+    IndexNestedLoopJoin,
+    INTEGER,
+    NestedLoopJoin,
+    col,
+)
+
+left_rows = st.lists(
+    st.tuples(st.integers(0, 8), st.floats(-50, 50, allow_nan=False, width=32)),
+    min_size=0, max_size=25)
+right_rows = st.lists(
+    st.tuples(st.integers(0, 8), st.floats(-50, 50, allow_nan=False, width=32)),
+    min_size=0, max_size=25)
+
+
+def build(left, right):
+    db = Database()
+    db.create_table("l", [("k", INTEGER), ("v", FLOAT)])
+    db.create_table("r", [("k", INTEGER), ("w", FLOAT)])
+    db.insert("l", left)
+    db.insert("r", right)
+    return db
+
+
+def reference_inner(left, right):
+    return sorted(l + r for l in left for r in right if l[0] == r[0])
+
+
+def reference_left(left, right):
+    out = []
+    for l in left:
+        matches = [r for r in right if l[0] == r[0]]
+        if matches:
+            out.extend(l + r for r in matches)
+        else:
+            out.append(l + (None, None))
+    return sorted(out, key=repr)
+
+
+def normalise(rows):
+    return sorted((tuple(r) for r in rows), key=repr)
+
+
+@settings(max_examples=80, deadline=None)
+@given(left=left_rows, right=right_rows)
+def test_joins_agree_inner(left, right):
+    db = build(left, right)
+    left_coerced = [tuple(db.table("l").rows)][0]
+    right_coerced = list(db.table("r").rows)
+    expected = normalise(reference_inner(list(left_coerced), right_coerced))
+    nl = db.run(NestedLoopJoin(db.scan("l"), db.scan("r"), col("l.k").eq(col("r.k"))))
+    hj = db.run(HashJoin(db.scan("l"), db.scan("r"), [col("l.k")], [col("r.k")]))
+    assert normalise(nl.rows) == expected
+    assert normalise(hj.rows) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=left_rows, right=right_rows)
+def test_joins_agree_left_outer(left, right):
+    db = build(left, right)
+    expected = normalise(reference_left(list(db.table("l").rows), list(db.table("r").rows)))
+    nl = db.run(NestedLoopJoin(db.scan("l"), db.scan("r"),
+                               col("l.k").eq(col("r.k")), join_type="left"))
+    hj = db.run(HashJoin(db.scan("l"), db.scan("r"), [col("l.k")], [col("r.k")],
+                         join_type="left"))
+    assert normalise(nl.rows) == expected
+    assert normalise(hj.rows) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=left_rows, right=right_rows)
+def test_index_join_agrees(left, right):
+    db = build(left, right)
+    db.create_index("r", "r_k", ["k"], kind="sorted")
+    expected = normalise(reference_inner(list(db.table("l").rows), list(db.table("r").rows)))
+    ij = db.run(IndexNestedLoopJoin(db.scan("l"), db.table("r"), "r_k",
+                                    probe_keys=[col("k", "l")]))
+    assert normalise(ij.rows) == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(rows=left_rows)
+def test_aggregate_agrees_with_python(rows):
+    db = Database()
+    db.create_table("t", [("k", INTEGER), ("v", FLOAT)])
+    db.insert("t", rows)
+    agg = HashAggregate(db.scan("t"), [(col("k"), "k")],
+                        [AggSpec("SUM", col("v"), "s"),
+                         AggSpec("COUNT", None, "c"),
+                         AggSpec("MIN", col("v"), "lo"),
+                         AggSpec("MAX", col("v"), "hi")])
+    res = db.run(agg)
+    groups = defaultdict(list)
+    for k, v in db.table("t").rows:
+        groups[k].append(v)
+    assert len(res) == len(groups)
+    for k, s, c, lo, hi in res.rows:
+        vs = groups[k]
+        assert abs(s - sum(vs)) < 1e-6
+        assert c == len(vs)
+        assert lo == min(vs) and hi == max(vs)

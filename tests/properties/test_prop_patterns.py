@@ -1,0 +1,99 @@
+"""Property tests: the relational operator patterns equal brute force.
+
+These drive the *entire* stack — expression evaluation, joins, grouping,
+outer joins — through randomly chosen window pairs and data.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.complete import CompleteSequence
+from repro.core.window import cumulative, sliding
+from repro.errors import DerivationError
+from repro.relational import Database, FLOAT, INTEGER
+from repro.sql.patterns import (
+    maxoa_pattern,
+    minoa_pattern,
+    raw_from_cumulative_pattern,
+    self_join_window,
+    sliding_from_cumulative_pattern,
+)
+from tests.conftest import assert_close, brute_window
+
+values = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False, width=32),
+    min_size=1,
+    max_size=30,
+)
+bounds = st.integers(min_value=0, max_value=4)
+windows = st.tuples(bounds, bounds).filter(lambda lh: sum(lh) > 0)
+
+
+def load(raw, window=None, name="t"):
+    db = Database()
+    db.create_table(name, [("pos", INTEGER), ("val", FLOAT)], primary_key=["pos"])
+    if window is None:
+        db.insert(name, list(enumerate(raw, start=1)))
+    else:
+        seq = CompleteSequence.from_raw(raw, window)
+        db.insert(name, list(seq.items()))
+    return db
+
+
+@settings(max_examples=60, deadline=None)
+@given(raw=values, window=windows, use_index=st.booleans())
+def test_self_join_pattern(raw, window, use_index):
+    window = sliding(*window)
+    db = load(raw)
+    res = db.run(self_join_window(db, "t", window=window, use_index=use_index))
+    assert_close([r[1] for r in res.rows], brute_window(raw, window), tol=1e-4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(raw=values)
+def test_fig4_pattern(raw):
+    db = load(raw, cumulative())
+    res = db.run(raw_from_cumulative_pattern(db, "t", len(raw)))
+    assert_close([r[1] for r in res.rows], raw, tol=1e-4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(raw=values, target=windows)
+def test_fig5_pattern(raw, target):
+    target = sliding(*target)
+    db = load(raw, cumulative())
+    res = db.run(sliding_from_cumulative_pattern(db, "t", len(raw), target))
+    assert_close([r[1] for r in res.rows], brute_window(raw, target), tol=1e-4)
+
+
+@settings(max_examples=80, deadline=None)
+@given(raw=values, view=windows, dl=bounds, dh=bounds,
+       variant=st.sampled_from(["disjunctive", "union"]))
+def test_maxoa_pattern(raw, view, dl, dh, variant):
+    view = sliding(*view)
+    if dl + dh == 0 or dl >= view.width or dh >= view.width:
+        return
+    target = sliding(view.l + dl, view.h + dh)
+    db = load(raw, view)
+    plan = maxoa_pattern(db, "t", len(raw), view, target, variant=variant)
+    res = db.run(plan)
+    assert_close([r[1] for r in res.rows], brute_window(raw, target), tol=1e-4)
+
+
+@settings(max_examples=80, deadline=None)
+@given(raw=values, view=windows, target=windows,
+       variant=st.sampled_from(["disjunctive", "union"]))
+def test_minoa_pattern(raw, view, target, variant):
+    view, target = sliding(*view), sliding(*target)
+    if view == target:
+        return
+    db = load(raw, view)
+    delta = (target.l - view.l) + (target.h - view.h)
+    if delta % view.width == 0:
+        with pytest.raises(DerivationError):
+            minoa_pattern(db, "t", len(raw), view, target, variant=variant)
+        return
+    plan = minoa_pattern(db, "t", len(raw), view, target, variant=variant)
+    res = db.run(plan)
+    assert_close([r[1] for r in res.rows], brute_window(raw, target), tol=1e-4)

@@ -1,0 +1,116 @@
+"""Hash aggregation with CASE arguments and NULL semantics."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.relational import (
+    AggSpec,
+    CaseExpr,
+    Database,
+    FLOAT,
+    Filter,
+    HashAggregate,
+    INTEGER,
+    TEXT,
+    col,
+    lit,
+)
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.create_table("t", [("grp", TEXT), ("v", FLOAT)])
+    db.insert("t", [("a", 1.0), ("a", 2.0), ("b", 10.0), ("b", None), ("c", -1.0)])
+    return db
+
+
+class TestGrouping:
+    def test_sum_per_group(self, db):
+        agg = HashAggregate(db.scan("t"), [(col("grp"), "grp")],
+                            [AggSpec("SUM", col("v"), "total")])
+        res = db.run(agg)
+        assert dict(res.rows) == {"a": 3.0, "b": 10.0, "c": -1.0}
+
+    def test_count_star_vs_count_column(self, db):
+        agg = HashAggregate(db.scan("t"), [(col("grp"), "grp")],
+                            [AggSpec("COUNT", None, "stars"),
+                             AggSpec("COUNT", col("v"), "vals")])
+        res = {r[0]: (r[1], r[2]) for r in db.run(agg).rows}
+        # NULL skipped by COUNT(v) but counted by COUNT(*).
+        assert res["b"] == (2, 1)
+
+    def test_avg_min_max(self, db):
+        agg = HashAggregate(db.scan("t"), [(col("grp"), "grp")],
+                            [AggSpec("AVG", col("v"), "a"),
+                             AggSpec("MIN", col("v"), "lo"),
+                             AggSpec("MAX", col("v"), "hi")])
+        res = {r[0]: r[1:] for r in db.run(agg).rows}
+        assert res["a"] == (1.5, 1.0, 2.0)
+
+    def test_group_of_all_nulls(self, db):
+        db.insert("t", [("d", None)])
+        agg = HashAggregate(db.scan("t"), [(col("grp"), "grp")],
+                            [AggSpec("SUM", col("v"), "s")])
+        res = dict(db.run(agg).rows)
+        assert res["d"] is None  # SQL: SUM over no non-NULL input is NULL
+
+    def test_groups_counted_in_stats(self, db):
+        agg = HashAggregate(db.scan("t"), [(col("grp"), "grp")],
+                            [AggSpec("SUM", col("v"), "s")])
+        res = db.run(agg)
+        assert res.stats.groups_emitted == 3
+        assert res.stats.rows_aggregated == 5
+
+
+class TestGlobalAggregate:
+    def test_no_group_by(self, db):
+        agg = HashAggregate(db.scan("t"), [], [AggSpec("SUM", col("v"), "s")])
+        res = db.run(agg)
+        assert res.rows == [(12.0,)]
+
+    def test_empty_input_still_emits_row(self, db):
+        empty = Filter(db.scan("t"), col("v").gt(1e9))
+        agg = HashAggregate(empty, [], [AggSpec("COUNT", None, "c"),
+                                        AggSpec("SUM", col("v"), "s")])
+        res = db.run(agg)
+        assert res.rows == [(0, None)]
+
+    def test_empty_input_with_group_by_emits_nothing(self, db):
+        empty = Filter(db.scan("t"), col("v").gt(1e9))
+        agg = HashAggregate(empty, [(col("grp"), "grp")],
+                            [AggSpec("COUNT", None, "c")])
+        assert db.run(agg).rows == []
+
+
+class TestCaseArguments:
+    def test_signed_case_sum(self, db):
+        # The patterns' SUM(CASE WHEN ... THEN v ELSE -v END) shape.
+        signed = CaseExpr(whens=((col("grp").eq("a"), col("v")),),
+                          default=lit(-1) * col("v"))
+        agg = HashAggregate(db.scan("t"), [], [AggSpec("SUM", signed, "s")])
+        res = db.run(agg)
+        assert res.rows == [(pytest.approx(1.0 + 2.0 - 10.0 + 1.0),)]
+
+
+class TestValidation:
+    def test_needs_something(self, db):
+        with pytest.raises(PlanError):
+            HashAggregate(db.scan("t"), [], [])
+
+    def test_unknown_aggregate(self, db):
+        with pytest.raises(PlanError):
+            AggSpec("MEDIAN", col("v"), "m")
+
+    def test_sum_requires_argument(self, db):
+        with pytest.raises(PlanError):
+            AggSpec("SUM", None, "s")
+
+    def test_grouping_by_expression(self, db):
+        db2 = Database()
+        db2.create_table("n", [("x", INTEGER)])
+        db2.insert("n", [(i,) for i in range(10)])
+        agg = HashAggregate(db2.scan("n"), [(col("x") % 3, "residue")],
+                            [AggSpec("COUNT", None, "c")])
+        res = dict(db2.run(agg).rows)
+        assert res == {0: 4, 1: 3, 2: 3}

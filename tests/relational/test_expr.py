@@ -1,0 +1,212 @@
+"""Expression trees and SQL three-valued logic."""
+
+import datetime
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.relational.expr import (
+    And,
+    Arithmetic,
+    CaseExpr,
+    Coalesce,
+    Comparison,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    Not,
+    Or,
+    col,
+    lit,
+)
+from repro.relational.schema import Column, Schema
+from repro.relational.types import DATE, FLOAT, INTEGER
+
+SCHEMA = Schema([Column("a", INTEGER, "t"), Column("b", FLOAT, "t"), Column("d", DATE, "t")])
+ROW = (7, 2.5, datetime.date(2001, 3, 15))
+NULL_ROW = (None, None, None)
+
+
+def run(expr, row=ROW, schema=SCHEMA):
+    return expr.bind(schema)(row)
+
+
+class TestBasics:
+    def test_column_and_literal(self):
+        assert run(col("a")) == 7
+        assert run(col("t.b")) == 2.5
+        assert run(lit(42)) == 42
+
+    def test_arithmetic(self):
+        assert run(col("a") + 1) == 8
+        assert run(col("a") - col("b")) == 4.5
+        assert run(col("a") * 2) == 14
+        assert run(col("a") / 2) == 3.5
+        assert run(col("a") % 3) == 1
+
+    def test_negation(self):
+        assert run(-col("a")) == -7
+
+    def test_unknown_operator(self):
+        with pytest.raises(ExpressionError):
+            Arithmetic("^", lit(1), lit(2))
+        with pytest.raises(ExpressionError):
+            Comparison("~", lit(1), lit(2))
+
+    def test_null_propagation_in_arithmetic(self):
+        assert run(col("a") + 1, NULL_ROW) is None
+
+
+class TestComparisons:
+    def test_all_operators(self):
+        assert run(col("a").eq(7)) is True
+        assert run(col("a").ne(7)) is False
+        assert run(col("a").lt(8)) is True
+        assert run(col("a").le(7)) is True
+        assert run(col("a").gt(7)) is False
+        assert run(col("a").ge(8)) is False
+
+    def test_null_comparison_is_unknown(self):
+        assert run(col("a").eq(7), NULL_ROW) is None
+        assert run(lit(None).eq(lit(None))) is None
+
+
+class TestBooleanLogic:
+    def test_and_kleene(self):
+        assert run(And(lit(True), lit(True))) is True
+        assert run(And(lit(True), lit(False))) is False
+        assert run(And(lit(True), lit(None))) is None
+        # FALSE dominates UNKNOWN.
+        assert run(And(lit(None), lit(False))) is False
+
+    def test_or_kleene(self):
+        assert run(Or(lit(False), lit(True))) is True
+        assert run(Or(lit(False), lit(False))) is False
+        assert run(Or(lit(False), lit(None))) is None
+        # TRUE dominates UNKNOWN.
+        assert run(Or(lit(None), lit(True))) is True
+
+    def test_not(self):
+        assert run(Not(lit(True))) is False
+        assert run(Not(lit(None))) is None
+
+
+class TestPredicates:
+    def test_in_list(self):
+        assert run(col("a").in_([1, 7, 9])) is True
+        assert run(col("a").in_([1, 2])) is False
+
+    def test_in_list_with_null_member(self):
+        # 7 IN (1, NULL) is UNKNOWN; 7 IN (7, NULL) is TRUE.
+        assert run(InList(col("a"), (lit(1), lit(None)))) is None
+        assert run(InList(col("a"), (lit(7), lit(None)))) is True
+
+    def test_null_in_list(self):
+        assert run(col("a").in_([1]), NULL_ROW) is None
+
+    def test_is_null(self):
+        assert run(col("a").is_null(), NULL_ROW) is True
+        assert run(col("a").is_null()) is False
+        assert run(IsNull(col("a"), negated=True)) is True
+
+
+class TestCaseCoalesceFunctions:
+    def test_case_branches(self):
+        expr = CaseExpr(
+            whens=((col("a").gt(10), lit("big")), (col("a").gt(5), lit("mid"))),
+            default=lit("small"),
+        )
+        assert run(expr) == "mid"
+        assert run(expr, (20, 0.0, None)) == "big"
+        assert run(expr, (1, 0.0, None)) == "small"
+
+    def test_case_without_default_is_null(self):
+        expr = CaseExpr(whens=((col("a").gt(100), lit(1)),))
+        assert run(expr) is None
+
+    def test_case_unknown_condition_skipped(self):
+        expr = CaseExpr(whens=((col("a").gt(1), lit("yes")),), default=lit("no"))
+        assert run(expr, NULL_ROW) == "no"
+
+    def test_coalesce(self):
+        assert run(Coalesce(lit(None), lit(None), lit(3))) == 3
+        assert run(Coalesce(col("a"), lit(0))) == 7
+        assert run(Coalesce(lit(None))) is None
+
+    def test_mod_function(self):
+        assert run(FuncCall("MOD", (col("a"), lit(4)))) == 3
+
+    def test_mod_of_negative_positions(self):
+        # Header positions are negative; Python semantics keep residues
+        # non-negative, which the derivation patterns rely on.
+        assert run(FuncCall("MOD", (lit(-3), lit(4)))) == 1
+
+    def test_abs(self):
+        assert run(FuncCall("ABS", (lit(-3),))) == 3
+
+    def test_date_parts(self):
+        assert run(FuncCall("MONTH", (col("d"),))) == 3
+        assert run(FuncCall("YEAR", (col("d"),))) == 2001
+        assert run(FuncCall("DAY", (col("d"),))) == 15
+
+    def test_unknown_function(self):
+        with pytest.raises(ExpressionError):
+            FuncCall("SQRT", (lit(4),))
+
+    def test_wrong_arity(self):
+        with pytest.raises(ExpressionError):
+            FuncCall("MOD", (lit(4),))
+
+
+class TestIntrospection:
+    def test_references(self):
+        expr = And(col("t.a").gt(1), Or(col("b").lt(2), lit(True)))
+        assert expr.references() == {"t.a", "b"}
+
+    def test_str_rendering(self):
+        assert str(col("a").eq(1)) == "(a = 1)"
+        assert str(lit("o'brien")) == "'o''brien'"
+        assert "CASE" in str(CaseExpr(whens=((lit(True), lit(1)),)))
+
+
+class TestLike:
+    def test_percent_wildcard(self):
+        from repro.relational.expr import Like
+
+        f = Like(col("t.a"), "%7%")  # matches digit 7 after str() coercion
+        assert f.bind(SCHEMA)(ROW) is True
+
+    def test_underscore_wildcard(self):
+        from repro.relational.expr import Like
+        from repro.relational.types import TEXT
+
+        s = Schema([Column("x", TEXT)])
+        f = Like(col("x"), "_").bind(s)
+        assert f(("q",)) is True
+        assert f(("qq",)) is False
+
+    def test_null_is_unknown(self):
+        from repro.relational.expr import Like
+
+        assert Like(col("a"), "%").bind(SCHEMA)(NULL_ROW) is None
+
+    def test_negated(self):
+        from repro.relational.expr import Like
+
+        assert Like(col("a"), "9%", negated=True).bind(SCHEMA)(ROW) is True
+
+    def test_regex_metacharacters_escaped(self):
+        from repro.relational.expr import Like
+        from repro.relational.types import TEXT as T
+
+        s = Schema([Column("x", T)])
+        f = Like(col("x"), "a.b").bind(s)
+        assert f(("a.b",)) is True
+        assert f(("axb",)) is False
+
+    def test_str_rendering(self):
+        from repro.relational.expr import Like
+
+        assert str(Like(col("a"), "x%")) == "(a LIKE 'x%')"
+        assert "NOT LIKE" in str(Like(col("a"), "x", negated=True))

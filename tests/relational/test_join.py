@@ -1,0 +1,180 @@
+"""Join operators: nested loop, index nested loop, hash join."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.relational import (
+    Database,
+    FLOAT,
+    FuncCall,
+    HashJoin,
+    IndexNestedLoopJoin,
+    INTEGER,
+    NestedLoopJoin,
+    TEXT,
+    col,
+    lit,
+)
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.create_table("orders", [("oid", INTEGER), ("cust", INTEGER), ("amt", FLOAT)],
+                    primary_key=["oid"])
+    db.create_table("customers", [("cid", INTEGER), ("name", TEXT)], primary_key=["cid"])
+    db.insert("customers", [(1, "ann"), (2, "bob"), (3, "eve")])
+    db.insert("orders", [(10, 1, 5.0), (11, 1, 7.0), (12, 2, 3.0), (13, 9, 1.0)])
+    return db
+
+
+def reference_join(db, predicate_fn):
+    out = []
+    for o in db.table("orders").rows:
+        for c in db.table("customers").rows:
+            if predicate_fn(o, c):
+                out.append(o + c)
+    return sorted(out)
+
+
+class TestNestedLoop:
+    def test_inner_equi(self, db):
+        join = NestedLoopJoin(db.scan("orders"), db.scan("customers"),
+                              col("cust").eq(col("cid")))
+        res = db.run(join)
+        assert sorted(res.rows) == reference_join(db, lambda o, c: o[1] == c[0])
+
+    def test_pairs_counted(self, db):
+        join = NestedLoopJoin(db.scan("orders"), db.scan("customers"),
+                              col("cust").eq(col("cid")))
+        res = db.run(join)
+        assert res.stats.pairs_examined == 4 * 3
+
+    def test_cross_product_without_predicate(self, db):
+        res = db.run(NestedLoopJoin(db.scan("orders"), db.scan("customers")))
+        assert len(res) == 12
+
+    def test_left_outer_pads_nulls(self, db):
+        join = NestedLoopJoin(db.scan("orders"), db.scan("customers"),
+                              col("cust").eq(col("cid")), join_type="left")
+        res = db.run(join)
+        unmatched = [r for r in res.rows if r[0] == 13]
+        assert unmatched == [(13, 9, 1.0, None, None)]
+
+    def test_arbitrary_predicate(self, db):
+        join = NestedLoopJoin(db.scan("orders"), db.scan("customers"),
+                              col("amt").gt(col("cid")))
+        res = db.run(join)
+        assert sorted(res.rows) == reference_join(db, lambda o, c: o[2] > c[0])
+
+    def test_unknown_join_type(self, db):
+        with pytest.raises(PlanError):
+            NestedLoopJoin(db.scan("orders"), db.scan("customers"), None, join_type="full")
+
+
+class TestIndexNestedLoop:
+    def test_eq_probe(self, db):
+        join = IndexNestedLoopJoin(
+            db.scan("orders"), db.table("customers"), "customers_pk",
+            probe_keys=[col("cust")])
+        res = db.run(join)
+        assert sorted(res.rows) == reference_join(db, lambda o, c: o[1] == c[0])
+        assert res.stats.index_lookups == 4
+
+    def test_band_probe(self, db):
+        join = IndexNestedLoopJoin(
+            db.scan("orders"), db.table("customers"), "customers_pk",
+            band_low=[col("cust") - 1], band_high=[col("cust") + 1])
+        res = db.run(join)
+        expected = reference_join(db, lambda o, c: o[1] - 1 <= c[0] <= o[1] + 1)
+        assert sorted(res.rows) == expected
+
+    def test_left_outer(self, db):
+        join = IndexNestedLoopJoin(
+            db.scan("orders"), db.table("customers"), "customers_pk",
+            probe_keys=[col("cust")], join_type="left")
+        res = db.run(join)
+        assert (13, 9, 1.0, None, None) in res.rows
+
+    def test_residual_predicate(self, db):
+        join = IndexNestedLoopJoin(
+            db.scan("orders"), db.table("customers"), "customers_pk",
+            probe_keys=[col("cust")], residual=col("amt").gt(5.0))
+        res = db.run(join)
+        assert [r[0] for r in res.rows] == [11]
+
+    def test_alias_in_output_schema(self, db):
+        join = IndexNestedLoopJoin(
+            db.scan("orders", "o"), db.table("customers"), "customers_pk",
+            alias="c", probe_keys=[col("cust", "o")])
+        assert join.schema.resolve("c.name") == 4
+
+    def test_missing_index_rejected(self, db):
+        with pytest.raises(PlanError):
+            IndexNestedLoopJoin(db.scan("orders"), db.table("customers"),
+                                "nope", probe_keys=[col("cust")])
+
+    def test_needs_exactly_one_probe_mode(self, db):
+        with pytest.raises(PlanError):
+            IndexNestedLoopJoin(db.scan("orders"), db.table("customers"),
+                                "customers_pk")
+        with pytest.raises(PlanError):
+            IndexNestedLoopJoin(db.scan("orders"), db.table("customers"),
+                                "customers_pk", probe_keys=[col("cust")],
+                                band_low=[col("cust")])
+
+    def test_band_requires_sorted_index(self, db):
+        db.create_index("customers", "h", ["cid"], kind="hash")
+        with pytest.raises(PlanError):
+            IndexNestedLoopJoin(db.scan("orders"), db.table("customers"), "h",
+                                band_low=[col("cust")], band_high=[col("cust")])
+
+
+class TestHashJoin:
+    def test_plain_equi(self, db):
+        join = HashJoin(db.scan("orders"), db.scan("customers"),
+                        [col("cust")], [col("cid")])
+        res = db.run(join)
+        assert sorted(res.rows) == reference_join(db, lambda o, c: o[1] == c[0])
+
+    def test_computed_keys(self, db):
+        # Join on MOD(oid, 2) = MOD(cid, 2) — the union-variant pattern's shape.
+        join = HashJoin(db.scan("orders"), db.scan("customers"),
+                        [FuncCall("MOD", (col("oid"), lit(2)))],
+                        [FuncCall("MOD", (col("cid"), lit(2)))])
+        res = db.run(join)
+        expected = reference_join(db, lambda o, c: o[0] % 2 == c[0] % 2)
+        assert sorted(res.rows) == expected
+
+    def test_left_outer(self, db):
+        join = HashJoin(db.scan("orders"), db.scan("customers"),
+                        [col("cust")], [col("cid")], join_type="left")
+        res = db.run(join)
+        assert (13, 9, 1.0, None, None) in res.rows
+
+    def test_residual(self, db):
+        join = HashJoin(db.scan("orders"), db.scan("customers"),
+                        [col("cust")], [col("cid")], residual=col("amt").lt(6.0))
+        res = db.run(join)
+        assert sorted(r[0] for r in res.rows) == [10, 12]
+
+    def test_null_keys_never_match(self, db):
+        db.insert("orders", [(14, None, 2.0)])
+        join = HashJoin(db.scan("orders"), db.scan("customers"),
+                        [col("cust")], [col("cid")])
+        res = db.run(join)
+        assert all(r[0] != 14 for r in res.rows)
+
+    def test_key_lists_validated(self, db):
+        with pytest.raises(PlanError):
+            HashJoin(db.scan("orders"), db.scan("customers"), [], [])
+        with pytest.raises(PlanError):
+            HashJoin(db.scan("orders"), db.scan("customers"),
+                     [col("cust")], [col("cid"), col("name")])
+
+    def test_fewer_pairs_than_nested_loop(self, db):
+        nl = db.run(NestedLoopJoin(db.scan("orders"), db.scan("customers"),
+                                   col("cust").eq(col("cid"))))
+        hj = db.run(HashJoin(db.scan("orders"), db.scan("customers"),
+                             [col("cust")], [col("cid")]))
+        assert hj.stats.pairs_examined < nl.stats.pairs_examined

@@ -1,0 +1,137 @@
+"""Volcano operators: scan, filter, project, sort, limit, union, distinct."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.relational import (
+    Database,
+    Distinct,
+    ExecutionStats,
+    Filter,
+    FLOAT,
+    INTEGER,
+    Limit,
+    Project,
+    Sort,
+    TEXT,
+    UnionAll,
+    col,
+    lit,
+)
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.create_table("t", [("pos", INTEGER), ("val", FLOAT), ("tag", TEXT)])
+    db.insert("t", [(i, float(i * i), "even" if i % 2 == 0 else "odd") for i in range(1, 9)])
+    return db
+
+
+class TestScanAndFilter:
+    def test_scan_counts_rows(self, db):
+        res = db.run(db.scan("t"))
+        assert len(res) == 8
+        assert res.stats.rows_scanned == 8
+
+    def test_scan_alias_qualifies(self, db):
+        scan = db.scan("t", "x")
+        assert scan.schema.resolve("x.pos") == 0
+
+    def test_filter_true_only(self, db):
+        res = db.run(Filter(db.scan("t"), col("pos").gt(5)))
+        assert [r[0] for r in res.rows] == [6, 7, 8]
+
+    def test_filter_unknown_dropped(self, db):
+        db.insert("t", [(9, None, "odd")])
+        res = db.run(Filter(db.scan("t"), col("val").gt(0)))
+        assert all(r[0] != 9 for r in res.rows)
+
+
+class TestProject:
+    def test_computed_columns(self, db):
+        res = db.run(Project(db.scan("t"), [(col("pos") * 10, "tens"), (col("tag"), "tag")]))
+        assert res.columns == ["tens", "tag"]
+        assert res.rows[0] == (10, "odd")
+
+    def test_type_inference_for_plain_columns(self, db):
+        proj = Project(db.scan("t"), [(col("tag"), "tag")])
+        assert proj.schema.column("tag").type is TEXT
+
+    def test_empty_projection_rejected(self, db):
+        with pytest.raises(PlanError):
+            Project(db.scan("t"), [])
+
+
+class TestSortLimit:
+    def test_sort_desc(self, db):
+        res = db.run(Sort(db.scan("t"), [(col("pos"), False)]))
+        assert [r[0] for r in res.rows] == [8, 7, 6, 5, 4, 3, 2, 1]
+
+    def test_multi_key_sort(self, db):
+        res = db.run(Sort(db.scan("t"), [(col("tag"), True), (col("pos"), False)]))
+        assert [r[0] for r in res.rows] == [8, 6, 4, 2, 7, 5, 3, 1]
+
+    def test_sort_records_stats(self, db):
+        res = db.run(Sort(db.scan("t"), [(col("pos"), True)]))
+        assert res.stats.rows_sorted == 8
+
+    def test_sort_requires_keys(self, db):
+        with pytest.raises(PlanError):
+            Sort(db.scan("t"), [])
+
+    def test_limit_offset(self, db):
+        res = db.run(Limit(Sort(db.scan("t"), [(col("pos"), True)]), 3, offset=2))
+        assert [r[0] for r in res.rows] == [3, 4, 5]
+
+    def test_negative_limit_rejected(self, db):
+        with pytest.raises(PlanError):
+            Limit(db.scan("t"), -1)
+
+
+class TestUnionDistinct:
+    def test_union_all_keeps_duplicates(self, db):
+        res = db.run(UnionAll([db.scan("t"), db.scan("t")]))
+        assert len(res) == 16
+
+    def test_union_arity_checked(self, db):
+        narrow = Project(db.scan("t"), [(col("pos"), "pos")])
+        with pytest.raises(PlanError):
+            UnionAll([db.scan("t"), narrow])
+
+    def test_union_needs_inputs(self):
+        with pytest.raises(PlanError):
+            UnionAll([])
+
+    def test_distinct(self, db):
+        proj = Project(db.scan("t"), [(col("tag"), "tag")])
+        res = db.run(Distinct(proj))
+        assert sorted(r[0] for r in res.rows) == ["even", "odd"]
+
+
+class TestExplain:
+    def test_tree_rendering(self, db):
+        plan = Limit(Sort(Filter(db.scan("t"), col("pos").gt(1)), [(col("pos"), True)]), 5)
+        text = plan.explain()
+        assert "Limit" in text and "Sort" in text and "Filter" in text and "TableScan(t)" in text
+        # Children are indented below parents.
+        assert text.index("Limit") < text.index("Sort") < text.index("Filter")
+
+
+class TestResultHelpers:
+    def test_column_accessor(self, db):
+        res = db.run(db.scan("t"))
+        assert res.column("pos") == list(range(1, 9))
+
+    def test_to_dicts(self, db):
+        res = db.run(db.scan("t"))
+        assert res.to_dicts()[0] == {"pos": 1, "val": 1.0, "tag": "odd"}
+
+    def test_pretty_renders(self, db):
+        res = db.run(db.scan("t"))
+        text = res.pretty(limit=3)
+        assert "pos" in text and "..." in text
+
+    def test_first_on_empty(self, db):
+        res = db.run(Filter(db.scan("t"), col("pos").gt(100)))
+        assert res.first() is None

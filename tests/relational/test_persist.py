@@ -1,0 +1,131 @@
+"""Database persistence (save/load round trips)."""
+
+import datetime
+import json
+import os
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.relational import DATE, Database, FLOAT, INTEGER, TEXT
+from repro.relational.persist import load_database, save_database
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.create_table("t", [("pos", INTEGER), ("val", FLOAT), ("tag", TEXT),
+                          ("d", DATE)], primary_key=["pos"])
+    db.insert("t", [
+        (1, 1.5, "a", datetime.date(2001, 2, 3)),
+        (2, None, None, None),
+        (3, -7.25, "o'brien", datetime.date(1999, 12, 31)),
+    ])
+    db.create_index("t", "by_tag", ["tag"], kind="hash")
+    db.create_table("empty", [("x", INTEGER)])
+    return db
+
+
+class TestRoundTrip:
+    def test_rows_preserved(self, db, tmp_path):
+        save_database(db, str(tmp_path))
+        loaded = load_database(str(tmp_path))
+        assert loaded.table("t").rows == db.table("t").rows
+
+    def test_schema_and_pk_preserved(self, db, tmp_path):
+        save_database(db, str(tmp_path))
+        loaded = load_database(str(tmp_path))
+        table = loaded.table("t")
+        assert table.schema.names() == ["pos", "val", "tag", "d"]
+        assert table.primary_key == ("pos",)
+        assert table.schema.column("d").type.name == "DATE"
+
+    def test_secondary_indexes_recreated(self, db, tmp_path):
+        save_database(db, str(tmp_path))
+        loaded = load_database(str(tmp_path))
+        idx = loaded.table("t").find_index(["tag"])
+        assert idx is not None and idx.kind == "hash"
+        assert len(idx.lookup(("a",))) == 1
+
+    def test_empty_table(self, db, tmp_path):
+        save_database(db, str(tmp_path))
+        loaded = load_database(str(tmp_path))
+        assert len(loaded.table("empty")) == 0
+
+    def test_dates_round_trip(self, db, tmp_path):
+        save_database(db, str(tmp_path))
+        loaded = load_database(str(tmp_path))
+        assert loaded.table("t").rows[0][3] == datetime.date(2001, 2, 3)
+
+    def test_queries_work_after_load(self, db, tmp_path):
+        save_database(db, str(tmp_path))
+        loaded = load_database(str(tmp_path))
+        res = loaded.sql("SELECT pos FROM t WHERE val IS NULL")
+        assert res.rows == [(2,)]
+
+
+class TestFailureModes:
+    def test_missing_dump(self, tmp_path):
+        with pytest.raises(CatalogError):
+            load_database(str(tmp_path / "nowhere"))
+
+    def test_version_check(self, db, tmp_path):
+        save_database(db, str(tmp_path))
+        path = tmp_path / "catalog.json"
+        doc = json.loads(path.read_text())
+        doc["version"] = 99
+        path.write_text(json.dumps(doc))
+        with pytest.raises(CatalogError):
+            load_database(str(tmp_path))
+
+    def test_corrupted_duplicate_pk_rejected(self, db, tmp_path):
+        save_database(db, str(tmp_path))
+        data = tmp_path / "data" / "t.jsonl"
+        lines = data.read_text().splitlines()
+        data.write_text("\n".join(lines + [lines[0]]))  # duplicate pk row
+        from repro.errors import ConstraintError
+
+        with pytest.raises(ConstraintError):
+            load_database(str(tmp_path))
+
+    def test_dump_is_human_readable(self, db, tmp_path):
+        save_database(db, str(tmp_path))
+        assert (tmp_path / "catalog.json").exists()
+        first = (tmp_path / "data" / "t.jsonl").read_text().splitlines()[0]
+        assert json.loads(first)[0] == 1
+
+
+class TestWarehousePersistence:
+    def test_views_rematerialized(self, tmp_path):
+        from repro.warehouse import DataWarehouse, create_sequence_table
+
+        wh = DataWarehouse()
+        raw = create_sequence_table(wh.db, "seq", 25, seed=8)
+        wh.create_view("mv", "SELECT pos, SUM(val) OVER (ORDER BY pos "
+                       "ROWS BETWEEN 2 PRECEDING AND 1 FOLLOWING) s FROM seq")
+        q = ("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 "
+             "PRECEDING AND 1 FOLLOWING) s FROM seq ORDER BY pos")
+        expected = [round(r[1], 6) for r in wh.query(q).rows]
+
+        wh.save(str(tmp_path))
+        loaded = DataWarehouse.load(str(tmp_path))
+        res = loaded.query(q)
+        assert res.rewrite is not None and res.rewrite.view == "mv"
+        assert [round(r[1], 6) for r in res.rows] == expected
+
+    def test_view_with_where_and_partition(self, tmp_path):
+        from repro.warehouse import DataWarehouse
+
+        wh = DataWarehouse()
+        wh.create_table("s", [("g", "TEXT"), ("pos", "INTEGER"), ("v", "FLOAT")])
+        wh.insert("s", [("a", i, float(i)) for i in range(1, 11)]
+                  + [("b", i, float(-i)) for i in range(1, 11)])
+        wh.create_view("mv", "SELECT g, pos, SUM(v) OVER (PARTITION BY g "
+                       "ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 "
+                       "FOLLOWING) s FROM s WHERE pos <= 8")
+        wh.save(str(tmp_path))
+        loaded = DataWarehouse.load(str(tmp_path))
+        d = loaded.view("mv").definition
+        assert d.partition_by == ("g",)
+        assert d.where_text == "(pos <= 8)"
+        assert loaded.view("mv").partition_sizes() == {("a",): 8, ("b",): 8}

@@ -1,0 +1,116 @@
+"""Sort-merge join."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.relational import (
+    Database,
+    FLOAT,
+    FuncCall,
+    HashJoin,
+    INTEGER,
+    SortMergeJoin,
+    col,
+    lit,
+)
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.create_table("l", [("k", INTEGER), ("v", FLOAT)])
+    db.create_table("r", [("k", INTEGER), ("w", FLOAT)])
+    db.insert("l", [(3, 1.0), (1, 2.0), (3, 3.0), (7, 4.0), (None, 5.0)])
+    db.insert("r", [(3, 10.0), (2, 20.0), (3, 30.0), (1, 40.0)])
+    return db
+
+
+def hash_reference(db, join_type="inner", residual=None):
+    join = HashJoin(db.scan("l"), db.scan("r"), [col("l.k")], [col("r.k")],
+                    residual=residual, join_type=join_type)
+    return sorted(db.run(join).rows, key=repr)
+
+
+class TestSortMergeJoin:
+    def test_inner_matches_hash_join(self, db):
+        join = SortMergeJoin(db.scan("l"), db.scan("r"), [col("l.k")], [col("r.k")])
+        got = sorted(db.run(join).rows, key=repr)
+        assert got == hash_reference(db)
+
+    def test_duplicate_keys_cross_product(self, db):
+        join = SortMergeJoin(db.scan("l"), db.scan("r"), [col("l.k")], [col("r.k")])
+        rows = db.run(join).rows
+        # Two l-rows with k=3 x two r-rows with k=3 = 4 combinations.
+        assert sum(1 for r in rows if r[0] == 3) == 4
+
+    def test_left_outer(self, db):
+        join = SortMergeJoin(db.scan("l"), db.scan("r"), [col("l.k")],
+                             [col("r.k")], join_type="left")
+        got = sorted(db.run(join).rows, key=repr)
+        assert got == hash_reference(db, join_type="left")
+
+    def test_null_keys_never_join_but_survive_left(self, db):
+        join = SortMergeJoin(db.scan("l"), db.scan("r"), [col("l.k")],
+                             [col("r.k")], join_type="left")
+        rows = db.run(join).rows
+        null_rows = [r for r in rows if r[0] is None]
+        assert null_rows == [(None, 5.0, None, None)]
+
+    def test_residual(self, db):
+        residual = col("w").gt(15.0)
+        join = SortMergeJoin(db.scan("l"), db.scan("r"), [col("l.k")],
+                             [col("r.k")], residual=residual)
+        got = sorted(db.run(join).rows, key=repr)
+        assert got == hash_reference(db, residual=residual)
+
+    def test_output_sorted_by_key(self, db):
+        join = SortMergeJoin(db.scan("l"), db.scan("r"), [col("l.k")], [col("r.k")])
+        keys = [r[0] for r in db.run(join).rows]
+        assert keys == sorted(keys)
+
+    def test_computed_keys(self, db):
+        join = SortMergeJoin(db.scan("l"), db.scan("r"),
+                             [FuncCall("MOD", (col("l.k"), lit(2)))],
+                             [FuncCall("MOD", (col("r.k"), lit(2)))])
+        ref = HashJoin(db.scan("l"), db.scan("r"),
+                       [FuncCall("MOD", (col("l.k"), lit(2)))],
+                       [FuncCall("MOD", (col("r.k"), lit(2)))])
+        assert sorted(db.run(join).rows, key=repr) == sorted(db.run(ref).rows, key=repr)
+
+    def test_key_validation(self, db):
+        with pytest.raises(PlanError):
+            SortMergeJoin(db.scan("l"), db.scan("r"), [], [])
+        with pytest.raises(PlanError):
+            SortMergeJoin(db.scan("l"), db.scan("r"), [col("l.k")], [])
+
+    def test_pairs_limited_to_matching_groups(self, db):
+        join = SortMergeJoin(db.scan("l"), db.scan("r"), [col("l.k")], [col("r.k")])
+        res = db.run(join)
+        # Only equal-key group combinations are examined, not |L| x |R|.
+        assert res.stats.pairs_examined == 5  # k=1: 1, k=3: 4
+
+    def test_label(self, db):
+        join = SortMergeJoin(db.scan("l"), db.scan("r"), [col("l.k")], [col("r.k")])
+        assert "SortMergeJoin" in join.label()
+
+
+class TestPropertyAgreement:
+    def test_random_agreement_with_hash_join(self):
+        import random
+
+        rng = random.Random(12)
+        for trial in range(25):
+            db = Database()
+            db.create_table("l", [("k", INTEGER), ("v", FLOAT)])
+            db.create_table("r", [("k", INTEGER), ("w", FLOAT)])
+            db.insert("l", [(rng.choice([None] + list(range(6))), float(i))
+                            for i in range(rng.randrange(12))])
+            db.insert("r", [(rng.choice([None] + list(range(6))), float(i))
+                            for i in range(rng.randrange(12))])
+            for join_type in ("inner", "left"):
+                sm = SortMergeJoin(db.scan("l"), db.scan("r"), [col("l.k")],
+                                   [col("r.k")], join_type=join_type)
+                hj = HashJoin(db.scan("l"), db.scan("r"), [col("l.k")],
+                              [col("r.k")], join_type=join_type)
+                assert sorted(db.run(sm).rows, key=repr) == \
+                    sorted(db.run(hj).rows, key=repr), (trial, join_type)

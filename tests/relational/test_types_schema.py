@@ -1,0 +1,105 @@
+"""Column types and schemas."""
+
+import datetime
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Column, Schema
+from repro.relational.types import (
+    BOOLEAN,
+    DATE,
+    FLOAT,
+    INTEGER,
+    TEXT,
+    type_by_name,
+)
+
+
+class TestTypes:
+    def test_integer_coercion(self):
+        assert INTEGER.validate(5) == 5
+        assert INTEGER.validate(5.0) == 5
+
+    def test_integer_rejects_fraction(self):
+        with pytest.raises(SchemaError):
+            INTEGER.validate(5.5)
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            INTEGER.validate(True)
+
+    def test_float_coercion(self):
+        assert FLOAT.validate(5) == 5.0
+        assert isinstance(FLOAT.validate(5), float)
+
+    def test_text(self):
+        assert TEXT.validate("abc") == "abc"
+        with pytest.raises(SchemaError):
+            TEXT.validate(5)
+
+    def test_boolean(self):
+        assert BOOLEAN.validate(True) is True
+        with pytest.raises(SchemaError):
+            BOOLEAN.validate(1)
+
+    def test_date_from_iso_string(self):
+        assert DATE.validate("2001-02-03") == datetime.date(2001, 2, 3)
+
+    def test_date_from_datetime(self):
+        dt = datetime.datetime(2001, 2, 3, 10, 30)
+        assert DATE.validate(dt) == datetime.date(2001, 2, 3)
+
+    def test_null_passes_all_types(self):
+        for t in (INTEGER, FLOAT, TEXT, BOOLEAN, DATE):
+            assert t.validate(None) is None
+
+    def test_type_by_name_aliases(self):
+        assert type_by_name("INT") is INTEGER
+        assert type_by_name("varchar") is TEXT
+        assert type_by_name("DOUBLE") is FLOAT
+
+    def test_unknown_type_name(self):
+        with pytest.raises(SchemaError):
+            type_by_name("BLOB")
+
+
+class TestSchema:
+    def test_resolution(self):
+        s = Schema.of(("a", INTEGER), ("b", FLOAT))
+        assert s.resolve("a") == 0 and s.resolve("b") == 1
+
+    def test_qualified_resolution(self):
+        s = Schema([Column("pos", INTEGER, "s1"), Column("pos", INTEGER, "s2")])
+        assert s.resolve("pos", "s1") == 0
+        assert s.resolve("s2.pos") == 1
+
+    def test_ambiguous_reference(self):
+        s = Schema([Column("pos", INTEGER, "s1"), Column("pos", INTEGER, "s2")])
+        with pytest.raises(SchemaError):
+            s.resolve("pos")
+
+    def test_unknown_column(self):
+        s = Schema.of(("a", INTEGER))
+        with pytest.raises(SchemaError):
+            s.resolve("zz")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of(("a", INTEGER), ("a", FLOAT))
+
+    def test_same_name_different_qualifier_ok(self):
+        s = Schema([Column("a", INTEGER, "x"), Column("a", INTEGER, "y")])
+        assert len(s) == 2
+
+    def test_qualify_and_concat(self):
+        a = Schema.of(("x", INTEGER)).qualify("t1")
+        b = Schema.of(("x", INTEGER)).qualify("t2")
+        joined = a.concat(b)
+        assert joined.resolve("t1.x") == 0
+        assert joined.resolve("t2.x") == 1
+
+    def test_project(self):
+        s = Schema.of(("a", INTEGER), ("b", FLOAT), ("c", TEXT))
+        p = s.project([2, 0])
+        assert p.names() == ["c", "a"]

@@ -1,0 +1,59 @@
+"""SQL tokenizer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestTokens:
+    def test_keywords_normalised(self):
+        assert kinds("select FROM Where") == [
+            ("KEYWORD", "SELECT"), ("KEYWORD", "FROM"), ("KEYWORD", "WHERE")]
+
+    def test_identifiers_keep_case(self):
+        assert kinds("c_Date") == [("IDENT", "c_Date")]
+
+    def test_integers_and_floats(self):
+        assert kinds("42 3.14") == [("NUMBER", "42"), ("NUMBER", "3.14")]
+
+    def test_qualified_name_not_a_float(self):
+        assert kinds("t1.pos") == [("IDENT", "t1"), ("SYMBOL", "."), ("IDENT", "pos")]
+
+    def test_number_then_dot_ident(self):
+        # "4711.c" must not lex the dot into the number.
+        assert kinds("4711.c")[0] == ("NUMBER", "4711")
+
+    def test_strings(self):
+        assert kinds("'hello'") == [("STRING", "hello")]
+
+    def test_string_with_escaped_quote(self):
+        assert kinds("'o''brien'") == [("STRING", "o'brien")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_symbols(self):
+        assert [v for _, v in kinds("<= >= <> != = < > ( ) , + - * / %")] == [
+            "<=", ">=", "<>", "<>", "=", "<", ">", "(", ")", ",", "+", "-", "*", "/", "%"]
+
+    def test_comments_skipped(self):
+        toks = kinds("SELECT -- overall cumulative sum\n pos")
+        assert toks == [("KEYWORD", "SELECT"), ("IDENT", "pos")]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexerError) as err:
+            tokenize("SELECT @")
+        assert err.value.position == 7
+
+    def test_eof_token(self):
+        assert tokenize("x")[-1].kind == "EOF"
+
+    def test_window_keywords(self):
+        toks = kinds("OVER PARTITION ROWS BETWEEN UNBOUNDED PRECEDING CURRENT ROW FOLLOWING")
+        assert all(k == "KEYWORD" for k, _ in toks)

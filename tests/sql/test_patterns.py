@@ -1,0 +1,186 @@
+"""The relational operator patterns (figs. 2, 4, 5, 10, 13)."""
+
+import pytest
+
+from repro.core.complete import CompleteSequence
+from repro.core.window import WindowSpec, cumulative, sliding
+from repro.errors import DerivationError, PlanError
+from repro.relational import Database, FLOAT, INTEGER, TEXT
+from repro.sql.patterns import (
+    maxoa_pattern,
+    minoa_pattern,
+    raw_from_cumulative_pattern,
+    self_join_window,
+    sliding_from_cumulative_pattern,
+)
+from tests.conftest import assert_close, brute_window
+
+N = 40
+
+
+@pytest.fixture
+def db(raw40):
+    db = Database()
+    db.create_table("seq", [("pos", INTEGER), ("val", FLOAT)], primary_key=["pos"])
+    db.insert("seq", list(enumerate(raw40, start=1)))
+    return db
+
+
+def materialize(db, raw, window, name="matseq"):
+    seq = CompleteSequence.from_raw(raw, window)
+    db.drop_table(name, if_exists=True)
+    db.create_table(name, [("pos", INTEGER), ("val", FLOAT)], primary_key=["pos"])
+    db.insert(name, list(seq.items()))
+    return seq
+
+
+class TestSelfJoinPattern:
+    """Fig. 2: reporting function simulated by a self join."""
+
+    @pytest.mark.parametrize("window", [sliding(1, 1), sliding(2, 3), sliding(0, 4), cumulative()], ids=str)
+    @pytest.mark.parametrize("use_index", [True, False])
+    def test_matches_brute_force(self, db, raw40, window, use_index):
+        plan = self_join_window(db, "seq", window=window, use_index=use_index)
+        res = db.run(plan)
+        assert_close([r[1] for r in res.rows], brute_window(raw40, window))
+
+    def test_index_cuts_pairs(self, db):
+        fast = db.run(self_join_window(db, "seq", window=sliding(1, 1), use_index=True))
+        slow = db.run(self_join_window(db, "seq", window=sliding(1, 1), use_index=False))
+        assert slow.stats.pairs_examined == N * N
+        assert fast.stats.pairs_examined <= N * 3
+        assert fast.stats.index_lookups == N
+
+    def test_use_index_requires_index(self, raw40):
+        db = Database()
+        db.create_table("noidx", [("pos", INTEGER), ("val", FLOAT)])
+        db.insert("noidx", list(enumerate(raw40, start=1)))
+        with pytest.raises(PlanError):
+            self_join_window(db, "noidx", window=sliding(1, 1), use_index=True)
+        # auto silently falls back to the nested loop.
+        res = db.run(self_join_window(db, "noidx", window=sliding(1, 1), use_index="auto"))
+        assert_close([r[1] for r in res.rows], brute_window(raw40, sliding(1, 1)))
+
+    def test_partitioned(self, raw40):
+        db = Database()
+        db.create_table("p", [("grp", TEXT), ("pos", INTEGER), ("val", FLOAT)])
+        half = len(raw40) // 2
+        rows = [("a", i, v) for i, v in enumerate(raw40[:half], 1)]
+        rows += [("b", i, v) for i, v in enumerate(raw40[half:], 1)]
+        db.insert("p", rows)
+        plan = self_join_window(db, "p", window=sliding(1, 1), partition_cols=["grp"])
+        res = db.run(plan)
+        got_a = [r[2] for r in res.rows if r[0] == "a"]
+        assert_close(got_a, brute_window(raw40[:half], sliding(1, 1)))
+
+    def test_other_aggregates(self, db, raw40):
+        from repro.core.aggregates import MAX
+
+        plan = self_join_window(db, "seq", window=sliding(2, 2), func="MAX")
+        res = db.run(plan)
+        assert_close([r[1] for r in res.rows], brute_window(raw40, sliding(2, 2), MAX))
+
+
+class TestCumulativePatterns:
+    def test_fig4_raw_reconstruction(self, db, raw40):
+        materialize(db, raw40, cumulative(), "cmat")
+        res = db.run(raw_from_cumulative_pattern(db, "cmat", N))
+        assert_close([r[1] for r in res.rows], raw40)
+
+    @pytest.mark.parametrize("target", [sliding(1, 1), sliding(3, 1), sliding(0, 5), sliding(4, 0)], ids=str)
+    def test_fig5_sliding_derivation(self, db, raw40, target):
+        materialize(db, raw40, cumulative(), "cmat")
+        res = db.run(sliding_from_cumulative_pattern(db, "cmat", N, target))
+        assert_close([r[1] for r in res.rows], brute_window(raw40, target))
+
+    def test_fig5_rejects_cumulative_target(self, db, raw40):
+        materialize(db, raw40, cumulative(), "cmat")
+        with pytest.raises(DerivationError):
+            sliding_from_cumulative_pattern(db, "cmat", N, cumulative())
+
+
+DERIVATION_CASES = [
+    ((2, 1), (3, 1)),
+    ((2, 1), (2, 2)),
+    ((2, 1), (3, 2)),
+    ((1, 2), (2, 4)),
+    ((3, 1), (4, 3)),
+]
+
+
+class TestMaxOAPattern:
+    @pytest.mark.parametrize("view,target", DERIVATION_CASES, ids=str)
+    @pytest.mark.parametrize("variant", ["disjunctive", "union"])
+    def test_matches_brute_force(self, db, raw40, view, target, variant):
+        materialize(db, raw40, sliding(*view))
+        plan = maxoa_pattern(db, "matseq", N, sliding(*view), sliding(*target), variant=variant)
+        res = db.run(plan)
+        assert_close([r[1] for r in res.rows], brute_window(raw40, sliding(*target)))
+
+    def test_emits_all_positions_in_order(self, db, raw40):
+        materialize(db, raw40, sliding(2, 1))
+        res = db.run(maxoa_pattern(db, "matseq", N, sliding(2, 1), sliding(3, 1)))
+        assert [r[0] for r in res.rows] == list(range(1, N + 1))
+
+    def test_identity_target_rejected(self, db, raw40):
+        materialize(db, raw40, sliding(2, 1))
+        with pytest.raises(DerivationError):
+            maxoa_pattern(db, "matseq", N, sliding(2, 1), sliding(2, 1))
+
+    def test_narrower_target_rejected(self, db, raw40):
+        materialize(db, raw40, sliding(2, 1))
+        with pytest.raises(DerivationError):
+            maxoa_pattern(db, "matseq", N, sliding(2, 1), sliding(1, 1))
+
+    def test_residue_collision_rejected(self, db, raw40):
+        # Δl = Wx makes positive and negative branches share a residue class.
+        materialize(db, raw40, sliding(1, 1))
+        with pytest.raises(DerivationError):
+            maxoa_pattern(db, "matseq", N, sliding(1, 1), sliding(4, 1))
+
+    def test_unknown_variant(self, db, raw40):
+        materialize(db, raw40, sliding(2, 1))
+        with pytest.raises(PlanError):
+            db.run(maxoa_pattern(db, "matseq", N, sliding(2, 1), sliding(3, 1), variant="both"))
+
+    def test_disjunctive_uses_nested_loop(self, db, raw40):
+        materialize(db, raw40, sliding(2, 1))
+        res_d = db.run(maxoa_pattern(db, "matseq", N, sliding(2, 1), sliding(3, 1), variant="disjunctive"))
+        res_u = db.run(maxoa_pattern(db, "matseq", N, sliding(2, 1), sliding(3, 1), variant="union"))
+        # The union variant's hash joins examine far fewer pairs.
+        assert res_u.stats.pairs_examined < res_d.stats.pairs_examined
+
+
+class TestMinOAPattern:
+    @pytest.mark.parametrize("view,target", DERIVATION_CASES + [((3, 2), (1, 1)), ((2, 2), (1, 4))], ids=str)
+    @pytest.mark.parametrize("variant", ["disjunctive", "union"])
+    def test_matches_brute_force(self, db, raw40, view, target, variant):
+        materialize(db, raw40, sliding(*view))
+        plan = minoa_pattern(db, "matseq", N, sliding(*view), sliding(*target), variant=variant)
+        res = db.run(plan)
+        assert_close([r[1] for r in res.rows], brute_window(raw40, sliding(*target)))
+
+    def test_point_target_reconstructs_raw(self, db, raw40):
+        materialize(db, raw40, sliding(2, 1))
+        plan = minoa_pattern(db, "matseq", N, sliding(2, 1), WindowSpec.point())
+        res = db.run(plan)
+        assert_close([r[1] for r in res.rows], raw40)
+
+    def test_residue_collision_rejected(self, db, raw40):
+        # Δl + Δh ≡ 0 (mod Wx): branches are relationally ambiguous.
+        materialize(db, raw40, sliding(2, 1))
+        with pytest.raises(DerivationError):
+            minoa_pattern(db, "matseq", N, sliding(2, 1), sliding(4, 3))
+
+    def test_identity_rejected(self, db, raw40):
+        materialize(db, raw40, sliding(2, 1))
+        with pytest.raises(DerivationError):
+            minoa_pattern(db, "matseq", N, sliding(2, 1), sliding(2, 1))
+
+    def test_in_memory_minoa_covers_the_collision_case(self, db, raw40):
+        # The in-memory form has no branch ambiguity: it handles Δl+Δh ≡ 0.
+        from repro.core import minoa as core_minoa
+
+        seq = CompleteSequence.from_raw(raw40, sliding(2, 1))
+        got = core_minoa.derive(seq, sliding(4, 3))
+        assert_close(got, brute_window(raw40, sliding(4, 3)))

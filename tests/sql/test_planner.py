@@ -1,0 +1,163 @@
+"""SQL planning and execution against the engine."""
+
+import pytest
+
+from repro.errors import BindError, PlanError, UnsupportedSqlError
+from repro.relational import Database, FLOAT, INTEGER, TEXT
+from tests.conftest import assert_close, brute_window
+from repro.core.window import sliding
+
+
+@pytest.fixture
+def db(raw40):
+    db = Database()
+    db.create_table("seq", [("pos", INTEGER), ("val", FLOAT)], primary_key=["pos"])
+    db.insert("seq", list(enumerate(raw40, start=1)))
+    db.create_table("tags", [("pos", INTEGER), ("tag", TEXT)], primary_key=["pos"])
+    db.insert("tags", [(i, "hi" if i > 20 else "lo") for i in range(1, 41)])
+    return db
+
+
+class TestProjectionsAndFilters:
+    def test_select_star(self, db):
+        res = db.sql("SELECT * FROM seq LIMIT 3")
+        assert res.columns == ["pos", "val"]
+        assert len(res) == 3
+
+    def test_computed_select_item(self, db, raw40):
+        res = db.sql("SELECT pos * 2 AS double FROM seq ORDER BY double LIMIT 2")
+        assert res.column("double") == [2, 4]
+
+    def test_where_pushdown(self, db):
+        res = db.sql("SELECT pos FROM seq WHERE pos BETWEEN 5 AND 7 ORDER BY pos")
+        assert res.column("pos") == [5, 6, 7]
+
+    def test_unknown_column_raises(self, db):
+        from repro.errors import SchemaError
+
+        with pytest.raises((BindError, SchemaError)):
+            db.sql("SELECT nothing FROM seq")
+
+    def test_order_by_alias(self, db):
+        res = db.sql("SELECT pos AS p FROM seq ORDER BY p DESC LIMIT 1")
+        assert res.rows == [(40,)]
+
+    def test_order_by_unbound_raises(self, db):
+        with pytest.raises(BindError):
+            db.sql("SELECT pos FROM seq ORDER BY nothing")
+
+    def test_duplicate_output_names_disambiguated(self, db):
+        res = db.sql("SELECT pos, pos FROM seq LIMIT 1")
+        assert res.columns == ["pos", "pos_1"]
+
+
+class TestJoins:
+    def test_equi_join_via_hash(self, db):
+        res = db.sql(
+            "SELECT seq.pos, tag FROM seq, tags WHERE seq.pos = tags.pos "
+            "AND tag = 'hi' ORDER BY seq.pos")
+        assert len(res) == 20
+        assert res.rows[0] == (21, "hi")
+        # Hash join: far fewer pairs than the 40x40 cross product.
+        assert res.stats.pairs_examined <= 40
+
+    def test_non_equi_join_nested_loop(self, db):
+        res = db.sql(
+            "SELECT seq.pos FROM seq, tags WHERE seq.pos < tags.pos AND tags.pos = 3")
+        assert sorted(r[0] for r in res.rows) == [1, 2]
+
+    def test_three_way_join(self, db):
+        db.create_table("extra", [("pos", INTEGER), ("w", FLOAT)], primary_key=["pos"])
+        db.insert("extra", [(i, float(i)) for i in range(1, 41)])
+        res = db.sql(
+            "SELECT seq.pos FROM seq, tags, extra "
+            "WHERE seq.pos = tags.pos AND tags.pos = extra.pos AND extra.w < 3")
+        assert sorted(r[0] for r in res.rows) == [1, 2]
+
+    def test_unknown_where_column(self, db):
+        from repro.errors import SchemaError
+
+        with pytest.raises((BindError, SchemaError)):
+            db.sql("SELECT pos FROM seq WHERE ghost = 1")
+
+
+class TestGroupBy:
+    def test_aggregates(self, db):
+        res = db.sql(
+            "SELECT tag, COUNT(*) AS c, MIN(tags.pos) AS lo FROM tags "
+            "GROUP BY tag ORDER BY tag")
+        assert res.rows == [("hi", 20, 21.0), ("lo", 20, 1.0)]
+
+    def test_group_by_expression(self, db):
+        res = db.sql(
+            "SELECT MOD(pos, 2) AS parity, COUNT(*) AS c FROM seq "
+            "GROUP BY MOD(pos, 2) ORDER BY parity")
+        assert res.rows == [(0, 20), (1, 20)]
+
+    def test_having_on_alias(self, db):
+        res = db.sql(
+            "SELECT tag, SUM(val) AS s FROM seq, tags "
+            "WHERE seq.pos = tags.pos GROUP BY tag HAVING s > -1e9 ORDER BY tag")
+        assert len(res) == 2
+
+    def test_having_unbound_raises(self, db):
+        with pytest.raises(BindError):
+            db.sql("SELECT tag, COUNT(*) c FROM tags GROUP BY tag HAVING val > 1")
+
+    def test_non_grouped_item_rejected(self, db):
+        with pytest.raises(BindError):
+            db.sql("SELECT pos, COUNT(*) FROM tags GROUP BY tag")
+
+    def test_star_with_group_by_rejected(self, db):
+        with pytest.raises(UnsupportedSqlError):
+            db.sql("SELECT *, COUNT(*) FROM tags GROUP BY tag")
+
+    def test_global_aggregate(self, db, raw40):
+        res = db.sql("SELECT SUM(val) AS total FROM seq")
+        assert res.rows[0][0] == pytest.approx(sum(raw40))
+
+
+class TestWindowStrategies:
+    QUERY = ("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 "
+             "PRECEDING AND 1 FOLLOWING) AS w FROM seq ORDER BY pos")
+
+    def test_native(self, db, raw40):
+        res = db.sql(self.QUERY)
+        assert_close(res.column("w"), brute_window(raw40, sliding(2, 1)))
+
+    def test_selfjoin_strategies_agree(self, db, raw40):
+        native = db.sql(self.QUERY)
+        sj = db.sql(self.QUERY, window_strategy="selfjoin")
+        sj_noidx = db.sql(self.QUERY, window_strategy="selfjoin", use_index=False)
+        assert_close(sj.column("w"), native.column("w"))
+        assert_close(sj_noidx.column("w"), native.column("w"))
+
+    def test_unknown_strategy(self, db):
+        with pytest.raises(PlanError):
+            db.sql(self.QUERY, window_strategy="hope")
+
+    def test_selfjoin_needs_simple_shape(self, db):
+        with pytest.raises(UnsupportedSqlError):
+            db.sql(
+                "SELECT SUM(val) OVER (ORDER BY pos ROWS 1 PRECEDING) w, "
+                "SUM(val) OVER (ORDER BY pos ROWS 2 PRECEDING) w2 FROM seq",
+                window_strategy="selfjoin")
+        with pytest.raises(UnsupportedSqlError):
+            db.sql(
+                "SELECT SUM(val + 0) OVER (ORDER BY pos ROWS 1 PRECEDING) w FROM seq",
+                window_strategy="selfjoin")
+
+    def test_window_without_alias_gets_name(self, db):
+        res = db.sql("SELECT SUM(val) OVER (ORDER BY pos ROWS 1 PRECEDING) FROM seq")
+        assert res.columns[0].startswith("sum_over")
+
+    def test_window_over_join(self, db, raw40):
+        res = db.sql(
+            "SELECT seq.pos, SUM(val) OVER (PARTITION BY tag ORDER BY seq.pos "
+            "ROWS UNBOUNDED PRECEDING) AS running FROM seq, tags "
+            "WHERE seq.pos = tags.pos ORDER BY seq.pos")
+        lo = [v for i, v in enumerate(raw40, 1) if i <= 20]
+        import itertools
+
+        expected_lo = list(itertools.accumulate(lo))
+        assert_close([r[1] for r in res.rows[:20]], expected_lo)

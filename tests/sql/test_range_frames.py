@@ -1,0 +1,150 @@
+"""RANGE frames: value-distance windows (extension beyond the paper)."""
+
+import datetime
+
+import pytest
+
+from repro.errors import PlanError, UnsupportedSqlError
+from repro.relational import DATE, Database, FLOAT, INTEGER, TEXT
+from repro.sql.parser import parse_select
+
+
+def brute_range(pairs, low, high):
+    """Reference: for (key, value) pairs sorted by key, sum values whose key
+    lies within [k - low, k + high] of each row's key."""
+    out = []
+    for k, _ in pairs:
+        total = 0.0
+        for k2, v2 in pairs:
+            d = (k - k2).days if hasattr(k - k2, "days") else k - k2
+            if (low is None or d <= low) and (high is None or -d <= high):
+                total += v2
+        out.append(total)
+    return out
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.create_table("m", [("t", FLOAT), ("v", FLOAT), ("g", TEXT)])
+    # Irregularly spaced measurement times — where RANGE differs from ROWS.
+    data = [(0.0, 1.0), (0.5, 2.0), (0.9, 3.0), (4.0, 4.0), (4.1, 5.0), (9.0, 6.0)]
+    db.insert("m", [(t, v, "x") for t, v in data])
+    db.data = data
+    return db
+
+
+class TestParsing:
+    def test_range_frame_parses(self):
+        stmt = parse_select(
+            "SELECT SUM(v) OVER (ORDER BY t RANGE BETWEEN 1 PRECEDING AND "
+            "1 FOLLOWING) FROM m")
+        frame = stmt.window_calls()[0].over.frame
+        assert frame.unit == "range"
+        assert frame.range_bounds() == (1.0, 1.0)
+
+    def test_fractional_offsets(self):
+        stmt = parse_select(
+            "SELECT SUM(v) OVER (ORDER BY t RANGE BETWEEN 0.5 PRECEDING AND "
+            "0.25 FOLLOWING) FROM m")
+        assert stmt.window_calls()[0].over.frame.range_bounds() == (0.5, 0.25)
+
+    def test_fractional_rows_offset_rejected(self):
+        stmt = parse_select(
+            "SELECT SUM(v) OVER (ORDER BY t ROWS BETWEEN 2 PRECEDING AND "
+            "1 FOLLOWING) FROM m")
+        assert stmt.window_calls()[0].over.window() is not None
+        with pytest.raises(Exception):
+            parse_select("SELECT SUM(v) OVER (ORDER BY t ROWS BETWEEN 1.5 "
+                         "PRECEDING AND 1 FOLLOWING) FROM m").window_calls()[0].over.window()
+
+    def test_range_never_lowers_to_rows_window(self):
+        stmt = parse_select(
+            "SELECT SUM(v) OVER (ORDER BY t RANGE BETWEEN 1 PRECEDING AND "
+            "CURRENT ROW) FROM m")
+        with pytest.raises(UnsupportedSqlError):
+            stmt.window_calls()[0].over.window()
+
+
+class TestExecution:
+    def test_symmetric_range(self, db):
+        res = db.sql("SELECT t, SUM(v) OVER (ORDER BY t RANGE BETWEEN 1 "
+                     "PRECEDING AND 1 FOLLOWING) s FROM m ORDER BY t")
+        assert res.column("s") == brute_range(db.data, 1.0, 1.0)
+
+    def test_differs_from_rows(self, db):
+        range_res = db.sql("SELECT t, SUM(v) OVER (ORDER BY t RANGE BETWEEN "
+                           "1 PRECEDING AND 1 FOLLOWING) s FROM m ORDER BY t")
+        rows_res = db.sql("SELECT t, SUM(v) OVER (ORDER BY t ROWS BETWEEN 1 "
+                          "PRECEDING AND 1 FOLLOWING) s FROM m ORDER BY t")
+        assert range_res.column("s") != rows_res.column("s")
+
+    def test_unbounded_preceding_includes_peers(self, db):
+        db.insert("m", [(9.0, 10.0, "x")])  # duplicate key 9.0
+        res = db.sql("SELECT t, SUM(v) OVER (ORDER BY t RANGE BETWEEN "
+                     "UNBOUNDED PRECEDING AND CURRENT ROW) s FROM m ORDER BY t")
+        # RANGE cumulative includes *peer* rows: both t=9.0 rows show the
+        # grand total (unlike ROWS cumulative).
+        total = sum(v for _, v in db.data) + 10.0
+        assert res.rows[-1][1] == pytest.approx(total)
+        assert res.rows[-2][1] == pytest.approx(total)
+
+    def test_count_and_avg(self, db):
+        res = db.sql("SELECT t, COUNT(v) OVER (ORDER BY t RANGE BETWEEN 0.5 "
+                     "PRECEDING AND 0.5 FOLLOWING) c, "
+                     "AVG(v) OVER (ORDER BY t RANGE BETWEEN 0.5 PRECEDING "
+                     "AND 0.5 FOLLOWING) a FROM m ORDER BY t")
+        # t=0.5 window [0.0, 1.0]: rows at 0.0, 0.5, 0.9.
+        assert res.rows[1][1] == 3.0
+        assert res.rows[1][2] == pytest.approx((1.0 + 2.0 + 3.0) / 3)
+
+    def test_min_max(self, db):
+        res = db.sql("SELECT t, MIN(v) OVER (ORDER BY t RANGE BETWEEN 1 "
+                     "PRECEDING AND 1 FOLLOWING) lo FROM m ORDER BY t")
+        assert res.rows[0][1] == 1.0   # window [−1, 1]: values 1, 2, 3
+        assert res.rows[-1][1] == 6.0  # isolated point
+
+    def test_partitioned_range(self, db):
+        db.insert("m", [(0.2, 100.0, "y")])
+        res = db.sql("SELECT g, t, SUM(v) OVER (PARTITION BY g ORDER BY t "
+                     "RANGE BETWEEN 1 PRECEDING AND 1 FOLLOWING) s "
+                     "FROM m ORDER BY g, t")
+        y_rows = [r for r in res.rows if r[0] == "y"]
+        assert y_rows == [("y", 0.2, 100.0)]
+
+    def test_date_distances_in_days(self):
+        db = Database()
+        db.create_table("d", [("day", DATE), ("v", FLOAT)])
+        base = datetime.date(2001, 1, 1)
+        db.insert("d", [
+            (base, 1.0),
+            (base + datetime.timedelta(days=1), 2.0),
+            (base + datetime.timedelta(days=5), 3.0),
+        ])
+        res = db.sql("SELECT day, SUM(v) OVER (ORDER BY day RANGE BETWEEN 2 "
+                     "PRECEDING AND 2 FOLLOWING) s FROM d ORDER BY day")
+        assert res.column("s") == [3.0, 3.0, 3.0]
+
+    def test_never_rewritten_from_views(self, db):
+        from repro.views.matcher import QueryShape
+
+        stmt = parse_select("SELECT SUM(v) OVER (ORDER BY t RANGE BETWEEN 1 "
+                            "PRECEDING AND 1 FOLLOWING) FROM m")
+        assert QueryShape.from_call("m", stmt.window_calls()[0], None) is None
+
+
+class TestValidation:
+    def test_two_order_keys_rejected(self, db):
+        with pytest.raises(PlanError):
+            db.sql("SELECT SUM(v) OVER (ORDER BY g, t RANGE BETWEEN 1 "
+                   "PRECEDING AND 1 FOLLOWING) s FROM m")
+
+    def test_descending_rejected(self, db):
+        with pytest.raises(PlanError):
+            db.sql("SELECT SUM(v) OVER (ORDER BY t DESC RANGE BETWEEN 1 "
+                   "PRECEDING AND 1 FOLLOWING) s FROM m")
+
+    def test_backwards_range_rejected(self, db):
+        with pytest.raises(UnsupportedSqlError):
+            db.sql("SELECT SUM(v) OVER (ORDER BY t RANGE BETWEEN CURRENT ROW "
+                   "AND 2 PRECEDING) s FROM m")

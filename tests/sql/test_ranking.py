@@ -1,0 +1,106 @@
+"""Ranking reporting functions (TOP(n) analyses from the paper's intro)."""
+
+import pytest
+
+from repro.errors import ParseError, PlanError, UnsupportedSqlError
+from repro.relational import Database, FLOAT, INTEGER, TEXT
+from repro.sql.parser import parse_select
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.create_table("t", [("g", TEXT), ("pos", INTEGER), ("v", FLOAT)])
+    db.insert("t", [
+        ("a", 1, 5.0), ("a", 2, 7.0), ("a", 3, 7.0), ("a", 4, 1.0),
+        ("b", 1, 3.0), ("b", 2, 9.0),
+    ])
+    return db
+
+
+class TestParsing:
+    def test_rank_parses_as_window_call(self):
+        stmt = parse_select("SELECT RANK() OVER (ORDER BY v DESC) FROM t")
+        call = stmt.window_calls()[0]
+        assert call.func == "RANK" and call.arg is None
+
+    def test_rank_requires_order_by(self):
+        with pytest.raises(UnsupportedSqlError):
+            parse_select("SELECT RANK() OVER () FROM t")
+
+    def test_rank_rejects_frame(self):
+        with pytest.raises(UnsupportedSqlError):
+            parse_select("SELECT RANK() OVER (ORDER BY v ROWS 1 PRECEDING) FROM t")
+
+    def test_rank_rejects_argument(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT RANK(v) OVER (ORDER BY v) FROM t")
+
+
+class TestExecution:
+    QUERY = ("SELECT g, pos, v, "
+             "ROW_NUMBER() OVER (PARTITION BY g ORDER BY v DESC) AS rn, "
+             "RANK() OVER (PARTITION BY g ORDER BY v DESC) AS rk, "
+             "DENSE_RANK() OVER (PARTITION BY g ORDER BY v DESC) AS dr "
+             "FROM t ORDER BY g, rn")
+
+    def test_row_number_is_dense_sequence(self, db):
+        res = db.sql(self.QUERY)
+        assert res.column("rn") == [1.0, 2.0, 3.0, 4.0, 1.0, 2.0]
+
+    def test_rank_has_gaps_after_ties(self, db):
+        res = db.sql(self.QUERY)
+        assert res.column("rk") == [1.0, 1.0, 3.0, 4.0, 1.0, 2.0]
+
+    def test_dense_rank_has_no_gaps(self, db):
+        res = db.sql(self.QUERY)
+        assert res.column("dr") == [1.0, 1.0, 2.0, 3.0, 1.0, 2.0]
+
+    def test_top_n_analysis(self, db):
+        # The paper's motivating TOP(n) query shape.
+        res = db.sql("SELECT g, v, RANK() OVER (ORDER BY v DESC) r "
+                     "FROM t ORDER BY r LIMIT 3")
+        assert res.column("v") == [9.0, 7.0, 7.0]
+
+    def test_rank_composes_with_aggregation_windows(self, db):
+        res = db.sql(
+            "SELECT g, pos, SUM(v) OVER (PARTITION BY g ORDER BY pos "
+            "ROWS UNBOUNDED PRECEDING) AS running, "
+            "ROW_NUMBER() OVER (PARTITION BY g ORDER BY pos) AS rn "
+            "FROM t ORDER BY g, pos")
+        assert res.column("rn") == [1.0, 2.0, 3.0, 4.0, 1.0, 2.0]
+        assert res.column("running")[:4] == [5.0, 12.0, 19.0, 20.0]
+
+    def test_not_rewritten_from_views(self, db):
+        # Ranking queries never match sequence views (no measure argument).
+        from repro.views.matcher import QueryShape
+
+        stmt = parse_select("SELECT RANK() OVER (ORDER BY v) FROM t")
+        assert QueryShape.from_call("t", stmt.window_calls()[0], None) is None
+
+
+class TestSpecValidation:
+    def test_spec_rejects_frame_for_rank(self, db):
+        from repro.core.window import sliding
+        from repro.relational import col
+        from repro.sql.ast_nodes import OrderItem
+        from repro.sql.window_exec import WindowColumnSpec
+
+        with pytest.raises(PlanError):
+            WindowColumnSpec("RANK", None, (), (OrderItem(col("v")),),
+                             sliding(1, 1), "r")
+
+    def test_spec_requires_order_for_rank(self, db):
+        from repro.sql.window_exec import WindowColumnSpec
+
+        with pytest.raises(PlanError):
+            WindowColumnSpec("RANK", None, (), (), None, "r")
+
+    def test_aggregate_spec_requires_window(self, db):
+        from repro.relational import col
+        from repro.sql.ast_nodes import OrderItem
+        from repro.sql.window_exec import WindowColumnSpec
+
+        with pytest.raises(PlanError):
+            WindowColumnSpec("SUM", col("v"), (), (OrderItem(col("v")),),
+                             None, "s")

@@ -1,0 +1,170 @@
+"""DDL/DML statements through the SQL front door."""
+
+import pytest
+
+from repro.errors import CatalogError, ConstraintError, ParseError, SchemaError
+from repro.relational import Database
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.sql("CREATE TABLE t (pos INTEGER, val FLOAT, tag VARCHAR, "
+           "PRIMARY KEY (pos))")
+    return db
+
+
+class TestCreateTable:
+    def test_schema_created(self, db):
+        table = db.table("t")
+        assert table.schema.names() == ["pos", "val", "tag"]
+        assert table.primary_key == ("pos",)
+
+    def test_type_names(self, db):
+        assert db.table("t").schema.column("val").type.name == "FLOAT"
+        assert db.table("t").schema.column("tag").type.name == "TEXT"
+
+    def test_duplicate_table(self, db):
+        with pytest.raises(CatalogError):
+            db.sql("CREATE TABLE t (x INTEGER)")
+
+    def test_if_not_exists(self, db):
+        res = db.sql("CREATE TABLE IF NOT EXISTS t (x INTEGER)")
+        assert res.rows == [(0,)]
+
+    def test_unknown_type(self, db):
+        with pytest.raises(SchemaError):
+            db.sql("CREATE TABLE u (x BLOB)")
+
+    def test_needs_columns(self, db):
+        with pytest.raises(ParseError):
+            db.sql("CREATE TABLE u ()")
+
+    def test_composite_primary_key(self, db):
+        db.sql("CREATE TABLE c (a INTEGER, b INTEGER, PRIMARY KEY (a, b))")
+        db.sql("INSERT INTO c VALUES (1, 1), (1, 2)")
+        with pytest.raises(ConstraintError):
+            db.sql("INSERT INTO c VALUES (1, 1)")
+
+
+class TestCreateDropIndex:
+    def test_create_and_drop(self, db):
+        db.sql("CREATE INDEX by_tag ON t (tag)")
+        assert db.table("t").find_index(["tag"]) is not None
+        db.sql("DROP INDEX by_tag ON t")
+        assert db.table("t").find_index(["tag"]) is None
+
+    def test_unique_index(self, db):
+        db.sql("CREATE UNIQUE INDEX by_val ON t (val)")
+        db.sql("INSERT INTO t VALUES (1, 5.0, 'a')")
+        with pytest.raises(ConstraintError):
+            db.sql("INSERT INTO t VALUES (2, 5.0, 'b')")
+
+
+class TestDropTable:
+    def test_drop(self, db):
+        db.sql("DROP TABLE t")
+        with pytest.raises(CatalogError):
+            db.table("t")
+
+    def test_drop_missing(self, db):
+        with pytest.raises(CatalogError):
+            db.sql("DROP TABLE ghost")
+        assert db.sql("DROP TABLE IF EXISTS ghost").rows == [(0,)]
+
+
+class TestInsert:
+    def test_positional_multi_row(self, db):
+        res = db.sql("INSERT INTO t VALUES (1, 1.5, 'a'), (2, 2.5, 'b')")
+        assert res.rows == [(2,)]
+        assert len(db.table("t")) == 2
+
+    def test_named_columns(self, db):
+        db.sql("INSERT INTO t (tag, pos) VALUES ('x', 9)")
+        row = db.table("t").rows[0]
+        assert row == (9, None, "x")
+
+    def test_expression_values(self, db):
+        db.sql("INSERT INTO t VALUES (1 + 1, 2.0 * 3, 'y')")
+        assert db.table("t").rows[0] == (2, 6.0, "y")
+
+    def test_arity_mismatch(self, db):
+        with pytest.raises((ParseError, SchemaError)):
+            db.sql("INSERT INTO t VALUES (1, 2.0)")
+
+    def test_unknown_named_column(self, db):
+        with pytest.raises(ParseError):
+            db.sql("INSERT INTO t (ghost) VALUES (1)")
+
+    def test_column_reference_rejected_in_values(self, db):
+        with pytest.raises(SchemaError):
+            db.sql("INSERT INTO t VALUES (pos, 1.0, 'x')")
+
+
+class TestUpdate:
+    @pytest.fixture
+    def filled(self, db):
+        db.sql("INSERT INTO t VALUES (1, 1.0, 'a'), (2, 2.0, 'b'), (3, 3.0, 'a')")
+        return db
+
+    def test_update_with_where(self, filled):
+        res = filled.sql("UPDATE t SET val = val * 10 WHERE tag = 'a'")
+        assert res.rows == [(2,)]
+        assert filled.sql("SELECT val FROM t ORDER BY pos").column("val") == \
+            [10.0, 2.0, 30.0]
+
+    def test_update_all_rows(self, filled):
+        assert filled.sql("UPDATE t SET tag = 'z'").rows == [(3,)]
+
+    def test_set_sees_old_values(self, filled):
+        # Swap-style update: both assignments read the pre-update row.
+        filled.sql("CREATE TABLE p (a INTEGER, b INTEGER)")
+        filled.sql("INSERT INTO p VALUES (1, 2)")
+        filled.sql("UPDATE p SET a = b, b = a")
+        assert filled.table("p").rows == [(2, 1)]
+
+    def test_pk_violation_rolls_back_row(self, filled):
+        with pytest.raises(ConstraintError):
+            filled.sql("UPDATE t SET pos = 2 WHERE pos = 1")
+
+    def test_indexes_maintained(self, filled):
+        filled.sql("CREATE INDEX by_tag ON t (tag)")
+        filled.sql("UPDATE t SET tag = 'q' WHERE pos = 2")
+        idx = filled.table("t").find_index(["tag"])
+        assert len(idx.lookup(("q",))) == 1
+        assert len(idx.lookup(("b",))) == 0
+
+
+class TestDelete:
+    @pytest.fixture
+    def filled(self, db):
+        db.sql("INSERT INTO t VALUES (1, 1.0, 'a'), (2, 2.0, 'b'), (3, 3.0, 'a')")
+        return db
+
+    def test_delete_with_where(self, filled):
+        assert filled.sql("DELETE FROM t WHERE tag = 'a'").rows == [(2,)]
+        assert filled.sql("SELECT pos FROM t").column("pos") == [2]
+
+    def test_delete_all(self, filled):
+        assert filled.sql("DELETE FROM t").rows == [(3,)]
+        assert len(filled.table("t")) == 0
+
+    def test_null_where_matches_nothing(self, filled):
+        filled.sql("INSERT INTO t (pos) VALUES (4)")  # val NULL
+        res = filled.sql("DELETE FROM t WHERE val > 0")
+        assert res.rows == [(3,)]  # the NULL row survives (UNKNOWN)
+        assert filled.sql("SELECT pos FROM t").column("pos") == [4]
+
+
+class TestEndToEndSqlOnly:
+    def test_whole_flow_through_sql(self):
+        db = Database()
+        db.sql("CREATE TABLE seq (pos INTEGER, val FLOAT, PRIMARY KEY (pos))")
+        values = ", ".join(f"({i}, {float(i % 5)})" for i in range(1, 21))
+        db.sql(f"INSERT INTO seq VALUES {values}")
+        res = db.sql("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN "
+                     "1 PRECEDING AND 1 FOLLOWING) s FROM seq ORDER BY pos")
+        assert len(res) == 20
+        db.sql("DELETE FROM seq WHERE pos > 10")
+        res = db.sql("SELECT COUNT(*) c FROM seq")
+        assert res.rows == [(10,)]

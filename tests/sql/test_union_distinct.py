@@ -1,0 +1,93 @@
+"""SELECT DISTINCT and SQL-level UNION ALL."""
+
+import pytest
+
+from repro.errors import BindError, ParseError
+from repro.relational import Database, FLOAT, INTEGER, TEXT
+from repro.sql.parser import parse_query, parse_select
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.create_table("t", [("g", TEXT), ("n", INTEGER), ("v", FLOAT)])
+    db.insert("t", [("a", 1, 1.0), ("a", 1, 2.0), ("b", 2, 3.0), ("b", 3, 4.0)])
+    return db
+
+
+class TestDistinct:
+    def test_distinct_rows(self, db):
+        res = db.sql("SELECT DISTINCT g FROM t ORDER BY g")
+        assert res.rows == [("a",), ("b",)]
+
+    def test_distinct_on_multiple_columns(self, db):
+        res = db.sql("SELECT DISTINCT g, n FROM t ORDER BY g, n")
+        assert res.rows == [("a", 1), ("b", 2), ("b", 3)]
+
+    def test_distinct_with_computed_column(self, db):
+        res = db.sql("SELECT DISTINCT n * 0 AS z FROM t")
+        assert res.rows == [(0,)]
+
+    def test_parse_flag(self):
+        assert parse_select("SELECT DISTINCT a FROM t").distinct
+        assert not parse_select("SELECT a FROM t").distinct
+
+
+class TestUnionAll:
+    def test_concatenates_branches(self, db):
+        res = db.sql("SELECT g FROM t WHERE n = 1 "
+                     "UNION ALL SELECT g FROM t WHERE n = 3")
+        assert sorted(r[0] for r in res.rows) == ["a", "a", "b"]
+
+    def test_keeps_duplicates(self, db):
+        res = db.sql("SELECT g FROM t UNION ALL SELECT g FROM t")
+        assert len(res) == 8
+
+    def test_trailing_order_and_limit_apply_to_whole_union(self, db):
+        res = db.sql("SELECT v FROM t WHERE g = 'a' "
+                     "UNION ALL SELECT v FROM t WHERE g = 'b' "
+                     "ORDER BY v DESC LIMIT 3")
+        assert res.column("v") == [4.0, 3.0, 2.0]
+
+    def test_branch_limit_stays_local(self, db):
+        # A LIMIT inside parentheses-free branches cannot be expressed; but a
+        # branch-level ORDER BY...LIMIT before UNION hoists to the compound,
+        # so the branch-local effect needs a derived table.
+        res = db.sql("SELECT v FROM (SELECT v FROM t ORDER BY v DESC "
+                     "LIMIT 1) top UNION ALL SELECT v FROM t WHERE g = 'a'")
+        assert sorted(r[0] for r in res.rows) == [1.0, 2.0, 4.0]
+
+    def test_windows_inside_branches(self, db):
+        res = db.sql(
+            "SELECT g, SUM(v) OVER (ORDER BY n, v ROWS UNBOUNDED PRECEDING) r "
+            "FROM t WHERE g = 'a' "
+            "UNION ALL "
+            "SELECT g, SUM(v) OVER (ORDER BY n, v ROWS UNBOUNDED PRECEDING) r "
+            "FROM t WHERE g = 'b'")
+        a = [row[1] for row in res.rows if row[0] == "a"]
+        b = [row[1] for row in res.rows if row[0] == "b"]
+        assert a == [1.0, 3.0] and b == [3.0, 7.0]
+
+    def test_arity_mismatch_rejected(self, db):
+        from repro.errors import PlanError
+
+        with pytest.raises(PlanError):
+            db.sql("SELECT g FROM t UNION ALL SELECT g, n FROM t")
+
+    def test_union_requires_all(self, db):
+        with pytest.raises(ParseError):
+            db.sql("SELECT g FROM t UNION SELECT g FROM t")
+
+    def test_compound_order_by_must_bind(self, db):
+        with pytest.raises(BindError):
+            db.sql("SELECT g FROM t UNION ALL SELECT g FROM t ORDER BY ghost")
+
+    def test_parse_query_shape(self):
+        stmt = parse_query("SELECT a FROM t UNION ALL SELECT a FROM u "
+                           "ORDER BY a LIMIT 7")
+        from repro.sql.ast_nodes import CompoundSelect
+
+        assert isinstance(stmt, CompoundSelect)
+        assert len(stmt.selects) == 2
+        assert stmt.limit == 7
+        assert stmt.selects[1].order_by == () and stmt.selects[1].limit is None

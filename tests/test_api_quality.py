@@ -1,0 +1,88 @@
+"""Meta-tests on API quality: docstrings, exports, error hierarchy."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    out = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name == "repro.__main__":  # running it calls sys.exit()
+            continue
+        out.append(importlib.import_module(info.name))
+    return out
+
+
+MODULES = _walk_modules()
+
+
+class TestDocstrings:
+    def test_every_module_documented(self):
+        undocumented = [m.__name__ for m in MODULES if not (m.__doc__ or "").strip()]
+        assert undocumented == []
+
+    def test_every_public_class_documented(self):
+        missing = []
+        for module in MODULES:
+            for name, obj in vars(module).items():
+                if name.startswith("_") or not inspect.isclass(obj):
+                    continue
+                if obj.__module__ != module.__name__:
+                    continue
+                if not (obj.__doc__ or "").strip():
+                    missing.append(f"{module.__name__}.{name}")
+        assert missing == []
+
+    def test_every_public_function_documented(self):
+        missing = []
+        for module in MODULES:
+            for name, obj in vars(module).items():
+                if name.startswith("_") or not inspect.isfunction(obj):
+                    continue
+                if obj.__module__ != module.__name__:
+                    continue
+                if not (obj.__doc__ or "").strip():
+                    missing.append(f"{module.__name__}.{name}")
+        assert missing == []
+
+
+class TestExports:
+    def test_all_lists_resolve(self):
+        for module in MODULES + [repro]:
+            exported = getattr(module, "__all__", None)
+            if exported is None:
+                continue
+            for name in exported:
+                assert hasattr(module, name), f"{module.__name__}.__all__ lists missing {name}"
+
+    def test_top_level_api_sufficient_for_quickstart(self):
+        # The README quickstart must work from the top-level namespace alone.
+        for name in ("DataWarehouse", "Database", "WindowSpec", "sliding",
+                     "cumulative", "derive", "CompleteSequence"):
+            assert hasattr(repro, name)
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+
+        for name, obj in vars(errors).items():
+            if inspect.isclass(obj) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or obj is errors.ReproError, name
+
+    def test_catching_base_class_works_end_to_end(self):
+        from repro import DataWarehouse, ReproError
+
+        wh = DataWarehouse()
+        with pytest.raises(ReproError):
+            wh.db.sql("SELECT broken FROM nowhere")
+        with pytest.raises(ReproError):
+            wh.view("ghost")

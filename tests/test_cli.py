@@ -1,0 +1,64 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDemo:
+    def test_runs_and_explains(self, capsys):
+        assert main(["demo", "--rows", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "REWRITE using view 'mv'" in out
+        assert "engine stats" in out
+
+
+class TestTableSweeps:
+    def test_table1(self, capsys):
+        assert main(["table1", "--sizes", "50,100"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert out.count("\n") >= 4  # header + 2 data rows
+
+    def test_table2(self, capsys):
+        assert main(["table2", "--sizes", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "MaxOA" in out
+
+    def test_bad_sizes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--sizes", "abc"])
+
+
+class TestAdvise:
+    def test_recommendations(self, capsys):
+        code = main([
+            "advise",
+            "--query",
+            "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 "
+            "PRECEDING AND 1 FOLLOWING) s FROM seq",
+            "--query",
+            "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 "
+            "PRECEDING AND 1 FOLLOWING) s FROM seq",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "workload group" in out and "materialize" in out
+
+    def test_unusable_workload(self, capsys):
+        code = main(["advise", "--query", "SELECT COUNT(*) c FROM t"])
+        assert code == 1
+
+    def test_requires_query(self):
+        with pytest.raises(SystemExit):
+            main(["advise"])
+
+
+class TestParser:
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,142 @@
+"""View advisor: workload-driven selection of sequence views."""
+
+import pytest
+
+from repro.core.window import WindowSpec, cumulative, sliding
+from repro.views.advisor import (
+    QueryPlanCost,
+    Recommendation,
+    WorkloadQuery,
+    candidate_windows,
+    recommend,
+)
+
+
+class TestCandidates:
+    def test_includes_query_windows(self):
+        workload = [WorkloadQuery(sliding(2, 1)), WorkloadQuery(sliding(4, 3))]
+        cands = candidate_windows(workload)
+        assert sliding(2, 1) in cands and sliding(4, 3) in cands
+
+    def test_includes_envelope_core_and_cumulative(self):
+        workload = [WorkloadQuery(sliding(2, 1)), WorkloadQuery(sliding(1, 3))]
+        cands = candidate_windows(workload)
+        assert sliding(2, 3) in cands  # envelope (max l, max h)
+        assert sliding(1, 1) in cands  # core (min l, min h)
+        assert cumulative() in cands
+
+    def test_no_duplicates(self):
+        workload = [WorkloadQuery(sliding(2, 2)), WorkloadQuery(sliding(2, 2))]
+        cands = candidate_windows(workload)
+        assert len(cands) == len(set(cands))
+
+
+class TestRecommend:
+    def test_exact_match_wins_single_query(self):
+        workload = [WorkloadQuery(sliding(3, 2))]
+        best = recommend(workload)[0]
+        # Identity (cost ~n) beats any derivation (cost ~n²/Wx).
+        assert best.window == sliding(3, 2)
+        assert best.per_query[0].algorithm == "identity"
+
+    def test_weights_steer_the_choice(self):
+        hot = WorkloadQuery(sliding(5, 5), weight=100.0)
+        cold = WorkloadQuery(sliding(1, 1), weight=0.01)
+        best = recommend([hot, cold])[0]
+        assert best.window == sliding(5, 5)
+
+    def test_minmax_restricts_candidates(self):
+        # A MIN query can only be served by a view it is MaxOA-derivable
+        # from; the narrow core candidate cannot serve the wide MIN window.
+        workload = [
+            WorkloadQuery(sliding(9, 9), minmax=True),
+            WorkloadQuery(sliding(1, 1)),
+        ]
+        recs = recommend(workload, fallback_cost=None)
+        assert recs, "some candidate must cover both"
+        for rec in recs:
+            assert rec.covered == 2
+            assert rec.window.is_sliding
+            # Wide-enough view: the MIN window within MaxOA reach.
+            assert 9 - rec.window.l <= rec.window.width
+            assert 9 - rec.window.h <= rec.window.width
+
+    def test_fallback_costing(self):
+        # No single view can serve both MIN/MAX windows: (9,9) cannot derive
+        # the narrower (1,1) (MinOA is out for MIN/MAX) and (1,1) cannot
+        # cover (9,9) (Δ > Wx).
+        workload = [
+            WorkloadQuery(sliding(9, 9), minmax=True),
+            WorkloadQuery(sliding(1, 1), minmax=True),
+        ]
+        # Without a fallback, every candidate is disqualified.
+        assert recommend(workload, fallback_cost=None) == []
+        # With one, candidates are ranked by what they do cover.
+        recs = recommend(workload, fallback_cost=1e9)
+        assert recs and all(r.covered == 1 for r in recs if r.window.is_sliding)
+        assert recs[0].window.is_sliding
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            recommend([])
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadQuery(sliding(1, 1), weight=0)
+
+    def test_describe_is_auditable(self):
+        rec = recommend([WorkloadQuery(sliding(2, 1))])[0]
+        text = rec.describe()
+        assert "materialize" in text and "identity" in text
+
+    def test_top_limits_output(self):
+        workload = [WorkloadQuery(sliding(i, i)) for i in range(1, 6)]
+        assert len(recommend(workload, top=2)) == 2
+
+
+class TestWarehouseAdvise:
+    def test_groups_and_ranks(self):
+        from repro.warehouse import DataWarehouse, create_sequence_table
+
+        wh = DataWarehouse()
+        create_sequence_table(wh.db, "seq", 20, seed=0)
+        result = wh.advise([
+            ("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 "
+             "PRECEDING AND 1 FOLLOWING) s FROM seq", 10.0),
+            "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 "
+            "PRECEDING AND 1 FOLLOWING) s FROM seq",
+            # Not a rewritable shape -> ignored:
+            "SELECT COUNT(*) c FROM seq",
+        ])
+        assert len(result) == 1
+        key, recs = next(iter(result.items()))
+        assert key[0] == "seq" and key[1] == "val"
+        # For a pure-SUM workload the cumulative view wins: fig. 5 answers
+        # any sliding window with two probes per row, so its relational cost
+        # beats keeping either sliding window materialized.
+        assert recs[0].window == cumulative()
+        assert {r.window for r in recs} >= {sliding(2, 1)}
+
+    def test_recommended_view_actually_serves_the_workload(self):
+        from repro.warehouse import DataWarehouse, create_sequence_table
+
+        wh = DataWarehouse()
+        create_sequence_table(wh.db, "seq", 30, seed=1)
+        queries = [
+            "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 "
+            "PRECEDING AND 2 FOLLOWING) s FROM seq ORDER BY pos",
+            "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 4 "
+            "PRECEDING AND 3 FOLLOWING) s FROM seq ORDER BY pos",
+        ]
+        recs = next(iter(wh.advise(queries).values()))
+        window = recs[0].window
+        wh.create_view(
+            "advised",
+            f"SELECT pos, SUM(val) OVER (ORDER BY pos "
+            f"{window.to_frame_sql()}) s FROM seq")
+        for q in queries:
+            res = wh.query(q)
+            assert res.rewrite is not None and res.rewrite.view == "advised"
+            native = wh.query(q, use_views=False)
+            assert [round(r[1], 6) for r in res.rows] == [
+                round(r[1], 6) for r in native.rows]

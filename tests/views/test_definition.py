@@ -1,0 +1,100 @@
+"""Sequence view definitions (programmatic and from SQL)."""
+
+import pytest
+
+from repro.core.window import cumulative, sliding
+from repro.errors import ViewDefinitionError
+from repro.views.definition import SequenceViewDefinition
+
+
+class TestFromSql:
+    def test_basic_extraction(self):
+        d = SequenceViewDefinition.from_sql(
+            "mv",
+            "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 "
+            "PRECEDING AND 1 FOLLOWING) AS s FROM seq",
+        )
+        assert d.base_table == "seq"
+        assert d.value_col == "val"
+        assert d.order_by == ("pos",)
+        assert d.window == sliding(2, 1)
+        assert d.aggregate_name == "SUM"
+        assert d.where is None
+
+    def test_partition_and_where(self):
+        d = SequenceViewDefinition.from_sql(
+            "mv",
+            "SELECT SUM(amt) OVER (PARTITION BY region ORDER BY month, day "
+            "ROWS UNBOUNDED PRECEDING) FROM sales WHERE cust = 4711",
+        )
+        assert d.partition_by == ("region",)
+        assert d.order_by == ("month", "day")
+        assert d.window == cumulative()
+        assert d.where_text == "(cust = 4711)"
+
+    def test_storage_table_name(self):
+        d = SequenceViewDefinition.from_sql(
+            "weekly", "SELECT SUM(v) OVER (ORDER BY d ROWS 6 PRECEDING) FROM t")
+        assert d.storage_table == "__mv_weekly"
+
+    def test_two_tables_rejected(self):
+        with pytest.raises(ViewDefinitionError):
+            SequenceViewDefinition.from_sql(
+                "mv", "SELECT SUM(v) OVER (ORDER BY d ROWS 1 PRECEDING) FROM a, b")
+
+    def test_no_window_rejected(self):
+        with pytest.raises(ViewDefinitionError):
+            SequenceViewDefinition.from_sql("mv", "SELECT v FROM t")
+
+    def test_two_windows_rejected(self):
+        with pytest.raises(ViewDefinitionError):
+            SequenceViewDefinition.from_sql(
+                "mv",
+                "SELECT SUM(v) OVER (ORDER BY d ROWS 1 PRECEDING), "
+                "SUM(v) OVER (ORDER BY d ROWS 2 PRECEDING) FROM t")
+
+    def test_group_by_rejected(self):
+        with pytest.raises(ViewDefinitionError):
+            SequenceViewDefinition.from_sql(
+                "mv",
+                "SELECT SUM(v) OVER (ORDER BY d ROWS 1 PRECEDING) FROM t GROUP BY d")
+
+    def test_expression_argument_rejected(self):
+        with pytest.raises(ViewDefinitionError):
+            SequenceViewDefinition.from_sql(
+                "mv", "SELECT SUM(v * 2) OVER (ORDER BY d ROWS 1 PRECEDING) FROM t")
+
+    def test_expression_partition_rejected(self):
+        with pytest.raises(ViewDefinitionError):
+            SequenceViewDefinition.from_sql(
+                "mv",
+                "SELECT SUM(v) OVER (PARTITION BY MOD(p, 2) ORDER BY d "
+                "ROWS 1 PRECEDING) FROM t")
+
+    def test_descending_order_rejected(self):
+        with pytest.raises(ViewDefinitionError):
+            SequenceViewDefinition.from_sql(
+                "mv", "SELECT SUM(v) OVER (ORDER BY d DESC ROWS 1 PRECEDING) FROM t")
+
+
+class TestProgrammatic:
+    def test_defaults(self):
+        d = SequenceViewDefinition("mv", "t", "v", order_by=("d",))
+        assert d.window == cumulative() and d.aggregate_name == "SUM"
+
+    def test_order_by_required(self):
+        with pytest.raises(ViewDefinitionError):
+            SequenceViewDefinition("mv", "t", "v", order_by=())
+
+    def test_aggregate_validated(self):
+        with pytest.raises(Exception):
+            SequenceViewDefinition("mv", "t", "v", order_by=("d",),
+                                   aggregate_name="MEDIAN")
+
+    def test_describe(self):
+        d = SequenceViewDefinition(
+            "mv", "t", "v", order_by=("d",), partition_by=("p",),
+            window=sliding(1, 1))
+        text = d.describe()
+        assert "PARTITION BY p" in text and "ORDER BY d" in text
+        assert "ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING" in text

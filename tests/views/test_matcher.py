@@ -1,0 +1,125 @@
+"""Query/view matching."""
+
+import pytest
+
+from repro.core.window import WindowSpec, cumulative, sliding
+from repro.relational import Database, FLOAT, INTEGER, TEXT
+from repro.sql.parser import parse_select
+from repro.views.definition import SequenceViewDefinition
+from repro.views.matcher import QueryShape, match_view, rank_matches
+from repro.views.materialized import MaterializedSequenceView
+
+
+@pytest.fixture
+def db(raw40):
+    db = Database()
+    db.create_table("seq", [("pos", INTEGER), ("val", FLOAT), ("grp", TEXT)])
+    db.insert("seq", [(i, v, "a") for i, v in enumerate(raw40, start=1)])
+    return db
+
+
+def view_of(db, name="mv", window=sliding(2, 1), agg="SUM", partition=(), order=("pos",), complete=True):
+    d = SequenceViewDefinition(name, "seq", "val", order_by=order,
+                               partition_by=partition, window=window,
+                               aggregate_name=agg)
+    return MaterializedSequenceView(db, d, complete=complete)
+
+
+def shape_of(sql):
+    stmt = parse_select(sql)
+    return QueryShape.from_call(stmt.tables[0].name, stmt.window_calls()[0], stmt.where)
+
+
+Q = "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING AND 1 FOLLOWING) FROM seq"
+
+
+class TestShapeExtraction:
+    def test_basic(self):
+        shape = shape_of(Q)
+        assert shape.base_table == "seq"
+        assert shape.window == sliding(3, 1)
+        assert shape.order_by == ("pos",)
+
+    def test_expression_argument_not_rewritable(self):
+        assert shape_of(
+            "SELECT SUM(val + 1) OVER (ORDER BY pos ROWS 1 PRECEDING) FROM seq"
+        ) is None
+
+    def test_descending_order_not_rewritable(self):
+        assert shape_of(
+            "SELECT SUM(val) OVER (ORDER BY pos DESC ROWS 1 PRECEDING) FROM seq"
+        ) is None
+
+    def test_where_is_textual(self):
+        shape = shape_of(Q + " WHERE grp = 'a'")
+        assert shape.where_text == "(grp = 'a')"
+
+
+class TestMatching:
+    def test_direct_match(self, db):
+        view = view_of(db)
+        m = match_view(shape_of(Q), view)
+        assert m is not None and m.kind == "direct"
+        assert m.derivation.algorithm in ("maxoa", "minoa")
+
+    def test_different_base_table(self, db):
+        db.create_table("other", [("pos", INTEGER), ("val", FLOAT)])
+        db.insert("other", [(1, 1.0)])
+        d = SequenceViewDefinition("mv", "other", "val", order_by=("pos",),
+                                   window=sliding(2, 1))
+        view = MaterializedSequenceView(db, d)
+        assert match_view(shape_of(Q), view) is None
+
+    def test_different_aggregate(self, db):
+        view = view_of(db, agg="COUNT")
+        assert match_view(shape_of(Q), view) is None
+
+    def test_where_mismatch(self, db):
+        view = view_of(db)
+        assert match_view(shape_of(Q + " WHERE grp = 'a'"), view) is None
+
+    def test_underivable_window(self, db):
+        view = view_of(db, agg="MAX", window=sliding(1, 1))
+        # MAX view, target much wider than Wx: MaxOA fails, MinOA unavailable.
+        shape = shape_of(
+            "SELECT pos, MAX(val) OVER (ORDER BY pos ROWS BETWEEN 9 "
+            "PRECEDING AND 9 FOLLOWING) FROM seq")
+        assert match_view(shape, view) is None
+
+    def test_minmax_direct_match(self, db):
+        view = view_of(db, agg="MAX", window=sliding(2, 1))
+        shape = shape_of(
+            "SELECT pos, MAX(val) OVER (ORDER BY pos ROWS BETWEEN 3 "
+            "PRECEDING AND 2 FOLLOWING) FROM seq")
+        m = match_view(shape, view)
+        assert m is not None and m.derivation.algorithm == "maxoa"
+
+    def test_partition_subset_match(self, db):
+        view = view_of(db, partition=("grp",))
+        m = match_view(shape_of(Q), view)
+        assert m is not None and m.kind == "partition_reduction"
+
+    def test_partition_subset_requires_completeness(self, db):
+        view = view_of(db, partition=("grp",), complete=False)
+        assert match_view(shape_of(Q), view) is None
+
+    def test_order_prefix_match(self, db):
+        view = view_of(db, order=("pos", "grp"))
+        m = match_view(shape_of(Q), view)
+        assert m is not None and m.kind == "ordering_reduction"
+
+    def test_order_suffix_no_match(self, db):
+        view = view_of(db, order=("grp", "pos"))
+        assert match_view(shape_of(Q), view) is None
+
+
+class TestRanking:
+    def test_cheapest_first(self, db):
+        exact = view_of(db, name="exact", window=sliding(3, 1))
+        near = view_of(db, name="near", window=sliding(2, 1))
+        matches = rank_matches(shape_of(Q), [near, exact])
+        assert matches[0].view.name == "exact"
+        assert matches[0].derivation.algorithm == "identity"
+
+    def test_empty_for_no_views(self):
+        assert rank_matches(shape_of(Q), []) == []

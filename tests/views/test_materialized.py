@@ -1,0 +1,110 @@
+"""Materialized view storage and refresh."""
+
+import pytest
+
+from repro.core.window import cumulative, sliding
+from repro.errors import ViewError
+from repro.relational import Database, FLOAT, INTEGER, TEXT, col
+from repro.views.definition import SequenceViewDefinition
+from repro.views.materialized import MaterializedSequenceView
+from tests.conftest import assert_close, brute_window
+
+
+@pytest.fixture
+def db(raw40):
+    db = Database()
+    db.create_table("seq", [("pos", INTEGER), ("val", FLOAT)], primary_key=["pos"])
+    db.insert("seq", list(enumerate(raw40, start=1)))
+    return db
+
+
+def make_view(db, name="mv", window=sliding(2, 1), complete=True, **kwargs):
+    d = SequenceViewDefinition(name, "seq", "val", order_by=("pos",),
+                               window=window, **kwargs)
+    return MaterializedSequenceView(db, d, complete=complete)
+
+
+class TestStorage:
+    def test_row_count_includes_header_trailer(self, db):
+        view = make_view(db)
+        # 40 core + header (h=1) + trailer (l=2).
+        assert view.row_count() == 43
+
+    def test_incomplete_stores_core_only(self, db):
+        view = make_view(db, complete=False)
+        assert view.row_count() == 40
+
+    def test_storage_has_pk_index(self, db):
+        view = make_view(db)
+        table = db.table("__mv_mv")
+        assert table.find_index(["__pos"], sorted_only=True) is not None
+
+    def test_header_rows_have_null_order_keys(self, db):
+        view = make_view(db)
+        table = db.table("__mv_mv")
+        header = [r for r in table.rows if r[1] == 0]
+        assert header and header[0][0] is None  # order col NULL
+
+    def test_values_match_brute_force(self, db, raw40):
+        view = make_view(db)
+        table = db.table("__mv_mv")
+        core = sorted((r[1], r[2]) for r in table.rows if 1 <= r[1] <= 40)
+        assert_close([v for _, v in core], brute_window(raw40, sliding(2, 1)))
+
+    def test_where_filters_base(self, db, raw40):
+        from repro.sql.parser import parse_expression
+
+        d = SequenceViewDefinition(
+            "mv", "seq", "val", order_by=("pos",), window=sliding(1, 1),
+            where=parse_expression("pos <= 10"))
+        view = MaterializedSequenceView(db, d)
+        assert view.single_partition().seq.n == 10
+        assert_close(view.sequence().core_values(),
+                     brute_window(raw40[:10], sliding(1, 1)))
+
+
+class TestRefresh:
+    def test_refresh_after_base_change(self, db, raw40):
+        view = make_view(db)
+        db.insert("seq", [(41, 7.5)])
+        view.refresh()
+        assert view.single_partition().seq.n == 41
+        assert view.row_count() == 44
+
+    def test_raw_mirror_tracks_base(self, db, raw40):
+        view = make_view(db)
+        assert_close(view.raw[()], raw40)
+
+
+class TestPartitioned(object):
+    @pytest.fixture
+    def pdb(self, raw40):
+        db = Database()
+        db.create_table("s", [("g", TEXT), ("pos", INTEGER), ("val", FLOAT)])
+        half = len(raw40) // 2
+        rows = [("a", i, v) for i, v in enumerate(raw40[:half], 1)]
+        rows += [("b", i, v) for i, v in enumerate(raw40[half:], 1)]
+        db.insert("s", rows)
+        return db
+
+    def test_partition_sizes(self, pdb):
+        d = SequenceViewDefinition("mv", "s", "val", order_by=("pos",),
+                                   partition_by=("g",), window=sliding(1, 1))
+        view = MaterializedSequenceView(pdb, d)
+        assert view.partition_sizes() == {("a",): 20, ("b",): 20}
+        assert view.is_partitioned
+
+    def test_single_partition_rejected_for_partitioned(self, pdb):
+        d = SequenceViewDefinition("mv", "s", "val", order_by=("pos",),
+                                   partition_by=("g",), window=sliding(1, 1))
+        view = MaterializedSequenceView(pdb, d)
+        with pytest.raises(ViewError):
+            view.single_partition()
+
+    def test_per_partition_values(self, pdb, raw40):
+        d = SequenceViewDefinition("mv", "s", "val", order_by=("pos",),
+                                   partition_by=("g",), window=sliding(1, 1))
+        view = MaterializedSequenceView(pdb, d)
+        half = len(raw40) // 2
+        assert_close(view.sequence(("b",)).core_values(),
+                     brute_window(raw40[half:], sliding(1, 1)))

@@ -1,0 +1,135 @@
+"""Incremental maintenance of materialized views (storage + mirror sync)."""
+
+import pytest
+
+from repro.core.window import cumulative, sliding
+from repro.errors import MaintenanceError
+from repro.relational import Database, FLOAT, INTEGER, TEXT
+from repro.views.definition import SequenceViewDefinition
+from repro.views.maintenance import (
+    position_of,
+    propagate_delete,
+    propagate_insert,
+    propagate_update,
+)
+from repro.views.materialized import MaterializedSequenceView
+from tests.conftest import assert_close, brute_window
+
+
+@pytest.fixture
+def db(raw40):
+    db = Database()
+    # FLOAT ordering key so that tests can insert *between* existing rows.
+    db.create_table("seq", [("pos", FLOAT), ("val", FLOAT)], primary_key=["pos"])
+    db.insert("seq", list(enumerate(raw40, start=1)))
+    return db
+
+
+@pytest.fixture
+def view(db):
+    d = SequenceViewDefinition("mv", "seq", "val", order_by=("pos",),
+                               window=sliding(2, 1))
+    return MaterializedSequenceView(db, d)
+
+
+def storage_values(view):
+    table = view.db.table(view.definition.storage_table)
+    return [v for _, v in sorted((r[1], r[2]) for r in table.rows)]
+
+
+class TestPropagation:
+    def test_update_syncs_both_representations(self, view, raw40):
+        result = propagate_update(view, (10,), 777.0)
+        raw = list(raw40)
+        raw[9] = 777.0
+        expected = brute_window(raw, sliding(2, 1))
+        assert_close(view.sequence().core_values(), expected)
+        # Storage table band was patched in place.
+        core = storage_values(view)[1:41]  # skip header row
+        assert_close(core, expected)
+        assert result.values_touched == 4
+
+    def test_insert_shifts_storage(self, view, raw40):
+        propagate_insert(view, (10.5,), 5.0)  # between positions 10 and 11
+        raw = raw40[:10] + [5.0] + raw40[10:]
+        assert view.sequence().n == 41
+        assert_close(storage_values(view)[1:42], brute_window(raw, sliding(2, 1)))
+
+    def test_delete_shifts_storage(self, view, raw40):
+        propagate_delete(view, (10,))
+        raw = raw40[:9] + raw40[10:]
+        assert view.sequence().n == 39
+        assert_close(storage_values(view)[1:40], brute_window(raw, sliding(2, 1)))
+
+    def test_position_lookup(self, view):
+        assert position_of(view, (), (1,)) == 1
+        assert position_of(view, (), (40,)) == 40
+
+    def test_unknown_order_key(self, view):
+        with pytest.raises(MaintenanceError):
+            propagate_update(view, (99,), 1.0)
+
+    def test_unknown_partition(self, view):
+        with pytest.raises(MaintenanceError):
+            propagate_update(view, (1,), 1.0, partition_key=("ghost",))
+
+    def test_duplicate_insert_rejected(self, view):
+        with pytest.raises(MaintenanceError):
+            propagate_insert(view, (10,), 1.0)
+
+    def test_many_operations_stay_consistent(self, view, raw40, rng):
+        raw = list(raw40)
+        keys = [float(i) for i in range(1, 41)]
+        next_key = 41.0
+        for _ in range(30):
+            op = rng.choice(["u", "i", "d"])
+            if op == "u":
+                i = rng.randrange(len(keys))
+                v = round(rng.uniform(-9, 9), 2)
+                propagate_update(view, (keys[i],), v)
+                raw[i] = v
+            elif op == "i":
+                v = round(rng.uniform(-9, 9), 2)
+                propagate_insert(view, (next_key,), v)
+                keys.append(next_key)
+                raw.append(v)
+                next_key += 1.0
+            elif len(keys) > 5:
+                i = rng.randrange(len(keys))
+                propagate_delete(view, (keys[i],))
+                del keys[i]
+                del raw[i]
+        assert_close(view.sequence().core_values(), brute_window(raw, sliding(2, 1)))
+        core = storage_values(view)[1:1 + len(raw)]
+        assert_close(core, brute_window(raw, sliding(2, 1)))
+
+
+class TestCumulativeView:
+    def test_update(self, db, raw40):
+        d = SequenceViewDefinition("cmv", "seq", "val", order_by=("pos",),
+                                   window=cumulative())
+        view = MaterializedSequenceView(db, d)
+        propagate_update(view, (5,), 0.0)
+        raw = list(raw40)
+        raw[4] = 0.0
+        assert_close(view.sequence().core_values(), brute_window(raw, cumulative()))
+        assert_close(storage_values(view), brute_window(raw, cumulative()))
+
+
+class TestPartitionedView:
+    def test_update_in_one_partition_only(self, raw40):
+        db = Database()
+        db.create_table("s", [("g", TEXT), ("pos", INTEGER), ("val", FLOAT)])
+        half = len(raw40) // 2
+        rows = [("a", i, v) for i, v in enumerate(raw40[:half], 1)]
+        rows += [("b", i, v) for i, v in enumerate(raw40[half:], 1)]
+        db.insert("s", rows)
+        d = SequenceViewDefinition("mv", "s", "val", order_by=("pos",),
+                                   partition_by=("g",), window=sliding(1, 1))
+        view = MaterializedSequenceView(db, d)
+        before_b = list(view.sequence(("b",)).core_values())
+        propagate_update(view, (3,), 42.0, partition_key=("a",))
+        raw_a = list(raw40[:half])
+        raw_a[2] = 42.0
+        assert_close(view.sequence(("a",)).core_values(), brute_window(raw_a, sliding(1, 1)))
+        assert view.sequence(("b",)).core_values() == before_b

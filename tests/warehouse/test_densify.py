@@ -1,0 +1,92 @@
+"""Daily densification (ROWS frames over calendar data)."""
+
+import datetime
+
+import pytest
+
+from repro.core.aggregates import AVG
+from repro.core.window import sliding
+from repro.warehouse.workload import densify_daily
+from tests.conftest import assert_close, brute_window
+
+
+def d(day):
+    return datetime.date(2001, 1, day)
+
+
+@pytest.fixture
+def gappy():
+    return [
+        {"g": "a", "day": d(1), "v": 1.0},
+        {"g": "a", "day": d(1), "v": 2.0},   # same-day duplicate
+        {"g": "a", "day": d(4), "v": 5.0},   # 2-day gap before this
+        {"g": "b", "day": d(2), "v": 9.0},
+        {"g": "b", "day": d(3), "v": 1.0},
+    ]
+
+
+class TestDensify:
+    def test_gaps_filled(self, gappy):
+        out = densify_daily(gappy, date_col="day", value_col="v", group_cols=("g",))
+        a = [r for r in out if r["g"] == "a"]
+        assert [r["day"].day for r in a] == [1, 2, 3, 4]
+        assert [r["v"] for r in a] == [3.0, 0.0, 0.0, 5.0]
+
+    def test_custom_fill(self, gappy):
+        out = densify_daily(gappy, date_col="day", value_col="v",
+                            group_cols=("g",), fill=-1.0)
+        a = [r["v"] for r in out if r["g"] == "a"]
+        assert a == [3.0, -1.0, -1.0, 5.0]
+
+    def test_same_day_aggregates(self, gappy):
+        count = densify_daily(gappy, date_col="day", value_col="v",
+                              group_cols=("g",), aggregate="count")
+        assert [r["v"] for r in count if r["g"] == "a"][0] == 2.0
+        mean = densify_daily(gappy, date_col="day", value_col="v",
+                             group_cols=("g",), aggregate="mean")
+        assert [r["v"] for r in mean if r["g"] == "a"][0] == 1.5
+
+    def test_groups_independent(self, gappy):
+        out = densify_daily(gappy, date_col="day", value_col="v", group_cols=("g",))
+        b = [r for r in out if r["g"] == "b"]
+        assert [r["day"].day for r in b] == [2, 3]
+
+    def test_no_groups(self, gappy):
+        out = densify_daily(gappy, date_col="day", value_col="v")
+        assert [r["day"].day for r in out] == [1, 2, 3, 4]
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError):
+            densify_daily([{"day": "2001-01-01", "v": 1.0}],
+                          date_col="day", value_col="v")
+
+    def test_unknown_aggregate(self, gappy):
+        with pytest.raises(ValueError):
+            densify_daily(gappy, date_col="day", value_col="v", aggregate="median")
+
+    def test_empty_input(self):
+        assert densify_daily([], date_col="day", value_col="v") == []
+
+
+class TestEndToEnd:
+    def test_rows_frame_becomes_day_window(self):
+        """After densification, a 3-ROWS frame really is a 3-day window."""
+        from repro.warehouse import DataWarehouse
+
+        rows = [
+            {"day": d(1), "v": 10.0},
+            {"day": d(2), "v": 20.0},
+            # days 3-4 missing
+            {"day": d(5), "v": 50.0},
+        ]
+        dense = densify_daily(rows, date_col="day", value_col="v")
+        wh = DataWarehouse()
+        wh.create_table("s", [("day", "DATE"), ("v", "FLOAT")])
+        wh.insert("s", [(r["day"], r["v"]) for r in dense])
+        res = wh.query(
+            "SELECT day, SUM(v) OVER (ORDER BY day ROWS BETWEEN 1 PRECEDING "
+            "AND 1 FOLLOWING) s FROM s ORDER BY day")
+        raw = [r["v"] for r in dense]
+        assert_close(res.column("s"), brute_window(raw, sliding(1, 1)))
+        # Day 5's centered window covers days 4-5 only: 0 + 50.
+        assert res.rows[-1][1] == pytest.approx(50.0)

@@ -1,0 +1,78 @@
+"""EXPLAIN: cheap, non-executing, and consistent with actual execution."""
+
+import pytest
+
+from repro.warehouse import DataWarehouse, create_sequence_table
+
+
+@pytest.fixture
+def wh():
+    wh = DataWarehouse()
+    create_sequence_table(wh.db, "seq", 30, seed=3)
+    wh.create_view("mv", "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS "
+                   "BETWEEN 2 PRECEDING AND 1 FOLLOWING) s FROM seq")
+    return wh
+
+
+QUERIES = [
+    ("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING AND "
+     "1 FOLLOWING) s FROM seq", {}),
+    ("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING AND "
+     "1 FOLLOWING) s FROM seq", {}),
+    ("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS UNBOUNDED PRECEDING) s "
+     "FROM seq", {}),
+    ("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING AND "
+     "1 FOLLOWING) s FROM seq", {"algorithm": "maxoa"}),
+    ("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING AND "
+     "1 FOLLOWING) s FROM seq", {"mode": "memory"}),
+]
+
+
+class TestExplainConsistency:
+    @pytest.mark.parametrize("sql,options", QUERIES)
+    def test_explain_predicts_execution(self, wh, sql, options):
+        """The EXPLAIN text must name the view/algorithm/mode that query()
+        then actually uses."""
+        text = wh.explain(sql, **options)
+        result = wh.query(sql, **options)
+        assert result.rewrite is not None
+        info = result.rewrite
+        assert f"view {info.view!r}" in text
+        assert info.algorithm in text
+        assert info.mode in text
+
+    def test_explain_native_fallback(self, wh):
+        text = wh.explain("SELECT pos, AVG(val) OVER (ORDER BY pos ROWS 2 "
+                          "PRECEDING) a FROM seq")
+        assert text.startswith("NATIVE PLAN:")
+        assert "WindowOperator" in text
+
+    def test_explain_avg_combination(self, wh):
+        wh.create_view("mc", "SELECT pos, COUNT(val) OVER (ORDER BY pos ROWS "
+                       "BETWEEN 2 PRECEDING AND 1 FOLLOWING) c FROM seq")
+        text = wh.explain("SELECT pos, AVG(val) OVER (ORDER BY pos ROWS 2 "
+                          "PRECEDING) a FROM seq")
+        assert "avg_combination" in text
+        assert "mv" in text and "mc" in text
+
+    def test_explain_does_not_execute(self, wh, monkeypatch):
+        """EXPLAIN must not run the derivation (that's the whole point)."""
+        import repro.sql.rewriter as rewriter_module
+
+        def boom(*args, **kwargs):  # pragma: no cover - should never run
+            raise AssertionError("EXPLAIN executed the rewrite")
+
+        monkeypatch.setattr(rewriter_module, "_match_rows", boom)
+        text = wh.explain("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS "
+                          "BETWEEN 3 PRECEDING AND 1 FOLLOWING) s FROM seq")
+        assert text.startswith("REWRITE")
+
+    def test_explain_reductions(self, wh):
+        wh.create_table("s", [("g", "TEXT"), ("pos", "INTEGER"), ("v", "FLOAT")])
+        wh.insert("s", [(g, i, float(i)) for g in "ab" for i in range(1, 6)])
+        wh.create_view("pmv", "SELECT g, pos, SUM(v) OVER (PARTITION BY g "
+                       "ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 "
+                       "FOLLOWING) w FROM s")
+        text = wh.explain("SELECT pos, SUM(v) OVER (ORDER BY pos ROWS "
+                          "BETWEEN 1 PRECEDING AND 1 FOLLOWING) w FROM s")
+        assert "partition_reduction" in text

@@ -1,0 +1,82 @@
+"""Splitting a multi-window query into one view per reporting function."""
+
+import pytest
+
+from repro.errors import ViewError
+from repro.warehouse import DataWarehouse, load_credit_card_warehouse
+
+INTRO_QUERY = """
+SELECT c_date, c_transaction,
+  SUM(c_transaction) OVER ( ORDER BY c_date ROWS UNBOUNDED PRECEDING )
+      AS cum_sum_total,
+  SUM(c_transaction) OVER ( PARTITION BY c_locid ORDER BY c_date
+      ROWS UNBOUNDED PRECEDING ) AS cum_sum_shop,
+  AVG(c_transaction) OVER ( ORDER BY c_date
+      ROWS BETWEEN 1 PRECEDING AND 1 FOLLOWING) AS mvg3,
+  AVG(c_transaction) OVER ( ORDER BY c_date
+      ROWS BETWEEN CURRENT ROW AND 6 FOLLOWING) AS mvg7
+FROM c_transactions
+WHERE c_custid = 4711
+"""
+
+
+@pytest.fixture
+def wh():
+    wh = DataWarehouse()
+    load_credit_card_warehouse(wh.db, customers=(4711,), days=40, seed=4)
+    return wh
+
+
+class TestCreateViewsForQuery:
+    def test_one_view_per_call(self, wh):
+        views = wh.create_views_for_query("intro", INTRO_QUERY)
+        assert [v.name for v in views] == ["intro_1", "intro_2", "intro_3", "intro_4"]
+        assert views[0].definition.window.is_cumulative
+        assert views[1].definition.partition_by == ("c_locid",)
+        assert views[2].definition.aggregate_name == "AVG"
+
+    def test_views_answer_their_windows(self, wh):
+        wh.create_views_for_query("intro", INTRO_QUERY)
+        res = wh.query(
+            "SELECT c_date, SUM(c_transaction) OVER (ORDER BY c_date "
+            "ROWS UNBOUNDED PRECEDING) t FROM c_transactions "
+            "WHERE c_custid = 4711 ORDER BY c_date")
+        assert res.rewrite is not None and res.rewrite.view == "intro_1"
+        native = wh.query(
+            "SELECT c_date, SUM(c_transaction) OVER (ORDER BY c_date "
+            "ROWS UNBOUNDED PRECEDING) t FROM c_transactions "
+            "WHERE c_custid = 4711 ORDER BY c_date", use_views=False)
+        assert [round(r[1], 6) for r in res.rows] == \
+            [round(r[1], 6) for r in native.rows]
+
+    def test_derivation_across_the_family(self, wh):
+        wh.create_views_for_query("intro", INTRO_QUERY)
+        # A new sliding SUM derives from the cumulative view intro_1.
+        res = wh.query(
+            "SELECT c_date, SUM(c_transaction) OVER (ORDER BY c_date "
+            "ROWS BETWEEN 6 PRECEDING AND CURRENT ROW) w FROM c_transactions "
+            "WHERE c_custid = 4711 ORDER BY c_date")
+        assert res.rewrite is not None
+        assert res.rewrite.view == "intro_1"
+        assert res.rewrite.algorithm == "cumulative"
+
+    def test_ranking_calls_skipped(self, wh):
+        views = wh.create_views_for_query(
+            "mix",
+            "SELECT RANK() OVER (ORDER BY c_date) r, "
+            "SUM(c_transaction) OVER (ORDER BY c_date ROWS 2 PRECEDING) s "
+            "FROM c_transactions")
+        # Only the SUM call became a view (named by call position).
+        assert [v.name for v in views] == ["mix_2"]
+
+    def test_nothing_materializable(self, wh):
+        with pytest.raises(ViewError):
+            wh.create_views_for_query(
+                "bad", "SELECT RANK() OVER (ORDER BY c_date) r FROM c_transactions")
+
+    def test_multi_table_rejected(self, wh):
+        with pytest.raises(ViewError):
+            wh.create_views_for_query(
+                "bad",
+                "SELECT SUM(c_transaction) OVER (ORDER BY c_date ROWS 1 "
+                "PRECEDING) s FROM c_transactions, l_locations")

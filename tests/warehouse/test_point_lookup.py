@@ -1,0 +1,91 @@
+"""Point lookups: single derived values from views (wh.value_at)."""
+
+import pytest
+
+from repro.core.window import cumulative, sliding
+from repro.errors import DerivationError, MaintenanceError
+from repro.warehouse import DataWarehouse, create_sequence_table
+from tests.conftest import brute_window
+
+
+@pytest.fixture
+def wh():
+    wh = DataWarehouse()
+    wh.raw = create_sequence_table(wh.db, "seq", 30, seed=55)
+    wh.create_view("mv", "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS "
+                   "BETWEEN 2 PRECEDING AND 1 FOLLOWING) s FROM seq")
+    return wh
+
+
+class TestValueAt:
+    def test_identity_lookup(self, wh):
+        expected = brute_window(wh.raw, sliding(2, 1))
+        assert wh.value_at("mv", 7) == pytest.approx(expected[6])
+
+    @pytest.mark.parametrize("k", [1, 2, 15, 30])
+    def test_derived_window_lookup(self, wh, k):
+        expected = brute_window(wh.raw, sliding(3, 2))
+        got = wh.value_at("mv", k, window=sliding(3, 2))
+        assert got == pytest.approx(expected[k - 1])
+
+    @pytest.mark.parametrize("algorithm", ["maxoa", "minoa"])
+    def test_forced_algorithms_agree(self, wh, algorithm):
+        expected = brute_window(wh.raw, sliding(3, 1))
+        got = wh.value_at("mv", 12, window=sliding(3, 1), algorithm=algorithm)
+        assert got == pytest.approx(expected[11])
+
+    def test_cumulative_target(self, wh):
+        got = wh.value_at("mv", 20, window=cumulative())
+        assert got == pytest.approx(sum(wh.raw[:20]))
+
+    def test_narrower_window(self, wh):
+        expected = brute_window(wh.raw, sliding(1, 0))
+        assert wh.value_at("mv", 9, window=sliding(1, 0)) == pytest.approx(expected[8])
+
+    def test_unknown_key(self, wh):
+        with pytest.raises(MaintenanceError):
+            wh.value_at("mv", 999)
+
+    def test_partitioned_view(self):
+        wh = DataWarehouse()
+        wh.create_table("s", [("g", "TEXT"), ("pos", "INTEGER"), ("v", "FLOAT")])
+        data = {"a": [1.0, 2.0, 3.0, 4.0], "b": [10.0, 20.0, 30.0, 40.0]}
+        wh.insert("s", [(g, i, v) for g, vals in data.items()
+                        for i, v in enumerate(vals, 1)])
+        wh.create_view("mv", "SELECT g, pos, SUM(v) OVER (PARTITION BY g "
+                       "ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 "
+                       "FOLLOWING) w FROM s")
+        got = wh.value_at("mv", 2, partition_key=("b",), window=sliding(2, 1))
+        assert got == pytest.approx(10.0 + 20.0 + 30.0)
+
+    def test_minmax_restriction(self):
+        wh = DataWarehouse()
+        create_sequence_table(wh.db, "seq", 10, seed=1)
+        wh.create_view("mx", "SELECT pos, MAX(val) OVER (ORDER BY pos ROWS "
+                       "BETWEEN 1 PRECEDING AND 1 FOLLOWING) m FROM seq")
+        with pytest.raises(DerivationError):
+            wh.value_at("mx", 5, window=sliding(0, 1))  # narrower: underivable
+
+
+class TestResultCsv:
+    def test_round_trip(self, wh, tmp_path):
+        res = wh.query("SELECT pos, val FROM seq ORDER BY pos LIMIT 5",
+                       use_views=False)
+        path = tmp_path / "out.csv"
+        assert res.to_csv(str(path)) == 5
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "pos,val"
+        assert len(lines) == 6
+
+    def test_nulls_and_dates(self, tmp_path):
+        import datetime
+
+        from repro.relational import DATE, Database, FLOAT, INTEGER
+
+        db = Database()
+        db.create_table("t", [("d", DATE), ("v", FLOAT)])
+        db.insert("t", [(datetime.date(2001, 2, 3), None)])
+        res = db.sql("SELECT d, v FROM t")
+        path = tmp_path / "x.csv"
+        res.to_csv(str(path))
+        assert path.read_text().strip().splitlines()[1] == "2001-02-03,"

@@ -1,0 +1,127 @@
+"""Semantic query caching (the paper's WATCHMAN-style motivation)."""
+
+import pytest
+
+from repro.core.window import sliding
+from repro.errors import ViewError
+from repro.warehouse import DataWarehouse, create_sequence_table
+from tests.conftest import assert_close, brute_window
+
+N = 40
+
+
+def query_for(l, h):
+    return (f"SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN {l} "
+            f"PRECEDING AND {h} FOLLOWING) s FROM seq ORDER BY pos")
+
+
+@pytest.fixture
+def wh():
+    wh = DataWarehouse()
+    wh.raw = create_sequence_table(wh.db, "seq", N, seed=33)
+    wh.enable_query_cache(max_views=3)
+    return wh
+
+
+class TestAdmission:
+    def test_first_query_admits_a_view(self, wh):
+        res = wh.query(query_for(2, 1))
+        # The miss admits the shape; the query itself is then answered from
+        # the fresh view (identity derivation).
+        assert res.rewrite is not None
+        assert res.rewrite.view.startswith("__cache_")
+        assert res.rewrite.algorithm == "identity"
+        assert wh.cache.stats.admissions == 1
+        assert_close(res.column("s"), brute_window(wh.raw, sliding(2, 1)))
+
+    def test_same_query_hits(self, wh):
+        wh.query(query_for(2, 1))
+        res = wh.query(query_for(2, 1))
+        assert res.rewrite is not None and wh.cache.stats.hits == 1
+        assert wh.cache.stats.admissions == 1
+
+    def test_different_window_hits_via_derivation(self, wh):
+        wh.query(query_for(2, 1))
+        res = wh.query(query_for(3, 1))
+        assert res.rewrite is not None
+        assert res.rewrite.algorithm in ("maxoa", "minoa")
+        assert wh.cache.stats.hits == 1
+        assert wh.cache.stats.admissions == 1  # no second view needed
+        assert_close(res.column("s"), brute_window(wh.raw, sliding(3, 1)))
+
+    def test_non_window_queries_ignored(self, wh):
+        wh.query("SELECT COUNT(*) c FROM seq")
+        assert wh.cache.stats.admissions == 0
+
+    def test_use_views_false_bypasses_cache(self, wh):
+        res = wh.query(query_for(2, 1), use_views=False)
+        assert res.rewrite is None
+        assert wh.cache.stats.admissions == 0
+
+
+class TestEviction:
+    def test_lru_eviction(self, wh):
+        # MIN/MAX views are only derivable within MaxOA reach, so distinct
+        # far-apart MAX windows each force their own admission.
+        def maxq(l):
+            return (f"SELECT pos, MAX(val) OVER (ORDER BY pos ROWS BETWEEN "
+                    f"{l} PRECEDING AND {l} FOLLOWING) m FROM seq")
+
+        for l in (1, 5, 17, 53):
+            wh.query(maxq(l))
+        assert wh.cache.stats.admissions == 4
+        assert wh.cache.stats.evictions == 1
+        assert len(wh.cache.cached_views()) == 3
+
+    def test_hit_refreshes_lru_position(self, wh):
+        def maxq(l):
+            return (f"SELECT pos, MAX(val) OVER (ORDER BY pos ROWS BETWEEN "
+                    f"{l} PRECEDING AND {l} FOLLOWING) m FROM seq")
+
+        wh.query(maxq(1))
+        first = wh.cache.cached_views()[0]
+        wh.query(maxq(5))
+        wh.query(maxq(17))
+        wh.query(maxq(1))  # hit: refresh LRU position of the first view
+        wh.query(maxq(53))  # evicts the least recently used (the l=5 one)
+        assert first in wh.cache.cached_views()
+
+    def test_clear(self, wh):
+        wh.query(query_for(2, 1))
+        names = wh.cache.cached_views()
+        wh.cache.clear()
+        assert wh.cache.cached_views() == []
+        for name in names:
+            assert name not in wh.views
+
+
+class TestInteraction:
+    def test_explicit_views_not_evicted(self, wh):
+        wh.create_view("manual", "SELECT pos, SUM(val) OVER (ORDER BY pos "
+                       "ROWS BETWEEN 9 PRECEDING AND 9 FOLLOWING) s FROM seq")
+
+        def maxq(l):
+            return (f"SELECT pos, MAX(val) OVER (ORDER BY pos ROWS BETWEEN "
+                    f"{l} PRECEDING AND {l} FOLLOWING) m FROM seq")
+
+        for l in (1, 5, 17, 53):
+            wh.query(maxq(l))
+        assert "manual" in wh.views  # never a cache victim
+
+    def test_hit_rate(self, wh):
+        wh.query(query_for(2, 1))
+        wh.query(query_for(2, 1))
+        wh.query(query_for(3, 2))
+        assert wh.cache.stats.hits == 2
+        assert wh.cache.stats.misses == 1
+        assert wh.cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_invalid_capacity(self, wh):
+        with pytest.raises(ViewError):
+            wh.enable_query_cache(max_views=0)
+
+    def test_cache_off_by_default(self):
+        wh = DataWarehouse()
+        create_sequence_table(wh.db, "seq", 10, seed=0)
+        res = wh.query(query_for(1, 1))
+        assert res.rewrite is None  # no cache, no views -> native

@@ -1,0 +1,91 @@
+"""Synthetic workload generators."""
+
+import datetime
+
+import pytest
+
+from repro.relational import Database
+from repro.warehouse.workload import (
+    create_credit_card_schema,
+    create_sequence_table,
+    generate_locations,
+    generate_transactions,
+    load_credit_card_warehouse,
+    sequence_values,
+)
+
+
+class TestSequenceValues:
+    def test_deterministic(self):
+        assert sequence_values(50, seed=3) == sequence_values(50, seed=3)
+        assert sequence_values(50, seed=3) != sequence_values(50, seed=4)
+
+    def test_uniform_range(self):
+        vals = sequence_values(200, seed=1, low=10.0, high=20.0)
+        assert all(10.0 <= v < 20.0 for v in vals)
+
+    def test_walk_is_smooth(self):
+        vals = sequence_values(200, seed=1, distribution="walk", low=0, high=100)
+        steps = [abs(a - b) for a, b in zip(vals, vals[1:])]
+        assert max(steps) <= 2.0  # step bounded by (high-low)/50
+
+    def test_seasonal_differs_from_walk(self):
+        walk = sequence_values(100, seed=1, distribution="walk")
+        seasonal = sequence_values(100, seed=1, distribution="seasonal")
+        assert walk != seasonal
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            sequence_values(10, distribution="lognormal")
+
+
+class TestSequenceTable:
+    def test_create_with_pk(self):
+        db = Database()
+        values = create_sequence_table(db, "seq", 30, seed=0)
+        assert len(values) == 30
+        assert len(db.table("seq")) == 30
+        assert db.table("seq").find_index(["pos"], sorted_only=True) is not None
+
+    def test_create_without_pk(self):
+        db = Database()
+        create_sequence_table(db, "seq", 30, seed=0, primary_key=False)
+        assert db.table("seq").find_index(["pos"]) is None
+
+    def test_recreate_replaces(self):
+        db = Database()
+        create_sequence_table(db, "seq", 30, seed=0)
+        create_sequence_table(db, "seq", 10, seed=0)
+        assert len(db.table("seq")) == 10
+
+
+class TestCreditCard:
+    def test_locations_cycle_cities(self):
+        rows = generate_locations(12)
+        assert len(rows) == 12
+        assert rows[0][0] == 1
+        assert rows[10][1] == rows[0][1]  # city list cycles
+
+    def test_transactions_dense_days(self):
+        rows = generate_transactions(customers=(1,), days=5, seed=0)
+        dates = [r[3] for r in rows]
+        assert len(set(dates)) == 5
+        assert max(dates) - min(dates) == datetime.timedelta(days=4)
+
+    def test_transaction_ids_unique(self):
+        rows = generate_transactions(customers=(1, 2), days=10, seed=0)
+        ids = [r[0] for r in rows]
+        assert len(set(ids)) == len(ids) == 20
+
+    def test_load_whole_warehouse(self):
+        db = Database()
+        count = load_credit_card_warehouse(db, customers=(4711,), days=30)
+        assert count == 30
+        assert len(db.table("l_locations")) == 10
+        res = db.sql("SELECT COUNT(*) AS c FROM c_transactions, l_locations "
+                     "WHERE c_locid = l_locid")
+        assert res.rows == [(30,)]
+
+    def test_amounts_in_range(self):
+        rows = generate_transactions(customers=(1,), days=50, seed=2)
+        assert all(5.0 <= r[4] <= 500.0 for r in rows)
