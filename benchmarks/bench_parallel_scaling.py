@@ -1,0 +1,123 @@
+"""Parallel window-computation scaling benchmark (standalone script).
+
+Measures wall-clock time of the chunked parallel subsystem against the
+serial pipelined kernel (the paper's §2.2 algorithm — the baseline every
+other strategy in this repo is judged against) for a sliding-window SUM
+over a large sequence, sweeping the worker count.
+
+Results are written as a JSON artifact (speedup per worker count plus a
+correctness field recording whether the parallel output matched the serial
+one exactly or within floating-point summation-order tolerance), so CI can
+archive the numbers next to the test logs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py \
+        [--rows 5000000] [--workers 1,2,4] [--backend thread] \
+        [--chunk-size 262144] [--out parallel_scaling.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List
+
+from repro.core.compute import compute_pipelined
+from repro.core.window import sliding
+from repro.parallel import ExecutionConfig, compute_parallel
+from repro.warehouse import sequence_values
+
+
+def _worker_list(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid worker list {text!r}") from None
+
+
+def _compare(got: List[float], expected: List[float]) -> str:
+    """Classify a result: 'bit-identical', 'fp-equivalent', or 'MISMATCH'."""
+    if got == expected:
+        return "bit-identical"
+    for a, b in zip(got, expected):
+        if abs(a - b) > 1e-7 * max(1.0, abs(b)):
+            return "MISMATCH"
+    return "fp-equivalent"
+
+
+def main(argv=None) -> int:
+    """Run the sweep and write the JSON artifact; exit 1 on a mismatch."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=5_000_000)
+    parser.add_argument("--workers", type=_worker_list, default=[1, 2, 4])
+    parser.add_argument("--backend", choices=["thread", "process"], default="thread")
+    parser.add_argument("--chunk-size", type=int, default=262_144)
+    parser.add_argument("--preceding", type=int, default=5)
+    parser.add_argument("--following", type=int, default=5)
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="timing repetitions; the best run is recorded")
+    parser.add_argument("--out", default="parallel_scaling.json")
+    args = parser.parse_args(argv)
+
+    window = sliding(args.preceding, args.following)
+    print(f"generating {args.rows} raw values ...", flush=True)
+    raw = sequence_values(args.rows, seed=42)
+
+    print("timing serial pipelined baseline ...", flush=True)
+    start = time.perf_counter()
+    expected = compute_pipelined(raw, window)
+    baseline = time.perf_counter() - start
+    for _ in range(args.repeat - 1):
+        start = time.perf_counter()
+        compute_pipelined(raw, window)
+        baseline = min(baseline, time.perf_counter() - start)
+
+    results = []
+    ok = True
+    for jobs in args.workers:
+        config = ExecutionConfig(
+            jobs=jobs, backend=args.backend, chunk_size=args.chunk_size
+        )
+        start = time.perf_counter()
+        got = compute_parallel(raw, window, config=config)
+        elapsed = time.perf_counter() - start
+        for _ in range(args.repeat - 1):
+            start = time.perf_counter()
+            compute_parallel(raw, window, config=config)
+            elapsed = min(elapsed, time.perf_counter() - start)
+        verdict = _compare(got, expected)
+        ok = ok and verdict != "MISMATCH"
+        results.append(
+            {
+                "workers": jobs,
+                "seconds": round(elapsed, 4),
+                "speedup_vs_serial_pipelined": round(baseline / elapsed, 2),
+                "correctness": verdict,
+            }
+        )
+        print(
+            f"  jobs={jobs}: {elapsed:.3f}s "
+            f"(x{baseline / elapsed:.2f}, {verdict})",
+            flush=True,
+        )
+
+    artifact = {
+        "benchmark": "parallel_scaling",
+        "rows": args.rows,
+        "window": str(window),
+        "backend": args.backend,
+        "chunk_size": args.chunk_size,
+        "serial_pipelined_seconds": round(baseline, 4),
+        "results": results,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2)
+    print(f"wrote {args.out}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

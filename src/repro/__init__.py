@@ -59,10 +59,17 @@ from repro.errors import (
     IncompleteSequenceError,
     MaintenanceError,
     NoRewriteError,
+    ParallelError,
     ReproError,
     SequenceError,
     ViewError,
     WindowError,
+)
+from repro.parallel import (
+    ExecutionConfig,
+    ExecutorPool,
+    Partitioner,
+    compute_parallel,
 )
 from repro.relational import Database, Result
 from repro.views import MaterializedSequenceView, SequenceViewDefinition
@@ -79,6 +86,8 @@ __all__ = [
     "DataWarehouse",
     "DerivationError",
     "DerivationPlan",
+    "ExecutionConfig",
+    "ExecutorPool",
     "IncompleteSequenceError",
     "MAX",
     "MIN",
@@ -86,6 +95,8 @@ __all__ = [
     "MaintenanceResult",
     "MaterializedSequenceView",
     "NoRewriteError",
+    "ParallelError",
+    "Partitioner",
     "PositionFunction",
     "QueryResult",
     "ReportingSequence",
@@ -103,6 +114,7 @@ __all__ = [
     "apply_update",
     "compute",
     "compute_naive",
+    "compute_parallel",
     "compute_pipelined",
     "cumulative",
     "derivable",

@@ -2,10 +2,11 @@
 
 Usage::
 
-    python -m repro demo [--rows N]
+    python -m repro demo [--rows N] [--jobs J --backend thread|process]
     python -m repro table1 [--sizes 500,1000,2000]
     python -m repro table2 [--sizes 100,500,1000]
     python -m repro advise --query "SELECT ..." [--query "..."]
+    python -m repro parallel [--rows N] [--jobs 1,2,4] [--backend thread]
 
 The ``table1``/``table2`` subcommands rerun the paper's evaluation sweeps
 with simple wall-clock timing and print rows in the papers' table layout
@@ -22,11 +23,27 @@ from typing import List, Optional, Sequence
 
 from repro.core.complete import CompleteSequence
 from repro.core.window import sliding
+from repro.parallel import BACKENDS, ExecutionConfig
 from repro.relational import Database, FLOAT, INTEGER
 from repro.sql.patterns import maxoa_pattern, minoa_pattern
 from repro.warehouse import DataWarehouse, create_sequence_table, sequence_values
 
 __all__ = ["main"]
+
+
+def _exec_config(args: argparse.Namespace) -> Optional[ExecutionConfig]:
+    """Build an ExecutionConfig from --jobs/--backend/--chunk-size flags.
+
+    ``--jobs`` left at its default (``None``) means serial execution; ``0``
+    asks for one worker per CPU.
+    """
+    if args.jobs is None:
+        return None
+    return ExecutionConfig(
+        jobs=args.jobs,
+        backend=args.backend,
+        chunk_size=args.chunk_size,
+    )
 
 
 def _sizes(text: str) -> List[int]:
@@ -44,7 +61,10 @@ def _timed(fn, *args, **kwargs) -> float:
 
 def cmd_demo(args: argparse.Namespace) -> int:
     """End-to-end demo: build a table, materialize a view, derive a query."""
-    wh = DataWarehouse()
+    config = _exec_config(args)
+    wh = DataWarehouse(execution=config)
+    if config is not None:
+        print(f"execution: {config.describe()}")
     create_sequence_table(wh.db, "seq", args.rows, seed=1, distribution="walk")
     wh.create_view(
         "mv",
@@ -109,6 +129,30 @@ def cmd_table2(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_parallel(args: argparse.Namespace) -> int:
+    """Scaling table: chunked parallel window computation vs the serial kernel."""
+    from repro.core.compute import compute_pipelined
+    from repro.parallel import compute_parallel
+
+    window = sliding(args.preceding, args.following)
+    raw = sequence_values(args.rows, seed=7)
+    print(
+        f"parallel scaling: SUM over {window}, {args.rows} rows, "
+        f"backend={args.backend}, chunk_size={args.chunk_size}"
+    )
+    baseline = _timed(compute_pipelined, raw, window)
+    print(f"{'jobs':>6} | {'seconds':>9} | {'speedup':>8}")
+    print(f"{'serial':>6} | {baseline:>9.3f} | {1.0:>8.2f}")
+    for jobs in args.jobs_list:
+        config = ExecutionConfig(
+            jobs=jobs, backend=args.backend, chunk_size=args.chunk_size
+        )
+        elapsed = _timed(compute_parallel, raw, window, config=config)
+        speedup = baseline / elapsed if elapsed > 0 else float("inf")
+        print(f"{jobs:>6} | {elapsed:>9.3f} | {speedup:>8.2f}")
+    return 0
+
+
 def cmd_advise(args: argparse.Namespace) -> int:
     """Recommend view windows for a workload of reporting-function SQL."""
     wh = DataWarehouse()
@@ -138,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="end-to-end view derivation demo")
     demo.add_argument("--rows", type=int, default=200)
+    _add_parallel_flags(demo)
     demo.set_defaults(func=cmd_demo)
 
     t1 = sub.add_parser("table1", help="rerun the paper's Table 1 sweep")
@@ -153,7 +198,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="a reporting-function SELECT (repeatable)")
     advise.add_argument("--top", type=int, default=3)
     advise.set_defaults(func=cmd_advise)
+
+    par = sub.add_parser("parallel", help="parallel window-computation scaling table")
+    par.add_argument("--rows", type=int, default=500_000)
+    par.add_argument("--jobs", dest="jobs_list", type=_sizes, default=[1, 2, 4],
+                     help="comma-separated worker counts, e.g. 1,2,4")
+    par.add_argument("--backend", choices=[b for b in BACKENDS if b != "serial"],
+                     default="thread")
+    par.add_argument("--chunk-size", type=int, default=65536)
+    par.add_argument("--preceding", type=int, default=5)
+    par.add_argument("--following", type=int, default=5)
+    par.set_defaults(func=cmd_parallel)
     return parser
+
+
+def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared --jobs/--backend/--chunk-size execution flags."""
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel workers (0 = one per CPU; omit for serial)")
+    parser.add_argument("--backend", choices=list(BACKENDS), default="thread")
+    parser.add_argument("--chunk-size", type=int, default=65536)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

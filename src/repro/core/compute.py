@@ -18,6 +18,13 @@ of elementary aggregate operations in an :class:`OpCounter`, which the
 ablation benchmark uses to demonstrate the O(w)-vs-O(1) claim independent of
 wall clocks.
 
+Every strategy shares one empty-input contract: the paper's sequence model
+starts at position 1, so there is no sequence over zero raw values, and all
+of :func:`compute_naive`, :func:`compute_pipelined`,
+:func:`~repro.core.vectorized.compute_vectorized`, the streaming operators,
+and the parallel subsystem raise :class:`~repro.errors.SequenceError` for
+``raw == []`` instead of each picking its own degenerate behaviour.
+
 MIN/MAX have no subtraction, so the sliding-window pipeline falls back to a
 monotonic-deque algorithm (same O(1) amortised per-position cost); the paper
 mentions MIN/MAX "whenever the application is permitted".
@@ -34,6 +41,15 @@ from repro.core.window import WindowSpec
 from repro.errors import SequenceError
 
 __all__ = ["OpCounter", "compute_naive", "compute_pipelined", "compute"]
+
+
+def _require_nonempty(raw: Sequence[float]) -> None:
+    """Shared empty-input contract of all computation strategies."""
+    if len(raw) == 0:
+        raise SequenceError(
+            "cannot compute a sequence over empty raw data (the sequence "
+            "model has no position 1)"
+        )
 
 
 @dataclass
@@ -56,7 +72,12 @@ def compute_naive(
     aggregate: Aggregate = SUM,
     counter: Optional[OpCounter] = None,
 ) -> List[float]:
-    """Explicit-form evaluation: ``O(W(k))`` work at each position ``k``."""
+    """Explicit-form evaluation: ``O(W(k))`` work at each position ``k``.
+
+    Raises:
+        SequenceError: on empty input.
+    """
+    _require_nonempty(raw)
     n = len(raw)
     out: List[float] = []
     for k in range(1, n + 1):
@@ -80,8 +101,6 @@ def _pipelined_sum(
     """Sliding-window SUM via ``x̃_k = x̃_{k-1} + x_{k+h} - x_{k-l-1}``."""
     n = len(raw)
     out: List[float] = []
-    if n == 0:
-        return out
     # Seed x̃_1 explicitly (window 1-l .. 1+h clipped to data).
     acc = sum(raw[0 : min(1 + h, n)])
     if counter is not None:
@@ -145,9 +164,10 @@ def compute_pipelined(
     """Recursive-form evaluation: O(1) amortised work per position.
 
     Raises:
-        SequenceError: for aggregates with no pipelined form (none currently;
-            AVG pipelines through SUM and COUNT).
+        SequenceError: on empty input, or for aggregates with no pipelined
+            form (none currently; AVG pipelines through SUM and COUNT).
     """
+    _require_nonempty(raw)
     n = len(raw)
     if window.is_cumulative:
         if aggregate in (SUM, COUNT):
@@ -203,8 +223,17 @@ def compute(
     """Compute ``[x̃_1, ..., x̃_n]`` with the chosen strategy.
 
     Args:
-        strategy: ``"pipelined"`` (default) or ``"naive"``.
+        strategy: ``"pipelined"`` (default), ``"naive"``, ``"vectorized"``,
+            or ``"parallel"`` (chunked execution with the default
+            :class:`~repro.parallel.config.ExecutionConfig`).
+
+    Raises:
+        SequenceError: on empty input or an unknown strategy.
     """
+    if strategy == "parallel":
+        from repro.parallel.compute import compute_parallel
+
+        return compute_parallel(raw, window, aggregate)
     if strategy == "pipelined":
         return compute_pipelined(raw, window, aggregate, counter)
     if strategy == "naive":

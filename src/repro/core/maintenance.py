@@ -36,19 +36,52 @@ otherwise — the rules stay *local* either way.
 
 Each function mutates the raw list and the :class:`CompleteSequence` in
 place and returns a :class:`MaintenanceResult` with locality statistics.
+
+The MIN/MAX fallback recomputes up to ``w`` windows explicitly — O(w²) raw
+touches for wide windows.  All three rules therefore gather the positions
+to recompute first and evaluate them as one batch through an *evaluator*
+callable ``(raw, positions) -> values``; the default evaluates serially,
+and the view layer passes
+:func:`repro.parallel.compute.evaluate_positions` to spread wide bands
+over the executor pool (the §2.3 band recomputation's parallel hook).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.aggregates import MAX, MIN, SUM, Aggregate
 from repro.core.complete import CompleteSequence
 from repro.core.sequence import SequenceSpec, raw_value
 from repro.errors import MaintenanceError
 
-__all__ = ["MaintenanceResult", "apply_update", "apply_insert", "apply_delete"]
+__all__ = [
+    "BandEvaluator",
+    "MaintenanceResult",
+    "apply_update",
+    "apply_insert",
+    "apply_delete",
+]
+
+#: Batch evaluator for MIN/MAX band recomputation: given the (new) raw data
+#: and the sequence positions whose windows must be rebuilt, return one value
+#: per position, in order.  ``None`` means evaluate serially in-process.
+BandEvaluator = Callable[[SequenceSpec, Sequence[float], Sequence[int]], List[float]]
+
+
+def _evaluate_band(
+    spec: SequenceSpec,
+    raw: Sequence[float],
+    positions: Sequence[int],
+    evaluator: Optional[BandEvaluator],
+) -> List[float]:
+    """Recompute the given positions' windows, serially or via ``evaluator``."""
+    if not positions:
+        return []
+    if evaluator is None:
+        return [spec.value_at(raw, i) for i in positions]
+    return evaluator(spec, raw, positions)
 
 
 @dataclass(frozen=True)
@@ -97,18 +130,25 @@ def _band(seq: CompleteSequence, k: int) -> range:
     return range(lo, hi + 1)
 
 
-def apply_update(raw: List[float], seq: CompleteSequence, k: int, v: float) -> MaintenanceResult:
+def apply_update(
+    raw: List[float],
+    seq: CompleteSequence,
+    k: int,
+    v: float,
+    *,
+    evaluator: Optional[BandEvaluator] = None,
+) -> MaintenanceResult:
     """Apply ``x_k := v`` to the raw data and the materialized sequence."""
     _check_position(seq, k)
     old = raw[k - 1]
     band = _band(seq, k)
     first, _ = seq.stored_range
     values = seq.to_list()
-    recomputed = 0
 
     if _is_minmax(seq.aggregate):
         spec = SequenceSpec(seq.window, seq.aggregate)
         raw[k - 1] = v
+        stale: List[int] = []
         for i in band:
             cur = values[i - first]
             improves = v <= cur if seq.aggregate is MIN else v >= cur
@@ -117,11 +157,12 @@ def apply_update(raw: List[float], seq: CompleteSequence, k: int, v: float) -> M
                 values[i - first] = v
             elif old == cur:
                 # The old extremum may have been x_k itself: recompute window.
-                values[i - first] = spec.value_at(raw, i)
-                recomputed += 1
+                stale.append(i)
             # else: extremum determined by other window members; unchanged.
+        for i, value in zip(stale, _evaluate_band(spec, raw, stale, evaluator)):
+            values[i - first] = value
         seq._replace_values(seq.n, values)
-        return MaintenanceResult("update", k, len(band) - recomputed, recomputed, 0)
+        return MaintenanceResult("update", k, len(band) - len(stale), len(stale), 0)
 
     delta = v - old
     raw[k - 1] = v
@@ -131,7 +172,14 @@ def apply_update(raw: List[float], seq: CompleteSequence, k: int, v: float) -> M
     return MaintenanceResult("update", k, len(band), 0, 0)
 
 
-def apply_insert(raw: List[float], seq: CompleteSequence, k: int, v: float) -> MaintenanceResult:
+def apply_insert(
+    raw: List[float],
+    seq: CompleteSequence,
+    k: int,
+    v: float,
+    *,
+    evaluator: Optional[BandEvaluator] = None,
+) -> MaintenanceResult:
     """Insert raw value ``v`` at position ``k``; old positions ``>= k`` shift right."""
     _check_position(seq, k, insert=True)
     window, agg = seq.window, seq.aggregate
@@ -156,6 +204,7 @@ def apply_insert(raw: List[float], seq: CompleteSequence, k: int, v: float) -> M
     spec = SequenceSpec(window, agg)
     raw_new = raw[: k - 1] + [v] + raw[k - 1 :]
 
+    stale: List[int] = []
     for i in range(first, last_new + 1):
         if i < k - h:
             new_values.append(old_value(i))
@@ -163,7 +212,8 @@ def apply_insert(raw: List[float], seq: CompleteSequence, k: int, v: float) -> M
             new_values.append(old_value(i - 1))
             shifted += 1
         elif minmax:
-            new_values.append(spec.value_at(raw_new, i))
+            new_values.append(0.0)  # placeholder; batch-filled below
+            stale.append(i)
             recomputed += 1
         elif i < k:
             new_values.append(old_value(i) + v - raw_value(raw, i + h))
@@ -172,12 +222,20 @@ def apply_insert(raw: List[float], seq: CompleteSequence, k: int, v: float) -> M
             new_values.append(old_value(i - 1) + v - raw_value(raw, i - l - 1))
             adjusted += 1
 
+    for i, value in zip(stale, _evaluate_band(spec, raw_new, stale, evaluator)):
+        new_values[i - first] = value
     raw.insert(k - 1, v)
     seq._replace_values(n_new, new_values)
     return MaintenanceResult("insert", k, adjusted, recomputed, shifted)
 
 
-def apply_delete(raw: List[float], seq: CompleteSequence, k: int) -> MaintenanceResult:
+def apply_delete(
+    raw: List[float],
+    seq: CompleteSequence,
+    k: int,
+    *,
+    evaluator: Optional[BandEvaluator] = None,
+) -> MaintenanceResult:
     """Delete raw position ``k``; old positions ``> k`` shift left."""
     _check_position(seq, k)
     window, agg = seq.window, seq.aggregate
@@ -203,6 +261,7 @@ def apply_delete(raw: List[float], seq: CompleteSequence, k: int) -> Maintenance
     spec = SequenceSpec(window, agg)
     raw_new = raw[: k - 1] + raw[k:]
 
+    stale: List[int] = []
     for i in range(first, last_new + 1):
         if i < k - h:
             new_values.append(old_value(i))
@@ -210,7 +269,8 @@ def apply_delete(raw: List[float], seq: CompleteSequence, k: int) -> Maintenance
             new_values.append(old_value(i + 1))
             shifted += 1
         elif minmax:
-            new_values.append(spec.value_at(raw_new, i))
+            new_values.append(0.0)  # placeholder; batch-filled below
+            stale.append(i)
             recomputed += 1
         elif i < k:
             new_values.append(old_value(i) - xk + raw_value(raw, i + h + 1))
@@ -219,6 +279,8 @@ def apply_delete(raw: List[float], seq: CompleteSequence, k: int) -> Maintenance
             new_values.append(old_value(i + 1) - xk + raw_value(raw, i - l))
             adjusted += 1
 
+    for i, value in zip(stale, _evaluate_band(spec, raw_new, stale, evaluator)):
+        new_values[i - first] = value
     del raw[k - 1]
     seq._replace_values(n_new, new_values)
     return MaintenanceResult("delete", k, adjusted, recomputed, shifted)

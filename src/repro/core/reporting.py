@@ -40,7 +40,7 @@ from repro.core.derivation import derive as derive_window_values
 from repro.core.derivation import prefix_up_to
 from repro.core.positions import PositionFunction
 from repro.core.reconstruct import raw_from_cumulative, raw_from_sliding
-from repro.core.sequence import CustomBoundsSequenceSpec
+from repro.core.sequence import CustomBoundsSequenceSpec, SequenceSpec
 from repro.core.window import WindowSpec
 from repro.errors import DerivationError, IncompleteSequenceError, SequenceError
 
@@ -93,11 +93,21 @@ class ReportingSequence:
         window: WindowSpec,
         aggregate: Aggregate = SUM,
         complete: bool = True,
+        exec_config=None,
     ) -> "ReportingSequence":
         """Materialize a reporting sequence from raw warehouse rows.
 
         Rows are dicts; within a partition they are sorted by the ordering
         columns (the reporting function's local ORDER BY).
+
+        Args:
+            exec_config: a parallel
+                :class:`~repro.parallel.config.ExecutionConfig` routes the
+                core-position computation of all partitions through one
+                executor pool (view refresh is the paper's §2.3 full
+                recomputation baseline — the expensive path); header and
+                trailer values (``l + h`` per partition) are evaluated
+                in-process.  ``None`` keeps the serial explicit form.
         """
         if not order_by:
             raise SequenceError("a reporting sequence needs ordering columns")
@@ -105,8 +115,10 @@ class ReportingSequence:
         for row in rows:
             key = tuple(row[c] for c in partition_by)
             groups.setdefault(key, []).append(row)
-        partitions: Dict[Key, PartitionData] = {}
-        for key in sorted(groups, key=repr):
+        keys: List[Key] = sorted(groups, key=repr)
+        order_keys_by_key: List[List[Key]] = []
+        raws: List[List[float]] = []
+        for key in keys:
             part_rows = sorted(
                 groups[key], key=lambda r: tuple(r[c] for c in order_by)
             )
@@ -116,11 +128,19 @@ class ReportingSequence:
                     f"duplicate ordering key within partition {key!r}; the "
                     "sequence model requires a strict linear order"
                 )
-            raw = [float(r[value_col]) for r in part_rows]
-            partitions[key] = PartitionData(
-                order_keys,
-                CompleteSequence.from_raw(raw, window, aggregate, complete=complete),
-            )
+            order_keys_by_key.append(order_keys)
+            raws.append([float(r[value_col]) for r in part_rows])
+        if exec_config is not None and exec_config.is_parallel and raws:
+            seqs = _sequences_parallel(raws, window, aggregate, complete, exec_config)
+        else:
+            seqs = [
+                CompleteSequence.from_raw(raw, window, aggregate, complete=complete)
+                for raw in raws
+            ]
+        partitions: Dict[Key, PartitionData] = {
+            key: PartitionData(order_keys, seq)
+            for key, order_keys, seq in zip(keys, order_keys_by_key, seqs)
+        }
         return cls(partition_by, order_by, window, aggregate, partitions)
 
     # -- inspection -------------------------------------------------------------
@@ -184,6 +204,41 @@ class ReportingSequence:
                     )
                 out[key] = raw_from_sliding(part.seq, form="recursive")
         return out
+
+
+def _sequences_parallel(
+    raws: Sequence[List[float]],
+    window: WindowSpec,
+    aggregate: Aggregate,
+    complete: bool,
+    exec_config,
+) -> List[CompleteSequence]:
+    """Build one :class:`CompleteSequence` per partition through the pool.
+
+    Core positions ``1..n`` go through
+    :func:`~repro.parallel.compute.compute_grouped_parallel` (one flat chunk
+    list over all partitions); the ``l + h`` header/trailer positions per
+    partition are cheap and evaluated with the explicit form in-process.
+    """
+    from repro.parallel.compute import compute_grouped_parallel
+
+    core_lists = compute_grouped_parallel(raws, window, aggregate, exec_config)
+    spec = SequenceSpec(window, aggregate)
+    seqs: List[CompleteSequence] = []
+    for raw, core in zip(raws, core_lists):
+        n = len(raw)
+        pairs: List[Tuple[int, float]] = list(zip(range(1, n + 1), core))
+        if complete:
+            first = 1 - window.header_span()
+            last = n + window.trailer_span()
+            for k in range(first, 1):
+                pairs.append((k, spec.value_at(raw, k)))
+            for k in range(n + 1, last + 1):
+                pairs.append((k, spec.value_at(raw, k)))
+        seqs.append(
+            CompleteSequence.from_values(window, aggregate, n, pairs, complete=complete)
+        )
+    return seqs
 
 
 def partitioning_reduction(

@@ -88,7 +88,17 @@ class SlidingWindowStream:
         return result
 
     def finish(self) -> List[float]:
-        """Flush the trailing ``h`` positions after the last push."""
+        """Flush the trailing ``h`` positions after the last push.
+
+        Raises:
+            SequenceError: when no value was ever pushed — an empty stream
+                has no sequence, matching the batch strategies' empty-input
+                contract.
+        """
+        if self._pushed == 0:
+            raise SequenceError(
+                "cannot finish an empty stream (no raw values were pushed)"
+            )
         out: List[float] = []
         while self._emitted < self._pushed:
             # Simulate the missing lookahead: absent raw values are 0, but
@@ -98,7 +108,12 @@ class SlidingWindowStream:
         return out
 
     def process(self, values) -> List[float]:
-        """Convenience: stream a whole iterable and return all outputs."""
+        """Convenience: stream a whole iterable and return all outputs.
+
+        Raises:
+            SequenceError: on an empty iterable (shared empty-input
+                contract of all computation strategies).
+        """
         out = [v for v in (self.push(x) for x in values) if v is not None]
         out.extend(self.finish())
         return out
@@ -130,4 +145,15 @@ class CumulativeStream:
         return self._acc
 
     def process(self, values) -> List[float]:
-        return [self.push(v) for v in values]
+        """Stream a whole iterable and return all outputs.
+
+        Raises:
+            SequenceError: on an empty iterable (shared empty-input
+                contract of all computation strategies).
+        """
+        out = [self.push(v) for v in values]
+        if not out:
+            raise SequenceError(
+                "cannot compute a sequence over an empty stream"
+            )
+        return out

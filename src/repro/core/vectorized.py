@@ -31,10 +31,17 @@ def compute_vectorized(
     window: WindowSpec,
     aggregate: Aggregate = SUM,
 ) -> List[float]:
-    """Compute ``[x̃_1 .. x̃_n]`` with NumPy bulk operations."""
+    """Compute ``[x̃_1 .. x̃_n]`` with NumPy bulk operations.
+
+    Raises:
+        SequenceError: on empty input (the strategies' shared contract).
+    """
     n = len(raw)
     if n == 0:
-        return []
+        raise SequenceError(
+            "cannot compute a sequence over empty raw data (the sequence "
+            "model has no position 1)"
+        )
     values = np.asarray(raw, dtype=np.float64)
 
     if window.is_cumulative:

@@ -42,6 +42,14 @@ class MaintenanceError(ReproError):
 
 
 # ---------------------------------------------------------------------------
+# Parallel execution (repro.parallel)
+# ---------------------------------------------------------------------------
+
+class ParallelError(ReproError):
+    """Invalid parallel-execution configuration or a failed worker task."""
+
+
+# ---------------------------------------------------------------------------
 # Relational engine (repro.relational)
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,95 @@
+"""Execution configuration for the partition-parallel subsystem.
+
+:class:`ExecutionConfig` is the single knob object threaded from the
+:class:`~repro.warehouse.warehouse.DataWarehouse` facade through the SQL
+planner down to the chunked sequence kernels.  It decides
+
+* **how many workers** run concurrently (``jobs``; ``0`` = one per CPU),
+* **how work is split** (``chunk_size`` — the minimum number of core
+  positions per chunk; long sequences are cut into roughly equal chunks of
+  at least this size),
+* **where chunks run** (``backend`` — ``"serial"``, ``"thread"``, or
+  ``"process"``), and
+* **which kernel** evaluates a chunk (``kernel`` — ``"auto"`` picks the
+  NumPy :func:`~repro.core.vectorized.compute_vectorized` bulk path,
+  ``"pipelined"`` forces the paper's scalar recursion).
+
+The default configuration is strictly serial and byte-for-byte equivalent
+to the historical single-threaded engine, so existing callers are
+unaffected unless they opt in.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import ParallelError
+
+__all__ = ["BACKENDS", "KERNELS", "ExecutionConfig"]
+
+BACKENDS = ("serial", "thread", "process")
+KERNELS = ("auto", "pipelined", "vectorized")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How sequence computations are split across workers.
+
+    Attributes:
+        jobs: worker count; ``0`` resolves to ``os.cpu_count()`` and ``1``
+            keeps everything on the calling thread.
+        chunk_size: minimum core positions per chunk; sequences shorter than
+            ``2 * chunk_size`` are never split.
+        backend: ``"serial"`` (in-process map), ``"thread"``
+            (``ThreadPoolExecutor`` — NumPy kernels release the GIL), or
+            ``"process"`` (``ProcessPoolExecutor`` — NumPy-backed chunks are
+            pickled to worker processes).
+        kernel: per-chunk computation kernel (``"auto"``/``"pipelined"``/
+            ``"vectorized"``).
+    """
+
+    jobs: int = 1
+    chunk_size: int = 65536
+    backend: str = "serial"
+    kernel: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ParallelError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.kernel not in KERNELS:
+            raise ParallelError(
+                f"unknown kernel {self.kernel!r}; expected one of {KERNELS}"
+            )
+        if self.jobs < 0:
+            raise ParallelError(f"jobs must be >= 0, got {self.jobs}")
+        if self.chunk_size < 1:
+            raise ParallelError(
+                f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+
+    @property
+    def resolved_jobs(self) -> int:
+        """Concrete worker count (``jobs=0`` resolves to the CPU count)."""
+        if self.jobs == 0:
+            return max(os.cpu_count() or 1, 1)
+        return self.jobs
+
+    @property
+    def is_parallel(self) -> bool:
+        """True when work may leave the calling thread."""
+        return self.backend != "serial" and self.resolved_jobs > 1
+
+    @staticmethod
+    def serial() -> "ExecutionConfig":
+        """The default single-threaded configuration."""
+        return ExecutionConfig()
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by EXPLAIN and the CLI)."""
+        return (
+            f"backend={self.backend} jobs={self.resolved_jobs} "
+            f"chunk_size={self.chunk_size} kernel={self.kernel}"
+        )

@@ -1,0 +1,172 @@
+"""Splitting sequence work into independently computable chunks.
+
+The paper's *complete sequence* (section 3.2) materializes a header
+(positions ``1-h .. 0``) and trailer (``n+1 .. n+l``) so a consumer can
+derive values without going back to raw data.  The same idea makes chunked
+evaluation embarrassingly parallel: a segment of a sliding-window sequence
+``[start .. stop]`` is fully determined by the raw values
+``x_{start-l} .. x_{stop+h}`` — i.e. the segment's raw data plus an
+``l``-row *header* and ``h``-row *trailer* overlap borrowed from its
+neighbours (clipped at the sequence boundaries, exactly where the serial
+algorithm clips too).  Chunks therefore carry a padded raw slice and can be
+evaluated in any order; an ordered concatenation of their core values
+reproduces the serial result.
+
+Cumulative windows have no finite window, so chunks cannot be made fully
+independent; instead each chunk computes a *local* cumulative aggregate
+over its own raw slice and the merge step folds a **carry-in prefix state**
+(the running SUM / COUNT / extremum of all earlier chunks) into the local
+values — one O(chunks) sequential pass over already-reduced totals.
+
+:class:`Partitioner` additionally plans across PARTITION BY groups: every
+group contributes its own chunk list, so short partitions parallelize
+across groups while a single long partition still splits within itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.window import WindowSpec
+from repro.errors import ParallelError, SequenceError
+from repro.parallel.config import ExecutionConfig
+
+__all__ = ["Chunk", "Partitioner"]
+
+
+@dataclass(frozen=True, eq=False)
+class Chunk:
+    """One independently computable slice of a sequence computation.
+
+    Attributes:
+        group: index of the PARTITION BY group this chunk belongs to.
+        index: chunk position within its group (merge order).
+        start: first core sequence position covered (1-based, inclusive).
+        stop: last core sequence position covered (inclusive).
+        payload: NumPy float64 array of the raw values
+            ``x_{max(1, start-l)} .. x_{min(n, stop+h)}`` for sliding
+            windows, or exactly ``x_start .. x_stop`` for cumulative ones.
+        offset: index into ``payload`` where the core slice begins (the
+            number of header rows actually present after boundary clipping).
+    """
+
+    group: int
+    index: int
+    start: int
+    stop: int
+    payload: np.ndarray
+    offset: int
+
+    @property
+    def core_len(self) -> int:
+        """Number of core sequence positions this chunk produces."""
+        return self.stop - self.start + 1
+
+
+class Partitioner:
+    """Plans chunk lists for one or many partitions of sequence work.
+
+    The chunk count balances two forces: enough chunks to occupy
+    ``config.resolved_jobs`` workers, but no chunk smaller than
+    ``config.chunk_size`` core positions (header/trailer padding is repeated
+    per chunk, so tiny chunks waste work).  Callers may force finer chunks
+    by passing a smaller ``chunk_size`` — correctness never depends on the
+    chunk size, only speed does (verified down to chunks smaller than the
+    window ``l + h + 1``).
+    """
+
+    def __init__(self, config: ExecutionConfig) -> None:
+        self.config = config
+
+    # -- single sequence ---------------------------------------------------------
+
+    def split(
+        self, raw: Sequence[float], window: WindowSpec, *, group: int = 0
+    ) -> List[Chunk]:
+        """Cut one raw sequence into overlap-carrying chunks.
+
+        Raises:
+            SequenceError: on empty input (aligned with the computation
+                strategies' empty-input contract).
+        """
+        n = len(raw)
+        if n == 0:
+            raise SequenceError("cannot partition an empty raw sequence")
+        values = np.asarray(raw, dtype=np.float64)
+        n_chunks = self._chunk_count(n)
+        bounds = _even_bounds(n, n_chunks)
+        return [
+            self._make_chunk(values, window, group, i, start, stop)
+            for i, (start, stop) in enumerate(bounds)
+        ]
+
+    # -- many partitions ---------------------------------------------------------
+
+    def plan(
+        self,
+        partitions: Sequence[Sequence[float]],
+        window: WindowSpec,
+    ) -> List[Chunk]:
+        """Chunk every PARTITION BY group into one flat, mergeable task list.
+
+        Group ``g``'s chunks carry ``group=g``; :func:`merge_chunks` in
+        :mod:`repro.parallel.compute` reassembles per-group results from the
+        flat list regardless of completion order.
+        """
+        chunks: List[Chunk] = []
+        for g, raw in enumerate(partitions):
+            chunks.extend(self.split(raw, window, group=g))
+        return chunks
+
+    # -- internals ---------------------------------------------------------------
+
+    def _chunk_count(self, n: int) -> int:
+        by_size = n // self.config.chunk_size
+        if by_size <= 1:
+            return 1
+        if self.config.is_parallel:
+            # Cap the split: padding is repeated per chunk, so there is no
+            # point cutting finer than the pool can keep busy.
+            return min(by_size, self.config.resolved_jobs * _CHUNKS_PER_JOB)
+        return by_size
+
+    def _make_chunk(
+        self,
+        values: np.ndarray,
+        window: WindowSpec,
+        group: int,
+        index: int,
+        start: int,
+        stop: int,
+    ) -> Chunk:
+        n = len(values)
+        if window.is_cumulative:
+            # No finite overlap exists; the merge carries prefix state.
+            payload = values[start - 1 : stop]
+            return Chunk(group, index, start, stop, payload, 0)
+        pad_start = max(start - window.l, 1)
+        pad_stop = min(stop + window.h, n)
+        payload = values[pad_start - 1 : pad_stop]
+        return Chunk(group, index, start, stop, payload, start - pad_start)
+
+
+# How many chunks to aim for per worker: a little oversplitting smooths out
+# uneven chunk runtimes without repeating much overlap padding.
+_CHUNKS_PER_JOB = 4
+
+
+def _even_bounds(n: int, n_chunks: int) -> List[Tuple[int, int]]:
+    """Split positions ``1..n`` into ``n_chunks`` contiguous non-empty runs."""
+    if not 1 <= n_chunks <= n:
+        raise ParallelError(f"cannot cut {n} positions into {n_chunks} chunks")
+    base, extra = divmod(n, n_chunks)
+    bounds: List[Tuple[int, int]] = []
+    start = 1
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        bounds.append((start, start + size - 1))
+        start += size
+    return bounds

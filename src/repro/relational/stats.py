@@ -6,14 +6,32 @@ wall clocks: the benchmark harness uses them to show, e.g., that the
 self-join pattern without an index examines O(n²) row pairs while the
 indexed variant touches O(n·w) (Table 1), and that the derivation patterns'
 join work grows superlinearly (Table 2).
+
+Counters are **thread-safe**: parallel operators either increment through
+:meth:`ExecutionStats.bump` (one lock-protected addition per batch) or
+accumulate into a private per-worker block and fold it in at the end via
+:meth:`ExecutionStats.merge`, which takes the same lock.  Plain attribute
+``+=`` remains fine for the serial operators that own their stats block
+exclusively.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, Dict
 
 __all__ = ["ExecutionStats"]
+
+_COUNTERS = (
+    "rows_scanned",
+    "pairs_examined",
+    "index_lookups",
+    "rows_joined",
+    "rows_aggregated",
+    "groups_emitted",
+    "rows_sorted",
+)
 
 
 @dataclass
@@ -39,26 +57,56 @@ class ExecutionStats:
     groups_emitted: int = 0
     rows_sorted: int = 0
     operator_rows: Dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, **counters: int) -> None:
+        """Atomically add to named counters (parallel operators' entry point).
+
+        Raises:
+            AttributeError: for names outside the known counter set.
+        """
+        for name in counters:
+            if name not in _COUNTERS:
+                raise AttributeError(f"unknown execution counter {name!r}")
+        with self._lock:
+            for name, delta in counters.items():
+                setattr(self, name, getattr(self, name) + delta)
 
     def record_operator(self, label: str, rows: int) -> None:
-        self.operator_rows[label] = self.operator_rows.get(label, 0) + rows
+        """Add emitted rows under an operator label (lock-protected)."""
+        with self._lock:
+            self.operator_rows[label] = self.operator_rows.get(label, 0) + rows
 
     def merge(self, other: "ExecutionStats") -> None:
-        """Fold another stats block into this one (sub-plan execution)."""
-        self.rows_scanned += other.rows_scanned
-        self.pairs_examined += other.pairs_examined
-        self.index_lookups += other.index_lookups
-        self.rows_joined += other.rows_joined
-        self.rows_aggregated += other.rows_aggregated
-        self.groups_emitted += other.groups_emitted
-        self.rows_sorted += other.rows_sorted
-        for label, rows in other.operator_rows.items():
-            self.record_operator(label, rows)
+        """Fold another stats block into this one (sub-plan or per-worker
+        accumulation); atomic with respect to concurrent merges/bumps on
+        ``self``."""
+        with self._lock:
+            for name in _COUNTERS:
+                setattr(self, name, getattr(self, name) + getattr(other, name))
+            for label, rows in other.operator_rows.items():
+                self.operator_rows[label] = (
+                    self.operator_rows.get(label, 0) + rows
+                )
 
     def summary(self) -> str:
+        """Render the counters as a one-line report."""
         return (
             f"scanned={self.rows_scanned} pairs={self.pairs_examined} "
             f"index_lookups={self.index_lookups} joined={self.rows_joined} "
             f"aggregated={self.rows_aggregated} groups={self.groups_emitted} "
             f"sorted={self.rows_sorted}"
         )
+
+    # Locks do not pickle; process workers therefore never ship stats blocks,
+    # but persistence of result objects must still work.
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self.__dict__["_lock"] = threading.Lock()

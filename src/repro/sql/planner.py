@@ -67,8 +67,16 @@ def build_plan(
     *,
     window_strategy: str = "native",
     use_index: Any = "auto",
+    exec_config: Any = None,
 ) -> Operator:
-    """Lower a SELECT (or UNION ALL compound) AST to an operator tree."""
+    """Lower a SELECT (or UNION ALL compound) AST to an operator tree.
+
+    Args:
+        exec_config: optional
+            :class:`~repro.parallel.config.ExecutionConfig`; when parallel,
+            native window operators evaluate their frames through the
+            partition-parallel subsystem.
+    """
     from repro.relational.operators import UnionAll
     from repro.sql.ast_nodes import CompoundSelect
 
@@ -76,7 +84,13 @@ def build_plan(
         raise PlanError(f"unknown window strategy {window_strategy!r}")
     if isinstance(stmt, CompoundSelect):
         branches = [
-            build_plan(db, sub, window_strategy=window_strategy, use_index=use_index)
+            build_plan(
+                db,
+                sub,
+                window_strategy=window_strategy,
+                use_index=use_index,
+                exec_config=exec_config,
+            )
             for sub in stmt.selects
         ]
         plan: Operator = UnionAll(branches)
@@ -93,7 +107,7 @@ def build_plan(
         if stmt.limit is not None:
             plan = Limit(plan, stmt.limit)
         return plan
-    builder = _Builder(db, stmt, window_strategy, use_index)
+    builder = _Builder(db, stmt, window_strategy, use_index, exec_config)
     return builder.build()
 
 
@@ -106,11 +120,19 @@ def _binds(expr: Expr, schema) -> bool:
 
 
 class _Builder:
-    def __init__(self, db: Database, stmt: SelectStmt, window_strategy: str, use_index: Any) -> None:
+    def __init__(
+        self,
+        db: Database,
+        stmt: SelectStmt,
+        window_strategy: str,
+        use_index: Any,
+        exec_config: Any = None,
+    ) -> None:
         self.db = db
         self.stmt = stmt
         self.window_strategy = window_strategy
         self.use_index = use_index
+        self.exec_config = exec_config
 
     # -- entry point -------------------------------------------------------------
 
@@ -150,6 +172,7 @@ class _Builder:
                     t.subquery,
                     window_strategy="native",
                     use_index=self.use_index,
+                    exec_config=self.exec_config,
                 )
                 scans.append(Alias(sub, t.binding))
             else:
@@ -263,7 +286,7 @@ class _Builder:
                     range_frame=range_frame,
                 )
             )
-        return WindowOperator(plan, specs), names
+        return WindowOperator(plan, specs, self.exec_config), names
 
     def _selfjoin_query(self, calls: Sequence[WindowCall]) -> Operator:
         """Table 1's "self join method": fig. 2 instead of the window operator.

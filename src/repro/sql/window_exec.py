@@ -11,6 +11,14 @@ engine" column of the paper's Table 1: each window column is evaluated by
 
 Reporting functions do not shrink the data volume: one output value is
 produced per input row, appended as extra columns to the child's rows.
+
+When constructed with a parallel
+:class:`~repro.parallel.config.ExecutionConfig`, step 3 runs through the
+partition-parallel subsystem: every PARTITION BY group's sequence — chunked
+within long groups — is evaluated on a shared
+:class:`~repro.parallel.executor.ExecutorPool`, and per-group results merge
+back in deterministic order.  Ranking functions and RANGE frames keep the
+serial path (their kernels are not chunkable yet).
 """
 
 from __future__ import annotations
@@ -97,12 +105,24 @@ class WindowColumnSpec:
 
 
 class WindowOperator(Operator):
-    """Append reporting-function columns to the child's rows."""
+    """Append reporting-function columns to the child's rows.
 
-    def __init__(self, child: Operator, specs: Sequence[WindowColumnSpec]) -> None:
+    Args:
+        exec_config: when parallel, frame aggregates are computed through
+            the partition-parallel subsystem (chunked across and within
+            PARTITION BY groups); ``None`` keeps the serial pipelined path.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        specs: Sequence[WindowColumnSpec],
+        exec_config=None,
+    ) -> None:
         if not specs:
             raise PlanError("window operator needs at least one column spec")
         self.child = child
+        self.exec_config = exec_config
         self.specs = list(specs)
         columns = list(child.schema.columns)
         for spec in self.specs:
@@ -120,9 +140,24 @@ class WindowOperator(Operator):
 
     def execute(self, stats: ExecutionStats) -> Iterator[Row]:
         rows: List[Row] = list(self.child.execute(stats))
-        extras: List[List[float]] = []
-        for spec, (arg, partition, order) in zip(self.specs, self._bound):
-            extras.append(self._evaluate(spec, arg, partition, order, rows, stats))
+        pool = None
+        if (
+            self.exec_config is not None
+            and self.exec_config.is_parallel
+            and rows
+        ):
+            from repro.parallel.executor import ExecutorPool
+
+            pool = ExecutorPool(self.exec_config)
+        try:
+            extras: List[List[float]] = []
+            for spec, (arg, partition, order) in zip(self.specs, self._bound):
+                extras.append(
+                    self._evaluate(spec, arg, partition, order, rows, stats, pool)
+                )
+        finally:
+            if pool is not None:
+                pool.close()
         for i, row in enumerate(rows):
             yield row + tuple(extra[i] for extra in extras)
 
@@ -134,6 +169,7 @@ class WindowOperator(Operator):
         order,
         rows: List[Row],
         stats: ExecutionStats,
+        pool=None,
     ) -> List[float]:
         aggregate = None if spec.is_ranking else by_name(spec.func)
         groups: dict = {}
@@ -145,6 +181,11 @@ class WindowOperator(Operator):
             # Local sort order per reporting function (stable multi-key).
             for key_fn, asc in reversed(order):
                 indexes.sort(key=lambda i: key_fn(rows[i]), reverse=not asc)
+        if pool is not None and not spec.is_ranking and not spec.is_range:
+            return self._evaluate_parallel(
+                spec, arg, aggregate, groups, rows, stats, pool
+            )
+        for indexes in groups.values():
             stats.rows_sorted += len(indexes)
             if spec.is_ranking:
                 values = self._rank(spec.func, indexes, rows, order)
@@ -159,6 +200,48 @@ class WindowOperator(Operator):
                     for i in indexes
                 ]
                 values = compute_pipelined(raw, spec.window, aggregate)
+            for i, value in zip(indexes, values):
+                out[i] = value
+        return out
+
+    def _evaluate_parallel(
+        self,
+        spec: WindowColumnSpec,
+        arg,
+        aggregate,
+        groups: dict,
+        rows: List[Row],
+        stats: ExecutionStats,
+        pool,
+    ) -> List[float]:
+        """Pool-backed frame evaluation over all PARTITION BY groups at once.
+
+        One flat chunk list covers every group (long groups split within
+        themselves), so the workers stay busy regardless of the partition
+        size distribution; the merge is ordered, keeping results identical
+        to the serial loop.  Counters go through the thread-safe
+        :meth:`~repro.relational.stats.ExecutionStats.bump`.
+        """
+        from repro.parallel.compute import compute_grouped_parallel
+
+        group_indexes = list(groups.values())
+        raws: List[List[float]] = []
+        for indexes in group_indexes:
+            if arg is None:
+                raws.append([1.0] * len(indexes))
+            else:
+                raws.append(
+                    [
+                        float(v) if (v := arg(rows[i])) is not None else 0.0
+                        for i in indexes
+                    ]
+                )
+        value_lists = compute_grouped_parallel(
+            raws, spec.window, aggregate, self.exec_config, pool=pool
+        )
+        stats.bump(rows_sorted=sum(len(ix) for ix in group_indexes))
+        out = [0.0] * len(rows)
+        for indexes, values in zip(group_indexes, value_lists):
             for i, value in zip(indexes, values):
                 out[i] = value
         return out

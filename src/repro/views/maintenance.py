@@ -15,6 +15,10 @@ Synchronisation strategy for the two representations:
 
 All functions mutate the view only; updating the base table itself is the
 caller's (warehouse's) job.
+
+Views carrying a parallel :class:`~repro.parallel.config.ExecutionConfig`
+route the MIN/MAX band recomputation (the only non-O(1) part of the rules)
+through :func:`~repro.parallel.compute.evaluate_positions`.
 """
 
 from __future__ import annotations
@@ -22,13 +26,26 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple
 
 from repro.core import maintenance as core_maintenance
-from repro.core.maintenance import MaintenanceResult
+from repro.core.maintenance import BandEvaluator, MaintenanceResult
 from repro.errors import MaintenanceError
 from repro.views.materialized import MaterializedSequenceView
 
 __all__ = ["propagate_update", "propagate_insert", "propagate_delete", "position_of"]
 
 Key = Tuple[object, ...]
+
+
+def _band_evaluator(view: MaterializedSequenceView) -> Optional[BandEvaluator]:
+    """Pool-backed evaluator for MIN/MAX band recomputes, or None (serial)."""
+    cfg = view.exec_config
+    if cfg is None or not cfg.is_parallel:
+        return None
+    from repro.parallel.compute import evaluate_positions
+
+    def evaluator(spec, raw, positions):
+        return evaluate_positions(raw, spec.window, spec.aggregate, positions, cfg)
+
+    return evaluator
 
 
 def position_of(
@@ -89,7 +106,10 @@ def propagate_update(
     pkey = tuple(partition_key)
     k = position_of(view, pkey, tuple(order_key))
     part = view.reporting.partition(pkey)
-    result = core_maintenance.apply_update(view.raw[pkey], part.seq, k, float(new_value))
+    result = core_maintenance.apply_update(
+        view.raw[pkey], part.seq, k, float(new_value),
+        evaluator=_band_evaluator(view),
+    )
     _patch_storage_band(view, pkey, result)
     return result
 
@@ -106,7 +126,10 @@ def propagate_insert(
     okey = tuple(order_key)
     k = insertion_position(view, pkey, okey)
     part = view.reporting.partition(pkey)
-    result = core_maintenance.apply_insert(view.raw[pkey], part.seq, k, float(value))
+    result = core_maintenance.apply_insert(
+        view.raw[pkey], part.seq, k, float(value),
+        evaluator=_band_evaluator(view),
+    )
     part.order_keys.insert(k - 1, okey)
     _rewrite_partition_storage(view, pkey)
     return result
@@ -123,7 +146,9 @@ def propagate_delete(
     okey = tuple(order_key)
     k = position_of(view, pkey, okey)
     part = view.reporting.partition(pkey)
-    result = core_maintenance.apply_delete(view.raw[pkey], part.seq, k)
+    result = core_maintenance.apply_delete(
+        view.raw[pkey], part.seq, k, evaluator=_band_evaluator(view)
+    )
     del part.order_keys[k - 1]
     _rewrite_partition_storage(view, pkey)
     return result

@@ -43,10 +43,14 @@ class MaterializedSequenceView:
         definition: SequenceViewDefinition,
         *,
         complete: bool = True,
+        exec_config=None,
     ) -> None:
         self.db = db
         self.definition = definition
         self.complete = complete
+        # Parallel ExecutionConfig (or None): used by refresh() and by the
+        # MIN/MAX band recomputation in repro.views.maintenance.
+        self.exec_config = exec_config
         self.reporting: Optional[ReportingSequence] = None
         self._create_storage()
         self.refresh()
@@ -89,6 +93,7 @@ class MaterializedSequenceView:
             window=d.window,
             aggregate=d.aggregate,
             complete=self.complete,
+            exec_config=self.exec_config,
         )
         # Per-partition raw mirror (the slice of base data the view covers);
         # incremental maintenance reads old raw values from here.

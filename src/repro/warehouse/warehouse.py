@@ -56,12 +56,21 @@ class QueryResult(Result):
 
 
 class DataWarehouse:
-    """Facade over the engine, the view registry and the rewriter."""
+    """Facade over the engine, the view registry and the rewriter.
 
-    def __init__(self) -> None:
+    Args:
+        execution: an :class:`~repro.parallel.config.ExecutionConfig`
+            governing window-operator evaluation, view refresh and MIN/MAX
+            maintenance-band recomputation.  ``None`` (the default) runs
+            everything serially; a parallel configuration routes those paths
+            through the partition-parallel subsystem (:mod:`repro.parallel`).
+    """
+
+    def __init__(self, execution=None) -> None:
         self.db = Database()
         self.views: Dict[str, MaterializedSequenceView] = {}
         self.cache = None  # set by enable_query_cache()
+        self.execution = execution
 
     def enable_query_cache(self, max_views: int = 8):
         """Turn on semantic caching of reporting-function query shapes.
@@ -115,7 +124,9 @@ class DataWarehouse:
             raise ViewError(
                 f"definition is named {definition.name!r}, expected {name!r}"
             )
-        view = MaterializedSequenceView(self.db, definition, complete=complete)
+        view = MaterializedSequenceView(
+            self.db, definition, complete=complete, exec_config=self.execution
+        )
         self.views[name] = view
         return view
 
@@ -218,7 +229,11 @@ class DataWarehouse:
             # UNION ALL compounds are evaluated natively (branch rewriting
             # would need per-branch provenance; run them against base data).
             plan = build_plan(
-                self.db, stmt, window_strategy=window_strategy, use_index=use_index
+                self.db,
+                stmt,
+                window_strategy=window_strategy,
+                use_index=use_index,
+                exec_config=self.execution,
             )
             return QueryResult.wrap(self.db.run(plan), None)
         if use_views and self.views:
@@ -250,7 +265,11 @@ class DataWarehouse:
                 f"(registered: {sorted(self.views)})"
             )
         plan = build_plan(
-            self.db, stmt, window_strategy=window_strategy, use_index=use_index
+            self.db,
+            stmt,
+            window_strategy=window_strategy,
+            use_index=use_index,
+            exec_config=self.execution,
         )
         return QueryResult.wrap(self.db.run(plan), None)
 
@@ -280,6 +299,7 @@ class DataWarehouse:
             stmt,
             window_strategy=options.get("window_strategy", "native"),
             use_index=options.get("use_index", "auto"),
+            exec_config=self.execution,
         )
         return "NATIVE PLAN:\n" + plan.explain()
 

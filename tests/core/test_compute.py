@@ -38,9 +38,16 @@ class TestAgainstBruteForce:
 
 
 class TestEdgeCases:
-    def test_empty_input(self):
-        assert compute_pipelined([], sliding(2, 1)) == []
-        assert compute_naive([], sliding(2, 1)) == []
+    def test_empty_input_raises(self):
+        # Shared contract: every strategy rejects empty raw data the same way.
+        with pytest.raises(SequenceError):
+            compute_pipelined([], sliding(2, 1))
+        with pytest.raises(SequenceError):
+            compute_naive([], sliding(2, 1))
+        with pytest.raises(SequenceError):
+            compute([], sliding(2, 1), strategy="vectorized")
+        with pytest.raises(SequenceError):
+            compute([], cumulative(), strategy="parallel")
 
     def test_single_value(self):
         assert compute_pipelined([7.0], sliding(3, 3)) == [7.0]

@@ -47,9 +47,14 @@ class TestSlidingWindowStream:
                 peak = max(peak, stream.cache_size)
             assert peak <= window.width + 2, str(window)
 
-    def test_empty_stream(self):
-        stream = SlidingWindowStream(sliding(1, 1))
-        assert stream.finish() == []
+    def test_empty_stream_raises(self):
+        # Aligned with the batch strategies' empty-input SequenceError.
+        with pytest.raises(SequenceError):
+            SlidingWindowStream(sliding(1, 1)).finish()
+        with pytest.raises(SequenceError):
+            SlidingWindowStream(sliding(1, 1)).process([])
+        with pytest.raises(SequenceError):
+            CumulativeStream(SUM).process([])
 
     def test_stream_shorter_than_lookahead(self):
         stream = SlidingWindowStream(sliding(0, 5))

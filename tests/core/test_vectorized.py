@@ -6,6 +6,7 @@ from repro.core.aggregates import AVG, COUNT, MAX, MIN, SUM
 from repro.core.compute import compute
 from repro.core.vectorized import compute_vectorized
 from repro.core.window import cumulative, sliding
+from repro.errors import SequenceError
 from tests.conftest import assert_close, brute_window
 
 WINDOWS = [sliding(1, 1), sliding(2, 1), sliding(0, 6), sliding(3, 0), cumulative()]
@@ -19,8 +20,9 @@ class TestCorrectness:
         got = compute_vectorized(raw40, window, agg)
         assert_close(got, brute_window(raw40, window, agg))
 
-    def test_empty_input(self):
-        assert compute_vectorized([], sliding(1, 1)) == []
+    def test_empty_input_raises(self):
+        with pytest.raises(SequenceError):
+            compute_vectorized([], sliding(1, 1))
 
     def test_single_value(self):
         assert compute_vectorized([3.5], sliding(2, 2)) == [3.5]

@@ -1,0 +1,1 @@
+"""Tests for the partition-parallel execution subsystem (repro.parallel)."""

@@ -1,0 +1,54 @@
+"""ExecutorPool: ordered map semantics across the three backends."""
+
+import threading
+
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel import ExecutionConfig, ExecutorPool
+
+
+def _square(x: int) -> int:
+    """Module-level task so it pickles to process workers."""
+    return x * x
+
+
+class TestOrderedMap:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_results_follow_submission_order(self, backend):
+        config = ExecutionConfig(jobs=3, backend=backend)
+        with ExecutorPool(config) as pool:
+            assert pool.map(_square, range(20)) == [i * i for i in range(20)]
+
+    def test_single_item_runs_on_calling_thread(self):
+        config = ExecutionConfig(jobs=4, backend="thread")
+        seen = []
+        with ExecutorPool(config) as pool:
+            pool.map(lambda _: seen.append(threading.current_thread().name), [0])
+        assert seen and not seen[0].startswith("repro-par")
+
+    def test_worker_exception_propagates(self):
+        def boom(_):
+            raise ValueError("chunk failed")
+
+        with ExecutorPool(ExecutionConfig(jobs=2, backend="thread")) as pool:
+            with pytest.raises(ValueError, match="chunk failed"):
+                pool.map(boom, range(4))
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        pool = ExecutorPool(ExecutionConfig(jobs=2, backend="thread"))
+        pool.map(_square, range(4))
+        pool.close()
+        pool.close()
+
+    def test_closed_pool_rejects_parallel_work(self):
+        pool = ExecutorPool(ExecutionConfig(jobs=2, backend="thread"))
+        pool.close()
+        with pytest.raises(ParallelError):
+            pool.map(_square, range(4))
+
+    def test_default_config_is_serial(self):
+        pool = ExecutorPool()
+        assert pool.map(_square, [3]) == [9]

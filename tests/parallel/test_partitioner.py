@@ -1,0 +1,93 @@
+"""Chunk planning: coverage, overlap padding, and chunk-count policy."""
+
+import pytest
+
+from repro.core.window import cumulative, sliding
+from repro.errors import SequenceError
+from repro.parallel import ExecutionConfig, Partitioner
+
+
+def _partitioner(chunk_size=10, jobs=1, backend="serial"):
+    return Partitioner(
+        ExecutionConfig(jobs=jobs, backend=backend, chunk_size=chunk_size)
+    )
+
+
+class TestSplitCoverage:
+    @pytest.mark.parametrize("n", [1, 7, 10, 19, 20, 21, 95])
+    def test_cores_tile_the_sequence(self, n):
+        raw = [float(i) for i in range(n)]
+        chunks = _partitioner(chunk_size=10).split(raw, sliding(2, 1))
+        assert chunks[0].start == 1
+        assert chunks[-1].stop == n
+        for prev, cur in zip(chunks, chunks[1:]):
+            assert cur.start == prev.stop + 1
+        assert sum(c.core_len for c in chunks) == n
+
+    def test_empty_input_raises(self):
+        with pytest.raises(SequenceError):
+            _partitioner().split([], sliding(1, 1))
+
+    def test_chunk_indices_are_merge_order(self):
+        raw = [float(i) for i in range(40)]
+        chunks = _partitioner(chunk_size=10).split(raw, sliding(1, 1))
+        assert [c.index for c in chunks] == list(range(len(chunks)))
+
+
+class TestSlidingPadding:
+    def test_payload_carries_l_header_h_trailer(self):
+        raw = [float(i) for i in range(30)]
+        window = sliding(3, 2)
+        chunks = _partitioner(chunk_size=10).split(raw, window)
+        middle = chunks[1]
+        assert middle.offset == window.l
+        expected = raw[middle.start - window.l - 1 : middle.stop + window.h]
+        assert middle.payload.tolist() == expected
+
+    def test_padding_clips_at_sequence_boundaries(self):
+        raw = [float(i) for i in range(30)]
+        chunks = _partitioner(chunk_size=10).split(raw, sliding(3, 2))
+        first, last = chunks[0], chunks[-1]
+        assert first.offset == 0  # no raw data before position 1
+        assert first.payload.tolist()[0] == raw[0]
+        assert last.payload.tolist()[-1] == raw[-1]
+
+    def test_wide_window_padding_spans_whole_sequence(self):
+        raw = [float(i) for i in range(12)]
+        chunks = _partitioner(chunk_size=4).split(raw, sliding(100, 100))
+        for chunk in chunks:
+            assert chunk.payload.tolist() == raw
+
+
+class TestCumulativeChunks:
+    def test_payload_is_bare_core_slice(self):
+        raw = [float(i) for i in range(25)]
+        chunks = _partitioner(chunk_size=10).split(raw, cumulative())
+        for chunk in chunks:
+            assert chunk.offset == 0
+            assert chunk.payload.tolist() == raw[chunk.start - 1 : chunk.stop]
+
+
+class TestChunkCount:
+    def test_short_sequence_stays_one_chunk(self):
+        raw = [1.0] * 19
+        assert len(_partitioner(chunk_size=10).split(raw, sliding(1, 1))) == 1
+
+    def test_serial_splits_by_size_only(self):
+        raw = [1.0] * 100
+        assert len(_partitioner(chunk_size=10).split(raw, sliding(1, 1))) == 10
+
+    def test_parallel_caps_chunks_per_job(self):
+        raw = [1.0] * 10_000
+        chunks = _partitioner(chunk_size=10, jobs=2, backend="thread").split(
+            raw, sliding(1, 1)
+        )
+        # 2 jobs x 4 chunks/job, not 1000 size-based chunks.
+        assert len(chunks) == 8
+
+    def test_plan_flattens_groups(self):
+        p = _partitioner(chunk_size=5)
+        chunks = p.plan([[1.0] * 12, [2.0] * 3], sliding(1, 1))
+        assert {c.group for c in chunks} == {0, 1}
+        assert sum(c.core_len for c in chunks if c.group == 0) == 12
+        assert sum(c.core_len for c in chunks if c.group == 1) == 3

@@ -9,11 +9,14 @@ hiding in a tolerance.
 
 import itertools
 
+import pytest
+
 from repro.core import maintenance, maxoa, minoa
 from repro.core.complete import CompleteSequence
 from repro.core.compute import compute_naive, compute_pipelined
 from repro.core.reconstruct import raw_from_sliding
 from repro.core.window import sliding
+from repro.errors import SequenceError
 from tests.conftest import brute_window
 
 BOUND = 3
@@ -40,6 +43,13 @@ class TestExhaustiveComputation:
     def test_all_windows_all_sequences(self):
         for raw in small_sequences():
             for window in WINDOWS:
+                if not raw:
+                    # The shared empty-input contract: every strategy raises.
+                    with pytest.raises(SequenceError):
+                        compute_naive(raw, window)
+                    with pytest.raises(SequenceError):
+                        compute_pipelined(raw, window)
+                    continue
                 expected = brute_window(raw, window)
                 assert compute_naive(raw, window) == expected, (raw, str(window))
                 assert compute_pipelined(raw, window) == expected, (raw, str(window))

@@ -38,13 +38,13 @@ def window_strategy():
 
 
 @settings(max_examples=120, deadline=None)
-@given(raw=values, window=window_strategy())
+@given(raw=nonempty_values, window=window_strategy())
 def test_pipelined_equals_naive(raw, window):
     assert_close(compute_pipelined(raw, window), compute_naive(raw, window))
 
 
 @settings(max_examples=120, deadline=None)
-@given(raw=values, window=window_strategy(), agg=st.sampled_from([MIN, MAX]))
+@given(raw=nonempty_values, window=window_strategy(), agg=st.sampled_from([MIN, MAX]))
 def test_minmax_deque_equals_naive(raw, window, agg):
     assert compute_pipelined(raw, window, agg) == compute_naive(raw, window, agg)
 
@@ -165,7 +165,7 @@ def test_cumulative_maintenance(raw, ops):
 
 
 @settings(max_examples=80, deadline=None)
-@given(raw=values, window=window_strategy())
+@given(raw=nonempty_values, window=window_strategy())
 def test_streaming_equals_batch(raw, window):
     from repro.core.streaming import SlidingWindowStream
 
@@ -175,7 +175,7 @@ def test_streaming_equals_batch(raw, window):
 
 
 @settings(max_examples=60, deadline=None)
-@given(raw=values, window=window_strategy())
+@given(raw=nonempty_values, window=window_strategy())
 def test_vectorized_equals_pipelined(raw, window):
     from repro.core.vectorized import compute_vectorized
 
