@@ -49,6 +49,28 @@ class ParallelError(ReproError):
     """Invalid parallel-execution configuration or a failed worker task."""
 
 
+class TaskTimeoutError(ParallelError):
+    """A pool task exceeded the configured per-task timeout."""
+
+
+# ---------------------------------------------------------------------------
+# Fault injection (repro.faults)
+# ---------------------------------------------------------------------------
+
+class FaultError(ReproError):
+    """Invalid fault plan or misuse of the injection framework."""
+
+
+class InjectedFault(ReproError):
+    """A deterministic fault fired by an installed :class:`FaultPlan`.
+
+    Raised at the hooked site (executor task, storage write, refresh
+    checkpoint, maintenance rule) so the surrounding robustness machinery
+    — retry, serial fallback, atomic-swap rollback, quarantine — can be
+    exercised without real hardware failures.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Relational engine (repro.relational)
 # ---------------------------------------------------------------------------
@@ -127,4 +149,14 @@ class NoRewriteError(ViewError):
     Raised only when the caller demanded a rewrite
     (``require_rewrite=True``); the default behaviour is to fall back to
     evaluation over base tables.
+    """
+
+
+class QuarantinedViewError(ViewError):
+    """A directly-addressed view is quarantined and cannot serve reads.
+
+    Quarantined views are skipped transparently by the query rewriter
+    (queries route back to base data); only *explicitly* view-addressed
+    operations such as ``value_at`` raise.  ``DataWarehouse.repair()``
+    re-refreshes, re-verifies and reinstates the view.
     """

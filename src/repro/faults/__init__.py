@@ -1,0 +1,42 @@
+"""Deterministic fault injection for the reproduction's robustness stack.
+
+The materialized-view machinery only pays off if a view can be *trusted*;
+this package supplies the controlled failures that prove the stack
+degrades gracefully instead of corrupting answers:
+
+* :class:`FaultPlan` / :class:`FaultSpec` — seeded, deterministic triggers
+  (worker crash, worker hang, storage-write failure, refresh interruption
+  at a chosen row, verify-time bit-flip, maintenance failure);
+* :mod:`repro.faults.injector` — the process-global installation point and
+  the hook functions called from the executor, persistence, refresh,
+  verification and maintenance fault sites.
+
+The contract the fault-matrix tests enforce: under every injected fault
+the warehouse still returns bit-identical query answers — via bounded
+retry, serial fallback, atomic-swap rollback, or quarantine plus
+base-data routing — and ``repair()`` restores a clean ``verify()``.
+"""
+
+from repro.faults.injector import (
+    FaultedTask,
+    active,
+    active_plan,
+    check,
+    clear,
+    install,
+)
+from repro.faults.plan import KINDS, REFRESH_POINTS, FaultEvent, FaultPlan, FaultSpec
+
+__all__ = [
+    "KINDS",
+    "REFRESH_POINTS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultedTask",
+    "active",
+    "active_plan",
+    "check",
+    "clear",
+    "install",
+]

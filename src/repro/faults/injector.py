@@ -1,0 +1,200 @@
+"""Fault injection hooks: the bridge between a plan and the hooked sites.
+
+One process-global :class:`~repro.faults.plan.FaultPlan` may be installed
+at a time (tests use the :func:`active` context manager).  Production code
+calls the hook functions below at its fault points; with no plan installed
+every hook is a near-free early return, so the instrumented paths cost
+nothing in normal operation.
+
+Sites:
+
+* ``task`` — consumed by :class:`~repro.parallel.executor.ExecutorPool`,
+  which wraps doomed tasks in the picklable :class:`FaultedTask`;
+* ``storage_write`` — :func:`repro.relational.persist.save_database`, one
+  eligible event per table;
+* ``refresh_begin`` / ``refresh_write`` / ``refresh_commit`` — the
+  checkpoints of :meth:`MaterializedSequenceView.refresh`;
+* ``verify`` — :func:`repro.views.verify.verify_view`; a ``bitflip`` spec
+  corrupts one storage value (seeded choice) before checking;
+* ``maintenance`` — the :mod:`repro.views.maintenance` propagation rules.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Optional
+
+from repro.errors import FaultError, InjectedFault
+from repro.faults.plan import FaultPlan, FaultSpec
+
+__all__ = [
+    "FaultedTask",
+    "active",
+    "active_plan",
+    "check",
+    "clear",
+    "install",
+    "refresh_write_hook",
+    "take_task_faults",
+    "verify_hook",
+]
+
+_ACTIVE: Optional[FaultPlan] = None
+
+
+def install(plan: FaultPlan) -> None:
+    """Install ``plan`` as the process-global active fault plan."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise FaultError("a fault plan is already installed; clear() it first")
+    _ACTIVE = plan
+
+
+def clear() -> None:
+    """Remove the active plan (idempotent)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The currently installed plan, or None."""
+    return _ACTIVE
+
+
+@contextmanager
+def active(plan: FaultPlan):
+    """Context manager: install ``plan`` for the duration of the block."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        clear()
+
+
+# ---------------------------------------------------------------------------
+# Generic raising sites
+# ---------------------------------------------------------------------------
+
+
+def check(site: str, target: str = "") -> None:
+    """Advance ``site`` by one eligible event; raise if a raising spec fires.
+
+    The fast path — no plan installed — is a single global read.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return
+    for spec in plan.fire(site, target):
+        plan.record(spec.kind, site, target, f"fired at event {spec.at}")
+        raise InjectedFault(
+            f"injected {spec.kind} at {site}"
+            + (f" ({target})" if target else "")
+        )
+
+
+def refresh_write_hook(target: str) -> Optional[Callable[[int], None]]:
+    """Per-row hook for the refresh storage-write loop, or None when idle.
+
+    Returning None lets the (hot) row loop skip per-row work entirely when
+    no ``refresh_interrupt`` spec is armed for the ``refresh_write`` site.
+    """
+    plan = _ACTIVE
+    if plan is None or not plan.arms("refresh_write"):
+        return None
+
+    def hook(position: int) -> None:
+        for spec in plan.fire("refresh_write", target):
+            plan.record(
+                spec.kind, "refresh_write", target,
+                f"interrupted at storage row {spec.at} (position {position})",
+            )
+            raise InjectedFault(
+                f"injected refresh_interrupt at storage row {spec.at} "
+                f"of view {target!r}"
+            )
+
+    return hook
+
+
+# ---------------------------------------------------------------------------
+# Verify-time corruption
+# ---------------------------------------------------------------------------
+
+
+def verify_hook(view) -> None:
+    """Fire ``bitflip`` specs for ``view``: corrupt one storage ``__val``.
+
+    The row is chosen by the plan's seeded RNG; the corruption flips a high
+    mantissa bit of the float64 payload, so the change is large enough for
+    :func:`verify_view`'s relative-tolerance comparison to catch.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return
+    for spec in plan.fire("verify", view.name):
+        table = view.db.table(view.definition.storage_table)
+        if not len(table):  # pragma: no cover - empty views aren't materializable
+            continue
+        slot = plan.rng.randrange(len(table))
+        val_slot = table.schema.resolve("__val")
+        row = list(table.row(slot))
+        row[val_slot] = _flip_bit(float(row[val_slot]))
+        table.update_slot(slot, row)
+        plan.record(
+            spec.kind, "verify", view.name,
+            f"flipped a bit of storage slot {slot}",
+        )
+
+
+def _flip_bit(value: float) -> float:
+    """Flip mantissa bit 51 of the IEEE-754 representation."""
+    (bits,) = struct.unpack("<Q", struct.pack("<d", value))
+    flipped = bits ^ (1 << 51)
+    (out,) = struct.unpack("<d", struct.pack("<Q", flipped))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Executor task faults
+# ---------------------------------------------------------------------------
+
+
+def take_task_faults(n_tasks: int) -> Dict[int, FaultSpec]:
+    """Consume task-site faults for one pool map (see FaultPlan)."""
+    plan = _ACTIVE
+    if plan is None:
+        return {}
+    faults = plan.take_task_faults(n_tasks)
+    for index, spec in faults.items():
+        plan.record(spec.kind, "task", spec.target, f"armed on task {index}")
+    return faults
+
+
+class FaultedTask:
+    """Picklable wrapper executing one injected task fault, then the task.
+
+    ``worker_crash`` inside a *process* worker hard-exits (the parent sees
+    ``BrokenProcessPool``, the realistic crash signature); on a thread or
+    the calling thread it raises :class:`InjectedFault`.  ``worker_hang``
+    sleeps past the configured per-task timeout, then completes normally —
+    modelling a slow straggler rather than a lost result.
+    """
+
+    def __init__(self, fn: Callable, kind: str, seconds: float) -> None:
+        self.fn = fn
+        self.kind = kind
+        self.seconds = seconds
+
+    def __call__(self, item):
+        if self.kind == "worker_crash":
+            import multiprocessing
+
+            if multiprocessing.parent_process() is not None:
+                os._exit(37)  # hard worker death, no unwinding
+            raise InjectedFault("injected worker crash")
+        if self.kind == "worker_hang":
+            time.sleep(self.seconds)
+        return self.fn(item)

@@ -1,0 +1,200 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a seeded, fully deterministic description of *what
+goes wrong where*: each :class:`FaultSpec` names a fault kind, an optional
+target (view or table name), and the index of the eligible event at which
+it fires.  The plan is installed via :mod:`repro.faults.injector`; the
+hooked sites (executor tasks, storage writes, refresh checkpoints,
+verification, maintenance rules) then consult it.
+
+Determinism is the whole point: the same plan against the same workload
+fires at exactly the same event, so every fault-matrix test is a plain
+assertion, not a flake.  The only randomness — which storage row a
+``bitflip`` corrupts — comes from the plan's own seeded RNG.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FaultError
+
+__all__ = ["KINDS", "REFRESH_POINTS", "FaultSpec", "FaultEvent", "FaultPlan"]
+
+KINDS = (
+    "worker_crash",        # pool task dies (process: hard exit -> BrokenProcessPool)
+    "worker_hang",         # pool task sleeps past the per-task timeout
+    "storage_write_fail",  # save_database aborts before writing a table
+    "refresh_interrupt",   # view refresh killed at a chosen checkpoint/row
+    "bitflip",             # one storage value corrupted at verify time
+    "maintenance_fail",    # an incremental maintenance rule raises
+)
+
+# Checkpoints inside MaterializedSequenceView.refresh() that a
+# refresh_interrupt spec may target via its ``point`` field.
+REFRESH_POINTS = ("begin", "write", "commit")
+
+# Which injection site each kind listens on ("task" faults are consumed by
+# the executor through FaultPlan.take_task_faults, not through fire()).
+_SITE_OF_KIND = {
+    "worker_crash": "task",
+    "worker_hang": "task",
+    "storage_write_fail": "storage_write",
+    "bitflip": "verify",
+    "maintenance_fail": "maintenance",
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic trigger.
+
+    Attributes:
+        kind: one of :data:`KINDS`.
+        target: restrict to a named view/table (empty = any target).
+        at: 0-based index of the eligible event at which to fire (for
+            task faults the task index within a pool ``map``; for
+            ``refresh_interrupt`` with ``point="write"`` the storage-row
+            write index; for ``storage_write_fail`` the table index).
+        times: how many consecutive eligible events fire before the spec
+            is exhausted (``times > 1`` models a persistent fault that
+            defeats bounded retry and forces the serial fallback).
+        point: refresh checkpoint for ``refresh_interrupt`` specs.
+        seconds: sleep duration injected by ``worker_hang``.
+    """
+
+    kind: str
+    target: str = ""
+    at: int = 0
+    times: int = 1
+    point: str = "write"
+    seconds: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise FaultError(f"unknown fault kind {self.kind!r}; expected one of {KINDS}")
+        if self.at < 0:
+            raise FaultError(f"at must be >= 0, got {self.at}")
+        if self.times < 1:
+            raise FaultError(f"times must be >= 1, got {self.times}")
+        if self.kind == "refresh_interrupt" and self.point not in REFRESH_POINTS:
+            raise FaultError(
+                f"unknown refresh point {self.point!r}; expected one of {REFRESH_POINTS}"
+            )
+        if self.seconds < 0:
+            raise FaultError(f"seconds must be >= 0, got {self.seconds}")
+
+    @property
+    def site(self) -> str:
+        """The injection site this spec listens on."""
+        if self.kind == "refresh_interrupt":
+            return f"refresh_{self.point}"
+        return _SITE_OF_KIND[self.kind]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Record of one fired fault (the plan's audit log)."""
+
+    kind: str
+    site: str
+    target: str
+    detail: str
+
+
+class FaultPlan:
+    """A set of armed :class:`FaultSpec` triggers plus their firing state.
+
+    The plan is mutable state (per-spec event counters, fired-event log)
+    wrapped around immutable specs; install at most one plan at a time via
+    :func:`repro.faults.injector.active`.
+    """
+
+    def __init__(self, specs, *, seed: int = 0) -> None:
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.events: List[FaultEvent] = []
+        self._seen: Dict[int, int] = {i: 0 for i in range(len(self.specs))}
+        self._fired: Dict[int, int] = {i: 0 for i in range(len(self.specs))}
+        self._lock = threading.Lock()
+
+    # -- firing ------------------------------------------------------------------
+
+    def fire(self, site: str, target: str) -> List[FaultSpec]:
+        """Advance every spec listening on ``site``/``target`` by one
+        eligible event; return the specs that fire on this event."""
+        fired: List[FaultSpec] = []
+        with self._lock:
+            for i, spec in enumerate(self.specs):
+                if spec.site != site or (spec.target and spec.target != target):
+                    continue
+                seen = self._seen[i]
+                self._seen[i] = seen + 1
+                if spec.at <= seen < spec.at + spec.times:
+                    self._fired[i] += 1
+                    fired.append(spec)
+        return fired
+
+    def take_task_faults(self, n_tasks: int) -> Dict[int, FaultSpec]:
+        """Consume task-site faults for a pool ``map`` over ``n_tasks`` items.
+
+        Returns ``{task_index: spec}`` for this map call.  Consumption is
+        eager (the parent marks the fault fired when it wraps the task) so
+        a *retry* of a crashed/hung task runs clean — process workers
+        cannot report exhaustion back after dying.
+        """
+        out: Dict[int, FaultSpec] = {}
+        with self._lock:
+            for i, spec in enumerate(self.specs):
+                if spec.site != "task":
+                    continue
+                base = self._seen[i]  # task events seen in earlier maps
+                for local in range(n_tasks):
+                    if spec.at <= base + local < spec.at + spec.times:
+                        self._fired[i] += 1
+                        out[local] = spec
+                self._seen[i] = base + n_tasks
+        return out
+
+    def record(self, kind: str, site: str, target: str, detail: str) -> None:
+        """Append to the audit log (thread-safe)."""
+        with self._lock:
+            self.events.append(FaultEvent(kind, site, target, detail))
+
+    # -- inspection --------------------------------------------------------------
+
+    def fired_count(self, kind: Optional[str] = None) -> int:
+        """How many times specs (of ``kind``, or all) have fired."""
+        with self._lock:
+            return sum(
+                count
+                for i, count in self._fired.items()
+                if kind is None or self.specs[i].kind == kind
+            )
+
+    def exhausted(self) -> bool:
+        """True when every spec has fired all its ``times``."""
+        with self._lock:
+            return all(
+                self._fired[i] >= spec.times for i, spec in enumerate(self.specs)
+            )
+
+    def arms(self, site: str) -> bool:
+        """Does any non-exhausted spec listen on ``site``?"""
+        with self._lock:
+            return any(
+                spec.site == site and self._fired[i] < spec.times
+                for i, spec in enumerate(self.specs)
+            )
+
+    def describe(self) -> str:
+        parts = [
+            f"{s.kind}@{s.site}" + (f"[{s.target}]" if s.target else "")
+            + f" at={s.at}x{s.times}"
+            for s in self.specs
+        ]
+        return f"FaultPlan(seed={self.seed}: " + "; ".join(parts) + ")"

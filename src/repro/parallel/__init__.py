@@ -14,9 +14,12 @@ Public surface:
 * :func:`compute_parallel` / :func:`compute_grouped_parallel` — the chunked
   counterparts of :func:`repro.core.compute.compute`;
 * :func:`evaluate_positions` — pool-assisted explicit evaluation of
-  scattered positions (maintenance bands).
+  scattered positions (maintenance bands);
+* :mod:`repro.parallel.health` — process-wide broken-backend registry the
+  planner consults to route queries away from a crashed pool backend.
 """
 
+from repro.parallel import health
 from repro.parallel.compute import (
     compute_grouped_parallel,
     compute_parallel,
@@ -36,4 +39,5 @@ __all__ = [
     "compute_grouped_parallel",
     "compute_parallel",
     "evaluate_positions",
+    "health",
 ]

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ParallelError
 
@@ -47,12 +48,26 @@ class ExecutionConfig:
             pickled to worker processes).
         kernel: per-chunk computation kernel (``"auto"``/``"pipelined"``/
             ``"vectorized"``).
+        task_timeout: per-task result deadline in seconds for pool backends
+            (``None`` waits forever; ignored by the serial path, which
+            cannot be preempted).
+        max_retries: bounded re-submissions of a failed/timed-out task
+            before the pool gives up on it.
+        retry_backoff: base sleep before a retry round; doubles each round
+            (exponential backoff).
+        fallback: degrade to in-process serial execution when the pool
+            breaks (``BrokenProcessPool``) or retries are exhausted,
+            instead of raising — correctness over speed.
     """
 
     jobs: int = 1
     chunk_size: int = 65536
     backend: str = "serial"
     kernel: str = "auto"
+    task_timeout: Optional[float] = None
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    fallback: bool = True
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -68,6 +83,18 @@ class ExecutionConfig:
         if self.chunk_size < 1:
             raise ParallelError(
                 f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ParallelError(
+                f"task_timeout must be positive, got {self.task_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ParallelError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.retry_backoff < 0:
+            raise ParallelError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
             )
 
     @property
@@ -89,7 +116,12 @@ class ExecutionConfig:
 
     def describe(self) -> str:
         """One-line human-readable summary (used by EXPLAIN and the CLI)."""
-        return (
+        text = (
             f"backend={self.backend} jobs={self.resolved_jobs} "
             f"chunk_size={self.chunk_size} kernel={self.kernel}"
         )
+        if self.task_timeout is not None:
+            text += f" timeout={self.task_timeout:g}s"
+        if self.max_retries != 2 or not self.fallback:
+            text += f" retries={self.max_retries} fallback={self.fallback}"
+        return text

@@ -14,42 +14,80 @@
 ``map`` always returns results **in submission order**, independent of
 completion order — the ordered merge that makes chunked results
 reproducible is built on this guarantee.  Pools are context managers;
-:func:`ExecutorPool.map` may also be used one-shot, creating and tearing
-down the OS resources per call.
+:func:`ExecutorPool.map` may also be used one-shot, and then tears the OS
+resources down when the call returns (success *or* failure).
+
+Robustness (the self-healing layer):
+
+* every task gets a per-task result deadline (``config.task_timeout``);
+* a failed or timed-out task is re-submitted up to ``config.max_retries``
+  times with exponential backoff;
+* a broken executor (``BrokenProcessPool`` after a worker crash) or retry
+  exhaustion degrades to **in-process serial execution** of the remaining
+  work when ``config.fallback`` is set — correct answers at reduced
+  speed — and records the incident in :mod:`repro.parallel.health` so the
+  planner can route subsequent queries away from the broken backend;
+* everything is counted in the pool's :class:`ExecutionStats`
+  (``tasks_retried`` / ``worker_failures`` / ``serial_fallbacks``).
+
+Fault injection (:mod:`repro.faults`) hooks in at task granularity: an
+armed ``worker_crash``/``worker_hang`` spec wraps the doomed task in a
+picklable :class:`~repro.faults.injector.FaultedTask`.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
+import time
 from typing import Any, Callable, Iterable, List, Optional
 
-from repro.errors import ParallelError
+from repro.errors import ParallelError, TaskTimeoutError
+from repro.parallel import health
 from repro.parallel.config import ExecutionConfig
+from repro.relational.stats import ExecutionStats
 
 __all__ = ["ExecutorPool"]
+
+
+class _PoolBroken(Exception):
+    """Internal: the underlying executor died; switch to serial."""
 
 
 class ExecutorPool:
     """Ordered map over a serial, thread, or process worker pool."""
 
-    def __init__(self, config: Optional[ExecutionConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ExecutionConfig] = None,
+        *,
+        stats: Optional[ExecutionStats] = None,
+    ) -> None:
         self.config = config or ExecutionConfig()
+        self.stats = stats if stats is not None else ExecutionStats()
         self._executor = None
         self._closed = False
+        self._managed = False  # True while used as a context manager
 
     # -- lifecycle ---------------------------------------------------------------
 
     def __enter__(self) -> "ExecutorPool":
+        self._managed = True
         return self
 
     def __exit__(self, *exc_info: Any) -> None:
+        self._managed = False
         self.close()
 
     def close(self) -> None:
         """Shut the underlying executor down (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        self._release_executor()
         self._closed = True
+
+    def _release_executor(self, *, wait: bool = True) -> None:
+        """Tear down the OS resources but keep the pool usable."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait, cancel_futures=not wait)
+            self._executor = None
 
     def _ensure_executor(self):
         if self._closed:
@@ -77,16 +115,117 @@ class ExecutorPool:
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
         """Apply ``fn`` to every item, returning results in submission order.
 
-        With the serial backend (or a single worker) this is a plain loop on
-        the calling thread; otherwise items are dispatched to the pool.  A
-        worker exception propagates to the caller unchanged.
+        With the serial backend (or a single worker/item) this is a plain
+        loop on the calling thread; otherwise items are dispatched to the
+        pool with per-task timeout, bounded retry and — when configured —
+        automatic serial fallback.  A genuine task exception (one that
+        survives the retry budget and the serial re-run) propagates to the
+        caller unchanged.
         """
         items = list(items)
+        if self._closed:
+            raise ParallelError("pool is closed")
         if (
             self.config.backend == "serial"
             or self.config.resolved_jobs <= 1
             or len(items) <= 1
         ):
             return [fn(item) for item in items]
-        executor = self._ensure_executor()
-        return list(executor.map(fn, items))
+        try:
+            return self._map_pool(fn, items)
+        finally:
+            # One-shot use (no context manager) must not leak the executor.
+            if not self._managed:
+                self._release_executor()
+
+    def _map_pool(self, fn: Callable[[Any], Any], items: List[Any]) -> List[Any]:
+        from repro.faults import injector
+
+        task_faults = injector.take_task_faults(len(items))
+        tasks: List[Callable[[Any], Any]] = [
+            injector.FaultedTask(fn, spec.kind, spec.seconds)
+            if (spec := task_faults.get(i)) is not None
+            else fn
+            for i in range(len(items))
+        ]
+        n = len(items)
+        results: List[Any] = [None] * n
+        pending = list(range(n))
+        try:
+            executor = self._ensure_executor()
+            futures = {i: executor.submit(tasks[i], items[i]) for i in pending}
+            last_error: Optional[BaseException] = None
+            for attempt in range(self.config.max_retries + 1):
+                pending, last_error = self._collect(futures, pending, results)
+                if not pending:
+                    return results
+                if attempt < self.config.max_retries:
+                    if self.config.retry_backoff:
+                        time.sleep(self.config.retry_backoff * (2 ** attempt))
+                    self.stats.bump(tasks_retried=len(pending))
+                    executor = self._ensure_executor()
+                    # Each resubmission is a fresh eligible task event: an
+                    # exhausted spec leaves the retry clean, a persistent
+                    # one (times > 1) keeps firing until the retry budget
+                    # runs out and the serial fallback takes over.
+                    retry_faults = injector.take_task_faults(len(pending))
+                    for slot, i in enumerate(pending):
+                        task = (
+                            injector.FaultedTask(fn, spec.kind, spec.seconds)
+                            if (spec := retry_faults.get(slot)) is not None
+                            else fn
+                        )
+                        futures[i] = executor.submit(task, items[i])
+            # Retry budget exhausted.
+            if not self.config.fallback:
+                raise ParallelError(
+                    f"{len(pending)} task(s) still failing after "
+                    f"{self.config.max_retries} retries"
+                ) from last_error
+            # Hangs indict the backend (route future queries away from
+            # it); a deterministic task exception does not.
+            if isinstance(last_error, TaskTimeoutError):
+                health.mark_broken(self.config.backend, str(last_error))
+            self._release_executor(wait=False)
+        except _PoolBroken:
+            if not self.config.fallback:
+                raise ParallelError(
+                    f"{self.config.backend} pool broke and fallback is disabled"
+                ) from None
+        # Serial fallback: the calling thread computes whatever the pool
+        # did not deliver, with the *bare* task function — injected task
+        # faults never fire on the degraded path.
+        self.stats.bump(serial_fallbacks=1)
+        for i in pending:
+            results[i] = fn(items[i])
+        return results
+
+    def _collect(self, futures, pending, results):
+        """Wait for pending futures in submission order; return the indexes
+        that failed this round plus the last exception seen."""
+        failed: List[int] = []
+        last_error: Optional[BaseException] = None
+        for i in pending:
+            try:
+                results[i] = futures[i].result(timeout=self.config.task_timeout)
+            except concurrent.futures.BrokenExecutor as exc:
+                # The pool is gone; every remaining future is doomed.
+                self.stats.bump(worker_failures=1)
+                health.mark_broken(self.config.backend, repr(exc))
+                self._release_executor(wait=False)
+                rest = pending[pending.index(i):]
+                failed.extend(j for j in rest if j not in failed)
+                pending[:] = failed
+                raise _PoolBroken from exc
+            except concurrent.futures.TimeoutError:
+                self.stats.bump(worker_failures=1)
+                futures[i].cancel()
+                failed.append(i)
+                last_error = TaskTimeoutError(
+                    f"task {i} exceeded {self.config.task_timeout:g}s"
+                )
+            except Exception as exc:
+                self.stats.bump(worker_failures=1)
+                failed.append(i)
+                last_error = exc
+        return failed, last_error

@@ -1,0 +1,73 @@
+"""Process-wide backend health registry for self-healing query routing.
+
+When an :class:`~repro.parallel.executor.ExecutorPool` observes a broken
+executor (``BrokenProcessPool`` after a worker crash, or a pool abandoned
+on timeout exhaustion), it records the incident here.  The SQL planner
+consults the registry before wiring a parallel backend into a plan and
+**downgrades to serial execution** while the backend is marked broken —
+so after one crash, subsequent queries skip the doomed backend instead of
+paying the crash-and-fallback cost on every statement.
+
+The registry is deliberately simple: a counted set with a lock.  Calling
+:func:`reset` (e.g. after an operator fixed the environment, or in test
+teardown) re-enables the backend; :func:`mark_healthy` clears one backend.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+__all__ = [
+    "incidents",
+    "is_broken",
+    "last_reason",
+    "mark_broken",
+    "mark_healthy",
+    "reset",
+]
+
+_lock = threading.Lock()
+_incidents: Dict[str, int] = {}
+_reasons: Dict[str, str] = {}
+
+
+def mark_broken(backend: str, reason: str = "") -> None:
+    """Record a broken-executor incident for ``backend``."""
+    with _lock:
+        _incidents[backend] = _incidents.get(backend, 0) + 1
+        _reasons[backend] = reason
+
+
+def mark_healthy(backend: str) -> None:
+    """Forget incidents for one backend."""
+    with _lock:
+        _incidents.pop(backend, None)
+        _reasons.pop(backend, None)
+
+
+def is_broken(backend: str) -> bool:
+    """Has ``backend`` a recorded, un-reset incident?"""
+    with _lock:
+        return _incidents.get(backend, 0) > 0
+
+
+def incidents(backend: Optional[str] = None) -> int:
+    """Incident count for one backend, or the total."""
+    with _lock:
+        if backend is not None:
+            return _incidents.get(backend, 0)
+        return sum(_incidents.values())
+
+
+def last_reason(backend: str) -> str:
+    """The reason recorded with the most recent incident (or '')."""
+    with _lock:
+        return _reasons.get(backend, "")
+
+
+def reset() -> None:
+    """Forget every incident (all backends become routable again)."""
+    with _lock:
+        _incidents.clear()
+        _reasons.clear()

@@ -56,6 +56,24 @@ class Catalog:
             raise CatalogError(f"no table {name!r}")
         del self._tables[name]
 
+    def rename_table(self, old: str, new: str, *, replace: bool = False) -> Table:
+        """Rename ``old`` to ``new``; with ``replace`` an existing ``new``
+        is dropped in the same step.
+
+        This is the commit primitive of crash-consistent view refresh: the
+        registry mutation is a plain dict rebinding, so readers observe
+        either the previous table or the fully-built replacement — never a
+        partially-filled one.
+        """
+        if old not in self._tables:
+            raise CatalogError(f"no table {old!r}")
+        if new in self._tables and not replace:
+            raise CatalogError(f"table {new!r} already exists")
+        table = self._tables.pop(old)
+        table.name = new
+        self._tables[new] = table
+        return table
+
     def table(self, name: str) -> Table:
         try:
             return self._tables[name]

@@ -122,6 +122,10 @@ class Database:
     def drop_table(self, name: str, *, if_exists: bool = False) -> None:
         self.catalog.drop_table(name, if_exists=if_exists)
 
+    def rename_table(self, old: str, new: str, *, replace: bool = False) -> Table:
+        """Atomically rebind a table name (see :meth:`Catalog.rename_table`)."""
+        return self.catalog.rename_table(old, new, replace=replace)
+
     def create_index(
         self,
         table: str,

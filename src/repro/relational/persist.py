@@ -2,7 +2,7 @@
 
 Layout::
 
-    <dir>/catalog.json          tables, schemas, primary keys, indexes
+    <dir>/catalog.json          tables, schemas, primary keys, indexes, CRCs
     <dir>/data/<table>.jsonl    one JSON array per row
 
 JSON-lines keeps the format human-inspectable and diff-able; values are
@@ -10,6 +10,18 @@ typed through a small codec (dates become ``{"$date": "YYYY-MM-DD"}``,
 NULL is JSON ``null``).  Loading rebuilds tables and recreates secondary
 indexes; constraint checks re-run, so a corrupted dump cannot smuggle in
 duplicate primary keys.
+
+Crash consistency and corruption detection:
+
+* every file is written to a ``.tmp`` sibling and published with
+  ``os.replace`` — a crash mid-save never tears an existing dump;
+* the catalog (written *last*, after every data file has landed) records a
+  CRC32 per table; :func:`load_database` re-hashes each data file and
+  raises a :class:`~repro.errors.CatalogError` naming the corrupt table
+  before any rows are ingested.
+
+The ``storage_write`` fault site lets tests inject a write failure for a
+chosen table and assert that the pre-existing dump survives untouched.
 """
 
 from __future__ import annotations
@@ -17,6 +29,7 @@ from __future__ import annotations
 import datetime
 import json
 import os
+import zlib
 from typing import Any, Dict, List
 
 from repro.errors import CatalogError
@@ -25,7 +38,10 @@ from repro.relational.types import type_by_name
 
 __all__ = ["save_database", "load_database"]
 
-_FORMAT_VERSION = 1
+# Version 2 adds the per-table "crc32" field; version-1 dumps (no checksum)
+# are still loadable.
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def _encode_value(value: Any) -> Any:
@@ -40,12 +56,35 @@ def _decode_value(value: Any) -> Any:
     return value
 
 
+def _atomic_write(path: str, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` via a temp file + atomic rename."""
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(payload)
+    os.replace(tmp, path)
+
+
 def save_database(db: Database, directory: str) -> None:
-    """Write every table (schema, rows, indexes) under ``directory``."""
+    """Write every table (schema, rows, indexes) under ``directory``.
+
+    Atomic at file granularity: each data file and the catalog are staged
+    to a temp sibling and renamed into place, and the catalog — the file
+    load trusts — is only published after every data file it references
+    has landed.  A failure mid-save (including the injected
+    ``storage_write`` fault) leaves any previous dump loadable.
+    """
+    from repro.faults import injector
+
     data_dir = os.path.join(directory, "data")
     os.makedirs(data_dir, exist_ok=True)
     catalog: Dict[str, Any] = {"version": _FORMAT_VERSION, "tables": []}
     for table in db.catalog.tables():
+        injector.check("storage_write", table.name)
+        lines = []
+        for row in table.rows:
+            lines.append(json.dumps([_encode_value(v) for v in row]))
+            lines.append("\n")
+        payload = "".join(lines).encode("utf-8")
         entry = {
             "name": table.name,
             "columns": [
@@ -63,32 +102,33 @@ def save_database(db: Database, directory: str) -> None:
                 for index in table.indexes.values()
                 if not index.name.endswith("_pk")  # recreated from primary_key
             ],
+            "crc32": zlib.crc32(payload),
         }
         catalog["tables"].append(entry)
-        path = os.path.join(data_dir, f"{table.name}.jsonl")
-        with open(path, "w", encoding="utf-8") as fh:
-            for row in table.rows:
-                fh.write(json.dumps([_encode_value(v) for v in row]))
-                fh.write("\n")
-    with open(os.path.join(directory, "catalog.json"), "w", encoding="utf-8") as fh:
-        json.dump(catalog, fh, indent=2)
+        _atomic_write(os.path.join(data_dir, f"{table.name}.jsonl"), payload)
+    _atomic_write(
+        os.path.join(directory, "catalog.json"),
+        json.dumps(catalog, indent=2).encode("utf-8"),
+    )
 
 
 def load_database(directory: str) -> Database:
     """Rebuild a database saved with :func:`save_database`.
 
     Raises:
-        CatalogError: missing or version-incompatible dump.
+        CatalogError: missing or version-incompatible dump, or a data file
+            whose CRC32 no longer matches the catalog (the error names the
+            corrupt table).
     """
     catalog_path = os.path.join(directory, "catalog.json")
     if not os.path.exists(catalog_path):
         raise CatalogError(f"no database dump at {directory!r}")
     with open(catalog_path, encoding="utf-8") as fh:
         catalog = json.load(fh)
-    if catalog.get("version") != _FORMAT_VERSION:
+    if catalog.get("version") not in _SUPPORTED_VERSIONS:
         raise CatalogError(
             f"dump version {catalog.get('version')!r} is not supported "
-            f"(expected {_FORMAT_VERSION})"
+            f"(expected one of {list(_SUPPORTED_VERSIONS)})"
         )
     db = Database()
     for entry in catalog["tables"]:
@@ -97,13 +137,22 @@ def load_database(directory: str) -> Database:
             entry["name"], columns, primary_key=entry["primary_key"] or None
         )
         path = os.path.join(directory, "data", f"{entry['name']}.jsonl")
-        rows: List[List[Any]] = []
+        payload = b""
         if os.path.exists(path):
-            with open(path, encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if line:
-                        rows.append([_decode_value(v) for v in json.loads(line)])
+            with open(path, "rb") as fh:
+                payload = fh.read()
+        want = entry.get("crc32")
+        if want is not None and zlib.crc32(payload) != want:
+            raise CatalogError(
+                f"data file for table {entry['name']!r} is corrupt: "
+                f"CRC32 {zlib.crc32(payload)} != cataloged {want} "
+                f"({path})"
+            )
+        rows: List[List[Any]] = []
+        for line in payload.decode("utf-8").splitlines():
+            line = line.strip()
+            if line:
+                rows.append([_decode_value(v) for v in json.loads(line)])
         table.insert_many(rows)
         for index in entry["indexes"]:
             table.create_index(

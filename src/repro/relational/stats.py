@@ -31,6 +31,9 @@ _COUNTERS = (
     "rows_aggregated",
     "groups_emitted",
     "rows_sorted",
+    "tasks_retried",
+    "worker_failures",
+    "serial_fallbacks",
 )
 
 
@@ -46,6 +49,11 @@ class ExecutionStats:
         rows_aggregated: input rows consumed by aggregation.
         groups_emitted: groups produced by aggregation.
         rows_sorted: rows passing through sort operators.
+        tasks_retried: pool tasks re-submitted after a failure/timeout.
+        worker_failures: task failures observed (exceptions, timeouts,
+            broken pools) before any retry succeeded.
+        serial_fallbacks: times a pool degraded to in-process serial
+            execution (broken pool or retry exhaustion).
         operator_rows: per-operator-label emitted row counts.
     """
 
@@ -56,6 +64,9 @@ class ExecutionStats:
     rows_aggregated: int = 0
     groups_emitted: int = 0
     rows_sorted: int = 0
+    tasks_retried: int = 0
+    worker_failures: int = 0
+    serial_fallbacks: int = 0
     operator_rows: Dict[str, int] = field(default_factory=dict)
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
@@ -92,13 +103,25 @@ class ExecutionStats:
                 )
 
     def summary(self) -> str:
-        """Render the counters as a one-line report."""
-        return (
+        """Render the counters as a one-line report.
+
+        The robustness counters (retries, worker failures, serial
+        fallbacks) appear only when nonzero — a clean run reads exactly as
+        it always did.
+        """
+        text = (
             f"scanned={self.rows_scanned} pairs={self.pairs_examined} "
             f"index_lookups={self.index_lookups} joined={self.rows_joined} "
             f"aggregated={self.rows_aggregated} groups={self.groups_emitted} "
             f"sorted={self.rows_sorted}"
         )
+        if self.tasks_retried or self.worker_failures or self.serial_fallbacks:
+            text += (
+                f" retried={self.tasks_retried} "
+                f"worker_failures={self.worker_failures} "
+                f"serial_fallbacks={self.serial_fallbacks}"
+            )
+        return text
 
     # Locks do not pickle; process workers therefore never ship stats blocks,
     # but persistence of result objects must still work.

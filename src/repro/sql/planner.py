@@ -75,13 +75,18 @@ def build_plan(
         exec_config: optional
             :class:`~repro.parallel.config.ExecutionConfig`; when parallel,
             native window operators evaluate their frames through the
-            partition-parallel subsystem.
+            partition-parallel subsystem.  A backend that the health
+            registry (:mod:`repro.parallel.health`) has recorded as broken
+            — e.g. a process pool that crashed earlier in this process —
+            is downgraded to serial execution at plan time, so queries
+            self-heal instead of re-triggering the crash path.
     """
     from repro.relational.operators import UnionAll
     from repro.sql.ast_nodes import CompoundSelect
 
     if window_strategy not in ("native", "selfjoin"):
         raise PlanError(f"unknown window strategy {window_strategy!r}")
+    exec_config = _route_exec_config(exec_config)
     if isinstance(stmt, CompoundSelect):
         branches = [
             build_plan(
@@ -109,6 +114,23 @@ def build_plan(
         return plan
     builder = _Builder(db, stmt, window_strategy, use_index, exec_config)
     return builder.build()
+
+
+def _route_exec_config(exec_config: Any) -> Any:
+    """Self-healing backend routing: avoid pool backends known to be broken.
+
+    Keeps the rest of the configuration (kernel, chunking) intact — only
+    the placement changes, so results stay identical.
+    """
+    if exec_config is None or not getattr(exec_config, "is_parallel", False):
+        return exec_config
+    from dataclasses import replace
+
+    from repro.parallel import health
+
+    if health.is_broken(exec_config.backend):
+        return replace(exec_config, backend="serial")
+    return exec_config
 
 
 def _binds(expr: Expr, schema) -> bool:

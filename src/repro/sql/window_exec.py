@@ -29,7 +29,7 @@ from typing import Any, Iterator, List, Optional, Sequence, Tuple
 from repro.core.aggregates import by_name
 from repro.core.compute import compute_pipelined
 from repro.core.window import WindowSpec
-from repro.errors import PlanError
+from repro.errors import ParallelError, PlanError
 from repro.relational.expr import Expr
 from repro.relational.operators import Operator
 from repro.relational.schema import Column, Schema
@@ -148,7 +148,9 @@ class WindowOperator(Operator):
         ):
             from repro.parallel.executor import ExecutorPool
 
-            pool = ExecutorPool(self.exec_config)
+            # Sharing the stats block surfaces retry/fallback counters in
+            # the query result.
+            pool = ExecutorPool(self.exec_config, stats=stats)
         try:
             extras: List[List[float]] = []
             for spec, (arg, partition, order) in zip(self.specs, self._bound):
@@ -182,9 +184,16 @@ class WindowOperator(Operator):
             for key_fn, asc in reversed(order):
                 indexes.sort(key=lambda i: key_fn(rows[i]), reverse=not asc)
         if pool is not None and not spec.is_ranking and not spec.is_range:
-            return self._evaluate_parallel(
-                spec, arg, aggregate, groups, rows, stats, pool
-            )
+            try:
+                return self._evaluate_parallel(
+                    spec, arg, aggregate, groups, rows, stats, pool
+                )
+            except ParallelError:
+                # Last-ditch degradation: the whole parallel subsystem is
+                # unusable (pool broke with fallback disabled, retries
+                # exhausted, ...) — recompute this column serially rather
+                # than failing the query.
+                stats.bump(serial_fallbacks=1)
         for indexes in groups.values():
             stats.rows_sorted += len(indexes)
             if spec.is_ranking:

@@ -103,6 +103,9 @@ def propagate_update(
     partition_key: Sequence[object] = (),
 ) -> MaintenanceResult:
     """Apply the update rule: base value at ``order_key`` becomes ``new_value``."""
+    from repro.faults import injector
+
+    injector.check("maintenance", view.name)
     pkey = tuple(partition_key)
     k = position_of(view, pkey, tuple(order_key))
     part = view.reporting.partition(pkey)
@@ -122,6 +125,9 @@ def propagate_insert(
     partition_key: Sequence[object] = (),
 ) -> MaintenanceResult:
     """Apply the insert rule for a new base row."""
+    from repro.faults import injector
+
+    injector.check("maintenance", view.name)
     pkey = tuple(partition_key)
     okey = tuple(order_key)
     k = insertion_position(view, pkey, okey)
@@ -142,6 +148,9 @@ def propagate_delete(
     partition_key: Sequence[object] = (),
 ) -> MaintenanceResult:
     """Apply the delete rule for a removed base row."""
+    from repro.faults import injector
+
+    injector.check("maintenance", view.name)
     pkey = tuple(partition_key)
     okey = tuple(order_key)
     k = position_of(view, pkey, okey)

@@ -114,7 +114,14 @@ def view_name(view: MaterializedSequenceView) -> str:
 
 
 def match_view(shape: QueryShape, view: MaterializedSequenceView) -> Optional[Match]:
-    """Check one candidate view against the query shape."""
+    """Check one candidate view against the query shape.
+
+    Quarantined views never match — that is the degradation half of the
+    self-healing contract: a suspect view silently drops out of routing
+    and the query is answered from base data instead.
+    """
+    if view.quarantined:
+        return None
     d = view.definition
     if d.base_table != shape.base_table:
         return None

@@ -15,6 +15,21 @@ A materialized view keeps two synchronized representations:
 ``refresh()`` rebuilds both from the base table; the incremental
 maintenance entry points in :mod:`repro.views.maintenance` keep them in
 sync under point updates/inserts/deletes.
+
+Refresh is **crash-consistent**: every rebuild is staged into an
+epoch-versioned *shadow* storage table (``__mv_<view>__e<epoch>``) and the
+in-memory mirror/raw replacements are prepared on the side; only when the
+shadow is complete does a single atomic commit — a catalog rename plus
+three attribute rebindings — publish the new epoch.  An interruption at
+*any* point (including the injected ``refresh_interrupt`` fault) leaves the
+view wholly at the old epoch, never a torn band; the half-built shadow is
+dropped.
+
+Views also carry **quarantine** state: when verification finds
+discrepancies or a refresh/maintenance step fails, the warehouse marks the
+view quarantined, the matcher stops offering it to the rewriter (queries
+transparently fall back to base data), and ``repair()`` — a refresh plus a
+re-verify — reinstates it.
 """
 
 from __future__ import annotations
@@ -52,12 +67,22 @@ class MaterializedSequenceView:
         # MIN/MAX band recomputation in repro.views.maintenance.
         self.exec_config = exec_config
         self.reporting: Optional[ReportingSequence] = None
-        self._create_storage()
+        self.raw: Dict[Key, List[float]] = {}
+        # Epoch counter: bumped by every committed refresh.  Epoch 0 means
+        # "never refreshed" — the storage table does not exist yet.
+        self.epoch = 0
+        self.quarantined = False
+        self.quarantine_reason: Optional[str] = None
         self.refresh()
 
     # -- storage ------------------------------------------------------------------
 
-    def _create_storage(self) -> None:
+    def _create_storage(self, table_name: str):
+        """Create an (empty) storage table under ``table_name``.
+
+        Index names always use the canonical storage prefix so a shadow
+        table carries identical index structure to the table it replaces.
+        """
         d = self.definition
         base = self.db.table(d.base_table)
         columns: List[Tuple[str, object]] = []
@@ -70,8 +95,7 @@ class MaterializedSequenceView:
         # True for core positions 1..n, False for header/trailer rows; the
         # relational patterns filter on it (per-partition n varies).
         columns.append(("__core", BOOLEAN))
-        self.db.drop_table(d.storage_table, if_exists=True)
-        table = self.db.create_table(d.storage_table, columns)
+        table = self.db.create_table(table_name, columns)
         # The paper's Table 2 setting: primary-key index over the position.
         key_cols = list(d.partition_by) + ["__pos"]
         table.create_index(
@@ -80,12 +104,23 @@ class MaterializedSequenceView:
         if d.partition_by:
             # A plain position index serves single-partition probes too.
             table.create_index(f"{d.storage_table}_pos", ["__pos"], kind="sorted")
+        return table
 
     def refresh(self) -> None:
-        """Full recomputation from the base table (section 2.3's baseline)."""
+        """Full recomputation from the base table (section 2.3's baseline).
+
+        Crash-consistent: the new state is staged completely — mirror, raw
+        slices, and an epoch-versioned shadow storage table — before a
+        single atomic commit swaps it in.  Any exception before the commit
+        (worker failure, injected interruption, ...) drops the shadow and
+        leaves every representation at the old epoch.
+        """
+        from repro.faults import injector
+
         d = self.definition
+        injector.check("refresh_begin", self.name)
         rows = self._base_rows()
-        self.reporting = ReportingSequence.from_rows(
+        reporting = ReportingSequence.from_rows(
             rows,
             d.value_col,
             partition_by=d.partition_by,
@@ -97,15 +132,51 @@ class MaterializedSequenceView:
         )
         # Per-partition raw mirror (the slice of base data the view covers);
         # incremental maintenance reads old raw values from here.
-        self.raw: Dict[Key, List[float]] = {}
+        raw: Dict[Key, List[float]] = {}
         groups: Dict[Key, List[dict]] = {}
         for row in rows:
             key = tuple(row[c] for c in d.partition_by)
             groups.setdefault(key, []).append(row)
         for key, part_rows in groups.items():
             part_rows.sort(key=lambda r: tuple(r[c] for c in d.order_by))
-            self.raw[key] = [float(r[d.value_col]) for r in part_rows]
-        self._write_storage()
+            raw[key] = [float(r[d.value_col]) for r in part_rows]
+
+        shadow_name = f"{d.storage_table}__e{self.epoch + 1}"
+        self.db.drop_table(shadow_name, if_exists=True)  # stale failed shadow
+        shadow = self._create_storage(shadow_name)
+        try:
+            shadow.insert_many(self._storage_rows(reporting))
+            injector.check("refresh_commit", self.name)
+        except BaseException:
+            self.db.drop_table(shadow_name, if_exists=True)
+            raise
+        # -- commit point: from here on the swap is a handful of atomic
+        # rebindings; no partially-visible state exists on either side.
+        self.db.rename_table(shadow_name, d.storage_table, replace=True)
+        self.reporting = reporting
+        self.raw = raw
+        self.epoch += 1
+
+    def _storage_rows(self, reporting: ReportingSequence) -> List[Sequence[object]]:
+        """All storage rows for a (staged) reporting mirror, checking the
+        per-row ``refresh_write`` fault hook as it goes."""
+        from repro.faults import injector
+
+        d = self.definition
+        hook = injector.refresh_write_hook(self.name)
+        rows: List[Sequence[object]] = []
+        order_arity = len(d.order_by)
+        for pkey, part in reporting.partitions.items():
+            for pos, value in part.seq.items():
+                if hook is not None:
+                    hook(pos)
+                core = 1 <= pos <= part.seq.n
+                if core:
+                    okey: Tuple[object, ...] = part.order_keys[pos - 1]
+                else:
+                    okey = (None,) * order_arity  # header/trailer rows
+                rows.append(tuple(pkey) + okey + (pos, value, core))
+        return rows
 
     def _base_rows(self) -> List[dict]:
         d = self.definition
@@ -117,23 +188,42 @@ class MaterializedSequenceView:
         result = self.db.run(plan)
         return result.to_dicts()
 
-    def _write_storage(self) -> None:
-        d = self.definition
-        table = self.db.table(d.storage_table)
-        table.truncate()
-        assert self.reporting is not None
-        rows: List[Sequence[object]] = []
-        order_arity = len(d.order_by)
-        for pkey, part in self.reporting.partitions.items():
-            first, _last = part.seq.stored_range
-            for pos, value in part.seq.items():
-                core = 1 <= pos <= part.seq.n
-                if core:
-                    okey: Tuple[object, ...] = part.order_keys[pos - 1]
-                else:
-                    okey = (None,) * order_arity  # header/trailer rows
-                rows.append(tuple(pkey) + okey + (pos, value, core))
-        table.insert_many(rows)
+    # -- quarantine ------------------------------------------------------------------
+
+    def quarantine(self, reason: str) -> None:
+        """Take the view out of query routing (graceful degradation).
+
+        A quarantined view keeps its storage and mirror (they may be
+        wholly intact at the old epoch) but is skipped by the matcher, so
+        queries route back to base-data computation until :meth:`repair`
+        or the warehouse's ``repair()`` reinstates it.
+        """
+        self.quarantined = True
+        self.quarantine_reason = reason
+
+    def reinstate(self) -> None:
+        """Return a (verified) view to query routing."""
+        self.quarantined = False
+        self.quarantine_reason = None
+
+    def repair(self):
+        """Re-refresh, re-verify, and reinstate on success.
+
+        Returns:
+            The :class:`~repro.views.verify.ConsistencyReport` of the
+            post-refresh verification; the view is reinstated only when it
+            is clean.
+        """
+        from repro.views.verify import verify_view
+
+        self.refresh()
+        report = verify_view(self)
+        if report.ok:
+            self.reinstate()
+        else:  # pragma: no cover - refresh rebuilds from base, so only a
+            # concurrent base mutation could leave this dirty
+            self.quarantine(f"repair verification failed: {report.summary()}")
+        return report
 
     # -- inspection ------------------------------------------------------------------
 
@@ -170,7 +260,10 @@ class MaterializedSequenceView:
         return len(self.db.table(self.definition.storage_table))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f", epoch={self.epoch}"
+        if self.quarantined:
+            state += f", QUARANTINED ({self.quarantine_reason})"
         return (
             f"MaterializedSequenceView({self.name!r}: "
-            f"{self.definition.describe()})"
+            f"{self.definition.describe()}{state})"
         )

@@ -13,6 +13,7 @@ changes — and the hook for fault-injection tests.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
@@ -59,11 +60,20 @@ class ConsistencyReport:
 
 
 def _differs(a: float, b: float) -> bool:
+    # NaN == NaN counts as agreement: both representations computed "no
+    # value" the same way (e.g. AVG over an empty frame), which is not a
+    # corruption.  A NaN on only one side *is* a discrepancy.
+    a_nan, b_nan = math.isnan(a), math.isnan(b)
+    if a_nan or b_nan:
+        return a_nan != b_nan
     return abs(a - b) > TOLERANCE * max(1.0, abs(a), abs(b))
 
 
 def verify_view(view: MaterializedSequenceView, *, max_report: int = 20) -> ConsistencyReport:
     """Recompute the view from base data and cross-check mirror and storage."""
+    from repro.faults import injector
+
+    injector.verify_hook(view)  # armed ``bitflip`` specs corrupt storage here
     d = view.definition
     report = ConsistencyReport(view.name)
     truth = ReportingSequence.from_rows(
@@ -83,15 +93,20 @@ def verify_view(view: MaterializedSequenceView, *, max_report: int = 20) -> Cons
             )
 
     # -- mirror vs truth -------------------------------------------------------
+    # Partition-set drift is reported structurally, one discrepancy per
+    # missing/unexpected partition — an empty or vanished partition must
+    # never be silently skipped.
     mirror = view.reporting
-    if set(mirror.partitions) != set(truth.partitions):
-        add("mirror", (), None,
-            f"partition sets differ: mirror {sorted(map(repr, mirror.partitions))} "
-            f"vs base {sorted(map(repr, truth.partitions))}")
+    for pkey in sorted(set(truth.partitions) - set(mirror.partitions), key=repr):
+        add("mirror", pkey, None,
+            "partition missing from the mirror (present in base data)")
+    for pkey in sorted(set(mirror.partitions) - set(truth.partitions), key=repr):
+        add("mirror", pkey, None,
+            "unexpected mirror partition (absent from base data)")
     for pkey, tpart in truth.partitions.items():
         mpart = mirror.partitions.get(pkey)
         if mpart is None:
-            continue
+            continue  # already reported structurally above
         if mpart.order_keys != tpart.order_keys:
             add("mirror", pkey, None, "ordering keys out of sync with base data")
         expected = dict(tpart.seq.items())

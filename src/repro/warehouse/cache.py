@@ -80,6 +80,20 @@ class QueryCache:
             self._lru.move_to_end(view_name)
             self.stats.hits += 1
 
+    def on_quarantine(self, view_name: str) -> None:
+        """A cache-created view was quarantined: evict it outright.
+
+        User views have an owner who can ``repair()`` them; a cached view
+        is disposable, so a quarantined one must never be served again and
+        is simply dropped (counted as an eviction).  Non-cache views are
+        ignored.
+        """
+        if view_name not in self._lru:
+            return
+        del self._lru[view_name]
+        self.warehouse.drop_view(view_name)
+        self.stats.evictions += 1
+
     # -- admission ------------------------------------------------------------------
 
     def admit(self, shape: QueryShape) -> Optional[str]:

@@ -26,7 +26,13 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from repro.errors import CatalogError, NoRewriteError, ViewError
+from repro.errors import (
+    CatalogError,
+    NoRewriteError,
+    QuarantinedViewError,
+    ReproError,
+    ViewError,
+)
 from repro.relational.engine import Database, Result
 from repro.sql.ast_nodes import SelectStmt
 from repro.sql.parser import parse_select
@@ -71,6 +77,9 @@ class DataWarehouse:
         self.views: Dict[str, MaterializedSequenceView] = {}
         self.cache = None  # set by enable_query_cache()
         self.execution = execution
+        # Human-readable degradation log: quarantines, rewrite failures
+        # routed back to base data, repairs.  Surfaced by the CLI.
+        self.incidents: List[str] = []
 
     def enable_query_cache(self, max_views: int = 8):
         """Turn on semantic caching of reporting-function query shapes.
@@ -190,7 +199,63 @@ class DataWarehouse:
             raise CatalogError(f"no view {name!r} (have {sorted(self.views)})") from None
 
     def refresh_view(self, name: str) -> None:
-        self.view(name).refresh()
+        """Fully rebuild one view; quarantines it when the rebuild fails.
+
+        Refresh is atomic (shadow table + swap-on-commit), so a failed
+        refresh leaves the view *readable* at the old epoch — but the
+        caller asked for a rebuild because base data may have moved, so
+        the old epoch can no longer be trusted: the view is quarantined
+        and queries route to base data until :meth:`repair` succeeds.
+        """
+        view = self.view(name)
+        try:
+            view.refresh()
+        except Exception as exc:
+            self.quarantine_view(name, f"refresh failed: {exc}")
+            raise
+
+    # -- quarantine & repair -----------------------------------------------------
+
+    def healthy_views(self) -> List[MaterializedSequenceView]:
+        """Views currently eligible for query routing."""
+        return [v for v in self.views.values() if not v.quarantined]
+
+    def quarantined_views(self) -> List[str]:
+        return sorted(n for n, v in self.views.items() if v.quarantined)
+
+    def quarantine_view(self, name: str, reason: str) -> None:
+        """Take one view out of routing; cache-created views are evicted.
+
+        A quarantined *user* view stays registered (its definition is the
+        contract for ``repair()``); a view the query cache created has no
+        owner to repair it, so it is dropped outright rather than served.
+        """
+        view = self.view(name)
+        view.quarantine(reason)
+        self.incidents.append(f"quarantined view {name!r}: {reason}")
+        if self.cache is not None:
+            self.cache.on_quarantine(name)
+
+    def repair(self, name: Optional[str] = None) -> Dict[str, Any]:
+        """Re-refresh, re-verify and reinstate quarantined views.
+
+        Args:
+            name: one view, or ``None`` for every quarantined view.
+
+        Returns:
+            ``{view_name: ConsistencyReport}`` for every repair attempt;
+            a view is reinstated only when its report is clean.
+        """
+        if name is not None:
+            targets = [self.view(name)]
+        else:
+            targets = [v for v in self.views.values() if v.quarantined]
+        reports: Dict[str, Any] = {}
+        for view in targets:
+            reports[view.name] = view.repair()
+            if not view.quarantined:
+                self.incidents.append(f"repaired view {view.name!r}")
+        return reports
 
     # -- querying ----------------------------------------------------------------------
 
@@ -236,15 +301,24 @@ class DataWarehouse:
                 exec_config=self.execution,
             )
             return QueryResult.wrap(self.db.run(plan), None)
-        if use_views and self.views:
-            rewritten = try_rewrite(
-                self.db,
-                stmt,
-                list(self.views.values()),
-                algorithm=algorithm,
-                variant=variant,
-                mode=mode,
-            )
+        healthy = self.healthy_views()
+        if use_views and healthy:
+            try:
+                rewritten = try_rewrite(
+                    self.db,
+                    stmt,
+                    healthy,
+                    algorithm=algorithm,
+                    variant=variant,
+                    mode=mode,
+                )
+            except ReproError as exc:
+                # Self-healing routing: a rewrite that blows up mid-flight
+                # must not fail the query — fall back to base data.
+                self.incidents.append(
+                    f"rewrite failed ({exc}); query routed to base data"
+                )
+                rewritten = None
             if rewritten is not None:
                 result, info = rewritten
                 if self.cache is not None:
@@ -255,7 +329,7 @@ class DataWarehouse:
             admitted = self._cache_admit(stmt)
             if admitted:
                 rewritten = try_rewrite(
-                    self.db, stmt, list(self.views.values()),
+                    self.db, stmt, self.healthy_views(),
                     algorithm=algorithm, variant=variant, mode=mode)
                 if rewritten is not None:
                     return QueryResult.wrap(*rewritten)
@@ -276,13 +350,13 @@ class DataWarehouse:
     def explain(self, sql: str, **options: Any) -> str:
         """Describe how a query would be answered (rewrite or native plan)."""
         stmt = parse_select(sql)
-        if self.views:
+        if self.healthy_views():
             from repro.sql.rewriter import describe_rewrite
 
             info = describe_rewrite(
                 self.db,
                 stmt,
-                list(self.views.values()),
+                self.healthy_views(),
                 algorithm=options.get("algorithm", "auto"),
                 variant=options.get("variant", "disjunctive"),
                 mode=options.get("mode", "auto"),
@@ -334,6 +408,11 @@ class DataWarehouse:
         from repro.views.maintenance import position_of
 
         view = self.view(view_name)
+        if view.quarantined:
+            raise QuarantinedViewError(
+                f"view {view_name!r} is quarantined "
+                f"({view.quarantine_reason}); run repair() to reinstate it"
+            )
         pkey = tuple(partition_key) if not isinstance(partition_key, tuple) else partition_key
         okey = order_key if isinstance(order_key, tuple) else (order_key,)
         k = position_of(view, pkey, okey)
@@ -355,12 +434,27 @@ class DataWarehouse:
         # single-position computable through the generic facade.
         return core_derivation.derive(seq, target, chosen=dplan)[k - 1]
 
-    def verify(self):
+    def verify(self, *, quarantine: bool = True):
         """Cross-check every view against base data; see
-        :func:`repro.views.verify.verify_warehouse`."""
+        :func:`repro.views.verify.verify_warehouse`.
+
+        Args:
+            quarantine: take views with discrepancies out of query routing
+                (detection → degradation); pass ``False`` for a pure
+                read-only check.
+        """
         from repro.views.verify import verify_warehouse
 
-        return verify_warehouse(self)
+        reports = verify_warehouse(self)
+        if quarantine:
+            for name, report in reports.items():
+                if not report.ok and name in self.views:
+                    self.quarantine_view(
+                        name,
+                        f"verification found {len(report.discrepancies)} "
+                        "discrepancies",
+                    )
+        return reports
 
     # -- persistence ----------------------------------------------------------------------
 
@@ -396,8 +490,12 @@ class DataWarehouse:
                 "complete": view.complete,
             }
             views.append(entry)
-        with open(os.path.join(directory, "views.json"), "w", encoding="utf-8") as fh:
+        # Atomic publish: never leave a torn views.json next to a good dump.
+        path = os.path.join(directory, "views.json")
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
             json.dump({"views": views}, fh, indent=2)
+        os.replace(tmp, path)
 
     @classmethod
     def load(cls, directory: str) -> "DataWarehouse":
@@ -527,7 +625,10 @@ class DataWarehouse:
 
         ``keys`` must identify exactly one base row (e.g. the partition and
         ordering column values).  Returns the per-view
-        :class:`~repro.core.maintenance.MaintenanceResult` list.
+        :class:`~repro.core.maintenance.MaintenanceResult` list; a view
+        whose propagation *failed* contributes the exception instead and
+        is quarantined (the base update stands — queries route to base
+        data until ``repair()``).
         """
         tbl = self.db.table(table)
         slot = self._locate_base_slot(table, keys)
@@ -544,7 +645,10 @@ class DataWarehouse:
             pkey = tuple(keys[c] for c in d.partition_by)
             okey = tuple(keys[c] for c in d.order_by)
             results.append(
-                propagate_update(view, okey, new_value, partition_key=pkey)
+                self._propagate(
+                    view, propagate_update, view, okey, new_value,
+                    partition_key=pkey,
+                )
             )
         return results
 
@@ -561,8 +665,9 @@ class DataWarehouse:
             pkey = tuple(row[c] for c in d.partition_by)
             okey = tuple(row[c] for c in d.order_by)
             results.append(
-                propagate_insert(
-                    view, okey, float(row[d.value_col]), partition_key=pkey
+                self._propagate(
+                    view, propagate_insert, view, okey,
+                    float(row[d.value_col]), partition_key=pkey,
                 )
             )
         return results
@@ -580,8 +685,22 @@ class DataWarehouse:
             d = view.definition
             pkey = tuple(row[c] for c in d.partition_by)
             okey = tuple(row[c] for c in d.order_by)
-            results.append(propagate_delete(view, okey, partition_key=pkey))
+            results.append(
+                self._propagate(
+                    view, propagate_delete, view, okey, partition_key=pkey
+                )
+            )
         return results
+
+    def _propagate(self, view: MaterializedSequenceView, rule, *args, **kwargs):
+        """Run one maintenance rule; on failure quarantine the view and
+        return the exception (graceful degradation, the base change
+        stands)."""
+        try:
+            return rule(*args, **kwargs)
+        except ReproError as exc:
+            self.quarantine_view(view.name, f"maintenance failed: {exc}")
+            return exc
 
     def _row_in_view(self, view: MaterializedSequenceView, row: Dict[str, Any]) -> bool:
         """Does the view's selection cover this base row?"""

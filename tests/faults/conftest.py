@@ -1,0 +1,15 @@
+"""Shared fixtures: every fault test starts and ends with clean global state."""
+
+import pytest
+
+from repro.faults import injector
+from repro.parallel import health
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state():
+    injector.clear()
+    health.reset()
+    yield
+    injector.clear()
+    health.reset()

@@ -1,0 +1,103 @@
+"""Crash-consistent refresh: an interrupted rebuild leaves the old epoch whole."""
+
+import pytest
+
+from repro.errors import InjectedFault, QuarantinedViewError
+from repro.faults import FaultPlan, FaultSpec, injector
+from repro.views.verify import verify_view
+from repro.warehouse import DataWarehouse, create_sequence_table
+
+VIEW_SQL = ("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 "
+            "PRECEDING AND 1 FOLLOWING) s FROM seq")
+QUERY = ("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING "
+         "AND 1 FOLLOWING) s FROM seq ORDER BY pos")
+
+
+@pytest.fixture
+def wh():
+    wh = DataWarehouse()
+    create_sequence_table(wh.db, "seq", 25, seed=77)
+    wh.create_view("mv", VIEW_SQL)
+    return wh
+
+
+def _snapshot(wh):
+    view = wh.view("mv")
+    storage = sorted(wh.db.table("__mv_mv").rows, key=repr)
+    return view.epoch, storage, dict(view.sequence().items())
+
+
+CRASH_SPECS = [
+    pytest.param(FaultSpec("refresh_interrupt", point="begin"), id="begin"),
+    pytest.param(FaultSpec("refresh_interrupt", point="write", at=0), id="write-first"),
+    pytest.param(FaultSpec("refresh_interrupt", point="write", at=13), id="write-mid"),
+    pytest.param(FaultSpec("refresh_interrupt", point="commit"), id="commit"),
+]
+
+
+class TestAtomicSwap:
+    @pytest.mark.parametrize("spec", CRASH_SPECS)
+    def test_interrupted_refresh_leaves_old_epoch_whole(self, wh, spec):
+        epoch, storage, mirror = _snapshot(wh)
+        with injector.active(FaultPlan([spec])):
+            with pytest.raises(InjectedFault):
+                wh.view("mv").refresh()
+        view = wh.view("mv")
+        # Every representation is wholly at the old epoch — never torn.
+        assert view.epoch == epoch
+        assert sorted(wh.db.table("__mv_mv").rows, key=repr) == storage
+        assert dict(view.sequence().items()) == mirror
+        # The half-built shadow is gone.
+        names = [t.name for t in wh.db.catalog.tables()]
+        assert not any(n.startswith("__mv_mv__e") for n in names)
+        # The surviving epoch is still internally consistent and queryable.
+        assert verify_view(view).ok
+        res = wh.query(QUERY)
+        assert res.rewrite is not None and res.rewrite.view == "mv"
+
+    @pytest.mark.parametrize("spec", CRASH_SPECS)
+    def test_refresh_succeeds_after_the_fault_clears(self, wh, spec):
+        epoch = wh.view("mv").epoch
+        with injector.active(FaultPlan([spec])):
+            with pytest.raises(InjectedFault):
+                wh.view("mv").refresh()
+        wh.view("mv").refresh()
+        assert wh.view("mv").epoch == epoch + 1
+        assert verify_view(wh.view("mv")).ok
+
+    def test_committed_refresh_bumps_epoch(self, wh):
+        epoch = wh.view("mv").epoch
+        wh.view("mv").refresh()
+        assert wh.view("mv").epoch == epoch + 1
+
+
+class TestWarehouseReaction:
+    def test_failed_refresh_quarantines_and_routes_to_base(self, wh):
+        wh.db.insert("seq", [(99, 1.0)])  # base moved; view is stale
+        with injector.active(FaultPlan([FaultSpec("refresh_interrupt", point="commit")])):
+            with pytest.raises(InjectedFault):
+                wh.refresh_view("mv")
+        view = wh.view("mv")
+        assert view.quarantined and "refresh failed" in view.quarantine_reason
+        assert any("quarantined" in line for line in wh.incidents)
+        # Queries fall back to base data (fresh), not the stale epoch.
+        res = wh.query(QUERY)
+        assert res.rewrite is None
+        assert len(res.rows) == 26
+
+    def test_point_lookup_refuses_quarantined_view(self, wh):
+        wh.quarantine_view("mv", "test")
+        with pytest.raises(QuarantinedViewError, match="quarantined"):
+            wh.value_at("mv", 5)
+
+    def test_repair_reinstates(self, wh):
+        wh.db.insert("seq", [(99, 1.0)])
+        with injector.active(FaultPlan([FaultSpec("refresh_interrupt", point="commit")])):
+            with pytest.raises(InjectedFault):
+                wh.refresh_view("mv")
+        reports = wh.repair()
+        assert reports["mv"].ok
+        view = wh.view("mv")
+        assert not view.quarantined
+        assert wh.query(QUERY).rewrite is not None
+        assert any("repaired" in line for line in wh.incidents)

@@ -52,3 +52,28 @@ class TestLifecycle:
     def test_default_config_is_serial(self):
         pool = ExecutorPool()
         assert pool.map(_square, [3]) == [9]
+
+    def test_one_shot_map_releases_executor(self):
+        # Unmanaged use must not leak the OS pool between calls.
+        pool = ExecutorPool(ExecutionConfig(jobs=2, backend="thread"))
+        assert pool.map(_square, range(4)) == [0, 1, 4, 9]
+        assert pool._executor is None
+        assert pool.map(_square, range(4)) == [0, 1, 4, 9]  # still usable
+        pool.close()
+
+    def test_failing_one_shot_map_still_releases_executor(self):
+        def boom(_):
+            raise ValueError("chunk failed")
+
+        pool = ExecutorPool(ExecutionConfig(jobs=2, backend="thread"))
+        with pytest.raises(ValueError, match="chunk failed"):
+            pool.map(boom, range(4))
+        assert pool._executor is None
+
+    def test_managed_pool_keeps_executor_between_maps(self):
+        with ExecutorPool(ExecutionConfig(jobs=2, backend="thread")) as pool:
+            pool.map(_square, range(4))
+            first = pool._executor
+            pool.map(_square, range(4))
+            assert pool._executor is first is not None
+        assert pool._executor is None

@@ -79,7 +79,14 @@ class TestFailureModes:
             load_database(str(tmp_path))
 
     def test_corrupted_duplicate_pk_rejected(self, db, tmp_path):
+        # Strip the checksums (a version-1 dump) so the tampered file gets
+        # past CRC verification: the constraint re-check must still fire.
         save_database(db, str(tmp_path))
+        catalog = tmp_path / "catalog.json"
+        doc = json.loads(catalog.read_text())
+        for entry in doc["tables"]:
+            del entry["crc32"]
+        catalog.write_text(json.dumps(doc))
         data = tmp_path / "data" / "t.jsonl"
         lines = data.read_text().splitlines()
         data.write_text("\n".join(lines + [lines[0]]))  # duplicate pk row
@@ -87,6 +94,39 @@ class TestFailureModes:
 
         with pytest.raises(ConstraintError):
             load_database(str(tmp_path))
+
+    def test_checksum_names_corrupt_table(self, db, tmp_path):
+        save_database(db, str(tmp_path))
+        data = tmp_path / "data" / "t.jsonl"
+        lines = data.read_text().splitlines()
+        data.write_text("\n".join(lines + [lines[0]]))  # bit rot / tamper
+        with pytest.raises(CatalogError, match="table 't' is corrupt"):
+            load_database(str(tmp_path))
+
+    def test_checksum_clean_table_loads(self, db, tmp_path):
+        save_database(db, str(tmp_path))
+        doc = json.loads((tmp_path / "catalog.json").read_text())
+        assert all(isinstance(e["crc32"], int) for e in doc["tables"])
+        assert load_database(str(tmp_path)).table("t").rows == db.table("t").rows
+
+    def test_save_is_atomic_under_write_fault(self, db, tmp_path):
+        from repro.errors import InjectedFault
+        from repro.faults import FaultPlan, FaultSpec, injector
+
+        save_database(db, str(tmp_path))  # good dump
+        before = load_database(str(tmp_path)).table("t").rows
+        db.insert("t", [(9, 9.0, "z", None)])
+        plan = FaultPlan([FaultSpec("storage_write_fail", target="t")])
+        with injector.active(plan):
+            with pytest.raises(InjectedFault):
+                save_database(db, str(tmp_path))
+        # The failed save must not have torn the previous dump.
+        assert load_database(str(tmp_path)).table("t").rows == before
+        assert not list(tmp_path.glob("**/*.tmp"))
+
+    def test_no_temp_files_left_after_save(self, db, tmp_path):
+        save_database(db, str(tmp_path))
+        assert not list(tmp_path.glob("**/*.tmp"))
 
     def test_dump_is_human_readable(self, db, tmp_path):
         save_database(db, str(tmp_path))

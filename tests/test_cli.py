@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -11,6 +13,61 @@ class TestDemo:
         out = capsys.readouterr().out
         assert "REWRITE using view 'mv'" in out
         assert "engine stats" in out
+
+
+class TestInjectFault:
+    @pytest.fixture(autouse=True)
+    def _clean(self):
+        from repro.faults import injector
+        from repro.parallel import health
+
+        injector.clear()
+        health.reset()
+        yield
+        injector.clear()
+        health.reset()
+
+    @pytest.mark.parametrize("kind", [
+        "worker_crash", "bitflip", "refresh_interrupt",
+        "maintenance_fail", "storage_write_fail",
+    ])
+    def test_fault_demo_recovers(self, capsys, kind):
+        assert main(["demo", "--rows", "40", "--inject-fault", kind]) == 0
+        out = capsys.readouterr().out
+        assert "injecting:" in out
+        assert "answers match a base-data recomputation: yes" in out
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "--inject-fault", "gremlins"])
+
+
+class TestVerify:
+    @pytest.fixture
+    def dump(self, tmp_path):
+        from repro.warehouse import DataWarehouse, create_sequence_table
+
+        wh = DataWarehouse()
+        create_sequence_table(wh.db, "seq", 25, seed=4)
+        wh.create_view("mv", "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS "
+                       "BETWEEN 2 PRECEDING AND 1 FOLLOWING) s FROM seq")
+        wh.save(str(tmp_path))
+        return tmp_path
+
+    def test_clean_dump_verifies(self, capsys, dump, tmp_path):
+        report = tmp_path / "report.json"
+        assert main(["verify", "--dir", str(dump), "--json", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        doc = json.loads(report.read_text())
+        assert doc["ok"] and doc["views"]["mv"]["ok"]
+
+    def test_missing_dump_fails(self, capsys, tmp_path):
+        assert main(["verify", "--dir", str(tmp_path / "nope")]) == 2
+        assert "load failed" in capsys.readouterr().out
+
+    def test_repair_flag_accepted(self, capsys, dump):
+        assert main(["verify", "--dir", str(dump), "--repair"]) == 0
 
 
 class TestTableSweeps:

@@ -85,6 +85,55 @@ class TestFaultInjection:
         report = verify_view(wh.view("mv"), max_report=5)
         assert len(report.discrepancies) == 5
 
+    def test_one_sided_nan_is_a_discrepancy(self, wh):
+        table = wh.db.table("__mv_mv")
+        row = list(table.row(4))
+        row[table.schema.resolve("__val")] = float("nan")
+        table.update_slot(4, row)
+        report = verify_view(wh.view("mv"))
+        assert any(d.representation == "storage" and "nan" in d.detail
+                   for d in report.discrepancies)
+
+    def test_nan_on_both_sides_is_agreement(self):
+        from repro.views.verify import _differs
+
+        nan = float("nan")
+        assert not _differs(nan, nan)
+        assert _differs(nan, 1.0)
+        assert _differs(1.0, nan)
+        assert not _differs(1.0, 1.0)
+
+    def test_missing_mirror_partition_is_structural(self):
+        wh = DataWarehouse()
+        wh.create_table("s", [("g", "TEXT"), ("pos", "INTEGER"), ("v", "FLOAT")])
+        wh.insert("s", [(g, i, float(i)) for g in "ab" for i in range(1, 6)])
+        wh.create_view("mv", "SELECT g, pos, SUM(v) OVER (PARTITION BY g "
+                       "ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 "
+                       "FOLLOWING) w FROM s")
+        view = wh.view("mv")
+        del view.reporting.partitions[("a",)]
+        report = verify_view(view)
+        assert any(
+            d.partition == ("a",) and d.position is None
+            and "missing from the mirror" in d.detail
+            for d in report.discrepancies
+        )
+
+    def test_unexpected_mirror_partition_is_structural(self):
+        wh = DataWarehouse()
+        wh.create_table("s", [("g", "TEXT"), ("pos", "INTEGER"), ("v", "FLOAT")])
+        wh.insert("s", [(g, i, float(i)) for g in "ab" for i in range(1, 6)])
+        wh.create_view("mv", "SELECT g, pos, SUM(v) OVER (PARTITION BY g "
+                       "ORDER BY pos ROWS BETWEEN 1 PRECEDING AND 1 "
+                       "FOLLOWING) w FROM s")
+        view = wh.view("mv")
+        view.reporting.partitions[("ghost",)] = view.reporting.partitions[("a",)]
+        report = verify_view(view)
+        assert any(
+            d.partition == ("ghost",) and "unexpected mirror partition" in d.detail
+            for d in report.discrepancies
+        )
+
     def test_partitioned_fault_localised(self):
         wh = DataWarehouse()
         wh.create_table("s", [("g", "TEXT"), ("pos", "INTEGER"), ("v", "FLOAT")])

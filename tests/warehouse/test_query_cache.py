@@ -125,3 +125,41 @@ class TestInteraction:
         create_sequence_table(wh.db, "seq", 10, seed=0)
         res = wh.query(query_for(1, 1))
         assert res.rewrite is None  # no cache, no views -> native
+
+
+class TestQuarantine:
+    def test_quarantined_cache_view_is_evicted_not_served(self, wh):
+        wh.query(query_for(2, 1))
+        name = wh.cache.cached_views()[0]
+        wh.quarantine_view(name, "storage corrupted")
+        # Cached views have no owner to repair them: dropped outright.
+        assert name not in wh.views
+        assert wh.cache.cached_views() == []
+        assert wh.cache.stats.evictions == 1
+        # The same query is answered correctly again via a fresh admission.
+        res = wh.query(query_for(2, 1))
+        assert res.rewrite is not None
+        assert res.rewrite.view != name
+        assert_close(res.column("s"), brute_window(wh.raw, sliding(2, 1)))
+
+    def test_verify_evicts_corrupt_cache_view(self, wh):
+        wh.query(query_for(2, 1))
+        name = wh.cache.cached_views()[0]
+        storage = wh.views[name].definition.storage_table
+        table = wh.db.table(storage)
+        row = list(table.row(3))
+        row[table.schema.resolve("__val")] = 1e9
+        table.update_slot(3, row)
+        reports = wh.verify()
+        assert not reports[name].ok
+        assert name not in wh.views
+        assert wh.cache.stats.evictions == 1
+
+    def test_user_view_quarantine_leaves_cache_alone(self, wh):
+        wh.create_view("manual", query_for(9, 9).replace(" ORDER BY pos", "", 1))
+        wh.query(query_for(2, 1))
+        cached = wh.cache.cached_views()
+        wh.quarantine_view("manual", "test")
+        assert "manual" in wh.views  # user views stay registered
+        assert wh.cache.cached_views() == cached
+        assert wh.cache.stats.evictions == 0
