@@ -9,6 +9,7 @@ Usage::
     python -m repro advise --query "SELECT ..." [--query "..."]
     python -m repro parallel [--rows N] [--jobs 1,2,4] [--backend thread]
     python -m repro verify --dir DIR [--repair] [--json PATH]
+    python -m repro fuzz [--seeds N] [--oracle sqlite|none] [--json PATH]
 
 The ``table1``/``table2`` subcommands rerun the paper's evaluation sweeps
 with simple wall-clock timing and print rows in the papers' table layout
@@ -201,6 +202,43 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential fuzzing: every path + the SQLite oracle, shrink failures.
+
+    Exit code 0 means every generated case agreed on every path (and every
+    metamorphic relation held); 1 means discrepancies were found — each one
+    already shrunk and written to the corpus directory as a replayable
+    repro file.
+    """
+    import json
+
+    from repro.testkit import CaseGenerator, FuzzRunner
+
+    paths = [p for p in args.paths.split(",") if p] if args.paths else None
+    relations = [r for r in args.relations.split(",") if r]
+    runner = FuzzRunner(
+        paths=paths,
+        oracle=None if args.oracle == "none" else args.oracle,
+        relations=relations,
+        generator=CaseGenerator(max_rows=args.max_rows),
+        corpus_dir=args.corpus_dir,
+        shrink=not args.no_shrink,
+    )
+    report = runner.run(args.seeds, base_seed=args.base_seed)
+    print(report.summary())
+    for failure in report.failures:
+        print(f"  seed {failure.seed}: {failure.description}")
+        if failure.shrunk_description:
+            print(f"    shrunk to: {failure.shrunk_description}")
+        if failure.repro_file:
+            print(f"    repro: {failure.repro_file}")
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"report written to {args.json_path}")
+    return 0 if report.ok else 1
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     """Rerun the paper's Table 1 sweep with simple wall-clock timing."""
     query = ("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 "
@@ -333,6 +371,30 @@ def build_parser() -> argparse.ArgumentParser:
     par.add_argument("--preceding", type=int, default=5)
     par.add_argument("--following", type=int, default=5)
     par.set_defaults(func=cmd_parallel)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing against the SQLite oracle"
+    )
+    fuzz.add_argument("--seeds", type=int, default=200,
+                      help="number of consecutive seeds to fuzz")
+    fuzz.add_argument("--base-seed", type=int, default=0,
+                      help="first seed (echoed in the report for replay)")
+    fuzz.add_argument("--oracle", choices=["sqlite", "none"], default="sqlite",
+                      help="'none' diffs internal paths against pipelined")
+    fuzz.add_argument("--paths", default=None,
+                      help="comma-separated path names (default: all)")
+    fuzz.add_argument("--relations",
+                      default="shift,scale,permutation,insert_delete",
+                      help="metamorphic relations to check ('' disables)")
+    fuzz.add_argument("--max-rows", type=int, default=48)
+    fuzz.add_argument("--corpus-dir", default=None,
+                      help="where shrunk repro files go "
+                           "(default: tests/testkit/corpus)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip delta-debugging of failing cases")
+    fuzz.add_argument("--json", dest="json_path", default=None,
+                      help="write the machine-readable report to this path")
+    fuzz.set_defaults(func=cmd_fuzz)
 
     ver = sub.add_parser("verify", help="verify (and repair) a saved warehouse dump")
     ver.add_argument("--dir", required=True, help="directory written by DataWarehouse.save()")

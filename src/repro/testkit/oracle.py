@@ -1,0 +1,64 @@
+"""External oracle: the stdlib ``sqlite3`` module.
+
+SQLite ships native window functions since 3.25 (2018); running the
+generated query through a completely independent engine is the strongest
+check we have — a bug shared by every internal path (all built on the same
+window model) still disagrees with SQLite.
+
+Semantics bridge: the sequence model has no NULLs — the engine documents
+that an absent measure counts as 0 (:mod:`repro.sql.window_exec`), and its
+``COUNT(col)`` is frame size, not non-NULL count.  The oracle therefore
+wraps the measure in ``COALESCE(val, 0.0)``, which makes SQLite compute the
+same function for every aggregate:
+
+==========  =====================================================
+aggregate    with COALESCE both engines compute
+==========  =====================================================
+SUM          sum over the frame, NULL contributing 0
+COUNT        the clipped frame size
+AVG          frame sum / frame size
+MIN/MAX      extremum with NULL participating as 0
+==========  =====================================================
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, Tuple
+
+from repro.testkit.generator import FuzzCase
+
+__all__ = ["SQLITE_WINDOWS_OK", "sqlite_oracle"]
+
+# Native window functions landed in SQLite 3.25.0.
+SQLITE_WINDOWS_OK = sqlite3.sqlite_version_info >= (3, 25, 0)
+
+ResultMap = Dict[Tuple[object, ...], float]
+
+
+def sqlite_oracle(case: FuzzCase) -> ResultMap:
+    """Evaluate ``case`` in an in-memory SQLite database.
+
+    Returns ``{(g, pos): value}`` — the same key shape every internal path
+    produces, so the differ can compare them directly.
+
+    Raises:
+        RuntimeError: when the linked SQLite predates window functions.
+    """
+    if not SQLITE_WINDOWS_OK:
+        raise RuntimeError(
+            "the sqlite oracle needs SQLite >= 3.25 (native window "
+            f"functions); linked version is {sqlite3.sqlite_version}"
+        )
+    over = "PARTITION BY g ORDER BY pos" if case.partitioned else "ORDER BY pos"
+    sql = (
+        f"SELECT g, pos, {case.aggregate_name}(COALESCE(val, 0.0)) "
+        f"OVER ({over} {case.window.to_frame_sql()}) FROM t"
+    )
+    with sqlite3.connect(":memory:") as conn:
+        conn.execute("CREATE TABLE t (g INTEGER, pos INTEGER, val REAL)")
+        conn.executemany("INSERT INTO t VALUES (?, ?, ?)", case.rows)
+        out: ResultMap = {}
+        for g, pos, value in conn.execute(sql):
+            out[(g, pos)] = float(value)
+    return out

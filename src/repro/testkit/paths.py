@@ -1,0 +1,248 @@
+"""Every internal execution path as a uniform ``case -> {key: value}`` map.
+
+Each path evaluates a :class:`~repro.testkit.generator.FuzzCase` and
+returns ``{(g, pos): value}``; ``pos`` is globally unique in generated
+datasets, so the key identifies a row even for unpartitioned queries.
+
+Paths:
+
+``naive``            explicit form, O(W) per position (§2.2)
+``pipelined``        recursive form, O(1) amortised per position (§2.2)
+``vectorized``       numpy kernels (skipped when numpy is unavailable)
+``engine``           full SQL stack: parse -> plan -> WindowOperator
+``engine-parallel``  same, through the partition-parallel subsystem
+``view-maxoa``       materialized view one step *narrower*, MaxOA (§4)
+``view-minoa``       materialized view one step *wider*, MinOA (§5)
+
+The view paths execute in ``mode="relational"`` wherever the engine has a
+relational pattern (invertible aggregates, identity matches) — the
+relational patterns read the view's *storage table*, so corruption injected
+into storage (the ``bitflip`` fault) is visible to the differ, not just to
+``verify_view``; MIN/MAX derivations and prefix tiling fall back to the
+in-memory form the engine provides.  They call
+:func:`repro.faults.injector.verify_hook` on the freshly materialized view
+first: that is the testkit's storage fault point, reusing the ``verify``
+site so existing fault plans work unchanged.
+
+A path that does not apply to a case (e.g. MinOA for MIN/MAX, whose
+aggregate is not invertible) returns None and is reported as skipped, never
+silently dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.aggregates import Aggregate
+from repro.core.compute import compute_naive, compute_pipelined
+from repro.core.window import WindowSpec, cumulative, sliding
+from repro.testkit.generator import FuzzCase
+
+__all__ = ["PATHS", "DEFAULT_PATHS", "run_path", "run_paths"]
+
+ResultMap = Dict[Tuple[object, ...], float]
+PathFn = Callable[[FuzzCase], Optional[ResultMap]]
+
+
+def _raw_values(rows) -> List[float]:
+    """Measures of one sorted partition; NULL counts as 0 (engine semantics)."""
+    return [0.0 if r[2] is None else float(r[2]) for r in rows]
+
+
+def _core_path(case: FuzzCase, compute) -> ResultMap:
+    """Evaluate per partition with a core kernel ``compute(raw, window, agg)``."""
+    out: ResultMap = {}
+    for _key, rows in case.partitions().items():
+        values = compute(_raw_values(rows), case.window, case.aggregate)
+        for (g, pos, _val), value in zip(rows, values):
+            out[(g, pos)] = float(value)
+    return out
+
+
+def path_naive(case: FuzzCase) -> ResultMap:
+    """The explicit form: every position aggregates its whole window."""
+    return _core_path(case, compute_naive)
+
+
+def path_pipelined(case: FuzzCase) -> ResultMap:
+    """The recursive form: each value derived from its predecessor."""
+    return _core_path(case, compute_pipelined)
+
+
+def path_vectorized(case: FuzzCase) -> Optional[ResultMap]:
+    """The numpy kernels; None (skipped) when numpy is unavailable."""
+    try:
+        from repro.core.vectorized import compute_vectorized
+    except Exception:
+        return None
+    return _core_path(case, compute_vectorized)
+
+
+def _engine_path(case: FuzzCase, exec_config=None) -> ResultMap:
+    """The full SQL stack against the in-process relational engine."""
+    from repro.relational import FLOAT, INTEGER
+    from repro.warehouse import DataWarehouse
+
+    wh = DataWarehouse(execution=exec_config)
+    wh.create_table("t", [("g", INTEGER), ("pos", INTEGER), ("val", FLOAT)])
+    wh.insert("t", list(case.rows))
+    result = wh.query(case.sql, use_views=False)
+    g_i = result.schema.resolve("g")
+    pos_i = result.schema.resolve("pos")
+    w_i = result.schema.resolve("w")
+    return {(row[g_i], row[pos_i]): float(row[w_i]) for row in result.rows}
+
+
+def path_engine(case: FuzzCase) -> ResultMap:
+    """The full SQL stack, serial: parse -> plan -> WindowOperator."""
+    return _engine_path(case)
+
+
+def path_engine_parallel(case: FuzzCase) -> ResultMap:
+    """The full SQL stack through the partition-parallel subsystem."""
+    from repro.parallel import ExecutionConfig
+
+    config = ExecutionConfig(jobs=2, backend="thread", chunk_size=8)
+    return _engine_path(case, exec_config=config)
+
+
+# -- view-derived paths -----------------------------------------------------
+
+
+def _maxoa_source(window: WindowSpec) -> Optional[WindowSpec]:
+    """A view window one step narrower than the target (MaxOA direction)."""
+    if window.is_cumulative:
+        return cumulative()  # identity plan; still reads view storage
+    if window.l + window.h < 2:
+        return None  # the narrower window would be the forbidden point window
+    if window.l > 0:
+        return sliding(window.l - 1, window.h)
+    return sliding(window.l, window.h - 1)
+
+
+def _minoa_source(window: WindowSpec, aggregate: Aggregate) -> Optional[WindowSpec]:
+    """A view window one step wider than the target (MinOA direction)."""
+    if aggregate.name == "AVG":
+        # The AVG combination derives from SUM and COUNT views, which are
+        # invertible, so the wider window still works.
+        pass
+    elif not aggregate.invertible:
+        return None  # MIN/MAX have no subtraction — MinOA does not apply
+    if window.is_cumulative:
+        # Cumulative target from a sliding view: MinOA's prefix tiling.
+        return sliding(1, 1)
+    return sliding(window.l + 1, window.h + 1)
+
+
+def _rewrite_mode(case: FuzzCase, source: WindowSpec) -> str:
+    """Choose the rewrite execution mode the engine supports for this combo.
+
+    The relational patterns (which read view *storage*) exist for invertible
+    aggregates — SUM/COUNT, and AVG through its SUM+COUNT combination — and
+    for identity matches; MIN/MAX derivations and the sliding-to-cumulative
+    prefix tiling only have the in-memory form.
+    """
+    if source == case.window or (source.is_cumulative and case.window.is_cumulative):
+        return "relational"  # identity always has a relational form
+    if case.aggregate_name in ("MIN", "MAX"):
+        return "memory"
+    if case.window.is_cumulative and source.is_sliding:
+        return "memory"  # prefix tiling
+    return "relational"
+
+
+def _view_path(case: FuzzCase, source: WindowSpec, algorithm: str) -> ResultMap:
+    from repro.faults import injector
+    from repro.relational import FLOAT, INTEGER
+    from repro.warehouse import DataWarehouse
+
+    wh = DataWarehouse()
+    wh.create_table("t", [("g", INTEGER), ("pos", INTEGER), ("val", FLOAT)])
+    # Views materialize measures as floats: normalize NULL to its documented
+    # meaning (0) before the rows reach the view's base table.
+    wh.insert("t", [(g, pos, 0.0 if v is None else v) for g, pos, v in case.rows])
+    over = "PARTITION BY g ORDER BY pos" if case.partitioned else "ORDER BY pos"
+    aggs = ("SUM", "COUNT") if case.aggregate_name == "AVG" else (case.aggregate_name,)
+    for agg in aggs:
+        name = f"tk_mv_{agg.lower()}"
+        wh.create_view(
+            name,
+            f"SELECT {'g, ' if case.partitioned else ''}pos, {agg}(val) "
+            f"OVER ({over} {source.to_frame_sql()}) AS w FROM t",
+        )
+        injector.verify_hook(wh.view(name))  # testkit storage fault point
+    select = "g, pos" if case.partitioned else "pos"
+    sql = (
+        f"SELECT {select}, {case.aggregate_name}(val) "
+        f"OVER ({over} {case.window.to_frame_sql()}) AS w FROM t"
+    )
+    result = wh.query(
+        sql,
+        require_rewrite=True,
+        algorithm=algorithm,
+        mode=_rewrite_mode(case, source),
+    )
+    pos_i = result.schema.resolve("pos")
+    w_i = result.schema.resolve("w")
+    if case.partitioned:
+        g_i = result.schema.resolve("g")
+        return {(row[g_i], row[pos_i]): float(row[w_i]) for row in result.rows}
+    # The rewritable shape may only select partition/order columns, so an
+    # unpartitioned query cannot carry g along; pos is globally unique, so
+    # join it back from the dataset.
+    g_of = {pos: g for g, pos, _ in case.rows}
+    return {(g_of[row[pos_i]], row[pos_i]): float(row[w_i]) for row in result.rows}
+
+
+def path_view_maxoa(case: FuzzCase) -> Optional[ResultMap]:
+    """Answer from a materialized view one step *narrower* (MaxOA, §4)."""
+    source = _maxoa_source(case.window)
+    if source is None:
+        return None
+    algorithm = "auto" if case.window.is_cumulative else "maxoa"
+    if case.aggregate_name == "AVG":
+        algorithm = "auto"  # the AVG combination picks per-component plans
+    return _view_path(case, source, algorithm)
+
+
+def path_view_minoa(case: FuzzCase) -> Optional[ResultMap]:
+    """Answer from a materialized view one step *wider* (MinOA, §5)."""
+    source = _minoa_source(case.window, case.aggregate)
+    if source is None:
+        return None
+    algorithm = "auto" if case.window.is_cumulative else "minoa"
+    if case.aggregate_name == "AVG":
+        algorithm = "auto"
+    return _view_path(case, source, algorithm)
+
+
+PATHS: Dict[str, PathFn] = {
+    "naive": path_naive,
+    "pipelined": path_pipelined,
+    "vectorized": path_vectorized,
+    "engine": path_engine,
+    "engine-parallel": path_engine_parallel,
+    "view-maxoa": path_view_maxoa,
+    "view-minoa": path_view_minoa,
+}
+
+DEFAULT_PATHS = tuple(PATHS)
+
+
+def run_path(name: str, case: FuzzCase) -> Optional[ResultMap]:
+    """Run one named path; None means "not applicable to this case"."""
+    try:
+        fn = PATHS[name]
+    except KeyError:
+        raise ValueError(f"unknown path {name!r}; expected one of {sorted(PATHS)}") from None
+    return fn(case)
+
+
+def run_paths(case: FuzzCase, names=DEFAULT_PATHS) -> Dict[str, ResultMap]:
+    """Run several paths; inapplicable ones are omitted from the result."""
+    out: Dict[str, ResultMap] = {}
+    for name in names:
+        result = run_path(name, case)
+        if result is not None:
+            out[name] = result
+    return out

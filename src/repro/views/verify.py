@@ -20,7 +20,13 @@ from typing import Dict, List, Tuple
 from repro.core.reporting import ReportingSequence
 from repro.views.materialized import MaterializedSequenceView
 
-__all__ = ["Discrepancy", "ConsistencyReport", "verify_view", "verify_warehouse"]
+__all__ = [
+    "Discrepancy",
+    "ConsistencyReport",
+    "values_differ",
+    "verify_view",
+    "verify_warehouse",
+]
 
 TOLERANCE = 1e-7
 
@@ -59,14 +65,28 @@ class ConsistencyReport:
         return f"view {self.view!r}: {self.checked_values} values checked, {status}"
 
 
-def _differs(a: float, b: float) -> bool:
-    # NaN == NaN counts as agreement: both representations computed "no
-    # value" the same way (e.g. AVG over an empty frame), which is not a
-    # corruption.  A NaN on only one side *is* a discrepancy.
+def values_differ(a: float, b: float, *, tolerance: float = TOLERANCE) -> bool:
+    """Do two sequence values disagree beyond the shared tolerance?
+
+    This is the single comparison rule for every cross-representation check
+    in the repository — view verification here and the differential testkit
+    (:mod:`repro.testkit.differ`) both use it, so "agrees" means the same
+    thing everywhere:
+
+    * NaN == NaN counts as agreement: both representations computed "no
+      value" the same way (e.g. AVG over an empty frame), which is not a
+      corruption.  A NaN on only one side *is* a discrepancy.
+    * Finite values compare with a relative tolerance floored at 1 so that
+      near-zero results do not demand impossible absolute precision.
+    """
     a_nan, b_nan = math.isnan(a), math.isnan(b)
     if a_nan or b_nan:
         return a_nan != b_nan
-    return abs(a - b) > TOLERANCE * max(1.0, abs(a), abs(b))
+    return abs(a - b) > tolerance * max(1.0, abs(a), abs(b))
+
+
+# Internal alias kept for the call sites below.
+_differs = values_differ
 
 
 def verify_view(view: MaterializedSequenceView, *, max_report: int = 20) -> ConsistencyReport:

@@ -16,6 +16,16 @@ import pytest
 from repro.core.aggregates import AVG, COUNT, MAX, MIN, SUM, Aggregate
 from repro.core.window import WindowSpec
 
+try:  # hypothesis is an optional test dependency
+    from hypothesis import settings as _hyp_settings
+
+    # Deterministic property testing: the same run always explores the same
+    # examples, and a failure prints a replayable @reproduce_failure blob.
+    _hyp_settings.register_profile("deterministic", derandomize=True, print_blob=True)
+    _hyp_settings.load_profile("deterministic")
+except ImportError:
+    pass
+
 
 def brute_window(
     raw: Sequence[float], window: WindowSpec, aggregate: Aggregate = SUM

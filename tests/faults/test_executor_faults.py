@@ -6,6 +6,8 @@ from repro.errors import ParallelError
 from repro.faults import FaultPlan, FaultSpec, injector
 from repro.parallel import ExecutionConfig, ExecutorPool, health
 
+pytestmark = pytest.mark.faults
+
 
 def _square(x: int) -> int:
     """Module-level task so it pickles to process workers."""

@@ -11,6 +11,8 @@ from repro.parallel import ExecutionConfig
 from repro.relational.persist import load_database, save_database
 from repro.warehouse import DataWarehouse, create_sequence_table
 
+pytestmark = pytest.mark.faults
+
 N = 40
 SEED = 11
 VIEW_SQL = ("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 "

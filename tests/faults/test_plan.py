@@ -7,6 +7,8 @@ import pytest
 from repro.errors import FaultError, InjectedFault
 from repro.faults import FaultPlan, FaultSpec, injector
 
+pytestmark = pytest.mark.faults
+
 
 class TestSpecValidation:
     def test_unknown_kind_rejected(self):

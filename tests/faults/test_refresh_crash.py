@@ -7,6 +7,8 @@ from repro.faults import FaultPlan, FaultSpec, injector
 from repro.views.verify import verify_view
 from repro.warehouse import DataWarehouse, create_sequence_table
 
+pytestmark = pytest.mark.faults
+
 VIEW_SQL = ("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 "
             "PRECEDING AND 1 FOLLOWING) s FROM seq")
 QUERY = ("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING "

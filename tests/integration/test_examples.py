@@ -1,0 +1,45 @@
+"""Smoke test: every script under examples/ runs to completion.
+
+Each example is executed as a real subprocess (exactly how a reader would
+run it), so import errors, API drift, and runtime crashes in the showcase
+code fail the suite instead of rotting silently.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+EXAMPLES_DIR = os.path.join(REPO, "examples")
+SCRIPTS = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_examples_discovered():
+    assert SCRIPTS, f"no example scripts found in {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs_to_completion(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+        env=env,
+        cwd=REPO,
+    )
+    assert proc.returncode == 0, (
+        f"{script} exited {proc.returncode}\n"
+        f"--- stdout (tail) ---\n{proc.stdout[-1500:]}\n"
+        f"--- stderr (tail) ---\n{proc.stderr[-1500:]}"
+    )

@@ -15,6 +15,8 @@ from repro.core.window import cumulative, sliding
 from repro.warehouse import DataWarehouse, create_sequence_table
 from tests.conftest import assert_close, brute_window
 
+pytestmark = pytest.mark.soak
+
 
 @pytest.mark.parametrize("seed", [1, 2, 3])
 def test_soak_session(seed):

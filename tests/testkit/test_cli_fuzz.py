@@ -1,0 +1,93 @@
+"""The `repro fuzz` subcommand: exit codes, JSON report, fault detection."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.testkit import SQLITE_WINDOWS_OK
+
+pytestmark = [
+    pytest.mark.fuzz,
+    pytest.mark.skipif(
+        not SQLITE_WINDOWS_OK, reason="SQLite < 3.25 has no window functions"
+    ),
+]
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    from repro.faults import injector
+
+    injector.clear()
+    yield
+    injector.clear()
+
+
+class TestFuzzCommand:
+    def test_clean_run_exits_zero_and_writes_report(self, capsys, tmp_path):
+        report = tmp_path / "fuzz_report.json"
+        rc = main([
+            "fuzz", "--seeds", "15",
+            "--corpus-dir", str(tmp_path / "corpus"),
+            "--json", str(report),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "seeds 0..14" in out
+        doc = json.loads(report.read_text())
+        assert doc["ok"] is True
+        assert doc["cases_run"] == 15
+        assert doc["failing_seeds"] == []
+        assert doc["relations"] == ["shift", "scale", "permutation", "insert_delete"]
+
+    def test_path_subset_and_no_relations(self, capsys, tmp_path):
+        rc = main([
+            "fuzz", "--seeds", "8", "--relations", "",
+            "--paths", "naive,pipelined,engine",
+            "--corpus-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        assert "naive+pipelined+engine" in capsys.readouterr().out
+
+    def test_base_seed_echoed(self, capsys, tmp_path):
+        rc = main([
+            "fuzz", "--seeds", "5", "--base-seed", "400", "--relations", "",
+            "--corpus-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        assert "seeds 400..404" in capsys.readouterr().out
+
+    def test_oracle_none_diffs_internal_paths(self, capsys, tmp_path):
+        rc = main([
+            "fuzz", "--seeds", "8", "--oracle", "none", "--relations", "",
+            "--corpus-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        # The summary omits the oracle clause entirely in oracle-free mode.
+        assert "oracle sqlite" not in capsys.readouterr().out
+
+    def test_injected_fault_exits_nonzero_with_repro(self, capsys, tmp_path):
+        from repro.faults import FaultPlan, FaultSpec, injector
+
+        report = tmp_path / "report.json"
+        corpus = tmp_path / "corpus"
+        plan = FaultPlan(
+            [FaultSpec("bitflip", target="tk_mv_sum", times=10**9)], seed=7
+        )
+        with injector.active(plan):
+            rc = main([
+                "fuzz", "--seeds", "25", "--relations", "",
+                "--corpus-dir", str(corpus),
+                "--json", str(report),
+            ])
+        doc = json.loads(report.read_text())
+        assert rc == 1, "corrupted storage must fail the fuzz run"
+        assert doc["ok"] is False and doc["failing_seeds"]
+        out = capsys.readouterr().out
+        assert "FAILING SEEDS" in out
+        assert "shrunk to:" in out
+        # Every failure left a replayable file in the corpus directory.
+        assert doc["failures"]
+        for failure in doc["failures"]:
+            assert failure["repro_file"] and failure["repro_file"].startswith(str(corpus))

@@ -1,0 +1,110 @@
+"""Repro files: round-trip, idempotent naming, replay, corpus regression."""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.core.window import sliding
+from repro.testkit import SQLITE_WINDOWS_OK, load_repro, replay_file, save_repro
+from repro.testkit.corpus import ReproFile
+from repro.testkit.differ import PathDiscrepancy
+from repro.testkit.generator import FuzzCase
+
+pytestmark = pytest.mark.fuzz
+
+needs_sqlite = pytest.mark.skipif(
+    not SQLITE_WINDOWS_OK, reason="SQLite < 3.25 has no window functions"
+)
+
+CORPUS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "corpus")
+
+
+def _case():
+    return FuzzCase(
+        seed=31337,
+        rows=((1, 1, 2.0), (1, 3, None), (2, 2, -4.5)),
+        partitioned=True,
+        window=sliding(1, 1),
+        aggregate_name="SUM",
+    )
+
+
+def _disc():
+    return PathDiscrepancy("sqlite", "engine", (1, 1), 2.0, 3.0, "engine drifted")
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        path = save_repro(
+            _case(), [_disc()], directory=str(tmp_path),
+            paths=("engine",), oracle="sqlite", relations=("shift",),
+            note="unit test",
+        )
+        repro = load_repro(path)
+        assert repro.case == _case()
+        assert repro.paths == ("engine",)
+        assert repro.oracle == "sqlite"
+        assert repro.relations == ("shift",)
+        assert repro.note == "unit test"
+        assert repro.discrepancies[0]["detail"] == "engine drifted"
+        assert repro.fault_specs == ()  # no plan was armed
+
+    def test_seed_in_filename_and_body(self, tmp_path):
+        path = save_repro(_case(), [], directory=str(tmp_path), paths=("engine",))
+        assert "seed31337" in os.path.basename(path)
+        assert json.loads(open(path).read())["seed"] == 31337
+
+    def test_resave_is_idempotent(self, tmp_path):
+        p1 = save_repro(_case(), [_disc()], directory=str(tmp_path), paths=("engine",))
+        p2 = save_repro(_case(), [_disc()], directory=str(tmp_path), paths=("engine",))
+        assert p1 == p2
+        assert len(os.listdir(tmp_path)) == 1
+
+    def test_distinct_cases_never_collide(self, tmp_path):
+        other = _case().with_rows([(1, 1, 9.0)])
+        p1 = save_repro(_case(), [], directory=str(tmp_path), paths=("engine",))
+        p2 = save_repro(other, [], directory=str(tmp_path), paths=("engine",))
+        assert p1 != p2
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            ReproFile.from_dict({"format": 99})
+
+
+@needs_sqlite
+class TestReplay:
+    def test_replaying_a_clean_case_finds_nothing(self, tmp_path):
+        path = save_repro(
+            _case(), [], directory=str(tmp_path),
+            paths=("naive", "pipelined", "engine"), oracle="sqlite",
+            relations=("shift", "permutation"),
+        )
+        assert replay_file(path) == []
+
+
+@needs_sqlite
+@pytest.mark.parametrize(
+    "path",
+    sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+    or [pytest.param("", marks=pytest.mark.skip(reason="corpus is empty"))],
+    ids=os.path.basename,
+)
+def test_checked_in_corpus_replays(path):
+    """Every fuzzer-found repro in the corpus is a permanent regression guard.
+
+    A file that records a fault plan captured *injected* corruption — replay
+    must still detect it.  A file without one captured a genuine engine bug —
+    once fixed, replay must stay clean (and the discrepancy list documents
+    what it used to look like).
+    """
+    repro = load_repro(path)
+    found = replay_file(path)
+    if repro.fault_specs:
+        assert found, f"{os.path.basename(path)}: injected fault no longer detected"
+    else:
+        assert not found, (
+            f"{os.path.basename(path)}: regression resurfaced: "
+            f"{[d.detail for d in found]}"
+        )

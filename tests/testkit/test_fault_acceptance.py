@@ -1,0 +1,98 @@
+"""ISSUE acceptance: an injected storage bitflip is caught by the
+differential fuzzer, shrunk to a minimal repro (<= 10 rows), written to the
+corpus, and replayed from the corpus file alone."""
+
+import os
+
+import pytest
+
+from repro.core.window import cumulative
+from repro.faults import FaultPlan, FaultSpec, injector
+from repro.testkit import SQLITE_WINDOWS_OK, FuzzRunner, load_repro, replay_file
+from repro.testkit.generator import FuzzCase
+
+pytestmark = [
+    pytest.mark.fuzz,
+    pytest.mark.faults,
+    pytest.mark.skipif(
+        not SQLITE_WINDOWS_OK, reason="SQLite < 3.25 has no window functions"
+    ),
+]
+
+# Cumulative SUM over strictly positive values: the cumulative view stores no
+# header/trailer padding, so every storage row backs an output row through
+# the identity (relational-mode) rewrite, and every prefix sum is non-zero —
+# a mantissa bitflip of ANY storage slot therefore shifts some answer by
+# ~12.5-25%, far beyond the shared tolerance.  The injected fault is visible
+# no matter which slot the plan's seeded RNG picks.
+CASE = FuzzCase(
+    seed=990001,
+    rows=tuple((1 + (i % 2), i + 1, float(3 + 2 * i)) for i in range(14)),
+    partitioned=True,
+    window=cumulative(),
+    aggregate_name="SUM",
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_injector():
+    injector.clear()
+    yield
+    injector.clear()
+
+
+def _plan():
+    # times is effectively infinite: the shrinker re-materializes the view
+    # on every predicate evaluation and the fault must keep firing.
+    return FaultPlan(
+        [FaultSpec("bitflip", target="tk_mv_sum", times=10**9)], seed=42
+    )
+
+
+def test_bitflip_caught_shrunk_and_replayed(tmp_path):
+    corpus = tmp_path / "corpus"
+    runner = FuzzRunner(corpus_dir=str(corpus))
+
+    with injector.active(_plan()) as plan:
+        outcome = runner.check_case(CASE)
+        assert plan.fired_count("bitflip") > 0, "fault never fired"
+
+    # Caught: the corruption lands in view storage, so only the view path
+    # that reads storage disagrees with the oracle.
+    assert outcome is not None, "bitflip went undetected"
+    assert any(d["path"] == "view-maxoa" for d in outcome.discrepancies)
+    assert outcome.seed == CASE.seed
+
+    # Shrunk: the minimal repro is tiny.
+    assert outcome.shrunk_rows is not None and outcome.shrunk_rows <= 10
+
+    # Written: a replayable corpus file recording the fault plan.
+    assert outcome.repro_file and os.path.exists(outcome.repro_file)
+    repro = load_repro(outcome.repro_file)
+    assert repro.fault_specs and repro.fault_specs[0]["kind"] == "bitflip"
+    assert repro.fault_seed == 42
+    assert len(repro.case.rows) == outcome.shrunk_rows
+
+    # Replayed: with no plan armed, replay re-arms the recorded one and the
+    # discrepancy reappears from the file alone.
+    found = replay_file(outcome.repro_file)
+    assert found, "replay did not reproduce the injected discrepancy"
+
+    # Control: without the fault the shrunk case is clean — the discrepancy
+    # is the injected corruption, not a real engine bug.
+    assert runner.run_case(repro.case) == []
+
+
+def test_fuzz_loop_flags_the_faulty_seed(tmp_path):
+    """The generator-driven loop (what `repro fuzz` runs) also catches the
+    corruption and echoes the exact failing seeds in the report."""
+    runner = FuzzRunner(corpus_dir=str(tmp_path / "corpus"))
+    with injector.active(_plan()):
+        report = runner.run(6, base_seed=990100)
+    clean = FuzzRunner(corpus_dir="").run(6, base_seed=990100)
+    assert clean.ok, "these seeds must be clean without the fault"
+    if report.failures:  # only seeds whose cases build a SUM view can fire
+        doc = report.to_dict()
+        assert doc["failing_seeds"] == [f.seed for f in report.failures]
+        for failure in report.failures:
+            assert failure.repro_file and os.path.exists(failure.repro_file)

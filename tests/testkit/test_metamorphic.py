@@ -1,0 +1,73 @@
+"""Metamorphic relations hold on correct code and catch seeded breakage."""
+
+from dataclasses import replace
+
+import pytest
+
+import repro.testkit.metamorphic as meta
+from repro.testkit.generator import CaseGenerator
+from repro.testkit.metamorphic import RELATIONS, run_relation, run_relations
+
+pytestmark = pytest.mark.fuzz
+
+GEN = CaseGenerator(max_rows=24)
+
+
+@pytest.mark.parametrize("name", sorted(RELATIONS))
+def test_relation_holds_on_sample(name):
+    for seed in range(20):
+        case = GEN.case(seed)
+        found = run_relation(name, case)
+        assert not found, (
+            f"{name} violated for {case.describe()}: {[d.detail for d in found]}"
+        )
+
+
+def test_run_relations_aggregates_all():
+    case = GEN.case(0)
+    assert run_relations(case, tuple(sorted(RELATIONS))) == []
+
+
+def test_unknown_relation_rejected():
+    with pytest.raises(ValueError, match="unknown metamorphic relation"):
+        run_relation("transpose", GEN.case(0))
+
+
+def test_shift_detects_broken_transformed_run(monkeypatch):
+    """The shift relation must notice when the shifted dataset's answers
+    drift — simulated by corrupting the third run_path call (base and
+    COUNT run first, the transformed dataset last)."""
+    case = replace(GEN.case(3), aggregate_name="SUM")
+    real = meta.run_path
+    calls = []
+
+    def broken(path, c):
+        out = real(path, c)
+        calls.append(path)
+        if len(calls) == 3 and out:
+            out = dict(out)
+            key = sorted(out, key=repr)[0]
+            out[key] += 1.0
+        return out
+
+    monkeypatch.setattr(meta, "run_path", broken)
+    found = meta.relation_shift(case)
+    assert found, "corrupted shifted run went unnoticed"
+
+
+def test_permutation_detects_order_dependence(monkeypatch):
+    case = GEN.case(5)
+    real = meta.run_path
+    calls = []
+
+    def broken(path, c):
+        out = real(path, c)
+        calls.append(path)
+        if len(calls) == 2 and out:  # the permuted evaluation
+            out = dict(out)
+            key = sorted(out, key=repr)[-1]
+            out[key] += 10.0
+        return out
+
+    monkeypatch.setattr(meta, "run_path", broken)
+    assert meta.relation_permutation(case)

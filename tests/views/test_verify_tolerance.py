@@ -1,0 +1,95 @@
+"""The shared comparison rule (`values_differ`) and structural mirror checks.
+
+These pin the exact semantics the differential testkit inherits: NaN == NaN
+is agreement, a one-sided NaN is not, the relative tolerance is floored at
+1, and partition-set drift is reported structurally rather than skipped.
+"""
+
+import math
+
+import pytest
+
+from repro.relational import FLOAT, INTEGER
+from repro.views.verify import TOLERANCE, values_differ, verify_view
+from repro.warehouse import DataWarehouse
+
+NAN = float("nan")
+
+
+class TestValuesDiffer:
+    def test_equal_values_agree(self):
+        assert not values_differ(1.5, 1.5)
+        assert not values_differ(0.0, 0.0)
+        assert not values_differ(-3.25, -3.25)
+
+    def test_nan_on_both_sides_is_agreement(self):
+        assert not values_differ(NAN, NAN)
+
+    @pytest.mark.parametrize("other", [0.0, 1.0, -math.inf])
+    def test_one_sided_nan_is_a_discrepancy(self, other):
+        assert values_differ(NAN, other)
+        assert values_differ(other, NAN)
+
+    def test_tolerance_floored_at_one_near_zero(self):
+        # Near zero the comparison is absolute against the floor of 1:
+        # otherwise any rounding noise on tiny values would be a false alarm.
+        assert not values_differ(1e-9, 2e-9)
+        assert not values_differ(0.0, 0.5 * TOLERANCE)
+        assert values_differ(0.0, 2.0 * TOLERANCE)
+
+    def test_tolerance_relative_for_large_values(self):
+        big = 1e9
+        assert not values_differ(big, big + 1.0)       # 1 part in 1e9
+        assert values_differ(big, big * (1 + 1e-6))    # 1 part in 1e6
+
+    def test_custom_tolerance(self):
+        assert values_differ(1.0, 1.01)
+        assert not values_differ(1.0, 1.01, tolerance=0.1)
+
+    def test_symmetry(self):
+        for a, b in [(1.0, 2.0), (0.0, 1e-8), (5e8, 5e8 + 100.0)]:
+            assert values_differ(a, b) == values_differ(b, a)
+
+
+class TestStructuralPartitionDrift:
+    """Missing/unexpected mirror partitions are discrepancies, not skips."""
+
+    def _warehouse(self):
+        wh = DataWarehouse()
+        wh.create_table("t", [("g", INTEGER), ("pos", INTEGER), ("val", FLOAT)])
+        wh.insert("t", [(1, 1, 10.0), (1, 2, 20.0), (2, 1, 5.0), (2, 2, 2.5)])
+        wh.create_view(
+            "mv",
+            "SELECT g, pos, SUM(val) OVER (PARTITION BY g ORDER BY pos "
+            "ROWS BETWEEN 1 PRECEDING AND CURRENT ROW) s FROM t",
+        )
+        return wh
+
+    def test_consistent_view_verifies_clean(self):
+        report = verify_view(self._warehouse().view("mv"))
+        assert report.ok, [d.detail for d in report.discrepancies]
+        assert report.checked_values > 0
+
+    def test_missing_mirror_partition_reported(self):
+        wh = self._warehouse()
+        view = wh.view("mv")
+        pkey = sorted(view.reporting.partitions)[0]
+        del view.reporting.partitions[pkey]
+        report = verify_view(view)
+        assert not report.ok
+        found = [d for d in report.discrepancies
+                 if "missing from the mirror" in d.detail]
+        assert found and found[0].partition == pkey
+        assert found[0].representation == "mirror"
+        assert found[0].position is None  # structural, not positional
+
+    def test_unexpected_mirror_partition_reported(self):
+        wh = self._warehouse()
+        view = wh.view("mv")
+        pkey = sorted(view.reporting.partitions)[0]
+        view.reporting.partitions[(999,)] = view.reporting.partitions[pkey]
+        report = verify_view(view)
+        assert not report.ok
+        found = [d for d in report.discrepancies
+                 if "unexpected mirror partition" in d.detail]
+        assert found and found[0].partition == (999,)
