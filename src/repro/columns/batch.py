@@ -1,0 +1,199 @@
+"""Batches: ordered, named collections of equal-length columns.
+
+A :class:`Batch` is the unit the batch-at-a-time operator paths exchange:
+a row *range* represented column-wise.  A :class:`ChunkedBatch` is an
+ordered sequence of batches presenting one logical row range — the shape a
+table scan or an operator pipeline produces without ever concatenating
+(concatenation is explicit and lazy via :meth:`ChunkedBatch.combine`).
+
+Row materialization (``iter_rows``) converts through ``ndarray.tolist``
+chunk-wise, so int64/float64 values come back as exactly the Python
+``int``/``float`` that went in — bit-identical round-trips are what lets
+the batch paths coexist with the tuple-at-a-time paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.columns.column import Column, kind_for_type
+
+__all__ = ["Batch", "ChunkedBatch", "kinds_for_schema"]
+
+Row = Tuple[Any, ...]
+
+
+def kinds_for_schema(schema) -> List[str]:
+    """Physical column kinds for a relational ``Schema``."""
+    return [kind_for_type(c.type.name) for c in schema]
+
+
+class Batch:
+    """Named, equal-length columns representing a run of rows."""
+
+    __slots__ = ("names", "columns")
+
+    def __init__(self, names: Sequence[str], columns: Sequence[Column]) -> None:
+        if len(names) != len(columns):
+            raise ValueError(
+                f"{len(names)} names for {len(columns)} columns"
+            )
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged batch: column lengths {sorted(lengths)}")
+        self.names = tuple(names)
+        self.columns = tuple(columns)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        names: Sequence[str],
+        rows: Sequence[Row],
+        kinds: Optional[Sequence[str]] = None,
+    ) -> "Batch":
+        """Columnarize row tuples (``kinds`` defaults to all-``object``)."""
+        if kinds is None:
+            kinds = ["object"] * len(names)
+        columns = [
+            Column.from_values([row[i] for row in rows], kinds[i])
+            for i in range(len(names))
+        ]
+        return cls(names, columns)
+
+    @classmethod
+    def concat(cls, batches: Sequence["Batch"]) -> "Batch":
+        if not batches:
+            raise ValueError("cannot concat zero batches")
+        first = batches[0]
+        if len(batches) == 1:
+            return first
+        columns = [
+            Column.concat([b.columns[i] for b in batches])
+            for i in range(len(first.columns))
+        ]
+        return cls(first.names, columns)
+
+    # -- shape ----------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    def column(self, ref) -> Column:
+        """Column by position or (first-match) name."""
+        if isinstance(ref, int):
+            return self.columns[ref]
+        return self.columns[self.names.index(ref)]
+
+    # -- transforms -----------------------------------------------------------
+
+    def slice(self, start: int, stop: int) -> "Batch":
+        """Zero-copy row-range slice."""
+        return Batch(self.names, [c.slice(start, stop) for c in self.columns])
+
+    def take(self, indices) -> "Batch":
+        idx = np.asarray(indices, dtype=np.intp)
+        return Batch(self.names, [c.take(idx) for c in self.columns])
+
+    def filter(self, mask: np.ndarray) -> "Batch":
+        return Batch(self.names, [c.filter(mask) for c in self.columns])
+
+    # -- row materialization --------------------------------------------------
+
+    def iter_rows(self) -> Iterator[Row]:
+        """Row tuples of Python scalars (NULL -> ``None``)."""
+        if not self.columns:
+            return
+        yield from zip(*(c.to_pylist() for c in self.columns))
+
+    def to_rows(self) -> List[Row]:
+        return list(self.iter_rows())
+
+    # -- accounting -----------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        return sum(c.memory_bytes() for c in self.columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Batch({list(self.names)}, rows={self.num_rows})"
+
+
+class ChunkedBatch:
+    """An ordered chunk list presenting one logical row range.
+
+    Chunk boundaries are an execution artifact; every read API behaves as
+    if the chunks were one contiguous batch.
+    """
+
+    __slots__ = ("names", "chunks")
+
+    def __init__(self, names: Sequence[str], chunks: Sequence[Batch]) -> None:
+        self.names = tuple(names)
+        self.chunks = [c for c in chunks if c.num_rows]
+
+    @classmethod
+    def from_batches(cls, batches: Iterable[Batch]) -> "ChunkedBatch":
+        chunks = list(batches)
+        if not chunks:
+            raise ValueError("cannot build a ChunkedBatch from zero batches")
+        return cls(chunks[0].names, chunks)
+
+    @property
+    def num_rows(self) -> int:
+        return sum(c.num_rows for c in self.chunks)
+
+    def iter_batches(self) -> Iterator[Batch]:
+        return iter(self.chunks)
+
+    def combine(self) -> Batch:
+        """One contiguous batch (copies once; the only eager concat)."""
+        if not self.chunks:
+            return Batch(self.names, [Column.from_values([], "object")
+                                      for _ in self.names])
+        return Batch.concat(self.chunks)
+
+    def column(self, ref) -> Column:
+        """One logical column across all chunks (concatenated view)."""
+        if not self.chunks:
+            raise ValueError("empty ChunkedBatch has no columns")
+        if isinstance(ref, int):
+            parts = [c.columns[ref] for c in self.chunks]
+        else:
+            i = self.names.index(ref)
+            parts = [c.columns[i] for c in self.chunks]
+        return Column.concat(parts)
+
+    def slice(self, start: int, stop: int) -> "ChunkedBatch":
+        """Zero-copy row-range slice spanning chunk boundaries."""
+        out: List[Batch] = []
+        offset = 0
+        for chunk in self.chunks:
+            n = chunk.num_rows
+            lo, hi = max(start - offset, 0), min(stop - offset, n)
+            if lo < hi:
+                out.append(chunk.slice(lo, hi) if (lo, hi) != (0, n) else chunk)
+            offset += n
+            if offset >= stop:
+                break
+        return ChunkedBatch(self.names, out)
+
+    def iter_rows(self) -> Iterator[Row]:
+        for chunk in self.chunks:
+            yield from chunk.iter_rows()
+
+    def to_rows(self) -> List[Row]:
+        return list(self.iter_rows())
+
+    def memory_bytes(self) -> int:
+        return sum(c.memory_bytes() for c in self.chunks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ChunkedBatch({list(self.names)}, rows={self.num_rows}, chunks={len(self.chunks)})"

@@ -1,0 +1,374 @@
+"""Typed columns: a NumPy value buffer plus a validity (non-NULL) mask.
+
+A :class:`Column` is the unit of the columnar data plane: an immutable
+*view* of a 1-D NumPy array together with an optional boolean validity
+mask (``True`` = value present, ``False`` = SQL NULL).  Slicing is
+zero-copy — both the value buffer and the mask are NumPy views — which is
+what lets the window strategies, the parallel partitioner, and the batch
+operators hand the same measure buffer around without re-marshalling.
+
+Four physical *kinds* cover the engine's type system:
+
+==========  =================  ========================================
+kind        NumPy dtype        engine types
+==========  =================  ========================================
+``int64``   ``np.int64``       INTEGER (overflowing ints fall back to
+                               ``object``)
+``float64`` ``np.float64``     FLOAT
+``bool``    ``np.bool_``       BOOLEAN
+``object``  ``object``         TEXT, DATE, and any fallback
+==========  =================  ========================================
+
+NULLs in the fixed-width kinds are stored as a sentinel (0 / 0.0 / False)
+with the validity bit cleared; ``object`` columns store ``None`` directly
+*and* clear the bit, so every kind answers NULL questions the same way.
+
+:class:`ColumnBuilder` is the mutable, amortised-append companion used by
+:class:`~repro.relational.table.Table` for its heap storage; its
+:meth:`~ColumnBuilder.snapshot` hands out zero-copy :class:`Column` views
+of the live buffer.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Column", "ColumnBuilder", "KINDS", "kind_for_type"]
+
+KINDS = ("int64", "float64", "bool", "object")
+
+_DTYPES = {
+    "int64": np.dtype(np.int64),
+    "float64": np.dtype(np.float64),
+    "bool": np.dtype(np.bool_),
+    "object": np.dtype(object),
+}
+
+_FILL = {"int64": 0, "float64": 0.0, "bool": False, "object": None}
+
+# Engine DataType.name -> physical kind.
+_KIND_BY_TYPE_NAME = {
+    "INTEGER": "int64",
+    "FLOAT": "float64",
+    "BOOLEAN": "bool",
+    "TEXT": "object",
+    "DATE": "object",
+}
+
+
+def kind_for_type(type_name: str) -> str:
+    """Physical column kind for an engine type name (unknown -> object)."""
+    return _KIND_BY_TYPE_NAME.get(type_name, "object")
+
+
+def _kind_of_dtype(dtype: np.dtype) -> str:
+    if dtype == np.int64:
+        return "int64"
+    if dtype == np.float64:
+        return "float64"
+    if dtype == np.bool_:
+        return "bool"
+    return "object"
+
+
+class Column:
+    """An immutable typed array view plus validity mask (see module doc).
+
+    Args:
+        data: 1-D NumPy array of the values (sentinel-filled at NULLs).
+        validity: boolean mask, ``True`` where a value is present;
+            ``None`` means every slot is valid.
+    """
+
+    __slots__ = ("data", "validity")
+
+    def __init__(self, data: np.ndarray, validity: Optional[np.ndarray] = None) -> None:
+        self.data = data
+        if validity is not None and bool(validity.all()):
+            validity = None  # normalize: all-valid is represented as None
+        self.validity = validity
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_values(cls, values: Sequence[Any], kind: str = "object") -> "Column":
+        """Build a column from Python values (``None`` = NULL).
+
+        A fixed-width ``kind`` falls back to ``object`` when the values do
+        not fit it exactly (e.g. an INTEGER overflowing int64, or a stray
+        float) — never silently truncates.
+        """
+        n = len(values)
+        validity: Optional[np.ndarray] = None
+        if any(v is None for v in values):
+            validity = np.fromiter(
+                (v is not None for v in values), dtype=np.bool_, count=n
+            )
+        if kind == "object":
+            data = np.empty(n, dtype=object)
+            for i, v in enumerate(values):
+                data[i] = v
+            return cls(data, validity)
+        if not _fits_kind(values, kind):
+            return cls.from_values(values, "object")
+        fill = _FILL[kind]
+        try:
+            data = np.asarray(
+                [fill if v is None else v for v in values], dtype=_DTYPES[kind]
+            )
+        except (ValueError, TypeError, OverflowError):
+            return cls.from_values(values, "object")
+        return cls(data, validity)
+
+    @classmethod
+    def concat(cls, columns: Sequence["Column"]) -> "Column":
+        """Concatenate columns of one kind (validity masks merged)."""
+        if len(columns) == 1:
+            return columns[0]
+        data = np.concatenate([c.data for c in columns])
+        if all(c.validity is None for c in columns):
+            return cls(data)
+        validity = np.concatenate(
+            [
+                c.validity
+                if c.validity is not None
+                else np.ones(len(c), dtype=np.bool_)
+                for c in columns
+            ]
+        )
+        return cls(data, validity)
+
+    # -- shape / kind ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def kind(self) -> str:
+        return _kind_of_dtype(self.data.dtype)
+
+    @property
+    def null_count(self) -> int:
+        if self.validity is None:
+            return 0
+        return int(len(self.validity) - np.count_nonzero(self.validity))
+
+    # -- element access -------------------------------------------------------
+
+    def is_valid(self, i: int) -> bool:
+        return self.validity is None or bool(self.validity[i])
+
+    def value(self, i: int) -> Any:
+        """Python value at ``i`` (``None`` for NULL)."""
+        if self.validity is not None and not self.validity[i]:
+            return None
+        v = self.data[i]
+        return v if self.data.dtype == object else v.item()
+
+    def to_pylist(self, start: int = 0, stop: Optional[int] = None) -> List[Any]:
+        """Python values of ``[start, stop)`` (NULLs as ``None``)."""
+        if stop is None:
+            stop = len(self.data)
+        out = self.data[start:stop].tolist()
+        if self.validity is not None:
+            for i in np.flatnonzero(~self.validity[start:stop]):
+                out[i] = None
+        return out
+
+    # -- zero-copy / bulk transforms ------------------------------------------
+
+    def slice(self, start: int, stop: int) -> "Column":
+        """Zero-copy contiguous slice (both buffers are NumPy views)."""
+        return Column(
+            self.data[start:stop],
+            None if self.validity is None else self.validity[start:stop],
+        )
+
+    def take(self, indices) -> "Column":
+        """Gather rows by position (this one copies, by construction)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return Column(
+            self.data[idx],
+            None if self.validity is None else self.validity[idx],
+        )
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        return Column(
+            self.data[mask],
+            None if self.validity is None else self.validity[mask],
+        )
+
+    def as_float64(self, null_fill: float = 0.0) -> np.ndarray:
+        """The values as a float64 array, NULLs replaced by ``null_fill``.
+
+        Zero-copy when the column is already float64 with no NULLs — the
+        path the window kernels and the parallel partitioner ride.
+        """
+        if self.data.dtype == np.float64 and self.validity is None:
+            return self.data
+        if self.data.dtype == object:
+            return np.asarray(
+                [null_fill if v is None else float(v) for v in self.data],
+                dtype=np.float64,
+            )
+        out = self.data.astype(np.float64)
+        if self.validity is not None:
+            out[~self.validity] = null_fill
+        return out
+
+    # -- accounting -----------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Buffer bytes held (object columns add a payload estimate)."""
+        total = self.data.nbytes
+        if self.validity is not None:
+            total += self.validity.nbytes
+        if self.data.dtype == object and len(self.data):
+            sample = self.data[: min(len(self.data), 256)]
+            per = sum(0 if v is None else sys.getsizeof(v) for v in sample) / len(sample)
+            total += int(per * len(self.data))
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Column(kind={self.kind}, len={len(self)}, nulls={self.null_count})"
+
+
+def _fits_kind(values: Sequence[Any], kind: str) -> bool:
+    """Whether every non-NULL value belongs in ``kind`` without coercion."""
+    if kind == "int64":
+        lo, hi = -(2**63), 2**63 - 1
+        return all(
+            v is None
+            or (isinstance(v, int) and not isinstance(v, bool) and lo <= v <= hi)
+            for v in values
+        )
+    if kind == "float64":
+        return all(
+            v is None
+            or (isinstance(v, (int, float)) and not isinstance(v, bool))
+            for v in values
+        )
+    if kind == "bool":
+        return all(v is None or isinstance(v, bool) for v in values)
+    return True
+
+
+class ColumnBuilder:
+    """Mutable, amortised-append column storage (capacity doubling).
+
+    The table's heap uses one builder per column; :meth:`snapshot` exposes
+    the live prefix as a zero-copy :class:`Column` view.  Appending within
+    spare capacity does not move the buffer, so existing snapshots stay
+    valid; a capacity grow reallocates, leaving old snapshots on the old
+    buffer (a consistent frozen copy).
+    """
+
+    __slots__ = ("kind", "_data", "_validity", "_size")
+
+    _INITIAL_CAPACITY = 16
+
+    def __init__(self, kind: str) -> None:
+        if kind not in KINDS:
+            raise ValueError(f"unknown column kind {kind!r}")
+        self.kind = kind
+        self._data = np.empty(self._INITIAL_CAPACITY, dtype=_DTYPES[kind])
+        self._validity = np.ones(self._INITIAL_CAPACITY, dtype=np.bool_)
+        self._size = 0
+
+    @classmethod
+    def for_type(cls, type_name: str) -> "ColumnBuilder":
+        return cls(kind_for_type(type_name))
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- mutation -------------------------------------------------------------
+
+    def _grow_to(self, capacity: int) -> None:
+        new_data = np.empty(capacity, dtype=self._data.dtype)
+        new_data[: self._size] = self._data[: self._size]
+        new_validity = np.ones(capacity, dtype=np.bool_)
+        new_validity[: self._size] = self._validity[: self._size]
+        self._data, self._validity = new_data, new_validity
+
+    def _promote_to_object(self) -> None:
+        data = np.empty(len(self._data), dtype=object)
+        for i in range(self._size):
+            data[i] = self._data[i].item() if self._validity[i] else None
+        self._data = data
+        self.kind = "object"
+
+    def _store(self, slot: int, value: Any) -> None:
+        if value is None:
+            self._data[slot] = _FILL[self.kind]
+            self._validity[slot] = False
+            return
+        if self.kind != "object":
+            try:
+                self._data[slot] = value
+            except (OverflowError, ValueError, TypeError):
+                # e.g. an INTEGER beyond int64: keep exact values, lose the
+                # fixed-width representation for this column only.
+                self._promote_to_object()
+                self._data[slot] = value
+        else:
+            self._data[slot] = value
+        self._validity[slot] = True
+
+    def append(self, value: Any) -> None:
+        if self._size == len(self._data):
+            self._grow_to(max(self._INITIAL_CAPACITY, 2 * self._size))
+        self._store(self._size, value)
+        self._size += 1
+
+    def set(self, slot: int, value: Any) -> None:
+        if not 0 <= slot < self._size:
+            raise IndexError(f"slot {slot} out of range (size {self._size})")
+        self._store(slot, value)
+
+    def rebuild(self, values: Iterable[Any]) -> None:
+        """Replace all contents (positional deletes renumber slots)."""
+        self._data = np.empty(self._INITIAL_CAPACITY, dtype=_DTYPES[self.kind])
+        self._validity = np.ones(self._INITIAL_CAPACITY, dtype=np.bool_)
+        self._size = 0
+        for value in values:
+            self.append(value)
+
+    def clear(self) -> None:
+        self._size = 0
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, slot: int) -> Any:
+        if not 0 <= slot < self._size:
+            raise IndexError(f"slot {slot} out of range (size {self._size})")
+        if not self._validity[slot]:
+            return None
+        v = self._data[slot]
+        return v if self._data.dtype == object else v.item()
+
+    def pylist(self, start: int = 0, stop: Optional[int] = None) -> List[Any]:
+        if stop is None or stop > self._size:
+            stop = self._size
+        return self.snapshot().to_pylist(start, stop)
+
+    def snapshot(self) -> Column:
+        """A zero-copy :class:`Column` view of the current contents."""
+        validity = self._validity[: self._size]
+        return Column(
+            self._data[: self._size],
+            None if bool(validity.all()) else validity,
+        )
+
+    def memory_bytes(self) -> int:
+        total = self._data.nbytes + self._validity.nbytes
+        if self._data.dtype == object and self._size:
+            sample = self._data[: min(self._size, 256)]
+            per = sum(
+                0 if v is None else sys.getsizeof(v) for v in sample
+            ) / len(sample)
+            total += int(per * self._size)
+        return total

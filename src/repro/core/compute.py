@@ -36,6 +36,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.aggregates import AVG, COUNT, MAX, MIN, SUM, Aggregate
 from repro.core.window import WindowSpec
 from repro.errors import SequenceError
@@ -50,6 +52,24 @@ def _require_nonempty(raw: Sequence[float]) -> None:
             "cannot compute a sequence over empty raw data (the sequence "
             "model has no position 1)"
         )
+
+
+def _as_raw(raw) -> Sequence[float]:
+    """Normalize the raw input for the scalar kernels.
+
+    Accepts plain sequences, NumPy arrays, and
+    :class:`repro.columns.Column` values (NULLs become 0.0, matching the
+    measure-extraction convention).  Array-backed inputs are converted to
+    Python floats once up front — the scalar kernels accumulate in Python
+    arithmetic, and ``np.float64`` elements would leak into the output.
+    The vectorized and parallel strategies instead consume the underlying
+    buffer zero-copy.
+    """
+    if hasattr(raw, "as_float64"):
+        raw = raw.as_float64(0.0)
+    if isinstance(raw, np.ndarray):
+        return raw.tolist()
+    return raw
 
 
 @dataclass
@@ -78,6 +98,7 @@ def compute_naive(
         SequenceError: on empty input.
     """
     _require_nonempty(raw)
+    raw = _as_raw(raw)
     n = len(raw)
     out: List[float] = []
     for k in range(1, n + 1):
@@ -168,6 +189,7 @@ def compute_pipelined(
             form (none currently; AVG pipelines through SUM and COUNT).
     """
     _require_nonempty(raw)
+    raw = _as_raw(raw)
     n = len(raw)
     if window.is_cumulative:
         if aggregate in (SUM, COUNT):

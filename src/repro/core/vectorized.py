@@ -42,7 +42,12 @@ def compute_vectorized(
             "cannot compute a sequence over empty raw data (the sequence "
             "model has no position 1)"
         )
-    values = np.asarray(raw, dtype=np.float64)
+    if hasattr(raw, "as_float64"):
+        # A columns.Column measure: reuse its buffer directly (zero-copy
+        # when the column is float64 with no NULLs).
+        values = raw.as_float64(0.0)
+    else:
+        values = np.asarray(raw, dtype=np.float64)
 
     if window.is_cumulative:
         if aggregate is SUM:

@@ -95,7 +95,12 @@ class Partitioner:
         n = len(raw)
         if n == 0:
             raise SequenceError("cannot partition an empty raw sequence")
-        values = np.asarray(raw, dtype=np.float64)
+        if hasattr(raw, "as_float64"):
+            # A columns.Column: chunk payloads become zero-copy views of
+            # its buffer (no per-chunk row-list copies).
+            values = raw.as_float64(0.0)
+        else:
+            values = np.asarray(raw, dtype=np.float64)
         n_chunks = self._chunk_count(n)
         bounds = _even_bounds(n, n_chunks)
         return [

@@ -162,6 +162,27 @@ class Database:
         rows = list(plan.execute(stats))
         return Result(plan.schema, rows, stats)
 
+    def run_batches(
+        self,
+        plan: Operator,
+        stats: Optional[ExecutionStats] = None,
+        *,
+        chunk_rows: int = 65536,
+    ) -> "ChunkedBatch":
+        """Execute a plan on the batch-at-a-time path.
+
+        Returns the columnar result as a
+        :class:`~repro.columns.ChunkedBatch` (possibly zero-copy views of
+        table heaps).  The logical rows equal :meth:`run`'s, except
+        floating-point aggregates may differ in the last ulp (pairwise
+        versus sequential summation).
+        """
+        from repro.columns import ChunkedBatch
+
+        stats = stats if stats is not None else ExecutionStats()
+        chunks = list(plan.execute_batches(stats, chunk_rows))
+        return ChunkedBatch(plan.schema.names(), chunks)
+
     def explain(self, plan: Operator) -> str:
         return plan.explain()
 

@@ -13,10 +13,13 @@ Join and aggregation operators live in :mod:`repro.relational.join` and
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.columns import Batch, kinds_for_schema
 from repro.errors import PlanError
-from repro.relational.expr import Expr
+from repro.relational.expr import And, ColumnRef, Comparison, Expr, Literal, Or
 from repro.relational.schema import Column, Schema
 from repro.relational.stats import ExecutionStats
 from repro.relational.table import Table
@@ -36,6 +39,9 @@ __all__ = [
 
 Row = Tuple[Any, ...]
 
+# Default rows per batch on the batch-at-a-time paths.
+BATCH_ROWS = 65536
+
 
 class Operator:
     """Base class for executable plan nodes."""
@@ -44,6 +50,30 @@ class Operator:
 
     def execute(self, stats: ExecutionStats) -> Iterator[Row]:
         raise NotImplementedError
+
+    def execute_batches(
+        self, stats: ExecutionStats, chunk_rows: int = BATCH_ROWS
+    ) -> Iterator[Batch]:
+        """Batch-at-a-time execution: yield :class:`Batch` chunks.
+
+        The base implementation bridges the tuple-at-a-time ``execute``
+        path, columnarizing ``chunk_rows`` rows at a time with kinds
+        derived from the operator schema.  Operators with a native
+        columnar strategy (scan, filter, band join, aggregate) override
+        this; either way the logical row stream is identical to
+        ``execute`` (floating-point aggregates excepted — see
+        :mod:`repro.relational.aggregate`).
+        """
+        kinds = kinds_for_schema(self.schema)
+        names = self.schema.names()
+        buffer: List[Row] = []
+        for row in self.execute(stats):
+            buffer.append(row)
+            if len(buffer) >= chunk_rows:
+                yield Batch.from_rows(names, buffer, kinds)
+                buffer = []
+        if buffer:
+            yield Batch.from_rows(names, buffer, kinds)
 
     def children(self) -> Sequence["Operator"]:
         return ()
@@ -70,6 +100,15 @@ class TableScan(Operator):
         for row in self.table.rows:
             stats.rows_scanned += 1
             yield row
+
+    def execute_batches(
+        self, stats: ExecutionStats, chunk_rows: int = BATCH_ROWS
+    ) -> Iterator[Batch]:
+        # Native path: hand out zero-copy snapshot slices of the heap —
+        # no row tuples are ever built.
+        for batch in self.table.batches(chunk_rows):
+            stats.rows_scanned += batch.num_rows
+            yield batch
 
     def label(self) -> str:
         if self.alias != self.table.name:
@@ -109,6 +148,7 @@ class Filter(Operator):
         self.predicate = predicate
         self.schema = child.schema
         self._compiled = predicate.bind(child.schema)
+        self._vectorized = _vector_predicate(predicate, child.schema)
 
     def execute(self, stats: ExecutionStats) -> Iterator[Row]:
         compiled = self._compiled
@@ -116,11 +156,112 @@ class Filter(Operator):
             if compiled(row) is True:
                 yield row
 
+    def execute_batches(
+        self, stats: ExecutionStats, chunk_rows: int = BATCH_ROWS
+    ) -> Iterator[Batch]:
+        compiled = self._compiled
+        vectorized = self._vectorized
+        for batch in self.child.execute_batches(stats, chunk_rows):
+            mask = vectorized(batch) if vectorized is not None else None
+            if mask is None:
+                # Row fallback: the predicate shape (or a per-batch object
+                # column) is outside the vectorizable subset.
+                mask = np.fromiter(
+                    (compiled(row) is True for row in batch.iter_rows()),
+                    dtype=np.bool_,
+                    count=batch.num_rows,
+                )
+            if mask.all():
+                yield batch  # zero-copy pass-through
+            elif mask.any():
+                yield batch.filter(mask)
+
     def children(self) -> Sequence[Operator]:
         return (self.child,)
 
     def label(self) -> str:
         return f"Filter({self.predicate})"
+
+
+def _vector_predicate(
+    expr: Expr, schema: Schema
+) -> Optional[Callable[[Batch], Optional[np.ndarray]]]:
+    """Compile ``expr`` to a whole-batch ``is TRUE`` mask evaluator.
+
+    Returns ``None`` when the predicate shape is outside the vectorizable
+    subset (comparisons between column refs and literals, AND/OR of such).
+    The compiled evaluator itself may return ``None`` for a particular
+    batch (e.g. an ``object``-kinded operand) — the caller then falls back
+    to row evaluation for that batch.  Kleene semantics hold because a
+    mask entry means "predicate is exactly TRUE": NULL operands clear it.
+    """
+    if isinstance(expr, (And, Or)):
+        parts = [_vector_predicate(item, schema) for item in expr.items]
+        if any(p is None for p in parts):
+            return None
+        combine = np.logical_and if isinstance(expr, And) else np.logical_or
+
+        def run_bool(batch: Batch) -> Optional[np.ndarray]:
+            masks = [p(batch) for p in parts]  # type: ignore[misc]
+            if any(m is None for m in masks):
+                return None
+            out = masks[0]
+            for m in masks[1:]:
+                out = combine(out, m)
+            return out
+
+        return run_bool
+    if not isinstance(expr, Comparison):
+        return None
+
+    def operand(side: Expr):
+        if isinstance(side, ColumnRef):
+            return ("col", schema.resolve(side.name, side.qualifier))
+        if isinstance(side, Literal):
+            return ("lit", side.value)
+        return None
+
+    left, right = operand(expr.left), operand(expr.right)
+    if left is None or right is None or (left[0] == "lit" and right[0] == "lit"):
+        return None
+    op = {
+        "=": np.equal,
+        "<>": np.not_equal,
+        "<": np.less,
+        "<=": np.less_equal,
+        ">": np.greater,
+        ">=": np.greater_equal,
+    }[expr.op]
+
+    def run_cmp(batch: Batch) -> Optional[np.ndarray]:
+        validity: Optional[np.ndarray] = None
+        values = []
+        for tag, payload in (left, right):
+            if tag == "lit":
+                if payload is None:
+                    return np.zeros(batch.num_rows, dtype=np.bool_)
+                if isinstance(payload, bool) or not isinstance(
+                    payload, (int, float)
+                ):
+                    return None
+                values.append(payload)
+                continue
+            col = batch.columns[payload]
+            if col.kind not in ("int64", "float64"):
+                return None
+            values.append(col.data)
+            if col.validity is not None:
+                validity = (
+                    col.validity
+                    if validity is None
+                    else validity & col.validity
+                )
+        mask = op(values[0], values[1])
+        if validity is not None:
+            mask = mask & validity
+        return mask
+
+    return run_cmp
 
 
 class Project(Operator):

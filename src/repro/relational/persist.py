@@ -2,14 +2,22 @@
 
 Layout::
 
-    <dir>/catalog.json          tables, schemas, primary keys, indexes, CRCs
-    <dir>/data/<table>.jsonl    one JSON array per row
+    <dir>/catalog.json              tables, schemas, primary keys, indexes,
+                                    CRCs, format version
+    <dir>/data/<table>.cols.json    format v3: one JSON array per column
+    <dir>/data/<table>.jsonl        formats v1/v2: one JSON array per row
 
-JSON-lines keeps the format human-inspectable and diff-able; values are
-typed through a small codec (dates become ``{"$date": "YYYY-MM-DD"}``,
-NULL is JSON ``null``).  Loading rebuilds tables and recreates secondary
-indexes; constraint checks re-run, so a corrupted dump cannot smuggle in
-duplicate primary keys.
+Format v3 (the default) serializes each table column-wise — one value
+array per column, mirroring the in-memory columnar heap, so saving reads
+each column buffer sequentially instead of materializing row tuples.
+Versions 1 (no checksums) and 2 (row JSON-lines + CRC32) remain loadable;
+``save_database(..., format_version=2)`` still writes the row format for
+interoperability, and ``repro migrate`` upgrades old dumps in place.
+
+Values are typed through a small codec shared by all versions (dates
+become ``{"$date": "YYYY-MM-DD"}``, NULL is JSON ``null``).  Loading
+rebuilds tables and recreates secondary indexes; constraint checks
+re-run, so a corrupted dump cannot smuggle in duplicate primary keys.
 
 Crash consistency and corruption detection:
 
@@ -38,10 +46,11 @@ from repro.relational.types import type_by_name
 
 __all__ = ["save_database", "load_database"]
 
-# Version 2 adds the per-table "crc32" field; version-1 dumps (no checksum)
-# are still loadable.
-_FORMAT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+# Version history: 1 = row JSONL, no checksums; 2 = row JSONL + per-table
+# CRC32; 3 = columnar JSON (one array per column) + CRC32.  All three load.
+_FORMAT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
+_WRITABLE_VERSIONS = (2, 3)
 
 
 def _encode_value(value: Any) -> Any:
@@ -64,8 +73,51 @@ def _atomic_write(path: str, payload: bytes) -> None:
     os.replace(tmp, path)
 
 
-def save_database(db: Database, directory: str) -> None:
+def _row_payload(table) -> bytes:
+    """Format v1/v2 data payload: one JSON array per row (JSON lines)."""
+    lines = []
+    for row in table.rows:
+        lines.append(json.dumps([_encode_value(v) for v in row]))
+        lines.append("\n")
+    return "".join(lines).encode("utf-8")
+
+
+def _columnar_payload(table) -> bytes:
+    """Format v3 data payload: one JSON value array per column.
+
+    Reads each column buffer sequentially (``column_values`` is a
+    zero-copy snapshot of the heap) — no row tuples are materialized.
+    """
+    doc = {
+        "num_rows": len(table),
+        "columns": [
+            {
+                "name": column.name,
+                "values": [
+                    _encode_value(v)
+                    for v in table.column_values(i).to_pylist()
+                ],
+            }
+            for i, column in enumerate(table.schema)
+        ],
+    }
+    return json.dumps(doc, separators=(",", ":")).encode("utf-8")
+
+
+def _data_filename(table_name: str, format_version: int) -> str:
+    if format_version >= 3:
+        return f"{table_name}.cols.json"
+    return f"{table_name}.jsonl"
+
+
+def save_database(
+    db: Database, directory: str, *, format_version: int = _FORMAT_VERSION
+) -> None:
     """Write every table (schema, rows, indexes) under ``directory``.
+
+    Args:
+        format_version: 3 (columnar, default) or 2 (row JSON-lines, for
+            interoperability with older readers).
 
     Atomic at file granularity: each data file and the catalog are staged
     to a temp sibling and renamed into place, and the catalog — the file
@@ -75,16 +127,21 @@ def save_database(db: Database, directory: str) -> None:
     """
     from repro.faults import injector
 
+    if format_version not in _WRITABLE_VERSIONS:
+        raise CatalogError(
+            f"cannot write dump version {format_version!r} "
+            f"(writable: {list(_WRITABLE_VERSIONS)})"
+        )
     data_dir = os.path.join(directory, "data")
     os.makedirs(data_dir, exist_ok=True)
-    catalog: Dict[str, Any] = {"version": _FORMAT_VERSION, "tables": []}
+    catalog: Dict[str, Any] = {"version": format_version, "tables": []}
     for table in db.catalog.tables():
         injector.check("storage_write", table.name)
-        lines = []
-        for row in table.rows:
-            lines.append(json.dumps([_encode_value(v) for v in row]))
-            lines.append("\n")
-        payload = "".join(lines).encode("utf-8")
+        if format_version >= 3:
+            payload = _columnar_payload(table)
+        else:
+            payload = _row_payload(table)
+        data_file = _data_filename(table.name, format_version)
         entry = {
             "name": table.name,
             "columns": [
@@ -102,14 +159,51 @@ def save_database(db: Database, directory: str) -> None:
                 for index in table.indexes.values()
                 if not index.name.endswith("_pk")  # recreated from primary_key
             ],
+            "data_file": data_file,
             "crc32": zlib.crc32(payload),
         }
         catalog["tables"].append(entry)
-        _atomic_write(os.path.join(data_dir, f"{table.name}.jsonl"), payload)
+        _atomic_write(os.path.join(data_dir, data_file), payload)
     _atomic_write(
         os.path.join(directory, "catalog.json"),
         json.dumps(catalog, indent=2).encode("utf-8"),
     )
+
+
+def _decode_rows(payload: bytes) -> List[List[Any]]:
+    """Decode a v1/v2 row JSON-lines payload."""
+    rows: List[List[Any]] = []
+    for line in payload.decode("utf-8").splitlines():
+        line = line.strip()
+        if line:
+            rows.append([_decode_value(v) for v in json.loads(line)])
+    return rows
+
+
+def _decode_columnar(
+    table_name: str, payload: bytes, expected_columns: int
+) -> List[List[Any]]:
+    """Decode a v3 columnar payload back to row lists for ingestion."""
+    if not payload:
+        return []
+    doc = json.loads(payload.decode("utf-8"))
+    cols = doc.get("columns", [])
+    if len(cols) != expected_columns:
+        raise CatalogError(
+            f"table {table_name!r}: dump has {len(cols)} columns, "
+            f"catalog declares {expected_columns}"
+        )
+    num_rows = doc.get("num_rows", 0)
+    decoded = []
+    for col in cols:
+        values = [_decode_value(v) for v in col["values"]]
+        if len(values) != num_rows:
+            raise CatalogError(
+                f"table {table_name!r}: column {col.get('name')!r} has "
+                f"{len(values)} values for {num_rows} rows"
+            )
+        decoded.append(values)
+    return [list(row) for row in zip(*decoded)] if num_rows else []
 
 
 def load_database(directory: str) -> Database:
@@ -130,13 +224,17 @@ def load_database(directory: str) -> Database:
             f"dump version {catalog.get('version')!r} is not supported "
             f"(expected one of {list(_SUPPORTED_VERSIONS)})"
         )
+    version = catalog.get("version")
     db = Database()
     for entry in catalog["tables"]:
         columns = [(c["name"], type_by_name(c["type"])) for c in entry["columns"]]
         table = db.create_table(
             entry["name"], columns, primary_key=entry["primary_key"] or None
         )
-        path = os.path.join(directory, "data", f"{entry['name']}.jsonl")
+        data_file = entry.get("data_file") or _data_filename(
+            entry["name"], version
+        )
+        path = os.path.join(directory, "data", data_file)
         payload = b""
         if os.path.exists(path):
             with open(path, "rb") as fh:
@@ -148,11 +246,10 @@ def load_database(directory: str) -> Database:
                 f"CRC32 {zlib.crc32(payload)} != cataloged {want} "
                 f"({path})"
             )
-        rows: List[List[Any]] = []
-        for line in payload.decode("utf-8").splitlines():
-            line = line.strip()
-            if line:
-                rows.append([_decode_value(v) for v in json.loads(line)])
+        if data_file.endswith(".cols.json"):
+            rows = _decode_columnar(entry["name"], payload, len(columns))
+        else:
+            rows = _decode_rows(payload)
         table.insert_many(rows)
         for index in entry["indexes"]:
             table.create_index(

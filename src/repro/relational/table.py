@@ -1,26 +1,83 @@
-"""Heap tables with optional primary key and secondary indexes."""
+"""Heap tables with optional primary key and secondary indexes.
+
+Since the columnar-data-plane refactor, a table's heap is *column-major*:
+one :class:`~repro.columns.column.ColumnBuilder` per schema column, so
+scans, window measure extraction, and persistence all read typed arrays
+instead of Python tuple lists.  The historical row-major contract is
+preserved through :class:`RowsView` — ``table.rows`` still supports
+``len``/iteration/slot indexing/equality — and *slots* (column positions)
+still identify rows for index maintenance.
+"""
 
 from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.columns import Batch, Column, ColumnBuilder
 from repro.errors import CatalogError, ConstraintError, SchemaError
 from repro.relational.index import HashIndex, SortedIndex
 from repro.relational.schema import Schema
 
-__all__ = ["Table"]
+__all__ = ["Table", "RowsView"]
 
 Row = Tuple[Any, ...]
 Index = Union[HashIndex, SortedIndex]
 
+# Rows handed out per materialization step while iterating (bounds the
+# transient row-tuple memory of a scan; see Table.iter_rows).
+_ITER_CHUNK = 4096
+
+
+class RowsView:
+    """Sequence facade over a table's columnar heap.
+
+    Presents the pre-refactor ``table.rows`` list contract — ``len``,
+    iteration, ``rows[slot]``, slicing, ``==`` against any sequence —
+    while rows are materialized lazily from the column builders.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self, table: "Table") -> None:
+        self._table = table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __iter__(self) -> Iterator[Row]:
+        return self._table.iter_rows()
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            start, stop, step = item.indices(len(self._table))
+            return [self._table.row(i) for i in range(start, stop, step)]
+        if item < 0:
+            item += len(self._table)
+        return self._table.row(item)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RowsView):
+            other = list(other)
+        if not isinstance(other, (list, tuple)):
+            return NotImplemented
+        return list(self) == list(other)
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RowsView({self._table.name!r}, {len(self)} rows)"
+
 
 class Table:
-    """A named heap of tuples plus its indexes.
+    """A named columnar heap plus its indexes.
 
-    Rows live in a Python list; *slots* (list positions) identify rows for
-    index maintenance.  Primary keys are backed by a unique sorted index
-    named ``<table>_pk`` — sorted rather than hash so that the engine can
-    exploit it for the paper's band-predicate joins.
+    Values live in one :class:`ColumnBuilder` per column; *slots* (column
+    positions) identify rows for index maintenance.  Primary keys are
+    backed by a unique sorted index named ``<table>_pk`` — sorted rather
+    than hash so that the engine can exploit it for the paper's
+    band-predicate joins.
     """
 
     def __init__(
@@ -31,7 +88,15 @@ class Table:
     ) -> None:
         self.name = name
         self.schema = schema
-        self.rows: List[Row] = []
+        self._columns: List[ColumnBuilder] = [
+            ColumnBuilder.for_type(c.type.name) for c in schema
+        ]
+        self._nrows = 0
+        # Bumped on structural mutation (insert/delete/truncate): open row
+        # iterators check it and refuse to continue over a reshaped heap.
+        # In-place slot updates do NOT bump it (UPDATE walks rows while
+        # rewriting the current slot, as before the columnar refactor).
+        self._structure_version = 0
         self.indexes: Dict[str, Index] = {}
         self.primary_key: Optional[Tuple[str, ...]] = None
         if primary_key:
@@ -42,13 +107,87 @@ class Table:
     # -- row access --------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self._nrows
+
+    @property
+    def rows(self) -> RowsView:
+        """The row-major facade (lazy; see :class:`RowsView`)."""
+        return RowsView(self)
 
     def __iter__(self) -> Iterator[Row]:
-        return iter(self.rows)
+        return self.iter_rows()
+
+    def iter_rows(self) -> Iterator[Row]:
+        """Yield row tuples lazily, chunk-materialized from the columns.
+
+        Never builds the full row list; at most ``_ITER_CHUNK`` rows of
+        tuples exist at a time.
+
+        Raises:
+            RuntimeError: when the heap is structurally mutated
+                (insert/delete/truncate) while the iterator is open.
+                In-place ``update_slot`` is allowed and becomes visible
+                from the next chunk.
+        """
+        expected = self._structure_version
+        start = 0
+        while start < self._nrows:
+            if self._structure_version != expected:
+                raise RuntimeError(
+                    f"table {self.name!r} mutated during iteration"
+                )
+            stop = min(start + _ITER_CHUNK, self._nrows)
+            chunk = [b.pylist(start, stop) for b in self._columns]
+            for row in zip(*chunk):
+                yield row
+                if self._structure_version != expected:
+                    raise RuntimeError(
+                        f"table {self.name!r} mutated during iteration"
+                    )
+            start = stop
 
     def row(self, slot: int) -> Row:
-        return self.rows[slot]
+        return tuple(b.get(slot) for b in self._columns)
+
+    # -- columnar access -----------------------------------------------------------
+
+    def column_values(self, column: Union[int, str]) -> Column:
+        """Zero-copy snapshot of one column (by schema position or name)."""
+        i = column if isinstance(column, int) else self.schema.resolve(column)
+        return self._columns[i].snapshot()
+
+    def batches(self, chunk_rows: int = 65536) -> Iterator[Batch]:
+        """Zero-copy columnar snapshot batches of the whole heap."""
+        names = self.schema.names()
+        snapshot = Batch(names, [b.snapshot() for b in self._columns])
+        n = snapshot.num_rows
+        if n == 0:
+            return
+        for start in range(0, n, chunk_rows):
+            yield snapshot.slice(start, min(start + chunk_rows, n))
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the columnar heap (buffers + validity masks)."""
+        return sum(b.memory_bytes() for b in self._columns)
+
+    def row_memory_bytes(self, sample: int = 1000) -> int:
+        """Estimated bytes the pre-columnar tuple-list heap would hold.
+
+        Extrapolated from ``sample`` materialized rows; used by
+        ``bench_table1`` to report the row-vs-columnar memory ratio.
+        """
+        import sys
+
+        n = self._nrows
+        if n == 0:
+            return 0
+        k = min(n, sample)
+        per_row = sum(
+            sys.getsizeof(row) + sum(sys.getsizeof(v) for v in row)
+            for row in (self.row(i) for i in range(k))
+        ) / k
+        # The old heap also held one list of row references.
+        return int(per_row * n) + 8 * n + 56
 
     # -- mutation ------------------------------------------------------------------
 
@@ -71,7 +210,7 @@ class Table:
                 is not inserted).
         """
         row = self._coerce(values)
-        slot = len(self.rows)
+        slot = self._nrows
         added: List[Index] = []
         try:
             for index in self.indexes.values():
@@ -81,7 +220,10 @@ class Table:
             for index in added:
                 index.remove(row, slot)
             raise
-        self.rows.append(row)
+        for builder, value in zip(self._columns, row):
+            builder.append(value)
+        self._nrows += 1
+        self._structure_version += 1
         return slot
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
@@ -94,7 +236,7 @@ class Table:
     def update_slot(self, slot: int, values: Sequence[Any]) -> None:
         """Replace the row at ``slot`` (indexes maintained incrementally)."""
         new_row = self._coerce(values)
-        old_row = self.rows[slot]
+        old_row = self.row(slot)
         for index in self.indexes.values():
             index.remove(old_row, slot)
         try:
@@ -105,7 +247,8 @@ class Table:
                 index.remove(new_row, slot)
                 index.add(old_row, slot)
             raise
-        self.rows[slot] = new_row
+        for builder, value in zip(self._columns, new_row):
+            builder.set(slot, value)
 
     def delete_slots(self, slots: Iterable[int]) -> int:
         """Delete rows by slot; remaining slots are renumbered and all
@@ -113,15 +256,26 @@ class Table:
         doomed = set(slots)
         if not doomed:
             return 0
-        self.rows = [row for i, row in enumerate(self.rows) if i not in doomed]
+        kept = [
+            [b.get(i) for b in self._columns]
+            for i in range(self._nrows)
+            if i not in doomed
+        ]
+        for j, builder in enumerate(self._columns):
+            builder.rebuild(row[j] for row in kept)
+        self._nrows = len(kept)
+        self._structure_version += 1
         for index in self.indexes.values():
-            index.rebuild(self.rows)
+            index.rebuild([tuple(row) for row in kept])
         return len(doomed)
 
     def truncate(self) -> None:
-        self.rows.clear()
+        for builder in self._columns:
+            builder.clear()
+        self._nrows = 0
+        self._structure_version += 1
         for index in self.indexes.values():
-            index.rebuild(self.rows)
+            index.rebuild([])
 
     # -- index management -----------------------------------------------------------
 
@@ -163,4 +317,4 @@ class Table:
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Table({self.name!r}, rows={len(self.rows)}, indexes={list(self.indexes)})"
+        return f"Table({self.name!r}, rows={self._nrows}, indexes={list(self.indexes)})"

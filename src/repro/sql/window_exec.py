@@ -26,12 +26,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
+from repro.columns import Column as DataColumn
+from repro.columns import kind_for_type
 from repro.core.aggregates import by_name
 from repro.core.compute import compute_pipelined
 from repro.core.window import WindowSpec
-from repro.errors import ParallelError, PlanError
-from repro.relational.expr import Expr
-from repro.relational.operators import Operator
+from repro.errors import ParallelError, PlanError, SchemaError
+from repro.relational.expr import ColumnRef, Expr
+from repro.relational.operators import Alias, Operator, TableScan
 from repro.relational.schema import Column, Schema
 from repro.relational.stats import ExecutionStats
 from repro.relational.types import FLOAT
@@ -153,15 +155,59 @@ class WindowOperator(Operator):
             pool = ExecutorPool(self.exec_config, stats=stats)
         try:
             extras: List[List[float]] = []
+            measure_cache: dict = {}
             for spec, (arg, partition, order) in zip(self.specs, self._bound):
+                measure = self._measure_column(spec, rows, measure_cache)
                 extras.append(
-                    self._evaluate(spec, arg, partition, order, rows, stats, pool)
+                    self._evaluate(
+                        spec, arg, partition, order, rows, stats, pool, measure
+                    )
                 )
         finally:
             if pool is not None:
                 pool.close()
         for i, row in enumerate(rows):
             yield row + tuple(extra[i] for extra in extras)
+
+    # -- columnar measure extraction ------------------------------------------
+
+    def _measure_column(
+        self, spec: WindowColumnSpec, rows: List[Row], cache: dict
+    ) -> Optional[DataColumn]:
+        """The measure as a :class:`~repro.columns.Column`, when gatherable.
+
+        Plain column-reference arguments take the columnar fast path: the
+        per-group raw sequences become C-speed gathers (``take`` +
+        ``as_float64``) over one measure buffer instead of per-row closure
+        calls.  When the child is a bare (possibly aliased) table scan the
+        buffer is the table heap itself, zero-copy; otherwise the column is
+        built once from the materialized rows and shared by all specs that
+        reference it.  Returns ``None`` for computed arguments (CASE
+        arithmetic, ...) — callers then evaluate row-at-a-time.
+        """
+        if spec.is_ranking or not isinstance(spec.arg, ColumnRef):
+            return None
+        try:
+            idx = self.child.schema.resolve(spec.arg.name, spec.arg.qualifier)
+        except SchemaError:  # pragma: no cover - bind() would have raised
+            return None
+        if idx in cache:
+            return cache[idx]
+        column = self._heap_column(idx)
+        if column is None or len(column) != len(rows):
+            kind = kind_for_type(self.child.schema.columns[idx].type.name)
+            column = DataColumn.from_values([row[idx] for row in rows], kind)
+        cache[idx] = column
+        return column
+
+    def _heap_column(self, idx: int) -> Optional[DataColumn]:
+        """Zero-copy heap buffer when the child is a bare table scan."""
+        node: Operator = self.child
+        while isinstance(node, Alias):
+            node = node.child
+        if isinstance(node, TableScan):
+            return node.table.column_values(idx)
+        return None
 
     def _evaluate(
         self,
@@ -172,6 +218,7 @@ class WindowOperator(Operator):
         rows: List[Row],
         stats: ExecutionStats,
         pool=None,
+        measure: Optional[DataColumn] = None,
     ) -> List[float]:
         aggregate = None if spec.is_ranking else by_name(spec.func)
         groups: dict = {}
@@ -186,7 +233,7 @@ class WindowOperator(Operator):
         if pool is not None and not spec.is_ranking and not spec.is_range:
             try:
                 return self._evaluate_parallel(
-                    spec, arg, aggregate, groups, rows, stats, pool
+                    spec, arg, aggregate, groups, rows, stats, pool, measure
                 )
             except ParallelError:
                 # Last-ditch degradation: the whole parallel subsystem is
@@ -203,15 +250,31 @@ class WindowOperator(Operator):
             elif arg is None:
                 values = compute_pipelined([1.0] * len(indexes), spec.window, aggregate)
             else:
-                # The sequence model has no NULLs; absent measures count as 0.
-                raw = [
-                    float(v) if (v := arg(rows[i])) is not None else 0.0
-                    for i in indexes
-                ]
-                values = compute_pipelined(raw, spec.window, aggregate)
+                values = compute_pipelined(
+                    self._raw_sequence(arg, measure, indexes, rows).tolist()
+                    if measure is not None
+                    # The sequence model has no NULLs; absent measures
+                    # count as 0 (row fallback for computed arguments).
+                    else [
+                        float(v) if (v := arg(rows[i])) is not None else 0.0
+                        for i in indexes
+                    ],
+                    spec.window,
+                    aggregate,
+                )
             for i, value in zip(indexes, values):
                 out[i] = value
         return out
+
+    @staticmethod
+    def _raw_sequence(arg, measure: DataColumn, indexes, rows):
+        """Gather one group's raw sequence from the measure column.
+
+        ``take`` + ``as_float64(0.0)`` produces exactly the floats the
+        row loop would (NULL -> 0.0, ints promoted losslessly), as a
+        float64 array ready for the kernels.
+        """
+        return measure.take(indexes).as_float64(0.0)
 
     def _evaluate_parallel(
         self,
@@ -222,22 +285,27 @@ class WindowOperator(Operator):
         rows: List[Row],
         stats: ExecutionStats,
         pool,
+        measure: Optional[DataColumn] = None,
     ) -> List[float]:
         """Pool-backed frame evaluation over all PARTITION BY groups at once.
 
         One flat chunk list covers every group (long groups split within
         themselves), so the workers stay busy regardless of the partition
         size distribution; the merge is ordered, keeping results identical
-        to the serial loop.  Counters go through the thread-safe
+        to the serial loop.  Column-reference measures are handed over as
+        float64 arrays, which the partitioner slices into chunk payloads
+        without copying.  Counters go through the thread-safe
         :meth:`~repro.relational.stats.ExecutionStats.bump`.
         """
         from repro.parallel.compute import compute_grouped_parallel
 
         group_indexes = list(groups.values())
-        raws: List[List[float]] = []
+        raws: List[Sequence[float]] = []
         for indexes in group_indexes:
             if arg is None:
                 raws.append([1.0] * len(indexes))
+            elif measure is not None:
+                raws.append(self._raw_sequence(arg, measure, indexes, rows))
             else:
                 raws.append(
                     [

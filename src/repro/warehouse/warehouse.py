@@ -458,8 +458,12 @@ class DataWarehouse:
 
     # -- persistence ----------------------------------------------------------------------
 
-    def save(self, directory: str) -> None:
+    def save(self, directory: str, *, storage_format: Optional[int] = None) -> None:
         """Persist base tables, indexes and view definitions to a directory.
+
+        Args:
+            storage_format: dump format version (3 = columnar, the
+                default; 2 = row JSON-lines for older readers).
 
         Views are stored as definitions and re-materialized on load (the
         dump also contains their storage tables, which load() replaces with
@@ -470,7 +474,10 @@ class DataWarehouse:
 
         from repro.relational.persist import save_database
 
-        save_database(self.db, directory)
+        if storage_format is None:
+            save_database(self.db, directory)
+        else:
+            save_database(self.db, directory, format_version=storage_format)
         views = []
         for view in self.views.values():
             d = view.definition

@@ -79,9 +79,9 @@ class TestFailureModes:
             load_database(str(tmp_path))
 
     def test_corrupted_duplicate_pk_rejected(self, db, tmp_path):
-        # Strip the checksums (a version-1 dump) so the tampered file gets
-        # past CRC verification: the constraint re-check must still fire.
-        save_database(db, str(tmp_path))
+        # Strip the checksums so the tampered file gets past CRC
+        # verification: the constraint re-check must still fire.
+        save_database(db, str(tmp_path), format_version=2)
         catalog = tmp_path / "catalog.json"
         doc = json.loads(catalog.read_text())
         for entry in doc["tables"]:
@@ -95,11 +95,12 @@ class TestFailureModes:
         with pytest.raises(ConstraintError):
             load_database(str(tmp_path))
 
-    def test_checksum_names_corrupt_table(self, db, tmp_path):
-        save_database(db, str(tmp_path))
-        data = tmp_path / "data" / "t.jsonl"
-        lines = data.read_text().splitlines()
-        data.write_text("\n".join(lines + [lines[0]]))  # bit rot / tamper
+    @pytest.mark.parametrize("version", [2, 3])
+    def test_checksum_names_corrupt_table(self, db, tmp_path, version):
+        save_database(db, str(tmp_path), format_version=version)
+        name = "t.jsonl" if version == 2 else "t.cols.json"
+        data = tmp_path / "data" / name
+        data.write_bytes(data.read_bytes() + b" ")  # bit rot / tamper
         with pytest.raises(CatalogError, match="table 't' is corrupt"):
             load_database(str(tmp_path))
 
@@ -131,8 +132,41 @@ class TestFailureModes:
     def test_dump_is_human_readable(self, db, tmp_path):
         save_database(db, str(tmp_path))
         assert (tmp_path / "catalog.json").exists()
+        doc = json.loads((tmp_path / "data" / "t.cols.json").read_text())
+        assert doc["columns"][0]["name"] == "pos"
+        assert doc["columns"][0]["values"] == [1, 2, 3]
+
+    def test_v2_dump_is_row_jsonl(self, db, tmp_path):
+        save_database(db, str(tmp_path), format_version=2)
         first = (tmp_path / "data" / "t.jsonl").read_text().splitlines()[0]
         assert json.loads(first)[0] == 1
+
+    def test_v2_round_trips(self, db, tmp_path):
+        save_database(db, str(tmp_path), format_version=2)
+        loaded = load_database(str(tmp_path))
+        assert loaded.table("t").rows == db.table("t").rows
+
+    def test_unwritable_version_rejected(self, db, tmp_path):
+        with pytest.raises(CatalogError):
+            save_database(db, str(tmp_path), format_version=1)
+
+    def test_v3_column_count_mismatch_detected(self, db, tmp_path):
+        save_database(db, str(tmp_path))
+        data = tmp_path / "data" / "t.cols.json"
+        doc = json.loads(data.read_text())
+        doc["columns"].pop()
+        payload = json.dumps(doc, separators=(",", ":")).encode()
+        data.write_bytes(payload)
+        import zlib
+
+        catalog = tmp_path / "catalog.json"
+        cat = json.loads(catalog.read_text())
+        next(e for e in cat["tables"] if e["name"] == "t")["crc32"] = (
+            zlib.crc32(payload)
+        )
+        catalog.write_text(json.dumps(cat))
+        with pytest.raises(CatalogError, match="columns"):
+            load_database(str(tmp_path))
 
 
 class TestWarehousePersistence:
