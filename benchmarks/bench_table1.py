@@ -158,6 +158,27 @@ def run_suite(sizes):
     }
 
 
+def noop_tracer_overhead(report, baseline):
+    """Per-(method, n) fractional change of normalized timing vs baseline.
+
+    The engine's hot paths are permanently instrumented (registry-backed
+    stats counters, tracer-enabled checks); with the default NULL_TRACER
+    this delta over the pre-observability baseline *is* the no-op cost.
+    Entries below the noise floor (normalized < 1.0) are skipped.
+    """
+    base = {(e["n"], e["method"]): e["normalized"]
+            for e in baseline["entries"]}
+    overhead = {}
+    for entry in report["entries"]:
+        want = base.get((entry["n"], entry["method"]))
+        if want is None or want < 1.0:
+            continue
+        overhead[f"{entry['method']}@{entry['n']}"] = (
+            entry["normalized"] / want - 1.0
+        )
+    return overhead
+
+
 def check_regressions(report, baseline, tolerance):
     """Compare normalized timings; return a list of regression strings."""
     base = {(e["n"], e["method"]): e["normalized"]
@@ -202,13 +223,15 @@ def main(argv=None) -> int:
     print(f"  memory (n={mem['table_rows']}): columnar heap "
           f"{mem['columnar_bytes']} B vs ~{mem['row_tuple_bytes']} B as "
           f"row tuples")
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as fh:
-            json.dump(report, fh, indent=2)
-        print(f"  wrote {args.out}")
     if args.check:
         with open(args.check, encoding="utf-8") as fh:
             baseline = json.load(fh)
+        overhead = noop_tracer_overhead(report, baseline)
+        report["noop_tracer_overhead"] = overhead
+        if overhead:
+            worst = max(overhead.items(), key=lambda kv: kv[1])
+            print(f"  no-op tracer overhead vs baseline: worst "
+                  f"{worst[1]:+.1%} ({worst[0]})")
         failures = check_regressions(report, baseline, args.tolerance)
         if failures:
             print("PERFORMANCE REGRESSION:")
@@ -217,6 +240,10 @@ def main(argv=None) -> int:
             return 1
         print(f"  no regression vs {args.check} "
               f"(tolerance {args.tolerance:.0%})")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"  wrote {args.out}")
     return 0
 
 

@@ -3,13 +3,16 @@
 Usage::
 
     python -m repro demo [--rows N] [--jobs J --backend thread|process]
-                         [--inject-fault KIND]
+                         [--inject-fault KIND] [--profile]
+    python -m repro explain [--analyze] [--query "SELECT ..."] [--rows N]
+    python -m repro stats [--format json|prom] [--out PATH]
     python -m repro table1 [--sizes 500,1000,2000]
     python -m repro table2 [--sizes 100,500,1000]
     python -m repro advise --query "SELECT ..." [--query "..."]
     python -m repro parallel [--rows N] [--jobs 1,2,4] [--backend thread]
     python -m repro verify --dir DIR [--repair] [--json PATH]
     python -m repro fuzz [--seeds N] [--oracle sqlite|none] [--json PATH]
+                         [--trace]
     python -m repro migrate --dir DIR [--to 3]
 
 The ``table1``/``table2`` subcommands rerun the paper's evaluation sweeps
@@ -21,6 +24,7 @@ version, and EXPERIMENTS.md for recorded results).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional, Sequence
@@ -88,6 +92,8 @@ def cmd_demo(args: argparse.Namespace) -> int:
     print("materialized view 'mv': window (2, 1), complete sequence")
     if args.inject_fault:
         return _demo_fault(wh, args.inject_fault, query)
+    if args.profile:
+        return _demo_profile(wh, query)
     print("\nquery window (3, 1):")
     print(" ", wh.explain(query))
     result = wh.query(query)
@@ -114,6 +120,105 @@ def cmd_demo(args: argparse.Namespace) -> int:
         if not same:
             return 1
     return 0
+
+
+def _demo_profile(wh: DataWarehouse, query: str) -> int:
+    """The --profile demo: run the query traced, show the span tree."""
+    from repro.obs import runtime
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer()
+    with runtime.use(tracer=tracer):
+        result = wh.query(query)
+    print("\nquery window (3, 1):")
+    print(result.pretty(limit=8))
+    print(f"\nengine stats: {result.stats.summary()}")
+    print("\nspan tree:")
+    print(tracer.render_tree())
+    print("\ntop 5 slowest spans:")
+    for span in tracer.slowest(5):
+        attrs = " ".join(f"{k}={v}" for k, v in sorted(span.attributes.items()))
+        print(
+            f"  {span.duration * 1000:9.3f} ms  {span.name}"
+            + (f"  [{attrs}]" if attrs else "")
+        )
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Explain (or EXPLAIN ANALYZE) a query against the demo warehouse.
+
+    Builds the same seq/mv setup as ``repro demo`` so both the rewrite
+    path (view derivation, MaxOA/MinOA) and the native annotated operator
+    tree are demonstrable without any saved data.
+    """
+    wh = DataWarehouse()
+    create_sequence_table(wh.db, "seq", args.rows, seed=1, distribution="walk")
+    wh.create_view(
+        "mv",
+        "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING "
+        "AND 1 FOLLOWING) AS s FROM seq")
+    query = args.query or (
+        "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 "
+        "PRECEDING AND 1 FOLLOWING) AS s FROM seq ORDER BY pos")
+    options = {"algorithm": args.algorithm}
+    if not args.use_views:
+        options["use_views"] = False
+    if args.analyze:
+        print(wh.explain_analyze(query, **options))
+    else:
+        options.pop("use_views", None)
+        print(wh.explain(query, **options))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Run a compact multi-layer workload and dump the metrics registry."""
+    from repro.obs import runtime
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    with runtime.use(registry=registry):
+        _stats_workload(args.rows)
+    if args.format == "prom":
+        text = registry.to_prometheus()
+    else:
+        text = json.dumps(registry.to_json(), indent=2)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"metrics written to {args.out} ({args.format})")
+    else:
+        print(text)
+    return 0
+
+
+def _stats_workload(rows: int) -> None:
+    """Touch every instrumented layer: engine, window, parallel, views, cache."""
+    config = ExecutionConfig(
+        jobs=2, backend="thread", chunk_size=max(rows // 4, 1)
+    )
+    wh = DataWarehouse(execution=config)
+    wh.enable_query_cache(max_views=2)
+    wh.enable_slow_query_log(threshold_ms=0.0)
+    create_sequence_table(wh.db, "seq", rows, seed=1, distribution="walk")
+    wh.create_view(
+        "mv",
+        "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING "
+        "AND 1 FOLLOWING) AS s FROM seq")
+    derivable = (
+        "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 "
+        "PRECEDING AND 1 FOLLOWING) AS s FROM seq ORDER BY pos")
+    wh.query(derivable)                    # views: MaxOA/MinOA derivation
+    wh.query(derivable, use_views=False)   # engine + window + parallel
+    cacheable = (
+        "SELECT pos, MIN(val) OVER (ORDER BY pos ROWS BETWEEN 2 "
+        "PRECEDING AND 2 FOLLOWING) AS m FROM seq")
+    wh.query(cacheable)                    # cache: miss + admission
+    wh.query(cacheable)                    # cache: hit via derivation
+    wh.update_measure(                     # views: incremental maintenance
+        "seq", keys={"pos": rows // 2}, value_col="val", new_value=1.0
+    )
 
 
 def _demo_fault(wh: DataWarehouse, kind: str, query: str) -> int:
@@ -246,6 +351,33 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     )
     report = runner.run(args.seeds, base_seed=args.base_seed)
     print(report.summary())
+    if args.trace:
+        # Trace-parity proof: the same seed batch, rerun with tracing on,
+        # must produce bit-identical outcomes (observability must never
+        # change results).
+        from repro.obs import runtime
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        traced_runner = FuzzRunner(
+            paths=paths,
+            oracle=None if args.oracle == "none" else args.oracle,
+            relations=relations,
+            generator=CaseGenerator(max_rows=args.max_rows),
+            corpus_dir=args.corpus_dir,
+            shrink=not args.no_shrink,
+        )
+        with runtime.use(tracer=tracer):
+            traced = traced_runner.run(args.seeds, base_seed=args.base_seed)
+        a, b = report.to_dict(), traced.to_dict()
+        a.pop("elapsed", None), b.pop("elapsed", None)
+        identical = a == b
+        print(
+            f"traced rerun: {len(tracer.spans())} spans recorded, outcomes "
+            f"{'bit-identical' if identical else 'DIVERGED'}"
+        )
+        if not identical:
+            return 1
     for failure in report.failures:
         print(f"  seed {failure.seed}: {failure.description}")
         if failure.shrunk_description:
@@ -411,7 +543,35 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=[2, 3], default=None,
                       help="also save/reload the warehouse in this dump format "
                            "and verify the query answer round-trips")
+    demo.add_argument("--profile", action="store_true",
+                      help="run the query under a tracer and print the span "
+                           "tree plus the top-5 slowest spans")
     demo.set_defaults(func=cmd_demo)
+
+    explain = sub.add_parser(
+        "explain", help="explain a query against the demo warehouse"
+    )
+    explain.add_argument("--analyze", action="store_true",
+                         help="execute the query and annotate with actual "
+                              "rows and per-operator wall time")
+    explain.add_argument("--query", default=None,
+                         help="SELECT to explain (default: the demo's "
+                              "derivable window (3,1) query)")
+    explain.add_argument("--rows", type=int, default=200)
+    explain.add_argument("--algorithm", choices=["auto", "maxoa", "minoa"],
+                         default="auto")
+    explain.add_argument("--native", dest="use_views", action="store_false",
+                         help="skip view rewriting; show the native plan")
+    explain.set_defaults(func=cmd_explain)
+
+    stats = sub.add_parser(
+        "stats", help="run a multi-layer workload and dump engine metrics"
+    )
+    stats.add_argument("--format", choices=["json", "prom"], default="json")
+    stats.add_argument("--rows", type=int, default=400)
+    stats.add_argument("--out", default=None,
+                       help="write the dump to this path instead of stdout")
+    stats.set_defaults(func=cmd_stats)
 
     t1 = sub.add_parser("table1", help="rerun the paper's Table 1 sweep")
     t1.add_argument("--sizes", type=_sizes, default=[500, 1000, 2000])
@@ -458,6 +618,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: tests/testkit/corpus)")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="skip delta-debugging of failing cases")
+    fuzz.add_argument("--trace", action="store_true",
+                      help="rerun the same seed batch with tracing enabled "
+                           "and assert bit-identical outcomes")
     fuzz.add_argument("--json", dest="json_path", default=None,
                       help="write the machine-readable report to this path")
     fuzz.set_defaults(func=cmd_fuzz)

@@ -51,6 +51,14 @@ def install(plan: FaultPlan) -> None:
     if _ACTIVE is not None:
         raise FaultError("a fault plan is already installed; clear() it first")
     _ACTIVE = plan
+    from repro.obs import runtime
+
+    for spec in plan.specs:
+        runtime.event(
+            "fault.armed",
+            kind=spec.kind, site=spec.site, target=spec.target,
+            at=spec.at, times=spec.times,
+        )
 
 
 def clear() -> None:

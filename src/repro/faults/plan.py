@@ -161,9 +161,18 @@ class FaultPlan:
         return out
 
     def record(self, kind: str, site: str, target: str, detail: str) -> None:
-        """Append to the audit log (thread-safe)."""
+        """Append to the audit log (thread-safe) and surface the fired fault
+        to the observability plane (span event + counter)."""
         with self._lock:
             self.events.append(FaultEvent(kind, site, target, detail))
+        from repro.obs import runtime
+
+        runtime.event(f"fault.{kind}", site=site, target=target, detail=detail)
+        runtime.get_registry().counter(
+            "repro_faults_fired_total",
+            {"kind": kind},
+            help="Injected faults that actually fired",
+        ).inc()
 
     # -- inspection --------------------------------------------------------------
 

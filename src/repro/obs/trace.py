@@ -1,0 +1,299 @@
+"""Tracing: nested spans with monotonic-clock durations.
+
+A :class:`Tracer` hands out :class:`Span` context managers.  Parent links
+come from a per-thread span stack, so the volcano-style pull pipeline —
+where a parent operator's generator advances its child's generator — nests
+spans exactly as the operators nest.  Span durations are therefore
+*inclusive* wall time (everything that happens while the operator is live),
+the same convention ``EXPLAIN ANALYZE`` uses in mainstream engines.
+
+The default tracer everywhere is :data:`NULL_TRACER`: ``enabled`` is False
+and ``span()`` returns a shared do-nothing context manager, so the
+instrumented hot paths cost one attribute check when tracing is off (the
+bench-smoke gate enforces this stays ≤ a few percent).
+
+Exports: ``to_json()`` (flat span list with parent ids) and
+``to_chrome_trace()`` (Chrome ``trace_event`` "X" complete events — load
+the file in ``chrome://tracing`` / Perfetto).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One timed operation: name, attributes, events, parent link."""
+
+    __slots__ = (
+        "tracer", "name", "span_id", "parent_id", "thread_id",
+        "start", "end", "attributes", "events",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        attributes: Dict[str, Any],
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.thread_id = threading.get_ident()
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+        self.attributes = attributes
+        self.events: List[Tuple[str, float, Dict[str, Any]]] = []
+
+    # -- mutation ------------------------------------------------------------
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach structured attributes (last write wins per key)."""
+        self.attributes.update(attributes)
+        return self
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        """Record a point-in-time event inside this span."""
+        self.events.append((name, time.perf_counter(), attributes))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.finish()
+
+    def finish(self) -> None:
+        if self.end is None:
+            self.end = time.perf_counter()
+            self.tracer._finish(self)
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to finish (to *now* while still open)."""
+        return (self.end if self.end is not None else time.perf_counter()) - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+            "start": self.start,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+            "events": [
+                {"name": n, "at": t, "attributes": dict(a)}
+                for n, t, a in self.events
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, id={self.span_id}, dur={self.duration:.6f})"
+
+
+class Tracer:
+    """Collects finished spans; hands out nested span context managers."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.finished: List[Span] = []
+        # Events emitted with no span open (e.g. a fault armed between
+        # queries) land here instead of being dropped.
+        self.loose_events: List[Tuple[str, float, Dict[str, Any]]] = []
+        self._epoch = time.perf_counter()
+
+    # -- span creation -------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """Open a span; use as a context manager (or call ``finish()``)."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        span = Span(
+            self,
+            name,
+            next(self._ids),
+            parent.span_id if parent is not None else None,
+            attributes,
+        )
+        stack.append(span)
+        return span
+
+    def current_span(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Attach an event to the current span (or the loose-event list)."""
+        span = self.current_span()
+        if span is not None:
+            span.add_event(name, **attributes)
+        else:
+            with self._lock:
+                self.loose_events.append((name, time.perf_counter(), attributes))
+
+    def _finish(self, span: Span) -> None:
+        stack = self._stack()
+        # Tolerate out-of-order finishes (a generator closed early): pop the
+        # span wherever it sits instead of corrupting the stack.
+        if span in stack:
+            while stack and stack[-1] is not span:
+                stack.pop()
+            if stack:
+                stack.pop()
+        with self._lock:
+            self.finished.append(span)
+
+    # -- queries -------------------------------------------------------------
+
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        with self._lock:
+            spans = list(self.finished)
+        if name is not None:
+            spans = [s for s in spans if s.name == name]
+        return spans
+
+    def slowest(self, n: int = 5) -> List[Span]:
+        return sorted(self.spans(), key=lambda s: s.duration, reverse=True)[:n]
+
+    # -- exporters -----------------------------------------------------------
+
+    def to_json(self) -> str:
+        doc = {
+            "spans": [s.to_dict() for s in self.spans()],
+            "loose_events": [
+                {"name": n, "at": t, "attributes": dict(a)}
+                for n, t, a in list(self.loose_events)
+            ],
+        }
+        return json.dumps(doc, indent=2, default=str)
+
+    def to_chrome_trace(self) -> str:
+        """Chrome ``trace_event`` JSON (complete "X" events, µs timestamps)."""
+        events: List[Dict[str, Any]] = []
+        for span in self.spans():
+            events.append({
+                "name": span.name,
+                "ph": "X",
+                "ts": (span.start - self._epoch) * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": 1,
+                "tid": span.thread_id % 1_000_000,
+                "args": {str(k): str(v) for k, v in span.attributes.items()},
+            })
+            for name, at, attrs in span.events:
+                events.append({
+                    "name": name,
+                    "ph": "i",
+                    "ts": (at - self._epoch) * 1e6,
+                    "pid": 1,
+                    "tid": span.thread_id % 1_000_000,
+                    "s": "t",
+                    "args": {str(k): str(v) for k, v in attrs.items()},
+                })
+        return json.dumps({"traceEvents": events}, default=str)
+
+    def render_tree(self, *, min_duration: float = 0.0) -> str:
+        """Indented text rendering of the span forest (for ``--profile``)."""
+        spans = self.spans()
+        children: Dict[Optional[int], List[Span]] = {}
+        for span in spans:
+            children.setdefault(span.parent_id, []).append(span)
+        for kids in children.values():
+            kids.sort(key=lambda s: s.start)
+        by_id = {s.span_id: s for s in spans}
+        roots = [s for s in spans if s.parent_id not in by_id]
+        roots.sort(key=lambda s: s.start)
+        lines: List[str] = []
+
+        def walk(span: Span, depth: int) -> None:
+            if span.duration < min_duration:
+                return
+            attrs = " ".join(
+                f"{k}={v}" for k, v in sorted(span.attributes.items())
+            )
+            lines.append(
+                "  " * depth
+                + f"{span.name}  {span.duration * 1000:.3f} ms"
+                + (f"  [{attrs}]" if attrs else "")
+            )
+            for name, _at, _attrs in span.events:
+                lines.append("  " * (depth + 1) + f"* {name}")
+            for child in children.get(span.span_id, []):
+                walk(child, depth + 1)
+
+        for root in roots:
+            walk(root, 0)
+        return "\n".join(lines)
+
+
+class _NullSpan:
+    """Shared no-op span: every method is a cheap no-op returning self."""
+
+    __slots__ = ()
+    name = ""
+    attributes: Dict[str, Any] = {}
+    events: List[Any] = []
+    duration = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        return None
+
+    def finish(self) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The off switch: hot paths pay one attribute check and nothing else."""
+
+    enabled = False
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current_span(self) -> None:
+        return None
+
+    def event(self, name: str, **attributes: Any) -> None:
+        return None
+
+    def spans(self, name: Optional[str] = None) -> List[Span]:
+        return []
+
+    def slowest(self, n: int = 5) -> List[Span]:
+        return []
+
+
+NULL_TRACER = NullTracer()

@@ -63,7 +63,16 @@ class ExecutorPool:
         stats: Optional[ExecutionStats] = None,
     ) -> None:
         self.config = config or ExecutionConfig()
+        # Ownership decides metric publication: a pool that created its own
+        # stats block publishes it to the global registry exactly once on
+        # close(); a shared block is published by whoever created it
+        # (Database.run), never here.  Before this rule, standalone pools —
+        # e.g. the ones compute_grouped_parallel spins up for view refresh
+        # and maintenance bands — silently dropped their retry/failure/
+        # fallback counters on close.
+        self._owns_stats = stats is None
         self.stats = stats if stats is not None else ExecutionStats()
+        self._published = False
         self._executor = None
         self._closed = False
         self._managed = False  # True while used as a context manager
@@ -82,6 +91,14 @@ class ExecutorPool:
         """Shut the underlying executor down (idempotent)."""
         self._release_executor()
         self._closed = True
+        # Publish owned counters once, even though close() may run twice
+        # (a finally block plus the context-manager exit) — republishing
+        # would double-count every retry/failure/fallback.
+        if self._owns_stats and not self._published:
+            self._published = True
+            from repro.obs import runtime
+
+            runtime.publish_stats(self.stats)
 
     def _release_executor(self, *, wait: bool = True) -> None:
         """Tear down the OS resources but keep the pool usable."""
@@ -122,6 +139,8 @@ class ExecutorPool:
         survives the retry budget and the serial re-run) propagates to the
         caller unchanged.
         """
+        from repro.obs import runtime
+
         items = list(items)
         if self._closed:
             raise ParallelError("pool is closed")
@@ -131,12 +150,22 @@ class ExecutorPool:
             or len(items) <= 1
         ):
             return [fn(item) for item in items]
-        try:
-            return self._map_pool(fn, items)
-        finally:
-            # One-shot use (no context manager) must not leak the executor.
-            if not self._managed:
-                self._release_executor()
+        runtime.get_registry().counter(
+            "repro_parallel_maps_total",
+            {"backend": self.config.backend},
+            help="Pool map calls dispatched to a worker backend",
+        ).inc()
+        tracer = runtime.get_tracer()
+        with tracer.span(
+            "parallel.map", backend=self.config.backend,
+            jobs=self.config.resolved_jobs, tasks=len(items),
+        ):
+            try:
+                return self._map_pool(fn, items)
+            finally:
+                # One-shot use (no context manager) must not leak the executor.
+                if not self._managed:
+                    self._release_executor()
 
     def _map_pool(self, fn: Callable[[Any], Any], items: List[Any]) -> List[Any]:
         from repro.faults import injector
@@ -196,6 +225,12 @@ class ExecutorPool:
         # did not deliver, with the *bare* task function — injected task
         # faults never fire on the degraded path.
         self.stats.bump(serial_fallbacks=1)
+        from repro.obs import runtime
+
+        runtime.event(
+            "parallel.serial_fallback",
+            backend=self.config.backend, remaining=len(pending),
+        )
         for i in pending:
             results[i] = fn(items[i])
         return results
@@ -203,11 +238,20 @@ class ExecutorPool:
     def _collect(self, futures, pending, results):
         """Wait for pending futures in submission order; return the indexes
         that failed this round plus the last exception seen."""
+        from repro.obs import runtime
+
+        task_seconds = runtime.get_registry().histogram(
+            "repro_parallel_task_seconds",
+            {"backend": self.config.backend},
+            help="Per-task wall time from collection start to result",
+        )
         failed: List[int] = []
         last_error: Optional[BaseException] = None
         for i in pending:
+            started = time.perf_counter()
             try:
                 results[i] = futures[i].result(timeout=self.config.task_timeout)
+                task_seconds.observe(time.perf_counter() - started)
             except concurrent.futures.BrokenExecutor as exc:
                 # The pool is gone; every remaining future is doomed.
                 self.stats.bump(worker_failures=1)

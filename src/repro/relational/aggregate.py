@@ -146,8 +146,9 @@ class HashAggregate(Operator):
     def execute(self, stats: ExecutionStats) -> Iterator[Row]:
         groups: Dict[Tuple[Any, ...], List[_Accumulator]] = {}
         order: List[Tuple[Any, ...]] = []
+        consumed = 0
         for row in self.child.execute(stats):
-            stats.rows_aggregated += 1
+            consumed += 1
             key = tuple(k(row) for k in self._keys)
             accs = groups.get(key)
             if accs is None:
@@ -156,6 +157,7 @@ class HashAggregate(Operator):
                 order.append(key)
             for acc, arg in zip(accs, self._args):
                 acc.add(arg(row) if arg is not None else 1)
+        stats.rows_aggregated += consumed
         if not groups and not self.group_by:
             # Global aggregate over empty input still emits one row.
             groups[()] = [_Accumulator(spec.func) for spec in self.aggregates]

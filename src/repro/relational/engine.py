@@ -157,10 +157,40 @@ class Database:
     # -- execution -------------------------------------------------------------
 
     def run(self, plan: Operator, stats: Optional[ExecutionStats] = None) -> Result:
-        """Execute a physical plan and materialize the result."""
-        stats = stats if stats is not None else ExecutionStats()
-        rows = list(plan.execute(stats))
+        """Execute a physical plan and materialize the result.
+
+        When this call creates the stats block (``stats=None``), the
+        block's counters are published into the global metrics registry on
+        completion — callers that pass their own block own publication
+        (see :mod:`repro.obs.runtime`).  With a tracer installed, every
+        plan node emits a span (unless the caller probed the plan already).
+        """
+        from repro.obs import runtime
+
+        owns_stats = stats is None
+        if owns_stats:
+            stats = ExecutionStats()
+        tracer = runtime.get_tracer()
+        if tracer.enabled and "execute" not in plan.__dict__:
+            from repro.obs.instrument import PlanProbe
+
+            with tracer.span("query.run"), PlanProbe(plan, tracer):
+                rows = list(plan.execute(stats))
+        else:
+            rows = list(plan.execute(stats))
+        if owns_stats:
+            self._publish(stats)
         return Result(plan.schema, rows, stats)
+
+    @staticmethod
+    def _publish(stats: ExecutionStats) -> None:
+        from repro.obs import runtime
+
+        runtime.publish_stats(stats)
+        runtime.get_registry().counter(
+            "repro_engine_queries_total",
+            help="Plan executions whose stats block the engine owned",
+        ).inc()
 
     def run_batches(
         self,
@@ -178,13 +208,36 @@ class Database:
         versus sequential summation).
         """
         from repro.columns import ChunkedBatch
+        from repro.obs import runtime
 
-        stats = stats if stats is not None else ExecutionStats()
-        chunks = list(plan.execute_batches(stats, chunk_rows))
+        owns_stats = stats is None
+        if owns_stats:
+            stats = ExecutionStats()
+        tracer = runtime.get_tracer()
+        if tracer.enabled and "execute" not in plan.__dict__:
+            from repro.obs.instrument import PlanProbe
+
+            with tracer.span("query.run"), PlanProbe(plan, tracer):
+                chunks = list(plan.execute_batches(stats, chunk_rows))
+        else:
+            chunks = list(plan.execute_batches(stats, chunk_rows))
+        if owns_stats:
+            self._publish(stats)
         return ChunkedBatch(plan.schema.names(), chunks)
 
     def explain(self, plan: Operator) -> str:
         return plan.explain()
+
+    def explain_analyze(self, text: str, **options: Any) -> str:
+        """Execute a SELECT and render the plan tree with actual rows,
+        per-operator inclusive wall time and strategy decisions."""
+        from repro.obs.explain import explain_analyze_plan
+        from repro.sql.parser import parse_query
+        from repro.sql.planner import build_plan
+
+        plan = build_plan(self, parse_query(text), **options)
+        rendered, _result = explain_analyze_plan(self, plan)
+        return rendered
 
     # -- SQL front door (delegates to repro.sql; import deferred to avoid a
     #    package cycle: repro.sql depends on the relational layer) -------------

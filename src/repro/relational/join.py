@@ -101,18 +101,24 @@ class NestedLoopJoin(Operator):
         inner: List[Row] = list(self.right.execute(stats))
         compiled = self._compiled
         null_row = (None,) * len(self.right.schema)
-        for lrow in self.left.execute(stats):
-            matched = False
-            for rrow in inner:
-                stats.pairs_examined += 1
-                combined = lrow + rrow
-                if compiled is None or compiled(combined) is True:
-                    matched = True
-                    stats.rows_joined += 1
-                    yield combined
-            if not matched and self.join_type == "left":
-                stats.rows_joined += 1
-                yield lrow + null_row
+        # O(|L|·|R|) inner loop: accumulate counters locally, flush once
+        # (the stats fields are registry-backed properties now).
+        pairs = joined = 0
+        try:
+            for lrow in self.left.execute(stats):
+                matched = False
+                for rrow in inner:
+                    pairs += 1
+                    combined = lrow + rrow
+                    if compiled is None or compiled(combined) is True:
+                        matched = True
+                        joined += 1
+                        yield combined
+                if not matched and self.join_type == "left":
+                    joined += 1
+                    yield lrow + null_row
+        finally:
+            stats.bump(pairs_examined=pairs, rows_joined=joined)
 
     def children(self) -> Sequence[Operator]:
         return (self.left, self.right)
@@ -183,25 +189,31 @@ class IndexNestedLoopJoin(Operator):
         rows = list(self.inner_table.rows)
         residual = self._residual
         null_row = (None,) * len(self.inner_table.schema)
-        for lrow in self.left.execute(stats):
-            stats.index_lookups += 1
-            if self._probe is not None:
-                slots = self.index.lookup(tuple(p(lrow) for p in self._probe))
-            else:
-                lo = tuple(p(lrow) for p in self._lo) if self._lo else None
-                hi = tuple(p(lrow) for p in self._hi) if self._hi else None
-                slots = self.index.range(lo, hi)  # type: ignore[union-attr]
-            matched = False
-            for slot in slots:
-                stats.pairs_examined += 1
-                combined = lrow + rows[slot]
-                if residual is None or residual(combined) is True:
-                    matched = True
-                    stats.rows_joined += 1
-                    yield combined
-            if not matched and self.join_type == "left":
-                stats.rows_joined += 1
-                yield lrow + null_row
+        lookups = pairs = joined = 0
+        try:
+            for lrow in self.left.execute(stats):
+                lookups += 1
+                if self._probe is not None:
+                    slots = self.index.lookup(tuple(p(lrow) for p in self._probe))
+                else:
+                    lo = tuple(p(lrow) for p in self._lo) if self._lo else None
+                    hi = tuple(p(lrow) for p in self._hi) if self._hi else None
+                    slots = self.index.range(lo, hi)  # type: ignore[union-attr]
+                matched = False
+                for slot in slots:
+                    pairs += 1
+                    combined = lrow + rows[slot]
+                    if residual is None or residual(combined) is True:
+                        matched = True
+                        joined += 1
+                        yield combined
+                if not matched and self.join_type == "left":
+                    joined += 1
+                    yield lrow + null_row
+        finally:
+            stats.bump(
+                index_lookups=lookups, pairs_examined=pairs, rows_joined=joined
+            )
 
     def execute_batches(
         self, stats: ExecutionStats, chunk_rows: int = BATCH_ROWS
@@ -227,8 +239,9 @@ class IndexNestedLoopJoin(Operator):
         for lbatch in self.left.execute_batches(stats, chunk_rows):
             left_pos: List[int] = []
             inner_slots: List[int] = []
+            lookups = pairs = joined = 0
             for pos, lrow in enumerate(lbatch.iter_rows()):
-                stats.index_lookups += 1
+                lookups += 1
                 if self._probe is not None:
                     slots = self.index.lookup(tuple(p(lrow) for p in self._probe))
                 else:
@@ -237,15 +250,18 @@ class IndexNestedLoopJoin(Operator):
                     slots = self.index.range(lo, hi)  # type: ignore[union-attr]
                 matched = False
                 for slot in slots:
-                    stats.pairs_examined += 1
-                    stats.rows_joined += 1
+                    pairs += 1
+                    joined += 1
                     matched = True
                     left_pos.append(pos)
                     inner_slots.append(slot)
                 if not matched and left_outer:
-                    stats.rows_joined += 1
+                    joined += 1
                     left_pos.append(pos)
                     inner_slots.append(-1)  # NULL pad marker
+            stats.bump(
+                index_lookups=lookups, pairs_examined=pairs, rows_joined=joined
+            )
             if not left_pos:
                 continue
             slot_arr = np.asarray(inner_slots, dtype=np.intp)
@@ -305,20 +321,24 @@ class HashJoin(Operator):
             build.setdefault(key, []).append(rrow)
         residual = self._residual
         null_row = (None,) * len(self.right.schema)
-        for lrow in self.left.execute(stats):
-            key = tuple(k(lrow) for k in self._lk)
-            matched = False
-            if not any(v is None for v in key):
-                for rrow in build.get(key, ()):
-                    stats.pairs_examined += 1
-                    combined = lrow + rrow
-                    if residual is None or residual(combined) is True:
-                        matched = True
-                        stats.rows_joined += 1
-                        yield combined
-            if not matched and self.join_type == "left":
-                stats.rows_joined += 1
-                yield lrow + null_row
+        pairs = joined = 0
+        try:
+            for lrow in self.left.execute(stats):
+                key = tuple(k(lrow) for k in self._lk)
+                matched = False
+                if not any(v is None for v in key):
+                    for rrow in build.get(key, ()):
+                        pairs += 1
+                        combined = lrow + rrow
+                        if residual is None or residual(combined) is True:
+                            matched = True
+                            joined += 1
+                            yield combined
+                if not matched and self.join_type == "left":
+                    joined += 1
+                    yield lrow + null_row
+        finally:
+            stats.bump(pairs_examined=pairs, rows_joined=joined)
 
     def children(self) -> Sequence[Operator]:
         return (self.left, self.right)
@@ -390,44 +410,48 @@ class SortMergeJoin(Operator):
 
         i = j = 0
         nl, nr = len(left_sorted), len(right_sorted)
-        while i < nl and j < nr:
-            lkey = left_sorted[i][0]
-            rkey = right_sorted[j][0]
-            if lkey < rkey:
-                if self.join_type == "left":
-                    stats.rows_joined += 1
-                    yield left_sorted[i][1] + null_row
-                i += 1
-            elif lkey > rkey:
-                j += 1
-            else:
-                # Collect both equal-key groups, emit their cross product.
-                i_end = i
-                while i_end < nl and left_sorted[i_end][0] == lkey:
-                    i_end += 1
-                j_end = j
-                while j_end < nr and right_sorted[j_end][0] == rkey:
-                    j_end += 1
-                for li in range(i, i_end):
-                    matched = False
-                    for rj in range(j, j_end):
-                        stats.pairs_examined += 1
-                        combined = left_sorted[li][1] + right_sorted[rj][1]
-                        if residual is None or residual(combined) is True:
-                            matched = True
-                            stats.rows_joined += 1
-                            yield combined
-                    if not matched and self.join_type == "left":
-                        stats.rows_joined += 1
-                        yield left_sorted[li][1] + null_row
-                i, j = i_end, j_end
-        if self.join_type == "left":
-            for li in range(i, nl):
-                stats.rows_joined += 1
-                yield left_sorted[li][1] + null_row
-            for row in left_nulls:
-                stats.rows_joined += 1
-                yield row + null_row
+        pairs = joined = 0
+        try:
+            while i < nl and j < nr:
+                lkey = left_sorted[i][0]
+                rkey = right_sorted[j][0]
+                if lkey < rkey:
+                    if self.join_type == "left":
+                        joined += 1
+                        yield left_sorted[i][1] + null_row
+                    i += 1
+                elif lkey > rkey:
+                    j += 1
+                else:
+                    # Collect both equal-key groups, emit their cross product.
+                    i_end = i
+                    while i_end < nl and left_sorted[i_end][0] == lkey:
+                        i_end += 1
+                    j_end = j
+                    while j_end < nr and right_sorted[j_end][0] == rkey:
+                        j_end += 1
+                    for li in range(i, i_end):
+                        matched = False
+                        for rj in range(j, j_end):
+                            pairs += 1
+                            combined = left_sorted[li][1] + right_sorted[rj][1]
+                            if residual is None or residual(combined) is True:
+                                matched = True
+                                joined += 1
+                                yield combined
+                        if not matched and self.join_type == "left":
+                            joined += 1
+                            yield left_sorted[li][1] + null_row
+                    i, j = i_end, j_end
+            if self.join_type == "left":
+                for li in range(i, nl):
+                    joined += 1
+                    yield left_sorted[li][1] + null_row
+                for row in left_nulls:
+                    joined += 1
+                    yield row + null_row
+        finally:
+            stats.bump(pairs_examined=pairs, rows_joined=joined)
 
     def children(self) -> Sequence[Operator]:
         return (self.left, self.right)

@@ -97,9 +97,17 @@ class TableScan(Operator):
         self.schema = table.schema.qualify(self.alias)
 
     def execute(self, stats: ExecutionStats) -> Iterator[Row]:
-        for row in self.table.rows:
-            stats.rows_scanned += 1
-            yield row
+        # Accumulate locally and flush once: the counter fields are
+        # registry-backed properties, too slow for a per-row += in the
+        # engine's hottest loop (and the flush also covers early teardown
+        # by a LIMIT upstream).
+        scanned = 0
+        try:
+            for row in self.table.rows:
+                scanned += 1
+                yield row
+        finally:
+            stats.rows_scanned += scanned
 
     def execute_batches(
         self, stats: ExecutionStats, chunk_rows: int = BATCH_ROWS

@@ -7,19 +7,22 @@ self-join pattern without an index examines O(n²) row pairs while the
 indexed variant touches O(n·w) (Table 1), and that the derivation patterns'
 join work grows superlinearly (Table 2).
 
-Counters are **thread-safe**: parallel operators either increment through
-:meth:`ExecutionStats.bump` (one lock-protected addition per batch) or
-accumulate into a private per-worker block and fold it in at the end via
-:meth:`ExecutionStats.merge`, which takes the same lock.  Plain attribute
-``+=`` remains fine for the serial operators that own their stats block
-exclusively.
+Since the observability plane landed, ``ExecutionStats`` is a **view over a
+private** :class:`~repro.obs.metrics.MetricsRegistry`: each public field is
+a property backed by a registry counter that already carries its final
+global metric name (``repro_engine_rows_scanned_total`` …), so "publish
+this query's counters" is a plain registry merge and the two accountings
+cannot drift apart.  The public API is unchanged — kwargs construction,
+attribute ``+=`` for owner-exclusive serial operators, :meth:`bump` /
+:meth:`merge` for parallel ones, and pickling without locks.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
 from typing import Any, Dict
+
+from repro.obs.metrics import Counter, MetricsRegistry
 
 __all__ = ["ExecutionStats"]
 
@@ -36,12 +39,36 @@ _COUNTERS = (
     "serial_fallbacks",
 )
 
+# Final global metric name per counter.  Scan/join/aggregate/sort counters
+# belong to the engine layer; the robustness counters to the parallel layer
+# (DESIGN.md §5f naming scheme: repro_<layer>_<name>).
+_METRIC_OF = {
+    name: (
+        f"repro_parallel_{name}_total"
+        if name in ("tasks_retried", "worker_failures", "serial_fallbacks")
+        else f"repro_engine_{name}_total"
+    )
+    for name in _COUNTERS
+}
 
-@dataclass
+_OPERATOR_ROWS_METRIC = "repro_engine_operator_rows_total"
+
+
+def _make_property(name: str) -> property:
+    def getter(self: "ExecutionStats") -> int:
+        return self._counters[name].value
+
+    def setter(self: "ExecutionStats", value: int) -> None:
+        self._counters[name].value = value
+
+    getter.__name__ = setter.__name__ = name
+    return property(getter, setter)
+
+
 class ExecutionStats:
     """Mutable counter block shared by all operators of one execution.
 
-    Attributes:
+    Attributes (all registry-backed properties):
         rows_scanned: tuples produced by base-table scans.
         pairs_examined: row pairs for which a join predicate was evaluated.
         index_lookups: point/range probes against an index.
@@ -57,20 +84,27 @@ class ExecutionStats:
         operator_rows: per-operator-label emitted row counts.
     """
 
-    rows_scanned: int = 0
-    pairs_examined: int = 0
-    index_lookups: int = 0
-    rows_joined: int = 0
-    rows_aggregated: int = 0
-    groups_emitted: int = 0
-    rows_sorted: int = 0
-    tasks_retried: int = 0
-    worker_failures: int = 0
-    serial_fallbacks: int = 0
-    operator_rows: Dict[str, int] = field(default_factory=dict)
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
-    )
+    __slots__ = ("registry", "_counters", "_lock")
+
+    def __init__(self, **counters: int) -> None:
+        self.registry = MetricsRegistry()
+        self._counters: Dict[str, Counter] = {
+            name: self.registry.counter(_METRIC_OF[name]) for name in _COUNTERS
+        }
+        self._lock = threading.Lock()
+        for name, value in counters.items():
+            if name not in _COUNTERS:
+                raise TypeError(f"unknown execution counter {name!r}")
+            self._counters[name].value = value
+
+    @property
+    def operator_rows(self) -> Dict[str, int]:
+        """Per-operator-label row counts (a snapshot dict view)."""
+        out: Dict[str, int] = {}
+        for inst in self.registry.instruments():
+            if inst.name == _OPERATOR_ROWS_METRIC and inst.labels:
+                out[dict(inst.labels)["operator"]] = inst.value
+        return out
 
     def bump(self, **counters: int) -> None:
         """Atomically add to named counters (parallel operators' entry point).
@@ -83,24 +117,22 @@ class ExecutionStats:
                 raise AttributeError(f"unknown execution counter {name!r}")
         with self._lock:
             for name, delta in counters.items():
-                setattr(self, name, getattr(self, name) + delta)
+                self._counters[name].value += delta
 
     def record_operator(self, label: str, rows: int) -> None:
         """Add emitted rows under an operator label (lock-protected)."""
+        counter = self.registry.counter(
+            _OPERATOR_ROWS_METRIC, {"operator": label}
+        )
         with self._lock:
-            self.operator_rows[label] = self.operator_rows.get(label, 0) + rows
+            counter.value += rows
 
     def merge(self, other: "ExecutionStats") -> None:
         """Fold another stats block into this one (sub-plan or per-worker
         accumulation); atomic with respect to concurrent merges/bumps on
         ``self``."""
         with self._lock:
-            for name in _COUNTERS:
-                setattr(self, name, getattr(self, name) + getattr(other, name))
-            for label, rows in other.operator_rows.items():
-                self.operator_rows[label] = (
-                    self.operator_rows.get(label, 0) + rows
-                )
+            self.registry.merge(other.registry)
 
     def summary(self) -> str:
         """Render the counters as a one-line report.
@@ -123,13 +155,29 @@ class ExecutionStats:
             )
         return text
 
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={self._counters[name].value}"
+            for name in _COUNTERS
+            if self._counters[name].value
+        )
+        return f"ExecutionStats({parts})"
+
     # Locks do not pickle; process workers therefore never ship stats blocks,
     # but persistence of result objects must still work.
     def __getstate__(self) -> Dict[str, Any]:
-        state = self.__dict__.copy()
-        del state["_lock"]
-        return state
+        return {"registry": self.registry}
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
-        self.__dict__.update(state)
-        self.__dict__["_lock"] = threading.Lock()
+        object.__setattr__(self, "registry", state["registry"])
+        object.__setattr__(
+            self,
+            "_counters",
+            {name: self.registry.counter(_METRIC_OF[name]) for name in _COUNTERS},
+        )
+        object.__setattr__(self, "_lock", threading.Lock())
+
+
+for _name in _COUNTERS:
+    setattr(ExecutionStats, _name, _make_property(_name))
+del _name

@@ -81,11 +81,35 @@ def build_plan(
             is downgraded to serial execution at plan time, so queries
             self-heal instead of re-triggering the crash path.
     """
+    from repro.obs import runtime
     from repro.relational.operators import UnionAll
     from repro.sql.ast_nodes import CompoundSelect
 
     if window_strategy not in ("native", "selfjoin"):
         raise PlanError(f"unknown window strategy {window_strategy!r}")
+    with runtime.get_tracer().span(
+        "query.plan", window_strategy=window_strategy
+    ):
+        return _build_plan(
+            db,
+            stmt,
+            window_strategy=window_strategy,
+            use_index=use_index,
+            exec_config=exec_config,
+        )
+
+
+def _build_plan(
+    db: Database,
+    stmt,
+    *,
+    window_strategy: str,
+    use_index: Any,
+    exec_config: Any,
+) -> Operator:
+    from repro.relational.operators import UnionAll
+    from repro.sql.ast_nodes import CompoundSelect
+
     exec_config = _route_exec_config(exec_config)
     if isinstance(stmt, CompoundSelect):
         branches = [

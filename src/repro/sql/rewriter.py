@@ -350,6 +350,8 @@ def _direct_rows(
             f"{d.aggregate_name} view"
         )
 
+    from repro.obs import runtime
+
     if use_relational:
         n = 0 if view.is_partitioned else view.single_partition().seq.n
         try:
@@ -370,7 +372,13 @@ def _direct_rows(
             # Δl + Δh ≡ 0 mod Wx): the in-memory form below handles it.
             plan = None
         if plan is not None:
-            exec_result = db.run(plan)
+            with runtime.get_tracer().span(
+                "view.derive",
+                view=view.name, algorithm=dplan.algorithm,
+                mode="relational", variant=variant,
+            ):
+                exec_result = db.run(plan)
+            _count_derivation(dplan.algorithm, "relational")
             n_part = len(d.partition_by)
             rows = []
             for row in exec_result.rows:
@@ -385,16 +393,31 @@ def _direct_rows(
             return rows, exec_result.stats, info
 
     # In-memory derivation, partition-wise.
-    rows: List[Dict[str, object]] = []
-    for pkey, part in view.reporting.partitions.items():
-        values = core_derivation.derive(
-            part.seq, shape.window, chosen=dplan, form="recursive"
-        )
-        rows.extend(_label_values(view, pkey, values, shape))
+    with runtime.get_tracer().span(
+        "view.derive",
+        view=view.name, algorithm=dplan.algorithm, mode="memory",
+    ):
+        rows: List[Dict[str, object]] = []
+        for pkey, part in view.reporting.partitions.items():
+            values = core_derivation.derive(
+                part.seq, shape.window, chosen=dplan, form="recursive"
+            )
+            rows.extend(_label_values(view, pkey, values, shape))
+    _count_derivation(dplan.algorithm, "memory")
     info = RewriteInfo(
         view.name, "direct", dplan.algorithm, "memory", None, dplan.describe()
     )
     return rows, ExecutionStats(), info
+
+
+def _count_derivation(algorithm: str, mode: str) -> None:
+    from repro.obs import runtime
+
+    runtime.get_registry().counter(
+        "repro_views_derivations_total",
+        {"algorithm": algorithm, "mode": mode},
+        help="Queries answered by deriving from a materialized view",
+    ).inc()
 
 
 def _relational_plan(

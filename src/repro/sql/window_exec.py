@@ -141,6 +141,8 @@ class WindowOperator(Operator):
             )
 
     def execute(self, stats: ExecutionStats) -> Iterator[Row]:
+        from repro.obs import runtime
+
         rows: List[Row] = list(self.child.execute(stats))
         pool = None
         if (
@@ -153,6 +155,9 @@ class WindowOperator(Operator):
             # Sharing the stats block surfaces retry/fallback counters in
             # the query result.
             pool = ExecutorPool(self.exec_config, stats=stats)
+        self.analyze_extra = {
+            "strategy": "parallel" if pool is not None else "pipelined"
+        }
         try:
             extras: List[List[float]] = []
             measure_cache: dict = {}
@@ -166,6 +171,17 @@ class WindowOperator(Operator):
         finally:
             if pool is not None:
                 pool.close()
+        registry = runtime.get_registry()
+        registry.counter(
+            "repro_window_positions_total",
+            help="Window positions evaluated (rows x window columns)",
+        ).inc(len(rows) * len(self.specs))
+        tracer = runtime.get_tracer()
+        if tracer.enabled:
+            span = tracer.current_span()
+            if span is not None:
+                span.set(positions=len(rows) * len(self.specs),
+                         **self.analyze_extra)
         for i, row in enumerate(rows):
             yield row + tuple(extra[i] for extra in extras)
 
@@ -192,6 +208,12 @@ class WindowOperator(Operator):
         except SchemaError:  # pragma: no cover - bind() would have raised
             return None
         if idx in cache:
+            from repro.obs import runtime
+
+            runtime.get_registry().counter(
+                "repro_window_measure_cache_hits_total",
+                help="Measure-column gathers served from the per-query cache",
+            ).inc()
             return cache[idx]
         column = self._heap_column(idx)
         if column is None or len(column) != len(rows):
@@ -220,11 +242,18 @@ class WindowOperator(Operator):
         pool=None,
         measure: Optional[DataColumn] = None,
     ) -> List[float]:
+        from repro.obs import runtime
+
         aggregate = None if spec.is_ranking else by_name(spec.func)
         groups: dict = {}
         for i, row in enumerate(rows):
             key = tuple(p(row) for p in partition)
             groups.setdefault(key, []).append(i)
+        runtime.get_registry().counter(
+            "repro_window_groups_total",
+            help="PARTITION BY groups evaluated by the window operator",
+        ).inc(len(groups))
+        self.analyze_extra["groups"] = len(groups)
         out = [0.0] * len(rows)
         for indexes in groups.values():
             # Local sort order per reporting function (stable multi-key).
@@ -241,6 +270,8 @@ class WindowOperator(Operator):
                 # exhausted, ...) — recompute this column serially rather
                 # than failing the query.
                 stats.bump(serial_fallbacks=1)
+                self.analyze_extra["strategy"] = "pipelined-fallback"
+                runtime.event("window.serial_fallback", spec=spec.name)
         for indexes in groups.values():
             stats.rows_sorted += len(indexes)
             if spec.is_ranking:

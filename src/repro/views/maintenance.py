@@ -35,6 +35,19 @@ __all__ = ["propagate_update", "propagate_insert", "propagate_delete", "position
 Key = Tuple[object, ...]
 
 
+def _maintain_span(view: MaterializedSequenceView, op: str, **attrs):
+    from repro.obs import runtime
+
+    runtime.get_registry().counter(
+        "repro_views_maintenance_total",
+        {"op": op},
+        help="Incremental maintenance operations propagated into views",
+    ).inc()
+    return runtime.get_tracer().span(
+        "view.maintain", view=view.name, op=op, **attrs
+    )
+
+
 def _band_evaluator(view: MaterializedSequenceView) -> Optional[BandEvaluator]:
     """Pool-backed evaluator for MIN/MAX band recomputes, or None (serial)."""
     cfg = view.exec_config
@@ -109,11 +122,12 @@ def propagate_update(
     pkey = tuple(partition_key)
     k = position_of(view, pkey, tuple(order_key))
     part = view.reporting.partition(pkey)
-    result = core_maintenance.apply_update(
-        view.raw[pkey], part.seq, k, float(new_value),
-        evaluator=_band_evaluator(view),
-    )
-    _patch_storage_band(view, pkey, result)
+    with _maintain_span(view, "update", position=k):
+        result = core_maintenance.apply_update(
+            view.raw[pkey], part.seq, k, float(new_value),
+            evaluator=_band_evaluator(view),
+        )
+        _patch_storage_band(view, pkey, result)
     return result
 
 
@@ -132,12 +146,13 @@ def propagate_insert(
     okey = tuple(order_key)
     k = insertion_position(view, pkey, okey)
     part = view.reporting.partition(pkey)
-    result = core_maintenance.apply_insert(
-        view.raw[pkey], part.seq, k, float(value),
-        evaluator=_band_evaluator(view),
-    )
-    part.order_keys.insert(k - 1, okey)
-    _rewrite_partition_storage(view, pkey)
+    with _maintain_span(view, "insert", position=k):
+        result = core_maintenance.apply_insert(
+            view.raw[pkey], part.seq, k, float(value),
+            evaluator=_band_evaluator(view),
+        )
+        part.order_keys.insert(k - 1, okey)
+        _rewrite_partition_storage(view, pkey)
     return result
 
 
@@ -155,11 +170,12 @@ def propagate_delete(
     okey = tuple(order_key)
     k = position_of(view, pkey, okey)
     part = view.reporting.partition(pkey)
-    result = core_maintenance.apply_delete(
-        view.raw[pkey], part.seq, k, evaluator=_band_evaluator(view)
-    )
-    del part.order_keys[k - 1]
-    _rewrite_partition_storage(view, pkey)
+    with _maintain_span(view, "delete", position=k):
+        result = core_maintenance.apply_delete(
+            view.raw[pkey], part.seq, k, evaluator=_band_evaluator(view)
+        )
+        del part.order_keys[k - 1]
+        _rewrite_partition_storage(view, pkey)
     return result
 
 
@@ -183,6 +199,13 @@ def _patch_storage_band(
             max(result.position - window.h, first),
             min(result.position + window.l, last) + 1,
         )
+    from repro.obs import runtime
+
+    span = runtime.get_tracer().current_span()
+    if span is not None:
+        # Interior point updates patch exactly w = l + h + 1 values
+        # (paper section 2.3); edge positions clamp to the stored range.
+        span.set(band_width=len(band))
     pos_slot = table.schema.resolve("__pos")
     val_slot = table.schema.resolve("__val")
     for pos in band:

@@ -115,6 +115,18 @@ class MaterializedSequenceView:
         (worker failure, injected interruption, ...) drops the shadow and
         leaves every representation at the old epoch.
         """
+        from repro.obs import runtime
+
+        with runtime.get_tracer().span(
+            "view.refresh", view=self.name, epoch=self.epoch + 1
+        ) as span:
+            self._refresh_staged(span)
+        runtime.get_registry().counter(
+            "repro_views_refreshes_total",
+            help="Committed full view refreshes",
+        ).inc()
+
+    def _refresh_staged(self, span) -> None:
         from repro.faults import injector
 
         d = self.definition
@@ -156,6 +168,7 @@ class MaterializedSequenceView:
         self.reporting = reporting
         self.raw = raw
         self.epoch += 1
+        span.set(partitions=len(reporting.partitions))
 
     def _storage_rows(self, reporting: ReportingSequence) -> List[Sequence[object]]:
         """All storage rows for a (staged) reporting mirror, checking the

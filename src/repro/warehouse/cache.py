@@ -32,6 +32,16 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["CacheStats", "QueryCache"]
 
 
+def _count(event: str) -> None:
+    """Mirror a cache event into the global metrics registry."""
+    from repro.obs import runtime
+
+    runtime.get_registry().counter(
+        f"repro_cache_{event}_total",
+        help=f"Semantic query cache {event}",
+    ).inc()
+
+
 @dataclass
 class CacheStats:
     """Counters for cache behaviour.
@@ -79,6 +89,7 @@ class QueryCache:
         if view_name in self._lru:
             self._lru.move_to_end(view_name)
             self.stats.hits += 1
+            _count("hits")
 
     def on_quarantine(self, view_name: str) -> None:
         """A cache-created view was quarantined: evict it outright.
@@ -93,6 +104,7 @@ class QueryCache:
         del self._lru[view_name]
         self.warehouse.drop_view(view_name)
         self.stats.evictions += 1
+        _count("evictions")
 
     # -- admission ------------------------------------------------------------------
 
@@ -103,6 +115,7 @@ class QueryCache:
         view definition (e.g. a ranking function).
         """
         self.stats.misses += 1
+        _count("misses")
         if shape.func not in ("SUM", "COUNT", "AVG", "MIN", "MAX"):
             return None
         self._counter += 1
@@ -120,6 +133,7 @@ class QueryCache:
         self.warehouse.create_view(name, definition, complete=True)
         self._lru[name] = None
         self.stats.admissions += 1
+        _count("admissions")
         self._evict_if_needed()
         return name
 
@@ -135,6 +149,7 @@ class QueryCache:
             victim, _ = self._lru.popitem(last=False)
             self.warehouse.drop_view(victim)
             self.stats.evictions += 1
+            _count("evictions")
 
     def clear(self) -> None:
         """Drop every cache-created view."""

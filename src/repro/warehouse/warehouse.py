@@ -77,9 +77,19 @@ class DataWarehouse:
         self.views: Dict[str, MaterializedSequenceView] = {}
         self.cache = None  # set by enable_query_cache()
         self.execution = execution
+        self.slow_queries = None  # set by enable_slow_query_log()
         # Human-readable degradation log: quarantines, rewrite failures
         # routed back to base data, repairs.  Surfaced by the CLI.
         self.incidents: List[str] = []
+
+    def enable_slow_query_log(
+        self, threshold_ms: float = 100.0, capacity: int = 128
+    ):
+        """Keep a bounded ring buffer of over-threshold ``query()`` calls."""
+        from repro.obs.slowlog import SlowQueryLog
+
+        self.slow_queries = SlowQueryLog(threshold_ms, capacity)
+        return self.slow_queries
 
     def enable_query_cache(self, max_views: int = 8):
         """Turn on semantic caching of reporting-function query shapes.
@@ -286,6 +296,48 @@ class DataWarehouse:
             window_strategy / use_index: forwarded to the native planner
                 (Table 1's execution alternatives).
         """
+        import time
+
+        from repro.obs import runtime
+
+        started = time.perf_counter()
+        result = self._query(
+            sql,
+            use_views=use_views,
+            require_rewrite=require_rewrite,
+            algorithm=algorithm,
+            variant=variant,
+            mode=mode,
+            window_strategy=window_strategy,
+            use_index=use_index,
+        )
+        elapsed = time.perf_counter() - started
+        runtime.get_registry().histogram(
+            "repro_engine_query_seconds",
+            help="Warehouse query() wall time",
+        ).observe(elapsed)
+        if self.slow_queries is not None:
+            info = result.rewrite
+            self.slow_queries.record(
+                sql,
+                elapsed,
+                rewrite=info.description if info is not None else None,
+                summary=result.stats.summary(),
+            )
+        return result
+
+    def _query(
+        self,
+        sql: str,
+        *,
+        use_views: bool,
+        require_rewrite: bool,
+        algorithm: str,
+        variant: str,
+        mode: str,
+        window_strategy: str,
+        use_index: Any,
+    ) -> "QueryResult":
         from repro.sql.ast_nodes import CompoundSelect
         from repro.sql.parser import parse_query
 
@@ -376,6 +428,58 @@ class DataWarehouse:
             exec_config=self.execution,
         )
         return "NATIVE PLAN:\n" + plan.explain()
+
+    def explain_analyze(self, sql: str, **options: Any) -> str:
+        """Run the query under a fresh tracer and describe what happened.
+
+        A rewritten query reports the rewrite provenance (view, MaxOA vs
+        MinOA, execution mode) plus the recorded span tree — including the
+        ``view.derive`` span and any operator spans of the relational
+        pattern; a native query falls through to the engine's annotated
+        operator tree (actual rows and per-operator wall time).
+        """
+        import time
+
+        from repro.obs import runtime
+        from repro.obs.trace import Tracer
+
+        use_views = options.pop("use_views", True)
+        if use_views and self.healthy_views():
+            from repro.sql.rewriter import describe_rewrite
+
+            stmt = parse_select(sql)
+            info = describe_rewrite(
+                self.db,
+                stmt,
+                self.healthy_views(),
+                algorithm=options.get("algorithm", "auto"),
+                variant=options.get("variant", "disjunctive"),
+                mode=options.get("mode", "auto"),
+            )
+            if info is not None:
+                tracer = Tracer()
+                started = time.perf_counter()
+                with runtime.use(tracer=tracer):
+                    result = self.query(sql, use_views=True, **options)
+                elapsed = time.perf_counter() - started
+                lines = [
+                    f"REWRITE using view {info.view!r} [{info.kind}, "
+                    f"{info.algorithm}, {info.mode}"
+                    + (f", {info.variant}" if info.variant else "")
+                    + f"]: {info.description}",
+                    tracer.render_tree(),
+                    f"Execution time: {elapsed * 1000:.3f} ms",
+                    f"Stats: {result.stats.summary()}",
+                ]
+                return "\n".join(line for line in lines if line)
+        planner_options = {
+            k: v
+            for k, v in options.items()
+            if k in ("window_strategy", "use_index")
+        }
+        return self.db.explain_analyze(
+            sql, exec_config=self.execution, **planner_options
+        )
 
     def value_at(
         self,

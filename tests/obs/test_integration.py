@@ -1,0 +1,119 @@
+"""End-to-end trace assertions: MaxOA derivation, maintenance bands, parity.
+
+These pin the paper-level claims onto the recorded span trees: a MaxOA
+rewrite answers entirely from the view (no base-table scan), and the
+incremental maintenance band has the section-5 width ``l + h + 1``.
+"""
+
+from repro.obs import runtime
+from repro.obs.trace import Tracer
+from repro.warehouse import DataWarehouse, create_sequence_table
+
+DERIVABLE = (
+    "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 "
+    "PRECEDING AND 1 FOLLOWING) AS s FROM seq ORDER BY pos"
+)
+
+
+def _warehouse(n=30):
+    wh = DataWarehouse()
+    create_sequence_table(wh.db, "seq", n, seed=1, distribution="walk")
+    wh.create_view(
+        "mv",
+        "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 "
+        "PRECEDING AND 1 FOLLOWING) AS s FROM seq")
+    return wh
+
+
+class TestMaxoaTrace:
+    def test_maxoa_derivation_never_scans_base_data(self):
+        wh = _warehouse()
+        tracer = Tracer()
+        with runtime.use(tracer=tracer):
+            result = wh.query(DERIVABLE, algorithm="maxoa")
+        assert result.rewrite is not None
+        assert result.rewrite.algorithm == "maxoa"
+
+        derive_spans = tracer.spans("view.derive")
+        assert len(derive_spans) == 1
+        assert derive_spans[0].attributes["algorithm"] == "maxoa"
+        assert derive_spans[0].attributes["view"] == "mv"
+
+        # The whole answer comes from the materialized view: no operator
+        # span may have scanned the base table.
+        base_scans = [
+            s for s in tracer.spans("table.scan")
+            if s.attributes.get("table") == "seq"
+        ]
+        assert base_scans == []
+
+    def test_operator_spans_nest_under_the_derivation(self):
+        wh = _warehouse()
+        tracer = Tracer()
+        with runtime.use(tracer=tracer):
+            wh.query(DERIVABLE, algorithm="maxoa", mode="relational")
+        (derive,) = tracer.spans("view.derive")
+        assert derive.attributes["mode"] == "relational"
+        by_id = {s.span_id: s for s in tracer.spans()}
+
+        def has_ancestor(span, target_id):
+            while span.parent_id is not None:
+                if span.parent_id == target_id:
+                    return True
+                span = by_id[span.parent_id]
+            return False
+
+        scans = tracer.spans("table.scan")
+        assert scans and all(
+            has_ancestor(s, derive.span_id) for s in scans
+        )
+
+
+class TestMaintenanceBandWidth:
+    def test_interior_update_band_is_l_plus_h_plus_1(self):
+        wh = _warehouse(30)
+        tracer = Tracer()
+        with runtime.use(tracer=tracer):
+            wh.update_measure(
+                "seq", keys={"pos": 15}, value_col="val", new_value=99.0
+            )
+        (maintain,) = tracer.spans("view.maintain")
+        assert maintain.attributes["op"] == "update"
+        # Window (2 PRECEDING, 1 FOLLOWING): w = l + h + 1 = 2 + 1 + 1.
+        assert maintain.attributes["band_width"] == 4
+
+    def test_edge_update_band_is_clamped(self):
+        # An incomplete view has no header rows, so the band at pos=1
+        # clamps to the stored range and comes out narrower than w.
+        wh = DataWarehouse()
+        create_sequence_table(wh.db, "seq", 30, seed=1, distribution="walk")
+        wh.create_view(
+            "mv",
+            "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 "
+            "PRECEDING AND 1 FOLLOWING) AS s FROM seq",
+            complete=False)
+        tracer = Tracer()
+        with runtime.use(tracer=tracer):
+            wh.update_measure(
+                "seq", keys={"pos": 1}, value_col="val", new_value=99.0
+            )
+        (maintain,) = tracer.spans("view.maintain")
+        assert maintain.attributes["band_width"] < 4
+
+
+class TestTraceParity:
+    def test_tracing_never_changes_results(self):
+        plain = _warehouse().query(DERIVABLE)
+        wh = _warehouse()
+        tracer = Tracer()
+        with runtime.use(tracer=tracer):
+            traced = wh.query(DERIVABLE)
+        assert list(traced.rows) == list(plain.rows)
+        assert len(tracer.spans()) > 0
+
+    def test_native_path_parity(self):
+        plain = _warehouse().query(DERIVABLE, use_views=False)
+        wh = _warehouse()
+        with runtime.use(tracer=Tracer()):
+            traced = wh.query(DERIVABLE, use_views=False)
+        assert list(traced.rows) == list(plain.rows)

@@ -1,0 +1,174 @@
+"""Metrics registry: instruments, bucket edges, escaping, merge laws."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounterGauge:
+    def test_counter_starts_at_zero_and_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_test_total")
+        assert c.value == 0
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("repro_test_total", {"k": "v"})
+        b = reg.counter("repro_test_total", {"k": "v"})
+        assert a is b
+        assert reg.counter("repro_test_total", {"k": "w"}) is not a
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_test_metric")
+        with pytest.raises(TypeError):
+            reg.gauge("repro_test_metric")
+        with pytest.raises(TypeError):
+            reg.histogram("repro_test_metric")
+
+    def test_gauge_set_inc_dec(self):
+        g = MetricsRegistry().gauge("repro_test_gauge")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+    def test_value_of_missing_instrument_is_zero(self):
+        assert MetricsRegistry().value("repro_nothing_total") == 0
+
+
+class TestHistogramBuckets:
+    def test_observation_on_bucket_edge_falls_in_that_bucket(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        h.observe(1.0)   # le="1" (le is inclusive)
+        h.observe(1.001)  # le="2"
+        h.observe(4.0)   # le="4"
+        h.observe(4.5)   # +Inf only
+        cum = h.bucket_counts()
+        assert cum == [(1.0, 1), (2.0, 2), (4.0, 3), (math.inf, 4)]
+        assert h.count == 4
+        assert h.sum == pytest.approx(10.501)
+
+    def test_buckets_are_cumulative_in_prometheus_output(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_test_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        text = reg.to_prometheus()
+        assert 'repro_test_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_test_seconds_bucket{le="1"} 2' in text
+        assert 'repro_test_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_test_seconds_count 3" in text
+
+    def test_bounds_are_sorted_and_required(self):
+        h = Histogram("h", buckets=(3.0, 1.0, 2.0))
+        assert h.bounds == (1.0, 2.0, 3.0)
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_merge_requires_identical_bounds(self):
+        a = Histogram("h", buckets=(1.0, 2.0))
+        b = Histogram("h", buckets=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            a._merge(b)
+
+    def test_default_buckets_cover_latency_range(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 5.0
+
+
+def _sample_registry(seed: int) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_a_total").inc(seed)
+    reg.counter("repro_b_total", {"k": "x"}).inc(2 * seed)
+    reg.gauge("repro_g").inc(seed - 1)
+    h = reg.histogram("repro_h_seconds", buckets=(0.5, 1.5))
+    # Binary-exact values so merge order can't perturb the float sum.
+    h.observe(0.25 * seed)
+    h.observe(1.0)
+    return reg
+
+
+class TestMerge:
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = _sample_registry(1), _sample_registry(2)
+        a.merge(b)
+        assert a.value("repro_a_total") == 3
+        assert a.value("repro_b_total", {"k": "x"}) == 6
+        h = a.get("repro_h_seconds")
+        assert h.count == 4
+
+    def test_merge_is_associative(self):
+        def fold(order):
+            target = MetricsRegistry()
+            for seed in order:
+                target.merge(_sample_registry(seed))
+            return target.to_json()
+
+        left = fold([1, 2, 3])
+        right = fold([3, 1, 2])
+        assert left == right
+
+    def test_merge_creates_missing_instruments(self):
+        a = MetricsRegistry()
+        a.merge(_sample_registry(4))
+        assert a.value("repro_a_total") == 4
+
+
+class TestExporters:
+    def test_prometheus_label_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "repro_esc_total", {"path": 'a\\b"c\nd'}, help="weird\nhelp"
+        ).inc()
+        text = reg.to_prometheus()
+        assert r'path="a\\b\"c\nd"' in text
+        assert "# HELP repro_esc_total weird\\nhelp" in text
+        assert "\nweird" not in text  # the raw newline never leaks
+
+    def test_prometheus_renders_integer_values_as_integers(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_int_total").inc(5)
+        assert "repro_int_total 5" in reg.to_prometheus()
+        assert "repro_int_total 5.0" not in reg.to_prometheus()
+
+    def test_help_and_type_lines_precede_samples(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_doc_total", help="documented").inc()
+        lines = reg.to_prometheus().splitlines()
+        assert lines[0] == "# HELP repro_doc_total documented"
+        assert lines[1] == "# TYPE repro_doc_total counter"
+        assert lines[2] == "repro_doc_total 1"
+
+    def test_json_export_shape(self):
+        doc = _sample_registry(2).to_json()
+        assert doc["repro_a_total"][0]["value"] == 2
+        hist = doc["repro_h_seconds"][0]
+        assert hist["kind"] == "histogram"
+        assert hist["buckets"][-1]["le"] == "+Inf"
+
+
+class TestPickling:
+    def test_registry_pickles_without_locks(self):
+        reg = _sample_registry(3)
+        clone = pickle.loads(pickle.dumps(reg))
+        assert clone.to_json() == reg.to_json()
+        clone.counter("repro_a_total").inc()  # lock was re-created
+        assert clone.value("repro_a_total") == 4
+
+    def test_instruments_pickle_individually(self):
+        for inst in (Counter("c"), Gauge("g"), Histogram("h", buckets=(1.0,))):
+            clone = pickle.loads(pickle.dumps(inst))
+            assert clone.name == inst.name

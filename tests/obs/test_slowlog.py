@@ -1,0 +1,87 @@
+"""Slow-query log: thresholding, ring-buffer capacity, warehouse wiring."""
+
+import json
+
+import pytest
+
+from repro.obs.slowlog import SlowQueryLog
+from repro.warehouse import DataWarehouse, create_sequence_table
+
+
+class TestSlowQueryLog:
+    def test_threshold_filters_fast_queries(self):
+        log = SlowQueryLog(threshold_ms=10.0)
+        assert log.record("SELECT fast", 0.001) is False
+        assert log.record("SELECT slow", 0.5) is True
+        assert [e["sql"] for e in log.entries()] == ["SELECT slow"]
+        # Both calls counted, only the slow one retained.
+        assert log.total_queries == 2
+        assert len(log) == 1
+
+    def test_capacity_evicts_oldest(self):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=3)
+        for i in range(5):
+            log.record(f"q{i}", 0.01)
+        assert [e["sql"] for e in log.entries()] == ["q2", "q3", "q4"]
+        assert log.total_queries == 5
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+
+    def test_entry_fields(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.record("SELECT 1", 0.25, rewrite="via mv", summary="scanned=1")
+        (entry,) = log.entries()
+        assert entry["ms"] == 250.0
+        assert entry["rewrite"] == "via mv"
+        assert entry["stats"] == "scanned=1"
+        assert entry["when"] > 0
+
+    def test_clear(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        log.record("q", 0.01)
+        log.clear()
+        assert len(log) == 0
+        assert log.total_queries == 1  # counts survive a clear
+
+    def test_to_json_and_dump(self, tmp_path):
+        log = SlowQueryLog(threshold_ms=0.0, capacity=4)
+        log.record("SELECT 1", 0.02)
+        doc = json.loads(log.to_json())
+        assert doc["threshold_ms"] == 0.0
+        assert doc["capacity"] == 4
+        assert doc["total_queries"] == 1
+        assert doc["slow_queries"][0]["sql"] == "SELECT 1"
+        path = tmp_path / "slow.json"
+        assert log.dump(str(path)) == 1
+        assert json.loads(path.read_text())["slow_queries"]
+
+
+class TestWarehouseIntegration:
+    def test_query_records_into_the_log(self):
+        wh = DataWarehouse()
+        log = wh.enable_slow_query_log(threshold_ms=0.0, capacity=8)
+        create_sequence_table(wh.db, "seq", 30, seed=1, distribution="walk")
+        wh.create_view(
+            "mv",
+            "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 "
+            "PRECEDING AND 1 FOLLOWING) AS s FROM seq")
+        query = (
+            "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 "
+            "PRECEDING AND 1 FOLLOWING) AS s FROM seq ORDER BY pos")
+        result = wh.query(query)
+        assert result.rewrite is not None
+        (entry,) = log.entries()
+        assert entry["sql"] == query
+        # The rewrite provenance rides along for triage.
+        assert entry["rewrite"] == result.rewrite.description
+        assert entry["stats"].startswith("scanned=")
+
+    def test_threshold_keeps_the_log_empty(self):
+        wh = DataWarehouse()
+        log = wh.enable_slow_query_log(threshold_ms=60_000.0)
+        create_sequence_table(wh.db, "seq", 10, seed=1, distribution="walk")
+        wh.query("SELECT pos, val FROM seq")
+        assert len(log) == 0
+        assert log.total_queries == 1

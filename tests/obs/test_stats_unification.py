@@ -1,0 +1,152 @@
+"""ExecutionStats as a view over MetricsRegistry + publication ownership."""
+
+import pickle
+
+import pytest
+
+from repro.obs import runtime
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.config import ExecutionConfig
+from repro.parallel.executor import ExecutorPool
+from repro.relational.engine import Database
+from repro.relational.operators import TableScan
+from repro.relational.stats import ExecutionStats
+from repro.relational.types import FLOAT, INTEGER
+
+
+class TestCompatSurface:
+    def test_keyword_constructor(self):
+        stats = ExecutionStats(rows_scanned=5, pairs_examined=2)
+        assert stats.rows_scanned == 5
+        assert stats.pairs_examined == 2
+        assert stats.rows_joined == 0
+
+    def test_unknown_constructor_kwarg_raises(self):
+        with pytest.raises(TypeError):
+            ExecutionStats(bogus=1)
+
+    def test_bump_unknown_counter_raises(self):
+        with pytest.raises(AttributeError):
+            ExecutionStats().bump(bogus=1)
+
+    def test_property_read_write(self):
+        stats = ExecutionStats()
+        stats.rows_scanned += 3
+        stats.rows_scanned += 4
+        assert stats.rows_scanned == 7
+
+    def test_summary_format(self):
+        stats = ExecutionStats(rows_scanned=1, pairs_examined=2)
+        assert stats.summary().startswith("scanned=1 pairs=2")
+        assert "retried" not in stats.summary()
+        stats.bump(tasks_retried=1)
+        assert "retried=1 worker_failures=0 serial_fallbacks=0" in stats.summary()
+
+    def test_merge_adds_counters(self):
+        a = ExecutionStats(rows_scanned=1)
+        b = ExecutionStats(rows_scanned=2, rows_joined=5)
+        a.merge(b)
+        assert a.rows_scanned == 3
+        assert a.rows_joined == 5
+
+    def test_pickle_round_trip(self):
+        stats = ExecutionStats(rows_scanned=9)
+        stats.record_operator("TableScan(t)", 9)
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone.rows_scanned == 9
+        assert clone.operator_rows == {"TableScan(t)": 9}
+        clone.bump(rows_scanned=1)  # locks were rebuilt
+        assert clone.rows_scanned == 10
+
+
+class TestRegistryView:
+    def test_counters_live_in_the_stats_registry(self):
+        stats = ExecutionStats(rows_scanned=4, serial_fallbacks=2)
+        assert stats.registry.value("repro_engine_rows_scanned_total") == 4
+        # Parallel-layer counters get the parallel namespace.
+        assert stats.registry.value("repro_parallel_serial_fallbacks_total") == 2
+
+    def test_publish_is_a_plain_registry_merge(self):
+        stats = ExecutionStats(rows_scanned=4)
+        target = MetricsRegistry()
+        runtime.publish_stats(stats, target)
+        assert target.value("repro_engine_rows_scanned_total") == 4
+
+
+def _scan_db():
+    db = Database()
+    t = db.create_table("t", [("pos", INTEGER), ("val", FLOAT)])
+    t.insert_many([(i, float(i)) for i in range(10)])
+    return db
+
+
+class TestPublicationOwnership:
+    def test_engine_publishes_only_owned_stats(self):
+        db = _scan_db()
+        registry = MetricsRegistry()
+        with runtime.use(registry=registry):
+            db.run(TableScan(db.table("t")))
+        assert registry.value("repro_engine_rows_scanned_total") == 10
+        assert registry.value("repro_engine_queries_total") == 1
+
+    def test_engine_skips_caller_owned_stats(self):
+        db = _scan_db()
+        registry = MetricsRegistry()
+        stats = ExecutionStats()
+        with runtime.use(registry=registry):
+            db.run(TableScan(db.table("t")), stats)
+        # The caller owns the block; nothing was published on its behalf.
+        assert registry.value("repro_engine_rows_scanned_total") == 0
+        assert stats.rows_scanned == 10
+
+    def test_standalone_pool_publishes_on_close(self):
+        registry = MetricsRegistry()
+        with runtime.use(registry=registry):
+            pool = ExecutorPool(ExecutionConfig(jobs=2, backend="thread"))
+            pool.stats.bump(tasks_retried=3)
+            pool.close()
+        assert registry.value("repro_parallel_tasks_retried_total") == 3
+
+    def test_double_close_publishes_once(self):
+        # close() runs twice on the finally + context-exit path; the
+        # published flag must prevent the counters doubling.
+        registry = MetricsRegistry()
+        with runtime.use(registry=registry):
+            pool = ExecutorPool(ExecutionConfig(jobs=2, backend="thread"))
+            pool.stats.bump(serial_fallbacks=1)
+            pool.close()
+            pool.close()
+        assert registry.value("repro_parallel_serial_fallbacks_total") == 1
+
+    def test_shared_stats_pool_never_publishes(self):
+        registry = MetricsRegistry()
+        shared = ExecutionStats()
+        with runtime.use(registry=registry):
+            pool = ExecutorPool(
+                ExecutionConfig(jobs=2, backend="thread"), stats=shared
+            )
+            shared.bump(worker_failures=2)
+            pool.close()
+        # Whoever created `shared` owns publication; the pool must not.
+        assert registry.value("repro_parallel_worker_failures_total") == 0
+
+    def test_pooled_map_still_counts_into_shared_stats(self):
+        shared = ExecutionStats()
+        with ExecutorPool(
+            ExecutionConfig(jobs=2, backend="thread"), stats=shared
+        ) as pool:
+            out = pool.map(lambda x: x * 2, [1, 2, 3, 4])
+        assert out == [2, 4, 6, 8]
+        assert shared.tasks_retried == 0
+
+
+class TestRuntimeScoping:
+    def test_use_restores_previous_tracer_and_registry(self):
+        from repro.obs.trace import Tracer
+
+        before_t, before_r = runtime.get_tracer(), runtime.get_registry()
+        with runtime.use(tracer=Tracer(), registry=MetricsRegistry()):
+            assert runtime.get_tracer() is not before_t
+            assert runtime.get_registry() is not before_r
+        assert runtime.get_tracer() is before_t
+        assert runtime.get_registry() is before_r

@@ -1,0 +1,133 @@
+"""Tracer: span nesting, concurrency, exporters, and the null tracer."""
+
+import json
+import threading
+
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+
+class TestNesting:
+    def test_child_span_links_to_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            with tracer.span("child") as child:
+                assert child.parent_id == parent.span_id
+        assert parent.parent_id is None
+        assert [s.name for s in tracer.spans()] == ["child", "parent"]
+
+    def test_current_span_tracks_the_stack(self):
+        tracer = Tracer()
+        assert tracer.current_span() is None
+        with tracer.span("a") as a:
+            assert tracer.current_span() is a
+            with tracer.span("b") as b:
+                assert tracer.current_span() is b
+            assert tracer.current_span() is a
+        assert tracer.current_span() is None
+
+    def test_out_of_order_finish_is_tolerated(self):
+        # A parent generator's teardown can finish before a child that a
+        # LIMIT abandoned mid-iteration; the stack must not corrupt.
+        tracer = Tracer()
+        a = tracer.span("a")
+        b = tracer.span("b")
+        a.finish()  # finishes out of order; pops b implicitly
+        b.finish()  # no-op double finish
+        assert tracer.current_span() is None
+        assert len(tracer.spans()) == 2
+
+    def test_attributes_and_events(self):
+        tracer = Tracer()
+        with tracer.span("op", kind="scan") as span:
+            span.set(rows=10)
+            tracer.event("milestone", at_row=5)
+        (done,) = tracer.spans("op")
+        assert done.attributes == {"kind": "scan", "rows": 10}
+        assert done.events[0][0] == "milestone"
+
+    def test_loose_events_survive_without_a_span(self):
+        tracer = Tracer()
+        tracer.event("fault.armed", kind="bitflip")
+        assert tracer.loose_events[0][0] == "fault.armed"
+
+    def test_slowest_orders_by_duration(self):
+        tracer = Tracer()
+        import time
+
+        with tracer.span("fast"):
+            pass
+        with tracer.span("slow"):
+            time.sleep(0.002)
+        assert tracer.slowest(1)[0].name == "slow"
+
+
+class TestConcurrency:
+    def test_threads_get_independent_span_stacks(self):
+        tracer = Tracer()
+        seen = {}
+
+        def work(label):
+            with tracer.span(f"root-{label}"):
+                with tracer.span(f"leaf-{label}") as leaf:
+                    seen[label] = leaf.parent_id
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = {s.name: s for s in tracer.spans()}
+        assert len(spans) == 8
+        for i in range(4):
+            # Each leaf's parent is its own thread's root, never another's.
+            assert seen[i] == spans[f"root-{i}"].span_id
+
+
+class TestExporters:
+    def _traced(self):
+        tracer = Tracer()
+        with tracer.span("query.run", sql="SELECT 1"):
+            with tracer.span("table.scan", table="t"):
+                tracer.event("tick")
+        return tracer
+
+    def test_to_json_round_trips(self):
+        doc = json.loads(self._traced().to_json())
+        names = {s["name"] for s in doc["spans"]}
+        assert names == {"query.run", "table.scan"}
+        scan = next(s for s in doc["spans"] if s["name"] == "table.scan")
+        assert scan["attributes"]["table"] == "t"
+        assert scan["parent_id"] is not None
+
+    def test_chrome_trace_format(self):
+        doc = json.loads(self._traced().to_chrome_trace())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "X" in phases  # complete events
+        assert "i" in phases  # the instant event for "tick"
+        for event in doc["traceEvents"]:
+            assert event["ts"] >= 0
+
+    def test_render_tree_indents_children(self):
+        text = self._traced().render_tree()
+        lines = text.splitlines()
+        assert lines[0].startswith("query.run")
+        assert lines[1].startswith("  table.scan")
+        assert "* tick" in text
+
+
+class TestNullTracer:
+    def test_disabled_and_shared_span(self):
+        assert NULL_TRACER.enabled is False
+        a = NULL_TRACER.span("anything", k=1)
+        b = NULL_TRACER.span("other")
+        assert a is b  # one shared no-op span, zero allocation per call
+        with a as span:
+            span.set(x=1).add_event("e")
+        assert NULL_TRACER.spans() == []
+        assert NULL_TRACER.slowest() == []
+        assert NULL_TRACER.current_span() is None
+
+    def test_null_tracer_event_is_noop(self):
+        NullTracer().event("ignored", detail=1)
