@@ -175,6 +175,35 @@ def run_maintenance_fail(rows):
     }
 
 
+def run_session_kill(rows):
+    from repro.errors import SessionKilledError
+    from repro.serve import ConcurrentWarehouse
+
+    # Reference is an unfaulted *view-routed* run: the kill must not change
+    # how the retry is answered (same rewrite, bit-identical rows).
+    reference = build_wh(rows).query(QUERY).rows
+    cw = ConcurrentWarehouse(build_wh(rows))
+    plan = FaultPlan([FaultSpec("session_kill", target="victim")])
+    killed = False
+    with injector.active(plan):
+        try:
+            cw.query(QUERY, session="victim")
+        except SessionKilledError:
+            killed = True
+        # An unkilled session retries; the answer must be unaffected.
+        res = cw.query(QUERY, session="victim")
+    store = cw.epochs.verify()
+    return {
+        "fired": plan.fired_count(),
+        "detection": "serve_query site raises; SessionKilledError to client",
+        "degradation": (
+            f"pin released on the kill path; epoch store clean={store['clean']}"
+        ),
+        "answers_match": killed and store["clean"] and res.rows == reference,
+        "repaired_clean": None,
+    }
+
+
 SCENARIOS = {
     "worker_crash": run_worker_crash,
     "worker_hang": run_worker_hang,
@@ -182,6 +211,7 @@ SCENARIOS = {
     "refresh_interrupt": run_refresh_interrupt,
     "bitflip": run_bitflip,
     "maintenance_fail": run_maintenance_fail,
+    "session_kill": run_session_kill,
 }
 
 

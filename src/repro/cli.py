@@ -10,6 +10,7 @@ Usage::
     python -m repro table2 [--sizes 100,500,1000]
     python -m repro advise --query "SELECT ..." [--query "..."]
     python -m repro parallel [--rows N] [--jobs 1,2,4] [--backend thread]
+    python -m repro serve [--rows N] [--port P] [--max-queue Q]
     python -m repro verify --dir DIR [--repair] [--json PATH]
     python -m repro fuzz [--seeds N] [--oracle sqlite|none] [--json PATH]
                          [--trace]
@@ -235,12 +236,19 @@ def _demo_fault(wh: DataWarehouse, kind: str, query: str) -> int:
         "refresh_interrupt": dict(target="mv", point="commit"),
         "bitflip": dict(target="mv"),
         "maintenance_fail": dict(target="mv"),
+        "session_kill": dict(target="cli"),
     }[kind]
     plan = FaultPlan([FaultSpec(kind, **spec_kwargs)], seed=1)
     print(f"\ninjecting: {plan.describe()}")
+    cw = None
     with injector.active(plan):
         try:
-            if kind == "storage_write_fail":
+            if kind == "session_kill":
+                from repro.serve import ConcurrentWarehouse
+
+                cw = ConcurrentWarehouse(wh)
+                cw.query(query, session="cli")
+            elif kind == "storage_write_fail":
                 with tempfile.TemporaryDirectory() as tmp:
                     wh.save(tmp)
             elif kind == "refresh_interrupt":
@@ -259,6 +267,16 @@ def _demo_fault(wh: DataWarehouse, kind: str, query: str) -> int:
         result = wh.query(query, use_views=not task_fault)
     for event in plan.events:
         print(f"fired: {event.kind} at {event.site} ({event.detail})")
+    if cw is not None:
+        report = cw.epochs.verify()
+        print(
+            f"epoch store after kill: clean={'yes' if report['clean'] else 'NO'}"
+            f" (latest={report['latest']}, pinned={report['pinned']},"
+            f" orphaned={report['orphaned']})"
+        )
+        cw.release()
+        if not report["clean"]:
+            return 1
     expected = wh.query(query, use_views=False)
     same = [tuple(round(v, 9) for v in row) for row in result.rows] == [
         tuple(round(v, 9) for v in row) for row in expected.rows
@@ -274,6 +292,52 @@ def _demo_fault(wh: DataWarehouse, kind: str, query: str) -> int:
     for line in wh.incidents:
         print(f"incident: {line}")
     return 0 if same else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the concurrent serving tier over a demo warehouse."""
+    import threading
+
+    from repro.serve import ConcurrentWarehouse
+    from repro.serve.protocol import OPS
+    from repro.serve.server import ServeServer
+
+    cw = ConcurrentWarehouse(execution=_exec_config(args))
+    cw.create_table("seq", [("pos", INTEGER), ("val", FLOAT)],
+                    primary_key=["pos"])
+    cw.insert(
+        "seq",
+        [(i + 1, v) for i, v in enumerate(sequence_values(args.rows, seed=args.seed))],
+    )
+    cw.create_view(
+        "mv",
+        "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING "
+        "AND 1 FOLLOWING) AS s FROM seq",
+    )
+    server = ServeServer(
+        cw,
+        host=args.host,
+        port=args.port,
+        max_queue=args.max_queue,
+        workers=args.workers,
+    )
+    server.start()
+    # Flushed eagerly: supervisors scrape the ephemeral port from stdout.
+    print(
+        f"serving seq({args.rows} rows) + view 'mv' on "
+        f"{server.host}:{server.port} "
+        f"(max_queue={server.max_queue}, epoch={cw.epochs.latest_epoch})",
+        flush=True,
+    )
+    print(f"protocol: one JSON object per line; ops: {', '.join(OPS)}",
+          flush=True)
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.stop()
+    return 0
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
@@ -633,6 +697,21 @@ def build_parser() -> argparse.ArgumentParser:
     mig.add_argument("--to", type=int, choices=[2, 3], default=3,
                      help="target format version (3 = columnar, default)")
     mig.set_defaults(func=cmd_migrate)
+
+    serve = sub.add_parser(
+        "serve", help="serve a demo warehouse over TCP (NDJSON protocol)"
+    )
+    serve.add_argument("--rows", type=int, default=500)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (0 picks an ephemeral port)")
+    serve.add_argument("--max-queue", dest="max_queue", type=int, default=8,
+                       help="admission bound: max queries in flight at once")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="worker threads executing queries and writes")
+    _add_parallel_flags(serve)
+    serve.set_defaults(func=cmd_serve)
 
     ver = sub.add_parser("verify", help="verify (and repair) a saved warehouse dump")
     ver.add_argument("--dir", required=True, help="directory written by DataWarehouse.save()")

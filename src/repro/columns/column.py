@@ -340,6 +340,21 @@ class ColumnBuilder:
     def clear(self) -> None:
         self._size = 0
 
+    def copy(self) -> "ColumnBuilder":
+        """An independent builder with the same contents.
+
+        The copy-on-write primitive of the concurrent serving tier: a
+        writer clones the builders of a table it is about to mutate so
+        that readers pinned to an older epoch keep seeing the original
+        buffers untouched.
+        """
+        out = ColumnBuilder.__new__(ColumnBuilder)
+        out.kind = self.kind
+        out._data = self._data[: self._size].copy()
+        out._validity = self._validity[: self._size].copy()
+        out._size = self._size
+        return out
+
     # -- reads ----------------------------------------------------------------
 
     def get(self, slot: int) -> Any:

@@ -160,3 +160,41 @@ class QuarantinedViewError(ViewError):
     operations such as ``value_at`` raise.  ``DataWarehouse.repair()``
     re-refreshes, re-verifies and reinstates the view.
     """
+
+
+# ---------------------------------------------------------------------------
+# Concurrent serving tier (repro.serve)
+# ---------------------------------------------------------------------------
+
+class ServeError(ReproError):
+    """Base class for serving-tier errors (server, protocol, sessions)."""
+
+
+class ProtocolError(ServeError):
+    """Malformed wire request/response (bad JSON, unknown op, bad fields)."""
+
+
+class BackpressureError(ServeError):
+    """The server's bounded query queue is full; retry later.
+
+    Admission control rejects rather than queues unboundedly: the client
+    receives this as a clean ``backpressure`` error instead of an ever-
+    growing tail latency.
+    """
+
+
+class SessionKilledError(ServeError):
+    """The session was terminated mid-query (fault injection or shutdown).
+
+    The epoch pinned by the killed query is always released — a kill can
+    never leak a pin or hold old epochs alive.
+    """
+
+
+class ConcurrencyError(ServeError):
+    """An operation that requires exclusivity ran under concurrent serving.
+
+    Raised e.g. by :meth:`DataWarehouse.save` when the warehouse is owned
+    by a :class:`~repro.serve.concurrent.ConcurrentWarehouse` and the call
+    did not go through the wrapper's serialized write path.
+    """

@@ -31,6 +31,7 @@ KINDS = (
     "refresh_interrupt",   # view refresh killed at a chosen checkpoint/row
     "bitflip",             # one storage value corrupted at verify time
     "maintenance_fail",    # an incremental maintenance rule raises
+    "session_kill",        # a serving-tier session dies mid-query
 )
 
 # Checkpoints inside MaterializedSequenceView.refresh() that a
@@ -45,6 +46,7 @@ _SITE_OF_KIND = {
     "storage_write_fail": "storage_write",
     "bitflip": "verify",
     "maintenance_fail": "maintenance",
+    "session_kill": "serve_query",
 }
 
 

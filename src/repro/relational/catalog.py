@@ -28,10 +28,16 @@ def _normalize_columns(specs: Sequence[ColumnSpec]) -> Schema:
 
 
 class Catalog:
-    """Case-preserving, name-keyed table registry."""
+    """Case-preserving, name-keyed table registry.
 
-    def __init__(self) -> None:
-        self._tables: Dict[str, Table] = {}
+    Args:
+        tables: optional pre-bound ``{name: Table}`` mapping — used by the
+            serving tier to build a catalog over an epoch snapshot's frozen
+            table versions without copying any data.
+    """
+
+    def __init__(self, tables: Optional[Dict[str, Table]] = None) -> None:
+        self._tables: Dict[str, Table] = dict(tables) if tables else {}
 
     def create_table(
         self,
@@ -73,6 +79,19 @@ class Catalog:
         table.name = new
         self._tables[new] = table
         return table
+
+    def replace(self, table: Table) -> None:
+        """Rebind ``table.name`` to ``table`` in one atomic step.
+
+        The copy-on-write primitive of the serving tier: a serialized
+        writer installs a clone under the same name before mutating it, so
+        snapshot readers holding the previous object are never affected.
+        The rebinding is a single dict store — readers observe either the
+        old or the new table, never a mixture.
+        """
+        if table.name not in self._tables:
+            raise CatalogError(f"no table {table.name!r} to replace")
+        self._tables[table.name] = table
 
     def table(self, name: str) -> Table:
         try:

@@ -277,6 +277,35 @@ class Table:
         for index in self.indexes.values():
             index.rebuild([])
 
+    def clone(self) -> "Table":
+        """An independent copy of the heap and its indexes (same name).
+
+        Copy-on-write support for the concurrent serving tier: before a
+        serialized writer mutates a table in place, it installs a clone in
+        the live catalog so every snapshot pinned to an older epoch keeps
+        reading the original, never-again-mutated object.  The schema
+        object is shared (immutable); column buffers and indexes are
+        copied.
+        """
+        out = Table.__new__(Table)
+        out.name = self.name
+        out.schema = self.schema
+        out._columns = [b.copy() for b in self._columns]
+        out._nrows = self._nrows
+        out._structure_version = 0
+        out.primary_key = self.primary_key
+        out.indexes = {}
+        for name, index in self.indexes.items():
+            if index.kind == "sorted":
+                fresh: Index = SortedIndex(name, list(index.column_indexes),
+                                           unique=index.unique)
+            else:
+                fresh = HashIndex(name, list(index.column_indexes),
+                                  unique=index.unique)
+            fresh.rebuild(self.rows)
+            out.indexes[name] = fresh
+        return out
+
     # -- index management -----------------------------------------------------------
 
     def create_index(

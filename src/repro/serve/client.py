@@ -1,0 +1,117 @@
+"""Blocking client for the serving tier's NDJSON protocol.
+
+:class:`ServeClient` is a thin synchronous wrapper over one TCP
+connection — one request line out, one response line in.  Server-side
+failures are re-raised locally as the :mod:`repro.errors` class named in
+the error response (``BackpressureError`` for admission rejections,
+``SessionKilledError`` for fault-injected kills, ...), so callers handle
+remote errors exactly like local ones.
+
+Thread-safety: one client drives one connection; share a client across
+threads only with external locking (the benchmark driver opens one client
+per worker instead).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterator, Optional, Sequence
+
+from repro.errors import ProtocolError
+from repro.serve import protocol
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Synchronous connection to a :class:`~repro.serve.server.ServeServer`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    def call(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """Send one op and return its decoded response payload.
+
+        Raises:
+            ReproError subclass: the exception class named by a failure
+                response.
+            ProtocolError: the connection closed mid-response.
+        """
+        self._next_id += 1
+        request = {"op": op, "id": self._next_id, **fields}
+        self._file.write(protocol.encode_line(request))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ProtocolError("connection closed by server")
+        import json
+
+        response = json.loads(line.decode("utf-8"))
+        if not response.get("ok"):
+            raise protocol.exception_for(response.get("error", {}))
+        return response
+
+    # -- operations ----------------------------------------------------------
+
+    def ping(self) -> str:
+        """Round-trip; returns the server-assigned session name."""
+        return self.call("ping")["session"]
+
+    def set_config(self, **fields: Any) -> str:
+        """Update this session's ExecutionConfig (e.g. ``jobs=4,
+        backend="thread"``); returns the resulting config description."""
+        return self.call("set", config=fields)["config"]
+
+    def query(
+        self, sql: str, *, hold_ms: float = 0.0, **options: Any
+    ) -> Dict[str, Any]:
+        """Run a SELECT; returns ``{columns, rows, epoch, rewrite, ...}``."""
+        return self.call("query", sql=sql, hold_ms=hold_ms, options=options)
+
+    def refresh(self, view: str) -> int:
+        """Refresh a view; returns the epoch the commit published."""
+        return self.call("refresh", view=view)["epoch"]
+
+    def update_measure(
+        self, table: str, *, keys: Dict[str, Any], value_col: str,
+        new_value: float,
+    ) -> int:
+        return self.call(
+            "update", table=table, keys=keys, value_col=value_col,
+            new_value=new_value,
+        )["epoch"]
+
+    def insert_row(self, table: str, values: Sequence[Any]) -> int:
+        return self.call("insert_row", table=table, values=list(values))["epoch"]
+
+    def delete_row(self, table: str, *, keys: Dict[str, Any]) -> int:
+        return self.call("delete_row", table=table, keys=keys)["epoch"]
+
+    def epochs(self) -> Dict[str, Any]:
+        """The server's epoch-store cleanliness report (verify())."""
+        return self.call("epochs")
+
+    def stats(self) -> Dict[str, Any]:
+        """Snapshot of the server's metrics registry."""
+        return self.call("stats")["metrics"]
+
+    def close(self) -> None:
+        try:
+            self.call("close")
+        except Exception:
+            pass  # already closing; nothing to salvage
+        finally:
+            self._file.close()
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

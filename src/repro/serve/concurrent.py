@@ -1,0 +1,403 @@
+"""Thread-safe warehouse wrapper with epoch-pinned snapshot reads.
+
+:class:`ConcurrentWarehouse` turns the single-caller
+:class:`~repro.warehouse.warehouse.DataWarehouse` into a multi-reader /
+serialized-writer system:
+
+* **Writers serialize** on one lock.  Every committing write publishes a
+  new epoch to an :class:`~repro.serve.epochs.EpochStore`.
+* **Readers never block.**  A query pins the epoch current when it
+  started and runs against that epoch's table and view versions — a view
+  refresh or maintenance op committing epoch N+1 mid-query cannot change
+  (or tear) the answer at epoch N.
+* **Copy-on-write discipline:** refresh already builds brand-new objects
+  (the epoch-versioned shadow table + atomic catalog swap from the
+  crash-consistency work), so it is naturally snapshot-safe.  Operations
+  that historically mutated state *in place* — incremental maintenance,
+  base inserts, index builds, verify-time corruption hooks — first install
+  clones of every table (and view mirror) they are about to touch, so
+  published epochs stay frozen forever.
+
+Reads are answered by a *snapshot warehouse*: a throwaway
+``DataWarehouse`` assembled over the pinned epoch's frozen objects (no
+data copied), carrying the session's own
+:class:`~repro.parallel.config.ExecutionConfig`.  Because snapshot tables
+are immutable, any number of readers may share them across threads.
+
+Fault injection: the ``session_kill`` fault kind fires at the
+``serve_query`` site — after the epoch is pinned, before execution — and
+surfaces as :class:`~repro.errors.SessionKilledError`.  The pin is
+released on *every* exit path, so a killed session leaves the epoch store
+clean (no pinned, no orphaned epochs).
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConcurrencyError, InjectedFault, SessionKilledError
+from repro.relational.catalog import Catalog
+from repro.relational.engine import Database
+from repro.serve.epochs import EpochStore, Pin, Snapshot, ViewState
+from repro.views.materialized import MaterializedSequenceView
+from repro.warehouse.warehouse import DataWarehouse, QueryResult
+
+__all__ = ["ConcurrentWarehouse", "SnapshotHandle"]
+
+
+def _warehouse_at(snapshot: Snapshot, execution) -> DataWarehouse:
+    """Assemble a read-only DataWarehouse over one epoch's frozen objects.
+
+    Nothing is copied: the catalog maps names to the snapshot's table
+    objects and each view facade is rebound to the snapshot's frozen
+    mirror/raw state.  The result is safe to use from any thread because
+    every object it can reach is immutable by the writer COW discipline.
+    """
+    wh = DataWarehouse.__new__(DataWarehouse)
+    db = Database()
+    db.catalog = Catalog(dict(snapshot.tables))
+    wh.db = db
+    wh.cache = None
+    wh.execution = execution
+    wh.slow_queries = None
+    wh.incidents = []
+    wh._concurrent_owner = None
+    views: Dict[str, MaterializedSequenceView] = {}
+    for name, state in snapshot.views.items():
+        view = MaterializedSequenceView.__new__(MaterializedSequenceView)
+        view.db = db
+        view.definition = state.definition
+        view.complete = state.complete
+        view.exec_config = execution
+        view.reporting = state.reporting
+        view.raw = state.raw
+        view.epoch = state.view_epoch
+        view.quarantined = state.quarantined
+        view.quarantine_reason = state.quarantine_reason
+        views[name] = view
+    wh.views = views
+    return wh
+
+
+class SnapshotHandle:
+    """Context manager exposing reads against one pinned epoch."""
+
+    def __init__(self, owner: "ConcurrentWarehouse", pin: Pin) -> None:
+        self._owner = owner
+        self._pin = pin
+
+    @property
+    def epoch(self) -> int:
+        return self._pin.epoch
+
+    @property
+    def snapshot(self) -> Snapshot:
+        return self._pin.snapshot
+
+    def query(self, sql: str, *, config=None, **options: Any) -> QueryResult:
+        """Run a SELECT at this epoch (bit-identical until released)."""
+        wh = _warehouse_at(self._pin.snapshot, config)
+        result = wh.query(sql, **options)
+        result.epoch = self._pin.epoch
+        self._owner._note_read_incidents(wh.incidents)
+        return result
+
+    def value_at(self, view_name: str, order_key, **kwargs: Any):
+        """Point lookup at this epoch (see ``DataWarehouse.value_at``)."""
+        return _warehouse_at(self._pin.snapshot, None).value_at(
+            view_name, order_key, **kwargs
+        )
+
+    def explain(self, sql: str, **options: Any) -> str:
+        return _warehouse_at(self._pin.snapshot, None).explain(sql, **options)
+
+    def release(self) -> None:
+        self._pin.release()
+
+    def __enter__(self) -> "SnapshotHandle":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+
+class ConcurrentWarehouse:
+    """Serialized-writer / snapshot-reader facade over a DataWarehouse.
+
+    Args:
+        warehouse: an existing warehouse to take ownership of (it must no
+            longer be mutated directly — the ownership guard enforces
+            this), or ``None`` to create a fresh one.
+        execution: default ExecutionConfig for *writes* (refresh &
+            maintenance band recomputation); readers carry their own
+            per-session config.
+    """
+
+    def __init__(self, warehouse: Optional[DataWarehouse] = None, *,
+                 execution=None) -> None:
+        wh = warehouse if warehouse is not None else DataWarehouse(execution=execution)
+        if getattr(wh, "_concurrent_owner", None) is not None:
+            raise ConcurrencyError(
+                "warehouse is already owned by another ConcurrentWarehouse"
+            )
+        self._wh = wh
+        self._write_lock = threading.RLock()
+        self._local = threading.local()
+        self.epochs = EpochStore()
+        wh._concurrent_owner = self
+        with self._write_lock:
+            self._mark_write()
+            try:
+                self._publish()
+            finally:
+                self._unmark_write()
+
+    # -- ownership / write-section bookkeeping -------------------------------
+
+    @property
+    def warehouse(self) -> DataWarehouse:
+        """The owned warehouse (mutate it only through this wrapper)."""
+        return self._wh
+
+    @property
+    def in_write_section(self) -> bool:
+        """True on a thread currently inside this wrapper's write path."""
+        return getattr(self._local, "depth", 0) > 0
+
+    def _mark_write(self) -> None:
+        self._local.depth = getattr(self._local, "depth", 0) + 1
+
+    def _unmark_write(self) -> None:
+        self._local.depth -= 1
+
+    # -- write path ----------------------------------------------------------
+
+    def _write(self, fn, *, cow_tables: Iterable[str] = (),
+               cow_views: Iterable[str] = ()):
+        """Run one mutation serialized, copy-on-write, and publish an epoch.
+
+        The clone step installs fresh table objects (and view mirrors) in
+        the *live* catalog for everything ``fn`` will mutate in place;
+        epochs published earlier keep the originals.  The commit publishes
+        even when ``fn`` raises: partial effects that stand by design
+        (e.g. a failed refresh quarantining its view) must become visible
+        to new readers.
+        """
+        with self._write_lock:
+            self._mark_write()
+            try:
+                for name in cow_tables:
+                    if self._wh.db.catalog.has_table(name):
+                        self._wh.db.catalog.replace(
+                            self._wh.db.table(name).clone()
+                        )
+                for name in cow_views:
+                    view = self._wh.views.get(name)
+                    if view is not None:
+                        view.reporting = copy.deepcopy(view.reporting)
+                        view.raw = {k: list(v) for k, v in view.raw.items()}
+                return fn()
+            finally:
+                self._publish()
+                self._unmark_write()
+
+    def _publish(self) -> Snapshot:
+        tables = {t.name: t for t in self._wh.db.catalog.tables()}
+        views = {
+            name: ViewState(
+                definition=v.definition,
+                complete=v.complete,
+                reporting=v.reporting,
+                raw=v.raw,
+                view_epoch=v.epoch,
+                quarantined=v.quarantined,
+                quarantine_reason=v.quarantine_reason,
+            )
+            for name, v in self._wh.views.items()
+        }
+        return self.epochs.publish(tables, views)
+
+    def _maintenance_cow(self, table: str) -> Dict[str, List[str]]:
+        """COW targets of one base-data change: the table, plus every
+        dependent view's storage table and in-memory mirror."""
+        dependents = [
+            v for v in self._wh.views.values()
+            if v.definition.base_table == table
+        ]
+        return {
+            "tables": [table] + [v.definition.storage_table for v in dependents],
+            "views": [v.name for v in dependents],
+        }
+
+    # -- mutations (all serialized, all publish) -----------------------------
+
+    def create_table(self, name: str, columns, **kwargs):
+        return self._write(lambda: self._wh.create_table(name, columns, **kwargs))
+
+    def drop_table(self, name: str, **kwargs) -> None:
+        return self._write(lambda: self._wh.drop_table(name, **kwargs))
+
+    def insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
+        return self._write(
+            lambda: self._wh.insert(table, rows), cow_tables=[table]
+        )
+
+    def create_index(self, table: str, name: str, columns, **kwargs):
+        return self._write(
+            lambda: self._wh.create_index(table, name, columns, **kwargs),
+            cow_tables=[table],
+        )
+
+    def create_view(self, name: str, definition, *, complete: bool = True):
+        return self._write(
+            lambda: self._wh.create_view(name, definition, complete=complete)
+        )
+
+    def drop_view(self, name: str) -> None:
+        return self._write(lambda: self._wh.drop_view(name))
+
+    def refresh_view(self, name: str) -> None:
+        # Refresh is already copy-on-write: it stages a shadow storage
+        # table and fresh mirrors, then swaps atomically.
+        return self._write(lambda: self._wh.refresh_view(name))
+
+    def update_measure(self, table: str, **kwargs) -> List[Any]:
+        cow = self._maintenance_cow(table)
+        return self._write(
+            lambda: self._wh.update_measure(table, **kwargs),
+            cow_tables=cow["tables"], cow_views=cow["views"],
+        )
+
+    def insert_row(self, table: str, values: Sequence[Any]) -> List[Any]:
+        cow = self._maintenance_cow(table)
+        return self._write(
+            lambda: self._wh.insert_row(table, values),
+            cow_tables=cow["tables"], cow_views=cow["views"],
+        )
+
+    def delete_row(self, table: str, *, keys: Dict[str, Any]) -> List[Any]:
+        cow = self._maintenance_cow(table)
+        return self._write(
+            lambda: self._wh.delete_row(table, keys=keys),
+            cow_tables=cow["tables"], cow_views=cow["views"],
+        )
+
+    def repair(self, name: Optional[str] = None) -> Dict[str, Any]:
+        return self._write(lambda: self._wh.repair(name))
+
+    def quarantine_view(self, name: str, reason: str) -> None:
+        return self._write(lambda: self._wh.quarantine_view(name, reason))
+
+    def verify(self, *, quarantine: bool = True):
+        # The verify-time bitflip fault hook corrupts storage in place;
+        # COW every storage table so pinned epochs stay pristine.
+        storages = [
+            v.definition.storage_table for v in self._wh.views.values()
+        ]
+        return self._write(
+            lambda: self._wh.verify(quarantine=quarantine),
+            cow_tables=storages,
+        )
+
+    def save(self, directory: str, **kwargs) -> None:
+        """Persist under the write lock (exclusive with writers; readers
+        keep serving their pinned epochs meanwhile)."""
+        with self._write_lock:
+            self._mark_write()
+            try:
+                self._wh.save(directory, **kwargs)
+            finally:
+                self._unmark_write()
+
+    @classmethod
+    def load(cls, directory: str, *, execution=None) -> "ConcurrentWarehouse":
+        """Load a saved warehouse and wrap it for concurrent serving."""
+        wh = DataWarehouse.load(directory)
+        wh.execution = execution
+        return cls(wh)
+
+    def release(self) -> DataWarehouse:
+        """Relinquish ownership: the warehouse becomes single-caller again.
+
+        The caller is responsible for quiescing readers first — snapshots
+        pinned before release keep working (their objects are frozen), but
+        subsequent direct mutations will not publish epochs for them.
+        """
+        with self._write_lock:
+            self._wh._concurrent_owner = None
+            return self._wh
+
+    # -- reads (never block on the write lock) -------------------------------
+
+    def pin(self) -> SnapshotHandle:
+        """Pin the current epoch; release via context manager or .release()."""
+        return SnapshotHandle(self, self.epochs.pin())
+
+    def query(self, sql: str, *, config=None, session: str = "",
+              hold_ms: float = 0.0, **options: Any) -> QueryResult:
+        """Run one SELECT at the epoch current when the call started.
+
+        Args:
+            config: the session's ExecutionConfig (``None`` = serial).
+            session: session id, used as the fault-injection target for
+                ``session_kill`` specs.
+            hold_ms: artificially hold the pin for this long before
+                executing — a deterministic aid for backpressure tests and
+                the serving benchmark (refreshes committed during the hold
+                must not change the answer).
+
+        Raises:
+            SessionKilledError: a ``session_kill`` fault fired mid-query;
+                the pinned epoch is released before raising.
+        """
+        import time
+
+        from repro.faults import injector
+
+        with self.pin() as snap:
+            try:
+                injector.check("serve_query", session)
+            except InjectedFault as exc:
+                raise SessionKilledError(
+                    f"session {session or '<anonymous>'} killed mid-query "
+                    f"at epoch {snap.epoch}: {exc}"
+                ) from exc
+            if hold_ms > 0:
+                time.sleep(hold_ms / 1000.0)
+            return snap.query(sql, config=config, **options)
+
+    def value_at(self, view_name: str, order_key, **kwargs: Any):
+        with self.pin() as snap:
+            return snap.value_at(view_name, order_key, **kwargs)
+
+    def explain(self, sql: str, **options: Any) -> str:
+        with self.pin() as snap:
+            return snap.explain(sql, **options)
+
+    # -- delegation / inspection ---------------------------------------------
+
+    def view_names(self) -> List[str]:
+        with self._write_lock:
+            return sorted(self._wh.views)
+
+    def quarantined_views(self) -> List[str]:
+        with self._write_lock:
+            return self._wh.quarantined_views()
+
+    @property
+    def incidents(self) -> List[str]:
+        return self._wh.incidents
+
+    def _note_read_incidents(self, incidents: List[str]) -> None:
+        # Degradations observed by snapshot readers (e.g. a rewrite that
+        # fell back to base data) surface on the live incident log.
+        if incidents:
+            self._wh.incidents.extend(incidents)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConcurrentWarehouse(epoch={self.epochs.latest_epoch}, "
+            f"views={self.view_names()})"
+        )

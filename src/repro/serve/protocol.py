@@ -1,0 +1,125 @@
+"""Wire protocol of the serving tier: newline-delimited JSON.
+
+One request per line, one response per line, UTF-8.  Every request is a
+JSON object with an ``op`` field and an optional client-chosen ``id``
+(echoed verbatim in the response, so a client may pipeline).  Every
+response carries ``ok``; failures carry ``error = {type, message}`` where
+``type`` is the :mod:`repro.errors` class name (clients re-raise the
+matching exception — see :mod:`repro.serve.client`).
+
+Operations::
+
+    {"op": "ping"}                                   -> {"ok": true, "pong": true}
+    {"op": "query", "sql": ..., "options": {...},
+     "hold_ms": 0}                                   -> {"ok": true, "columns": [...],
+                                                         "rows": [[...], ...],
+                                                         "epoch": N, "rewrite": ...}
+    {"op": "set", "config": {"jobs": 4, ...}}        -> per-session ExecutionConfig
+    {"op": "refresh", "view": name}
+    {"op": "update", "table": ..., "keys": {...},
+     "value_col": ..., "new_value": ...}
+    {"op": "insert_row", "table": ..., "values": [...]}
+    {"op": "delete_row", "table": ..., "keys": {...}}
+    {"op": "epochs"}                                 -> epoch-store verify() report
+    {"op": "stats"}                                  -> metrics-registry snapshot
+    {"op": "close"}                                  -> server closes the connection
+
+Backpressure: when the bounded admission queue is full a ``query`` is
+*rejected immediately* with ``error.type == "BackpressureError"`` — the
+client is expected to retry with backoff; nothing is silently queued
+beyond the configured depth.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro import errors as _errors
+from repro.errors import ProtocolError, ReproError
+
+__all__ = [
+    "OPS",
+    "decode_line",
+    "encode_line",
+    "error_response",
+    "exception_for",
+    "result_payload",
+]
+
+OPS = (
+    "ping",
+    "query",
+    "set",
+    "refresh",
+    "update",
+    "insert_row",
+    "delete_row",
+    "epochs",
+    "stats",
+    "close",
+)
+
+# Maximum accepted request line (1 MiB) — a defensive bound so a broken
+# client cannot balloon server memory with an unterminated line.
+MAX_LINE_BYTES = 1 << 20
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one request line into a validated op dict."""
+    try:
+        request = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed request line: {exc}") from None
+    if not isinstance(request, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(request).__name__}"
+        )
+    op = request.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {OPS}")
+    return request
+
+
+def encode_line(payload: Dict[str, Any]) -> bytes:
+    """Serialize one response object to a wire line."""
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def error_response(
+    exc: BaseException, request_id: Optional[Any] = None
+) -> Dict[str, Any]:
+    """Build the failure response for an exception."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+
+
+def exception_for(error: Dict[str, Any]) -> ReproError:
+    """Client side: rebuild the exception named by an error response.
+
+    Unknown type names degrade to the base :class:`ReproError` so a newer
+    server never crashes an older client.
+    """
+    cls = getattr(_errors, str(error.get("type")), None)
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        cls = ReproError
+    return cls(error.get("message", "server error"))
+
+
+def result_payload(result) -> Dict[str, Any]:
+    """Encode a :class:`~repro.warehouse.warehouse.QueryResult` for the wire.
+
+    Row values are engine scalars (int/float/str/None) — JSON round-trips
+    floats exactly (shortest-repr), so two clients comparing encoded rows
+    compare bit-identical results.
+    """
+    info = getattr(result, "rewrite", None)
+    return {
+        "columns": result.schema.names(),
+        "rows": [list(row) for row in result.rows],
+        "epoch": getattr(result, "epoch", None),
+        "rewrite": info.description if info is not None else None,
+    }

@@ -1,0 +1,362 @@
+"""Asyncio serving front end with per-session configs and admission control.
+
+:class:`ServeServer` accepts newline-delimited-JSON connections (see
+:mod:`repro.serve.protocol`) over a :class:`~repro.serve.concurrent.
+ConcurrentWarehouse`.  Design points:
+
+* **Per-connection sessions.**  Each connection is a :class:`Session`
+  carrying its own :class:`~repro.parallel.config.ExecutionConfig`
+  (mutable via the ``set`` op), so one client can run parallel
+  vectorized reads while another stays strictly serial.
+* **Admission control.**  At most ``max_queue`` queries may be in flight
+  (executing or waiting for a worker thread) across all sessions; the
+  next query is rejected immediately with ``BackpressureError`` rather
+  than queued unboundedly.  Rejections are counted in
+  ``repro_serve_admission_rejections_total``.
+* **The event loop never blocks.**  Queries and writes run on a worker
+  thread pool via ``run_in_executor``; reads pin their epoch inside the
+  worker (through ``ConcurrentWarehouse.query``), so a slow query holds
+  its snapshot — never the loop, never the writers.
+* **Thread-hosted or native.**  ``start()``/``stop()`` host the loop on a
+  background thread (handy for synchronous tests and the CLI);
+  ``serve_async()`` integrates with a caller-owned loop.  Binding
+  ``port=0`` picks an ephemeral port, published as ``.port`` — tests can
+  run in parallel without collisions.
+
+Observability: gauges ``repro_serve_active_sessions`` and
+``repro_serve_queue_depth``, histogram ``repro_serve_query_seconds``, and
+a ``serve.query`` span per query (session, epoch, sql attributes).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import functools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional
+
+from repro.errors import BackpressureError, ProtocolError, ServeError
+from repro.parallel.config import ExecutionConfig
+from repro.serve import protocol
+from repro.serve.concurrent import ConcurrentWarehouse
+
+__all__ = ["ServeServer", "Session"]
+
+
+class Session:
+    """Per-connection state: identity plus the session's execution config."""
+
+    _counter = 0
+    _counter_lock = threading.Lock()
+
+    def __init__(self) -> None:
+        with Session._counter_lock:
+            Session._counter += 1
+            number = Session._counter
+        self.name = f"session-{number}"
+        self.config: Optional[ExecutionConfig] = None
+
+    def configure(self, fields: Dict[str, Any]) -> ExecutionConfig:
+        """Apply ``set`` op fields on top of the current config.
+
+        Raises:
+            ProtocolError: unknown field name (config validation errors —
+                bad backend, negative jobs — surface as ParallelError).
+        """
+        base = self.config if self.config is not None else ExecutionConfig()
+        known = {f.name for f in dataclasses.fields(ExecutionConfig)}
+        unknown = sorted(set(fields) - known)
+        if unknown:
+            raise ProtocolError(
+                f"unknown config field(s) {unknown}; expected subset of "
+                f"{sorted(known)}"
+            )
+        self.config = dataclasses.replace(base, **fields)
+        return self.config
+
+
+class ServeServer:
+    """The serving front end; one instance per ConcurrentWarehouse.
+
+    Args:
+        warehouse: the concurrent warehouse to serve.
+        host/port: bind address; ``port=0`` (default) picks an ephemeral
+            port, available as ``.port`` once started.
+        max_queue: admission bound — maximum queries in flight at once.
+        workers: worker threads executing queries and writes.
+    """
+
+    def __init__(
+        self,
+        warehouse: ConcurrentWarehouse,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_queue: int = 8,
+        workers: int = 4,
+    ) -> None:
+        if max_queue < 1:
+            raise ServeError(f"max_queue must be >= 1, got {max_queue}")
+        self.warehouse = warehouse
+        self.host = host
+        self.port = port  # rebound to the concrete port on start
+        self.max_queue = max_queue
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._inflight = 0  # event-loop-confined; no lock needed
+        self._sessions = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+
+    # -- metrics helpers -----------------------------------------------------
+
+    @staticmethod
+    def _registry():
+        from repro.obs import runtime
+
+        return runtime.get_registry()
+
+    def _set_gauges(self) -> None:
+        registry = self._registry()
+        registry.gauge(
+            "repro_serve_active_sessions",
+            help="Open serving-tier connections",
+        ).set(float(self._sessions))
+        registry.gauge(
+            "repro_serve_queue_depth",
+            help="Queries currently admitted (executing or queued)",
+        ).set(float(self._inflight))
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        session = Session()
+        self._sessions += 1
+        self._set_gauges()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError):
+                    break
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                request_id = None
+                try:
+                    request = protocol.decode_line(line)
+                    request_id = request.get("id")
+                    response = await self._dispatch(session, request)
+                except Exception as exc:  # every failure -> error response
+                    response = protocol.error_response(exc, request_id)
+                response.setdefault("id", request_id)
+                writer.write(protocol.encode_line(response))
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+                if response.get("closing"):
+                    break
+        finally:
+            self._sessions -= 1
+            self._set_gauges()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _dispatch(
+        self, session: Session, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        op = request["op"]
+        request_id = request.get("id")
+        ok: Dict[str, Any] = {"id": request_id, "ok": True}
+        if op == "ping":
+            return {**ok, "pong": True, "session": session.name}
+        if op == "close":
+            return {**ok, "closing": True}
+        if op == "set":
+            config = session.configure(dict(request.get("config", {})))
+            return {**ok, "config": config.describe()}
+        if op == "query":
+            return {**ok, **await self._run_query(session, request)}
+        if op == "epochs":
+            report = self.warehouse.epochs.verify()
+            return {**ok, **report}
+        if op == "stats":
+            return {**ok, "metrics": self._registry().to_json()}
+        # Remaining ops are writes: serialized by the warehouse's write
+        # lock, run off-loop so a refresh cannot stall other sessions.
+        return {**ok, **await self._run_write(request)}
+
+    async def _run_query(
+        self, session: Session, request: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        sql = request.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise ProtocolError("query op needs a non-empty 'sql' string")
+        options = dict(request.get("options", {}))
+        hold_ms = float(request.get("hold_ms", 0.0))
+        if self._inflight >= self.max_queue:
+            self._registry().counter(
+                "repro_serve_admission_rejections_total",
+                help="Queries rejected because the admission queue was full",
+            ).inc()
+            raise BackpressureError(
+                f"admission queue full ({self._inflight}/{self.max_queue} "
+                "in flight); retry later"
+            )
+        self._inflight += 1
+        self._set_gauges()
+        started = time.perf_counter()
+        try:
+            result = await asyncio.get_running_loop().run_in_executor(
+                self._pool,
+                functools.partial(
+                    self._query_on_worker,
+                    session,
+                    sql,
+                    hold_ms,
+                    options,
+                ),
+            )
+        finally:
+            self._inflight -= 1
+            self._set_gauges()
+            self._registry().histogram(
+                "repro_serve_query_seconds",
+                help="Serving-tier query wall time (admission to response)",
+            ).observe(time.perf_counter() - started)
+        return {**protocol.result_payload(result), "session": session.name}
+
+    def _query_on_worker(self, session, sql, hold_ms, options):
+        from repro.obs import runtime
+
+        with runtime.get_tracer().span(
+            "serve.query", session=session.name, sql=sql
+        ) as span:
+            result = self.warehouse.query(
+                sql,
+                config=session.config,
+                session=session.name,
+                hold_ms=hold_ms,
+                **options,
+            )
+            span.set(epoch=result.epoch)
+            return result
+
+    async def _run_write(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request["op"]
+        call = functools.partial(self._write_on_worker, op, request)
+        return await asyncio.get_running_loop().run_in_executor(self._pool, call)
+
+    def _write_on_worker(self, op: str, request: Dict[str, Any]) -> Dict[str, Any]:
+        wh = self.warehouse
+
+        def need(field: str):
+            value = request.get(field)
+            if value is None:
+                raise ProtocolError(f"{op} op needs {field!r}")
+            return value
+
+        if op == "refresh":
+            wh.refresh_view(need("view"))
+        elif op == "update":
+            wh.update_measure(
+                need("table"),
+                keys=dict(need("keys")),
+                value_col=need("value_col"),
+                new_value=float(need("new_value")),
+            )
+        elif op == "insert_row":
+            wh.insert_row(need("table"), list(need("values")))
+        elif op == "delete_row":
+            wh.delete_row(need("table"), keys=dict(need("keys")))
+        else:  # unreachable: decode_line validated op
+            raise ProtocolError(f"unhandled op {op!r}")
+        return {"epoch": wh.epochs.latest_epoch}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def serve_async(self) -> asyncio.AbstractServer:
+        """Bind and start serving on the running loop; returns the server.
+
+        The concrete port (for ``port=0`` binds) is published on ``.port``
+        before this returns.
+        """
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self._server
+
+    async def close_async(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def start(self, *, timeout: float = 10.0) -> "ServeServer":
+        """Host the event loop on a background thread; returns self.
+
+        Blocks until the listening socket is bound (so ``.port`` is valid).
+        """
+        if self._thread is not None:
+            raise ServeError("server already started")
+        ready = threading.Event()
+        failure: Dict[str, BaseException] = {}
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self.serve_async())
+            except BaseException as exc:  # bind failure -> surface in start()
+                failure["exc"] = exc
+                ready.set()
+                return
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(self.close_async())
+                loop.close()
+                self._stopped.set()
+
+        self._thread = threading.Thread(
+            target=run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        if not ready.wait(timeout):
+            raise ServeError("server did not start in time")
+        if "exc" in failure:
+            self._thread.join()
+            self._thread = None
+            raise ServeError(f"server failed to bind: {failure['exc']}")
+        return self
+
+    def stop(self, *, timeout: float = 10.0) -> None:
+        """Stop the background-thread loop and release the worker pool."""
+        if self._loop is not None and self._thread is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout)
+            self._thread = None
+            self._loop = None
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ServeServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

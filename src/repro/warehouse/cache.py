@@ -18,6 +18,7 @@ Eviction is LRU over cache-created views, bounded by ``max_views``.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import List, Optional, TYPE_CHECKING
@@ -77,19 +78,28 @@ class QueryCache:
         self.stats = CacheStats()
         self._lru: "OrderedDict[str, None]" = OrderedDict()
         self._counter = 0
+        # Admit/evict/hit mutate the LRU map and create or drop views;
+        # concurrent readers (the serving tier runs queries on a worker
+        # pool) must not interleave inside those sections.  Reentrant
+        # because eviction calls back into warehouse.drop_view, which may
+        # quarantine-evict through on_quarantine.
+        self._lock = threading.RLock()
 
     # -- bookkeeping -------------------------------------------------------------
 
     def cached_views(self) -> List[str]:
         """Names of currently cached views, least recently used first."""
-        return list(self._lru)
+        with self._lock:
+            return list(self._lru)
 
     def note_hit(self, view_name: str) -> None:
         """Called by the warehouse when a rewrite used a cached view."""
-        if view_name in self._lru:
+        with self._lock:
+            if view_name not in self._lru:
+                return
             self._lru.move_to_end(view_name)
             self.stats.hits += 1
-            _count("hits")
+        _count("hits")
 
     def on_quarantine(self, view_name: str) -> None:
         """A cache-created view was quarantined: evict it outright.
@@ -99,11 +109,12 @@ class QueryCache:
         is simply dropped (counted as an eviction).  Non-cache views are
         ignored.
         """
-        if view_name not in self._lru:
-            return
-        del self._lru[view_name]
-        self.warehouse.drop_view(view_name)
-        self.stats.evictions += 1
+        with self._lock:
+            if view_name not in self._lru:
+                return
+            del self._lru[view_name]
+            self.warehouse.drop_view(view_name)
+            self.stats.evictions += 1
         _count("evictions")
 
     # -- admission ------------------------------------------------------------------
@@ -114,27 +125,30 @@ class QueryCache:
         Returns the created view name, or None when the shape cannot be a
         view definition (e.g. a ranking function).
         """
-        self.stats.misses += 1
         _count("misses")
         if shape.func not in ("SUM", "COUNT", "AVG", "MIN", "MAX"):
+            with self._lock:
+                self.stats.misses += 1
             return None
-        self._counter += 1
-        name = f"{self.PREFIX}{self._counter}"
-        definition = SequenceViewDefinition(
-            name=name,
-            base_table=shape.base_table,
-            value_col=shape.value_col,
-            order_by=shape.order_by,
-            partition_by=shape.partition_by,
-            window=shape.window,
-            aggregate_name=shape.func,
-            where=self._parse_where(shape.where_text),
-        )
-        self.warehouse.create_view(name, definition, complete=True)
-        self._lru[name] = None
-        self.stats.admissions += 1
+        with self._lock:
+            self.stats.misses += 1
+            self._counter += 1
+            name = f"{self.PREFIX}{self._counter}"
+            definition = SequenceViewDefinition(
+                name=name,
+                base_table=shape.base_table,
+                value_col=shape.value_col,
+                order_by=shape.order_by,
+                partition_by=shape.partition_by,
+                window=shape.window,
+                aggregate_name=shape.func,
+                where=self._parse_where(shape.where_text),
+            )
+            self.warehouse.create_view(name, definition, complete=True)
+            self._lru[name] = None
+            self.stats.admissions += 1
+            self._evict_if_needed()
         _count("admissions")
-        self._evict_if_needed()
         return name
 
     def _parse_where(self, where_text: Optional[str]):
@@ -145,14 +159,16 @@ class QueryCache:
         return parse_expression(where_text)
 
     def _evict_if_needed(self) -> None:
-        while len(self._lru) > self.max_views:
-            victim, _ = self._lru.popitem(last=False)
-            self.warehouse.drop_view(victim)
-            self.stats.evictions += 1
-            _count("evictions")
+        with self._lock:
+            while len(self._lru) > self.max_views:
+                victim, _ = self._lru.popitem(last=False)
+                self.warehouse.drop_view(victim)
+                self.stats.evictions += 1
+                _count("evictions")
 
     def clear(self) -> None:
         """Drop every cache-created view."""
-        for name in list(self._lru):
-            self.warehouse.drop_view(name)
-        self._lru.clear()
+        with self._lock:
+            for name in list(self._lru):
+                self.warehouse.drop_view(name)
+            self._lru.clear()

@@ -50,9 +50,14 @@ __all__ = ["DataWarehouse", "QueryResult"]
 
 
 class QueryResult(Result):
-    """A :class:`Result` carrying optional rewrite provenance."""
+    """A :class:`Result` carrying optional rewrite provenance.
+
+    ``epoch`` is set by the concurrent serving tier: the epoch the query
+    was pinned to (``None`` for direct single-caller queries).
+    """
 
     rewrite: Optional[RewriteInfo] = None
+    epoch: Optional[int] = None
 
     @classmethod
     def wrap(cls, result: Result, rewrite: Optional[RewriteInfo]) -> "QueryResult":
@@ -81,6 +86,28 @@ class DataWarehouse:
         # Human-readable degradation log: quarantines, rewrite failures
         # routed back to base data, repairs.  Surfaced by the CLI.
         self.incidents: List[str] = []
+        # Set by repro.serve.ConcurrentWarehouse when it takes ownership;
+        # direct mutation of an owned warehouse raises ConcurrencyError.
+        self._concurrent_owner = None
+
+    def _assert_exclusive(self, op: str) -> None:
+        """Refuse direct mutation while owned by a ConcurrentWarehouse.
+
+        Snapshot readers rely on published epochs never being mutated;
+        a mutation that bypasses the wrapper's serialized copy-on-write
+        write path would silently corrupt pinned reads.  Calls arriving
+        *through* the wrapper (its thread is inside the write section)
+        pass.
+        """
+        owner = self._concurrent_owner
+        if owner is not None and not owner.in_write_section:
+            from repro.errors import ConcurrencyError
+
+            raise ConcurrencyError(
+                f"warehouse is owned by a ConcurrentWarehouse; call "
+                f"{op}() on the wrapper instead of the wrapped warehouse "
+                "(direct mutation would corrupt epoch-pinned snapshot reads)"
+            )
 
     def enable_slow_query_log(
         self, threshold_ms: float = 100.0, capacity: int = 128
@@ -107,15 +134,19 @@ class DataWarehouse:
     # -- table management (delegation) ------------------------------------------
 
     def create_table(self, name: str, columns, **kwargs):
+        self._assert_exclusive("create_table")
         return self.db.create_table(name, columns, **kwargs)
 
     def drop_table(self, name: str, **kwargs) -> None:
+        self._assert_exclusive("drop_table")
         self.db.drop_table(name, **kwargs)
 
     def insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
+        self._assert_exclusive("insert")
         return self.db.insert(table, rows)
 
     def create_index(self, table: str, name: str, columns, **kwargs):
+        self._assert_exclusive("create_index")
         return self.db.create_index(table, name, columns, **kwargs)
 
     # -- view management ------------------------------------------------------------
@@ -135,6 +166,7 @@ class DataWarehouse:
             complete: materialize header/trailer rows (required for most
                 derivations — section 3.2).
         """
+        self._assert_exclusive("create_view")
         if name in self.views:
             raise CatalogError(f"view {name!r} already exists")
         if isinstance(definition, str):
@@ -197,6 +229,7 @@ class DataWarehouse:
         return created
 
     def drop_view(self, name: str) -> None:
+        self._assert_exclusive("drop_view")
         view = self.views.pop(name, None)
         if view is None:
             raise CatalogError(f"no view {name!r}")
@@ -217,6 +250,7 @@ class DataWarehouse:
         the old epoch can no longer be trusted: the view is quarantined
         and queries route to base data until :meth:`repair` succeeds.
         """
+        self._assert_exclusive("refresh_view")
         view = self.view(name)
         try:
             view.refresh()
@@ -240,6 +274,7 @@ class DataWarehouse:
         contract for ``repair()``); a view the query cache created has no
         owner to repair it, so it is dropped outright rather than served.
         """
+        self._assert_exclusive("quarantine_view")
         view = self.view(name)
         view.quarantine(reason)
         self.incidents.append(f"quarantined view {name!r}: {reason}")
@@ -256,6 +291,7 @@ class DataWarehouse:
             ``{view_name: ConsistencyReport}`` for every repair attempt;
             a view is reinstated only when its report is clean.
         """
+        self._assert_exclusive("repair")
         if name is not None:
             targets = [self.view(name)]
         else:
@@ -549,6 +585,7 @@ class DataWarehouse:
         """
         from repro.views.verify import verify_warehouse
 
+        self._assert_exclusive("verify")
         reports = verify_warehouse(self)
         if quarantine:
             for name, report in reports.items():
@@ -577,6 +614,8 @@ class DataWarehouse:
         import os
 
         from repro.relational.persist import save_database
+
+        self._assert_exclusive("save")
 
         if storage_format is None:
             save_database(self.db, directory)
@@ -741,6 +780,7 @@ class DataWarehouse:
         is quarantined (the base update stands — queries route to base
         data until ``repair()``).
         """
+        self._assert_exclusive("update_measure")
         tbl = self.db.table(table)
         slot = self._locate_base_slot(table, keys)
         row = list(tbl.row(slot))
@@ -765,6 +805,7 @@ class DataWarehouse:
 
     def insert_row(self, table: str, values: Sequence[Any]) -> List[Any]:
         """Insert one base row and incrementally maintain dependent views."""
+        self._assert_exclusive("insert_row")
         tbl = self.db.table(table)
         tbl.insert(values)
         row = dict(zip(tbl.schema.names(), values))
@@ -785,6 +826,7 @@ class DataWarehouse:
 
     def delete_row(self, table: str, *, keys: Dict[str, Any]) -> List[Any]:
         """Delete one base row and incrementally maintain dependent views."""
+        self._assert_exclusive("delete_row")
         tbl = self.db.table(table)
         slot = self._locate_base_slot(table, keys)
         row = dict(zip(tbl.schema.names(), tbl.row(slot)))

@@ -1,0 +1,40 @@
+"""Shared fixtures for the serving-tier tests.
+
+Every server here binds port 0 (ephemeral), so the suite is safe to run
+in parallel with itself and with other test processes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ConcurrentWarehouse
+from repro.warehouse import sequence_values
+
+VIEW_SQL = (
+    "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING "
+    "AND 3 FOLLOWING) AS w FROM seq"
+)
+QUERY = (
+    "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 PRECEDING "
+    "AND 2 FOLLOWING) AS w FROM seq ORDER BY pos"
+)
+
+
+def build_concurrent(rows: int = 50, *, seed: int = 9) -> ConcurrentWarehouse:
+    """A ConcurrentWarehouse with one sequence table and one view."""
+    cw = ConcurrentWarehouse()
+    cw.create_table(
+        "seq", [("pos", "INTEGER"), ("val", "FLOAT")], primary_key=["pos"]
+    )
+    cw.insert(
+        "seq",
+        [(i + 1, v) for i, v in enumerate(sequence_values(rows, seed=seed))],
+    )
+    cw.create_view("mv", VIEW_SQL)
+    return cw
+
+
+@pytest.fixture
+def cw() -> ConcurrentWarehouse:
+    return build_concurrent()

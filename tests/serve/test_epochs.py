@@ -1,0 +1,130 @@
+"""EpochStore unit tests: publish / pin / unpin / GC and the verify report."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import EpochStore
+
+
+def test_pin_before_publish_raises():
+    store = EpochStore()
+    with pytest.raises(ServeError):
+        store.pin()
+    with pytest.raises(ServeError):
+        store.latest()
+
+
+def test_publish_assigns_monotonic_epochs():
+    store = EpochStore()
+    s1 = store.publish({"t": object()}, {})
+    s2 = store.publish({"t": object()}, {})
+    assert (s1.epoch, s2.epoch) == (1, 2)
+    assert store.latest_epoch == 2
+    assert store.latest() is s2
+
+
+def test_unpinned_old_epochs_are_gced_on_publish():
+    store = EpochStore()
+    store.publish({}, {})
+    store.publish({}, {})
+    store.publish({}, {})
+    assert store.retained_epochs() == [3]
+
+
+def test_pinned_epoch_survives_publishes_until_release():
+    store = EpochStore()
+    store.publish({"v": 1}, {})
+    pin = store.pin()
+    store.publish({"v": 2}, {})
+    store.publish({"v": 3}, {})
+    assert store.retained_epochs() == [1, 3]
+    assert pin.snapshot.tables["v"] == 1
+    pin.release()
+    assert store.retained_epochs() == [3]
+    assert store.pin_count() == 0
+
+
+def test_pin_refcounts_share_one_epoch():
+    store = EpochStore()
+    store.publish({}, {})
+    a, b = store.pin(), store.pin()
+    store.publish({}, {})
+    assert store.pin_count(1) == 2
+    a.release()
+    assert store.retained_epochs() == [1, 2]
+    b.release()
+    assert store.retained_epochs() == [2]
+
+
+def test_release_is_idempotent():
+    store = EpochStore()
+    store.publish({}, {})
+    pin = store.pin()
+    pin.release()
+    pin.release()  # double release must not underflow the refcount
+    again = store.pin()
+    assert store.pin_count(1) == 1
+    again.release()
+
+
+def test_pin_context_manager_releases_on_exception():
+    store = EpochStore()
+    store.publish({}, {})
+    with pytest.raises(RuntimeError):
+        with store.pin():
+            raise RuntimeError("mid-read failure")
+    assert store.verify()["clean"]
+
+
+def test_verify_report_shape():
+    store = EpochStore()
+    store.publish({}, {})
+    pin = store.pin()
+    store.publish({}, {})
+    report = store.verify()
+    assert report == {
+        "latest": 2,
+        "pinned": [1],
+        "orphaned": [],
+        "retained": [1, 2],
+        "clean": False,
+    }
+    pin.release()
+    assert store.verify()["clean"]
+
+
+def test_concurrent_pin_unpin_is_clean():
+    store = EpochStore()
+    store.publish({}, {})
+    errors = []
+
+    def worker(seed: int) -> None:
+        try:
+            for _ in range(200):
+                pin = store.pin()
+                pin.release()
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    publisher_done = threading.Event()
+
+    def publisher() -> None:
+        for _ in range(50):
+            store.publish({}, {})
+        publisher_done.set()
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    threads.append(threading.Thread(target=publisher))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert publisher_done.is_set()
+    report = store.verify()
+    assert report["clean"]
+    assert report["retained"] == [report["latest"]]

@@ -1,0 +1,259 @@
+"""Serving front-end tests: protocol, sessions, backpressure, faults.
+
+All servers bind ephemeral ports (``port=0``), so these tests are safe to
+run in parallel.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.errors import (
+    BackpressureError,
+    ProtocolError,
+    ReproError,
+    SessionKilledError,
+)
+from repro.faults import FaultPlan, FaultSpec, injector
+from repro.serve import protocol
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeServer
+
+from tests.serve.conftest import QUERY, build_concurrent
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture
+def server():
+    cw = build_concurrent()
+    with ServeServer(cw, max_queue=2, workers=4) as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    with ServeClient(port=server.port) as c:
+        yield c
+
+
+# -- protocol unit tests ------------------------------------------------------
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(ProtocolError):
+        protocol.decode_line(b"not json\n")
+    with pytest.raises(ProtocolError):
+        protocol.decode_line(b"[1,2]\n")
+    with pytest.raises(ProtocolError):
+        protocol.decode_line(b'{"op":"bogus"}\n')
+
+
+def test_exception_mapping_round_trip():
+    exc = protocol.exception_for(
+        {"type": "BackpressureError", "message": "full"}
+    )
+    assert isinstance(exc, BackpressureError)
+    fallback = protocol.exception_for({"type": "NoSuchClass", "message": "x"})
+    assert type(fallback) is ReproError
+
+
+# -- basic ops over the wire --------------------------------------------------
+
+
+def test_ping_and_session_identity(server):
+    with ServeClient(port=server.port) as a, ServeClient(port=server.port) as b:
+        assert a.ping() != b.ping()  # distinct sessions per connection
+
+
+def test_query_round_trip(client):
+    result = client.query(QUERY)
+    assert result["columns"] == ["pos", "w"]
+    assert len(result["rows"]) == 50
+    assert result["epoch"] >= 1
+    assert result["rewrite"]  # answered via the materialized view
+
+
+def test_per_session_config(server):
+    with ServeClient(port=server.port) as a, ServeClient(port=server.port) as b:
+        assert "jobs=2" in a.set_config(jobs=2, backend="thread")
+        # b's config is untouched by a's set; both still answer identically
+        ra, rb = a.query(QUERY), b.query(QUERY)
+        assert json.dumps(ra["rows"]) == json.dumps(rb["rows"])
+
+
+def test_set_config_rejects_unknown_field(client):
+    with pytest.raises(ProtocolError):
+        client.set_config(velocity=11)
+
+
+def test_query_requires_sql(client):
+    with pytest.raises(ProtocolError):
+        client.call("query")
+
+
+def test_writes_publish_epochs(client):
+    before = client.query(QUERY)
+    e1 = client.update_measure(
+        "seq", keys={"pos": 5}, value_col="val", new_value=777.0
+    )
+    e2 = client.refresh("mv")
+    assert e2 > e1
+    after = client.query(QUERY)
+    assert after["epoch"] == e2
+    assert json.dumps(after["rows"]) != json.dumps(before["rows"])
+    e3 = client.insert_row("seq", [51, 1.5])
+    e4 = client.delete_row("seq", keys={"pos": 51})
+    assert e4 > e3 > e2
+
+
+def test_epochs_and_stats_ops(client):
+    client.query(QUERY)
+    report = client.epochs()
+    assert report["clean"] and report["pinned"] == []
+    metrics = client.stats()
+    assert isinstance(metrics, dict)
+
+
+def test_unknown_table_error_surfaces_as_repro_error(client):
+    with pytest.raises(ReproError):
+        client.query("SELECT pos FROM nope")
+    assert client.ping()  # connection survives the failed op
+
+
+# -- admission control --------------------------------------------------------
+
+
+def test_backpressure_rejects_cleanly(server):
+    holders = [ServeClient(port=server.port) for _ in range(server.max_queue)]
+    threads = [
+        threading.Thread(target=h.query, args=(QUERY,), kwargs={"hold_ms": 700})
+        for h in holders
+    ]
+    for t in threads:
+        t.start()
+    try:
+        import time
+
+        time.sleep(0.25)  # let the held queries occupy every slot
+        with ServeClient(port=server.port) as probe:
+            with pytest.raises(BackpressureError):
+                probe.query(QUERY)
+            # non-query ops are never subject to query admission
+            assert probe.ping()
+    finally:
+        for t in threads:
+            t.join()
+        for h in holders:
+            h.close()
+    with ServeClient(port=server.port) as probe:
+        assert probe.query(QUERY)["rows"]  # slots free again
+    assert server.warehouse.epochs.verify()["clean"]
+
+
+# -- snapshot isolation through the server ------------------------------------
+
+
+def test_held_query_is_isolated_from_concurrent_refresh(server):
+    """A query holding its pin while a refresh commits answers at its own
+    epoch, identical to a pre-refresh read."""
+    with ServeClient(port=server.port) as a, ServeClient(port=server.port) as b:
+        before = a.query(QUERY)
+        held = {}
+
+        def hold() -> None:
+            held.update(a.query(QUERY, hold_ms=600))
+
+        t = threading.Thread(target=hold)
+        t.start()
+        import time
+
+        time.sleep(0.2)  # the held query has pinned by now
+        b.update_measure("seq", keys={"pos": 8}, value_col="val",
+                         new_value=-42.0)
+        epoch_after = b.refresh("mv")
+        t.join()
+        assert held["epoch"] == before["epoch"] < epoch_after
+        assert json.dumps(held["rows"]) == json.dumps(before["rows"])
+        assert json.dumps(b.query(QUERY)["rows"]) != json.dumps(before["rows"])
+        assert b.epochs()["clean"]
+
+
+@pytest.mark.faults
+def test_session_kill_over_the_wire(server):
+    with ServeClient(port=server.port) as victim:
+        name = victim.ping()
+        plan = FaultPlan([FaultSpec("session_kill", target=name)])
+        with injector.active(plan):
+            with pytest.raises(SessionKilledError):
+                victim.query(QUERY)
+            with ServeClient(port=server.port) as other:
+                assert other.query(QUERY)["rows"]  # others keep working
+        assert plan.fired_count("session_kill") == 1
+        report = victim.epochs()  # the killed connection is still usable
+        assert report["clean"] and report["pinned"] == []
+
+
+# -- asyncio-native usage -----------------------------------------------------
+
+
+def test_asyncio_refresh_during_read():
+    """Drive the protocol from a caller-owned event loop: concurrent reads
+    pin their epoch while a refresh commits mid-flight."""
+    cw = build_concurrent()
+
+    async def scenario() -> None:
+        server = ServeServer(cw, max_queue=4, workers=4)
+        await server.serve_async()
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                           server.port)
+
+            async def call(**fields):
+                writer.write(protocol.encode_line(fields))
+                await writer.drain()
+                return json.loads(await reader.readline())
+
+            before = await call(op="query", sql=QUERY)
+            held = asyncio.create_task(
+                call(op="query", sql=QUERY, hold_ms=400)
+            )
+            await asyncio.sleep(0.15)
+            reader2, writer2 = await asyncio.open_connection(
+                "127.0.0.1", server.port
+            )
+            writer2.write(protocol.encode_line(
+                {"op": "update", "table": "seq", "keys": {"pos": 6},
+                 "value_col": "val", "new_value": 3.25}
+            ))
+            writer2.write(protocol.encode_line({"op": "refresh", "view": "mv"}))
+            await writer2.drain()
+            await reader2.readline()
+            refreshed = json.loads(await reader2.readline())
+            held_result = await held
+            assert held_result["ok"] and before["ok"] and refreshed["ok"]
+            assert held_result["epoch"] == before["epoch"]
+            assert held_result["rows"] == before["rows"]
+            assert refreshed["epoch"] > before["epoch"]
+            after = await call(op="query", sql=QUERY)
+            assert after["epoch"] == refreshed["epoch"]
+            assert after["rows"] != before["rows"]
+            writer.close()
+            writer2.close()
+        finally:
+            await server.close_async()
+
+    asyncio.run(scenario())
+    assert cw.epochs.verify()["clean"]
+
+
+def test_ephemeral_ports_do_not_collide():
+    cw1, cw2 = build_concurrent(rows=10), build_concurrent(rows=10)
+    with ServeServer(cw1) as s1, ServeServer(cw2) as s2:
+        assert s1.port != s2.port
+        with ServeClient(port=s1.port) as a, ServeClient(port=s2.port) as b:
+            assert a.query(QUERY)["rows"] == b.query(QUERY)["rows"]
