@@ -1,0 +1,235 @@
+"""Failover benchmark: recovery time, replication lag, read availability.
+
+Boots the full durability stack in-process — a WAL-backed primary served
+over TCP, two warm replica servers fed by the epoch shipper, a failover
+coordinator and a retry/redirect client — then drives three phases:
+
+1. **Steady state** — ``--writes`` committed rows through the replicated
+   client, recording per-write latency and the shipper's per-replica lag
+   after every commit (the ``repro_replica_lag_epochs`` gauge's input).
+2. **Outage** — an injected ``primary_crash`` fault kills the primary on
+   the next request.  The driver keeps issuing reads through the crash:
+   every read must be answered (degraded reads carry ``stale=True``), the
+   first write after the crash forces the coordinator to promote the
+   freshest replica, and the time from crash to the first fresh
+   (non-stale) answer is the measured failover time.
+3. **Audit** — the promoted primary's answer is compared bit-for-bit
+   against a serial replay of the same logical workload on a fresh
+   warehouse, and the crashed primary's WAL is replayed with
+   :func:`repro.replicate.recover` (timed) — the recovered warehouse must
+   match the replay paused at the pre-crash epoch.
+
+The JSON artifact (``BENCH_failover.json``) records write latency,
+max observed lag, availability counts, failover and recovery wall times,
+and the audit verdicts.  Exit status 0 only when every property holds.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_failover.py \
+        [--rows 80] [--writes 6] [--reads 8] [--out BENCH_failover.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.faults import FaultPlan, FaultSpec, injector
+from repro.replicate import (
+    Endpoint, FailoverCoordinator, RemoteLink, Replica, ReplicatedClient,
+    Shipper, WriteAheadLog, recover, wal_path,
+)
+from repro.serve import ConcurrentWarehouse
+from repro.serve.server import ServeServer
+from repro.warehouse import sequence_values
+
+SEED = 31
+VIEW_SQL = ("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 "
+            "PRECEDING AND 2 FOLLOWING) AS w FROM seq")
+QUERY = VIEW_SQL + " ORDER BY pos"
+
+
+def row_hash(rows) -> str:
+    encoded = json.dumps([list(r) for r in rows],
+                         separators=(",", ":")).encode()
+    return hashlib.sha256(encoded).hexdigest()
+
+
+def seed_workload(cw: ConcurrentWarehouse, rows: int) -> None:
+    cw.create_table("seq", [("pos", "INTEGER"), ("val", "FLOAT")],
+                    primary_key=["pos"])
+    cw.insert("seq", [(i + 1, v)
+                      for i, v in enumerate(sequence_values(rows, seed=SEED))])
+    cw.create_view("mv", VIEW_SQL)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=80)
+    parser.add_argument("--writes", type=int, default=6,
+                        help="steady-state committed rows before the crash")
+    parser.add_argument("--reads", type=int, default=8,
+                        help="reads issued through the outage window")
+    parser.add_argument("--min-insync", dest="min_insync", type=int, default=1)
+    parser.add_argument("--out", default="BENCH_failover.json")
+    args = parser.parse_args(argv)
+
+    home = tempfile.mkdtemp(prefix="repro-bench-failover-")
+    replicas = [Replica(name="replica-1"), Replica(name="replica-2")]
+    servers = [ServeServer(replica=r, name=r.name).start() for r in replicas]
+    wal = WriteAheadLog(wal_path(home))
+    primary = ConcurrentWarehouse(wal=wal)
+    primary_server = ServeServer(primary, name="primary").start()
+    shipper = Shipper(primary, [
+        RemoteLink("127.0.0.1", s.port, name=s.name) for s in servers
+    ], min_insync=args.min_insync)
+    coordinator = FailoverCoordinator(
+        [Endpoint("primary", "127.0.0.1", primary_server.port)]
+        + [Endpoint(s.name, "127.0.0.1", s.port) for s in servers],
+        timeout=3.0,
+    )
+
+    write_latencies = []
+    lag_samples = []
+    outage_reads = []      # (stale, served_by, latency_s)
+    failover_ms = None
+    errors = []
+    try:
+        seed_workload(primary, args.rows)
+
+        # -- phase 1: steady state -------------------------------------------
+        with ReplicatedClient(coordinator) as client:
+            for i in range(args.writes):
+                begun = time.perf_counter()
+                client.write("insert_row", table="seq",
+                             values=[args.rows + 1 + i, 100.0 + 3.0 * i])
+                write_latencies.append(time.perf_counter() - begun)
+                lag_samples.append(max(shipper.lag(r.name) for r in replicas))
+            pre_crash_rows = client.query(QUERY)["rows"]
+            pre_crash_epoch = primary.epochs.latest_epoch
+            insync = shipper.insync_count()
+
+            # -- phase 2: crash the primary, read through the outage ---------
+            plan = FaultPlan([FaultSpec("primary_crash", target="primary")])
+            failover_pos = args.rows + 1 + args.writes
+            with injector.active(plan):
+                crash_begun = time.perf_counter()
+                for i in range(args.reads):
+                    begun = time.perf_counter()
+                    response = client.query(QUERY)
+                    outage_reads.append((response["stale"],
+                                         response["served_by"],
+                                         time.perf_counter() - begun))
+                    if i == 0:
+                        # First write after the crash forces the election.
+                        client.write("insert_row", table="seq",
+                                     values=[failover_pos, 999.0])
+                    if not response["stale"] and failover_ms is None and i > 0:
+                        failover_ms = (time.perf_counter() - crash_begun) * 1e3
+            promoted = coordinator.primary_name
+            final_rows = client.query(QUERY)["rows"]
+    except Exception as exc:  # pragma: no cover - failure path
+        errors.append(f"{type(exc).__name__}: {exc}")
+        promoted, pre_crash_rows, pre_crash_epoch = None, [], 0
+        final_rows, insync = [], 0
+    finally:
+        shipper.close()
+        primary_server.stop()
+        for s in servers:
+            s.stop()
+        wal.close()
+
+    # -- phase 3: audit vs serial replay + WAL recovery ----------------------
+    replay = ConcurrentWarehouse()
+    seed_workload(replay, args.rows)
+    for i in range(args.writes):
+        replay.insert_row("seq", [args.rows + 1 + i, 100.0 + 3.0 * i])
+    pre_crash_expected = row_hash(replay.query(QUERY).rows)
+
+    recover_begun = time.perf_counter()
+    try:
+        report = recover(home)
+        recovery_ms = (time.perf_counter() - recover_begun) * 1e3
+        recovered_hash = row_hash(report.warehouse.query(QUERY).rows)
+        recovery = {
+            "recovery_ms": round(recovery_ms, 3),
+            "base_epoch": report.base_epoch,
+            "replayed_epochs": len(report.replayed),
+            "truncated_bytes": report.truncated_bytes,
+            "clean": report.clean,
+            "matches_replay": recovered_hash == pre_crash_expected,
+            "epoch_matches": report.last_epoch == pre_crash_epoch,
+        }
+        if report.warehouse.wal is not None:
+            report.warehouse.wal.close()
+    except Exception as exc:  # pragma: no cover - failure path
+        errors.append(f"recover: {type(exc).__name__}: {exc}")
+        recovery = {"clean": False, "matches_replay": False,
+                    "epoch_matches": False}
+    shutil.rmtree(home, ignore_errors=True)
+
+    replay.insert_row("seq", [args.rows + 1 + args.writes, 999.0])
+    final_expected = row_hash(replay.query(QUERY).rows)
+
+    stale_reads = sum(1 for stale, _, _ in outage_reads if stale)
+    fresh_reads = len(outage_reads) - stale_reads
+    artifact = {
+        "benchmark": "failover",
+        "rows": args.rows,
+        "writes": len(write_latencies),
+        "min_insync": args.min_insync,
+        "write_latency_ms": {
+            "p50": round(sorted(write_latencies)[len(write_latencies) // 2]
+                         * 1e3, 3) if write_latencies else 0.0,
+            "max": round(max(write_latencies) * 1e3, 3)
+            if write_latencies else 0.0,
+        },
+        "max_replica_lag_epochs": max(lag_samples) if lag_samples else 0,
+        "insync_before_crash": insync,
+        "outage": {
+            "reads_attempted": args.reads,
+            "reads_answered": len(outage_reads),
+            "stale_reads": stale_reads,
+            "fresh_reads_after_promotion": fresh_reads,
+            "failover_ms": round(failover_ms, 3)
+            if failover_ms is not None else None,
+            "promoted": promoted,
+        },
+        "audit": {
+            "degraded_answer_matches": (
+                bool(outage_reads)
+                and row_hash(pre_crash_rows) == pre_crash_expected
+            ),
+            "promoted_answer_matches": row_hash(final_rows) == final_expected
+            if final_rows else False,
+            "recovery": recovery,
+        },
+        "errors": errors,
+    }
+    ok = (not errors
+          and len(outage_reads) == args.reads
+          and stale_reads >= 1 and fresh_reads >= 1
+          and promoted not in (None, "primary")
+          and artifact["audit"]["degraded_answer_matches"]
+          and artifact["audit"]["promoted_answer_matches"]
+          and recovery["clean"] and recovery["matches_replay"]
+          and recovery["epoch_matches"])
+    artifact["ok"] = ok
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2)
+    print(f"writes={len(write_latencies)} max_lag={artifact['max_replica_lag_epochs']} "
+          f"outage_reads={len(outage_reads)}/{args.reads} "
+          f"(stale={stale_reads}, fresh={fresh_reads}) "
+          f"failover={artifact['outage']['failover_ms']}ms "
+          f"recovery={recovery.get('recovery_ms')}ms promoted={promoted}")
+    print(f"wrote {args.out}" + ("" if ok else " (FAILURES)"))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

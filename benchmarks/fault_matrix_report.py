@@ -204,6 +204,204 @@ def run_session_kill(rows):
     }
 
 
+def _build_replicated(rows, wal=None):
+    """A ConcurrentWarehouse whose whole history flows through logged ops
+    (replication scenarios need every mutation in the epoch stream)."""
+    from repro.serve import ConcurrentWarehouse
+    from repro.warehouse.workload import sequence_values
+
+    cw = ConcurrentWarehouse(wal=wal)
+    cw.create_table("seq", [("pos", "INTEGER"), ("val", "FLOAT")],
+                    primary_key=["pos"])
+    values = sequence_values(rows, seed=SEED)
+    cw.insert("seq", [(i + 1, float(v)) for i, v in enumerate(values)])
+    cw.create_view("mv", VIEW_SQL)
+    return cw
+
+
+def run_wal_torn_write(rows):
+    from repro.replicate import recovery
+    from repro.replicate.wal import WriteAheadLog
+
+    with tempfile.TemporaryDirectory() as tmp:
+        wal = WriteAheadLog(recovery.wal_path(tmp))
+        cw = _build_replicated(rows, wal=wal)
+        cw.insert_row("seq", [rows + 1, 1.25])
+        reference = cw.query(QUERY).rows
+        committed = cw.epochs.latest_epoch
+        plan = FaultPlan([FaultSpec("wal_torn_write", at=0)])
+        fault_raised = False
+        with injector.active(plan):
+            try:
+                cw.insert_row("seq", [rows + 2, 2.5])
+            except InjectedFault:
+                fault_raised = True
+        poisoned = cw.poisoned is not None
+        wal.close()
+        report = recovery.recover(tmp)
+        res = report.warehouse.query(QUERY)
+        report.warehouse.wal.close()
+    return {
+        "fired": plan.fired_count(),
+        "detection": "torn tail found on WAL open (CRC32 framing)",
+        "degradation": (
+            f"tail truncated ({report.truncated_bytes} bytes); warehouse "
+            "poisoned until recovery; committed epochs preserved"
+        ),
+        "answers_match": (fault_raised and poisoned
+                          and report.truncated_bytes > 0
+                          and report.last_epoch == committed
+                          and res.rows == reference),
+        "repaired_clean": report.clean,
+    }
+
+
+def run_primary_crash(rows):
+    from repro.replicate import (
+        Endpoint, FailoverCoordinator, RemoteLink, Replica, ReplicatedClient,
+        Shipper,
+    )
+    from repro.serve.server import ServeServer
+
+    reference = _build_replicated(rows)
+    reference.insert_row("seq", [rows + 1, 7.5])
+    expected = [list(r) for r in reference.query(QUERY).rows]
+
+    replicas = [Replica(name="replica-1"), Replica(name="replica-2")]
+    servers = [ServeServer(replica=r, name=r.name).start() for r in replicas]
+    from repro.serve import ConcurrentWarehouse
+
+    primary = ConcurrentWarehouse()
+    primary_server = ServeServer(primary, name="primary").start()
+    shipper = Shipper(primary, [
+        RemoteLink("127.0.0.1", s.port, name=s.name) for s in servers
+    ], min_insync=1)
+    try:
+        cw = primary
+        cw.create_table("seq", [("pos", "INTEGER"), ("val", "FLOAT")],
+                        primary_key=["pos"])
+        from repro.warehouse.workload import sequence_values
+
+        values = sequence_values(rows, seed=SEED)
+        cw.insert("seq", [(i + 1, float(v)) for i, v in enumerate(values)])
+        cw.create_view("mv", VIEW_SQL)
+
+        coordinator = FailoverCoordinator(
+            [Endpoint("primary", "127.0.0.1", primary_server.port)]
+            + [Endpoint(s.name, "127.0.0.1", s.port) for s in servers],
+            timeout=3.0,
+        )
+        with ReplicatedClient(coordinator) as client:
+            before = client.query(QUERY)["rows"]
+            plan = FaultPlan([FaultSpec("primary_crash", target="primary")])
+            with injector.active(plan):
+                # The crash trips on this read; the client degrades to a
+                # stale replica answer without losing availability.
+                degraded = client.query(QUERY)
+                client.write("insert_row", table="seq",
+                             values=[rows + 1, 7.5])
+                after = client.query(QUERY)
+        promoted = coordinator.primary_name
+    finally:
+        shipper.close()
+        primary_server.stop()
+        for s in servers:
+            s.stop()
+    return {
+        "fired": plan.fired_count(),
+        "detection": "status probe fails (ServeConnectionError)",
+        "degradation": (
+            f"stale replica reads during outage; {promoted} promoted "
+            "(freshest applied epoch); writes redirected"
+        ),
+        "answers_match": (degraded["stale"] and degraded["rows"] == before
+                          and promoted != "primary"
+                          and after["rows"] == expected),
+        "repaired_clean": None,
+    }
+
+
+def run_replica_lag(rows):
+    from repro.replicate import LocalLink, Replica, Shipper
+
+    reference = _build_replicated(rows)
+    # Attach the shipper from genesis so the replica sees all history.
+    from repro.serve import ConcurrentWarehouse
+    from repro.warehouse.workload import sequence_values
+
+    primary = ConcurrentWarehouse()
+    replica = Replica(name="lagger")
+    shipper = Shipper(primary, [LocalLink(replica)])
+    primary.create_table("seq", [("pos", "INTEGER"), ("val", "FLOAT")],
+                         primary_key=["pos"])
+    values = sequence_values(rows, seed=SEED)
+    primary.insert("seq", [(i + 1, float(v)) for i, v in enumerate(values)])
+    primary.create_view("mv", VIEW_SQL)
+    reference.insert_row("seq", [rows + 1, 3.75])
+
+    plan = FaultPlan([FaultSpec("replica_lag", target="lagger", at=0)])
+    with injector.active(plan):
+        primary.insert_row("seq", [rows + 1, 3.75])
+        lag_during = shipper.lag("lagger")
+    caught_up = shipper.catch_up("lagger")["lagger"]
+    match = ([list(r) for r in replica.warehouse.query(QUERY).rows]
+             == [list(r) for r in reference.query(QUERY).rows])
+    return {
+        "fired": plan.fired_count(),
+        "detection": (
+            f"repro_replica_lag_epochs gauge rises (lag={lag_during})"
+        ),
+        "degradation": "record buffered in order; catch-up drains backlog",
+        "answers_match": (lag_during == 1 and caught_up
+                          and shipper.lag("lagger") == 0 and match
+                          and replica.applied_epoch
+                          == primary.epochs.latest_epoch),
+        "repaired_clean": None,
+    }
+
+
+def run_ship_partition(rows):
+    from repro.replicate import LocalLink, Replica, Shipper
+    from repro.serve import ConcurrentWarehouse
+    from repro.warehouse.workload import sequence_values
+
+    primary = ConcurrentWarehouse()
+    cut, healthy = Replica(name="cut"), Replica(name="healthy")
+    shipper = Shipper(primary, [LocalLink(cut), LocalLink(healthy)],
+                      min_insync=1)
+    primary.create_table("seq", [("pos", "INTEGER"), ("val", "FLOAT")],
+                         primary_key=["pos"])
+    values = sequence_values(rows, seed=SEED)
+    primary.insert("seq", [(i + 1, float(v)) for i, v in enumerate(values)])
+    primary.create_view("mv", VIEW_SQL)
+    prefix = [list(r) for r in primary.query(QUERY).rows]
+
+    plan = FaultPlan([FaultSpec("ship_partition", target="cut", at=0)])
+    with injector.active(plan):
+        # min_insync=1 still holds: the healthy replica acks.
+        primary.insert_row("seq", [rows + 1, 9.0])
+    status = shipper.link_status()
+    # During the partition the cut replica serves a consistent *prefix* of
+    # history (no torn or reordered applies), just a stale one.
+    stale_ok = [list(r) for r in cut.warehouse.query(QUERY).rows] == prefix
+    healed = shipper.catch_up("cut")["cut"]
+    final = [list(r) for r in primary.query(QUERY).rows]
+    match = ([list(r) for r in cut.warehouse.query(QUERY).rows] == final
+             and [list(r) for r in healthy.warehouse.query(QUERY).rows]
+             == final)
+    return {
+        "fired": plan.fired_count(),
+        "detection": f"link marked down (status={status['cut']['down']})",
+        "degradation": (
+            "partitioned link buffers; healthy replica keeps min_insync; "
+            "catch-up replays the gap in order"
+        ),
+        "answers_match": (status["cut"]["down"] and stale_ok and healed
+                          and match),
+        "repaired_clean": None,
+    }
+
+
 SCENARIOS = {
     "worker_crash": run_worker_crash,
     "worker_hang": run_worker_hang,
@@ -212,6 +410,10 @@ SCENARIOS = {
     "bitflip": run_bitflip,
     "maintenance_fail": run_maintenance_fail,
     "session_kill": run_session_kill,
+    "wal_torn_write": run_wal_torn_write,
+    "primary_crash": run_primary_crash,
+    "replica_lag": run_replica_lag,
+    "ship_partition": run_ship_partition,
 }
 
 

@@ -11,6 +11,9 @@ Usage::
     python -m repro advise --query "SELECT ..." [--query "..."]
     python -m repro parallel [--rows N] [--jobs 1,2,4] [--backend thread]
     python -m repro serve [--rows N] [--port P] [--max-queue Q]
+    python -m repro replicate [--rows N] [--replicas R] [--min-insync K]
+                              [--inject-fault KIND] [--dir DIR]
+    python -m repro recover --dir DIR [--query "SELECT ..."] [--json PATH]
     python -m repro verify --dir DIR [--repair] [--json PATH]
     python -m repro fuzz [--seeds N] [--oracle sqlite|none] [--json PATH]
                          [--trace]
@@ -340,6 +343,206 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+_REPLICATION_KINDS = (
+    "wal_torn_write", "primary_crash", "replica_lag", "ship_partition",
+)
+
+_REPLICATE_VIEW = ("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 "
+                   "PRECEDING AND 1 FOLLOWING) AS s FROM seq")
+_REPLICATE_QUERY = _REPLICATE_VIEW + " ORDER BY pos"
+
+
+def _replicate_crash_demo(args: argparse.Namespace) -> int:
+    """primary_crash needs the real serving tier: crash, degrade, fail over."""
+    from repro.faults import FaultPlan, FaultSpec, injector
+    from repro.replicate import (
+        Endpoint, FailoverCoordinator, RemoteLink, Replica, ReplicatedClient,
+        Shipper,
+    )
+    from repro.serve import ConcurrentWarehouse
+    from repro.serve.server import ServeServer
+
+    replicas = [Replica(name=f"replica-{i + 1}")
+                for i in range(max(args.replicas, 1))]
+    servers = [ServeServer(replica=r, name=r.name).start() for r in replicas]
+    primary = ConcurrentWarehouse()
+    primary_server = ServeServer(primary, name="primary").start()
+    shipper = Shipper(primary, [
+        RemoteLink("127.0.0.1", s.port, name=s.name) for s in servers
+    ], min_insync=args.min_insync)
+    print(f"primary on :{primary_server.port} -> "
+          + ", ".join(f"{s.name} on :{s.port}" for s in servers)
+          + f", min_insync={args.min_insync}")
+    try:
+        primary.create_table("seq", [("pos", INTEGER), ("val", FLOAT)],
+                             primary_key=["pos"])
+        primary.insert("seq", [
+            (i + 1, v)
+            for i, v in enumerate(sequence_values(args.rows, seed=args.seed))
+        ])
+        primary.create_view("mv", _REPLICATE_VIEW)
+
+        coordinator = FailoverCoordinator(
+            [Endpoint("primary", "127.0.0.1", primary_server.port)]
+            + [Endpoint(s.name, "127.0.0.1", s.port) for s in servers],
+            timeout=3.0,
+        )
+        with ReplicatedClient(coordinator) as client:
+            before = client.query(_REPLICATE_QUERY)["rows"]
+            plan = FaultPlan([FaultSpec("primary_crash", target="primary")])
+            print(f"injecting: {plan.describe()}")
+            with injector.active(plan):
+                degraded = client.query(_REPLICATE_QUERY)
+                print(f"read during outage: served by "
+                      f"{degraded['served_by']} (stale={degraded['stale']}), "
+                      f"answer match: "
+                      f"{'yes' if degraded['rows'] == before else 'NO'}")
+                client.write("insert_row", table="seq",
+                             values=[args.rows + 1, 0.5])
+                after = client.query(_REPLICATE_QUERY)
+            for event in plan.events:
+                print(f"fired: {event.kind} at {event.site} ({event.detail})")
+            print(f"failover: {coordinator.primary_name} promoted; "
+                  f"post-failover read stale={after['stale']}")
+        ok = (degraded["stale"] and degraded["rows"] == before
+              and coordinator.primary_name != "primary"
+              and not after["stale"])
+        print("availability held through the crash: "
+              + ("yes" if ok else "NO"))
+        return 0 if ok else 1
+    finally:
+        shipper.close()
+        primary_server.stop()
+        for s in servers:
+            s.stop()
+
+
+def cmd_replicate(args: argparse.Namespace) -> int:
+    """Demo the durability stack: WAL + warm replicas + failover faults."""
+    import shutil
+    import tempfile
+
+    if args.inject_fault == "primary_crash":
+        return _replicate_crash_demo(args)
+
+    from repro.errors import InjectedFault, ReplicationError
+    from repro.faults import FaultPlan, FaultSpec, injector
+    from repro.replicate import (
+        LocalLink, Replica, Shipper, WriteAheadLog, recover, state_digest,
+        wal_path,
+    )
+    from repro.serve import ConcurrentWarehouse
+
+    home = args.dir or tempfile.mkdtemp(prefix="repro-replicate-")
+    cleanup = args.dir is None
+    try:
+        wal = WriteAheadLog(wal_path(home))
+        primary = ConcurrentWarehouse(wal=wal)
+        replicas = [Replica(name=f"replica-{i + 1}")
+                    for i in range(args.replicas)]
+        shipper = Shipper(primary, [LocalLink(r) for r in replicas],
+                          min_insync=args.min_insync)
+        print(f"primary (WAL at {wal_path(home)}) -> "
+              f"{args.replicas} warm replicas, min_insync={args.min_insync}")
+
+        plan = None
+        if args.inject_fault:
+            target = "" if args.inject_fault == "wal_torn_write" else "replica-1"
+            plan = FaultPlan(
+                [FaultSpec(args.inject_fault, target=target, at=2)], seed=1
+            )
+            print(f"injecting: {plan.describe()}")
+            injector.install(plan)
+        torn = False
+        try:
+            primary.create_table("seq", [("pos", INTEGER), ("val", FLOAT)],
+                                 primary_key=["pos"])
+            primary.insert("seq", [
+                (i + 1, v)
+                for i, v in enumerate(sequence_values(args.rows,
+                                                      seed=args.seed))
+            ])
+            primary.create_view("mv", _REPLICATE_VIEW)
+            primary.insert_row("seq", (args.rows + 1, 0.5))
+        except InjectedFault as exc:
+            print(f"fault surfaced: {exc}")
+            torn = True
+        except ReplicationError as exc:
+            print(f"under-replicated commit: {exc}")
+        finally:
+            injector.clear()
+        if plan is not None:
+            for event in plan.events:
+                print(f"fired: {event.kind} at {event.site} ({event.detail})")
+
+        if torn:
+            wal.close()
+            report = recover(home)
+            print(f"recovered: base_epoch={report.base_epoch} "
+                  f"replayed={len(report.replayed)} epochs, truncated "
+                  f"{report.truncated_bytes} torn bytes, clean={report.clean}")
+            if report.warehouse.wal is not None:
+                report.warehouse.wal.close()
+            return 0 if report.clean else 1
+
+        healed = shipper.catch_up()
+        primary_digest = state_digest(primary.warehouse)
+        ok = True
+        for replica in replicas:
+            digest = state_digest(replica.warehouse.warehouse)
+            same = digest == primary_digest
+            ok = ok and same and replica.diverged is None
+            print(f"{replica.name}: applied epoch {replica.applied_epoch}/"
+                  f"{primary.epochs.latest_epoch}, lag "
+                  f"{shipper.lag(replica.name)}, caught_up="
+                  f"{healed[replica.name]}, digest match: "
+                  f"{'yes' if same else 'NO'}")
+        rows = primary.query(_REPLICATE_QUERY).rows
+        for replica in replicas:
+            ok = ok and replica.warehouse.query(_REPLICATE_QUERY).rows == rows
+        print(f"bit-identical answers across the replica set: "
+              f"{'yes' if ok else 'NO'}")
+        wal.close()
+        return 0 if ok else 1
+    finally:
+        if cleanup:
+            shutil.rmtree(home, ignore_errors=True)
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """Recover a warehouse from its dump + write-ahead log."""
+    from repro.errors import ReproError
+    from repro.replicate import recover
+
+    try:
+        report = recover(args.dir)
+    except ReproError as exc:
+        print(f"recovery failed: {type(exc).__name__}: {exc}")
+        return 2
+    print(f"base snapshot epoch : {report.base_epoch}")
+    print(f"replayed epochs     : {len(report.replayed)}"
+          + (f" ({report.replayed[0]}..{report.replayed[-1]})"
+             if report.replayed else ""))
+    print(f"torn bytes truncated: {report.truncated_bytes}")
+    print(f"serving epoch       : {report.last_epoch}")
+    for name, clean in sorted(report.verified.items()):
+        print(f"view {name!r} verified: {'clean' if clean else 'DISCREPANT'}")
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"wrote {args.json_path}")
+    if args.query:
+        result = report.warehouse.query(args.query)
+        for row in result.rows[:20]:
+            print("  " + "\t".join(str(v) for v in row))
+        if len(result.rows) > 20:
+            print(f"  ... {len(result.rows) - 20} more rows")
+    if report.warehouse.wal is not None:
+        report.warehouse.wal.close()
+    print("recovery " + ("clean" if report.clean else "FOUND DISCREPANCIES"))
+    return 0 if report.clean else 1
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
     """Verify (and optionally repair) a saved warehouse dump."""
     import json
@@ -599,10 +802,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_flags(demo)
     from repro.faults import KINDS
 
-    demo.add_argument("--inject-fault", dest="inject_fault", choices=list(KINDS),
+    demo_kinds = [k for k in KINDS if k not in _REPLICATION_KINDS]
+    demo.add_argument("--inject-fault", dest="inject_fault", choices=demo_kinds,
                       default=None,
                       help="run the demo under a deterministic injected fault "
-                           "and show detection -> degradation -> repair")
+                           "and show detection -> degradation -> repair "
+                           "(replication faults: `repro replicate "
+                           "--inject-fault`)")
     demo.add_argument("--storage-format", dest="storage_format", type=int,
                       choices=[2, 3], default=None,
                       help="also save/reload the warehouse in this dump format "
@@ -712,6 +918,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker threads executing queries and writes")
     _add_parallel_flags(serve)
     serve.set_defaults(func=cmd_serve)
+
+    rep = sub.add_parser(
+        "replicate",
+        help="demo the durability stack: WAL, warm replicas, failover faults",
+    )
+    rep.add_argument("--rows", type=int, default=200)
+    rep.add_argument("--seed", type=int, default=0)
+    rep.add_argument("--replicas", type=int, default=2,
+                     help="number of warm in-process replicas")
+    rep.add_argument("--min-insync", dest="min_insync", type=int, default=1,
+                     help="acks required before a commit call returns")
+    rep.add_argument("--inject-fault", dest="inject_fault",
+                     choices=list(_REPLICATION_KINDS), default=None,
+                     help="inject one replication fault into the workload")
+    rep.add_argument("--dir", default=None,
+                     help="keep WAL segments here (default: a temp dir, "
+                          "removed afterwards)")
+    rep.set_defaults(func=cmd_replicate)
+
+    rec = sub.add_parser(
+        "recover", help="replay the write-ahead log over the last dump"
+    )
+    rec.add_argument("--dir", required=True,
+                     help="warehouse home holding the dump and its wal/ "
+                          "subdirectory")
+    rec.add_argument("--query", nargs="?", default=None,
+                     const=_REPLICATE_QUERY,
+                     help="run a SELECT against the recovered warehouse "
+                          "(bare --query runs the replicate demo's view "
+                          "query)")
+    rec.add_argument("--json", dest="json_path", default=None,
+                     help="write a machine-readable report to this path")
+    rec.set_defaults(func=cmd_recover)
 
     ver = sub.add_parser("verify", help="verify (and repair) a saved warehouse dump")
     ver.add_argument("--dir", required=True, help="directory written by DataWarehouse.save()")

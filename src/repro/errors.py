@@ -198,3 +198,55 @@ class ConcurrencyError(ServeError):
     by a :class:`~repro.serve.concurrent.ConcurrentWarehouse` and the call
     did not go through the wrapper's serialized write path.
     """
+
+
+class ServeConnectionError(ServeError):
+    """The connection to a serve-tier peer failed mid-request.
+
+    Wraps raw socket failures (``ConnectionResetError``, ``BrokenPipeError``,
+    timeouts, unexpected EOF) so callers handle one typed error instead of
+    transport internals.  ``request_id`` identifies the in-flight request
+    whose response was lost — the caller cannot know whether the server
+    executed it, so non-idempotent ops need an explicit status check before
+    a retry.
+    """
+
+    def __init__(self, message: str, *, request_id=None) -> None:
+        super().__init__(message)
+        self.request_id = request_id
+
+
+# ---------------------------------------------------------------------------
+# Durable replication (repro.replicate)
+# ---------------------------------------------------------------------------
+
+class ReplicationError(ReproError):
+    """Base class for write-ahead-log / replication / failover errors."""
+
+
+class WalCorruptionError(ReplicationError):
+    """The write-ahead log is corrupt *before* its tail.
+
+    A torn tail (a crash mid-append) is expected and silently truncated on
+    open; a bad frame followed by good frames means the log itself was
+    damaged and recovery cannot trust anything after the corruption point.
+    """
+
+
+class DivergenceError(ReplicationError):
+    """A replica's post-apply state digest disagrees with the primary's.
+
+    The shipped epoch record carries the primary's content digest; a
+    mismatch after apply means the replica can no longer serve answers
+    bit-identical to the primary and must stop applying (it keeps serving
+    reads at its last verified epoch).
+    """
+
+
+class NotPrimaryError(ReplicationError):
+    """A write reached a replica that has not been promoted.
+
+    Replicas serve (stale-flagged) reads at their last replicated epoch;
+    writes fail fast with this error so the client can redirect to the
+    primary (or wait for failover to promote one).
+    """

@@ -24,6 +24,8 @@ from repro.faults.injector import (
     check,
     clear,
     install,
+    ship_hook,
+    wal_torn_hook,
 )
 from repro.faults.plan import KINDS, REFRESH_POINTS, FaultEvent, FaultPlan, FaultSpec
 
@@ -39,4 +41,6 @@ __all__ = [
     "check",
     "clear",
     "install",
+    "ship_hook",
+    "wal_torn_hook",
 ]

@@ -38,8 +38,10 @@ __all__ = [
     "clear",
     "install",
     "refresh_write_hook",
+    "ship_hook",
     "take_task_faults",
     "verify_hook",
+    "wal_torn_hook",
 ]
 
 _ACTIVE: Optional[FaultPlan] = None
@@ -163,6 +165,46 @@ def _flip_bit(value: float) -> float:
     flipped = bits ^ (1 << 51)
     (out,) = struct.unpack("<d", struct.pack("<Q", flipped))
     return out
+
+
+# ---------------------------------------------------------------------------
+# Replication faults
+# ---------------------------------------------------------------------------
+
+
+def wal_torn_hook(target: str = "") -> bool:
+    """Fire ``wal_torn_write`` specs for one WAL append.
+
+    Returns True when the append should simulate a crash mid-write: the log
+    writes a *partial* frame (exactly what a power cut mid-``write`` leaves
+    behind) and raises :class:`InjectedFault`; recovery must truncate the
+    torn bytes without losing any earlier committed epoch.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return False
+    fired = False
+    for spec in plan.fire("wal_append", target):
+        plan.record(spec.kind, "wal_append", target, "torn frame at the tail")
+        fired = True
+    return fired
+
+
+def ship_hook(target: str):
+    """Fire ``ship``-site specs (``replica_lag`` / ``ship_partition``) for
+    one shipment to the replica named ``target``.
+
+    Returns the fired specs; the shipper interprets each kind itself (a
+    lagging replica buffers the record, a partitioned link drops and must
+    catch up later), so this hook records but never raises.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return []
+    fired = plan.fire("ship", target)
+    for spec in fired:
+        plan.record(spec.kind, "ship", target, f"shipment to {target!r} disrupted")
+    return fired
 
 
 # ---------------------------------------------------------------------------

@@ -32,6 +32,10 @@ KINDS = (
     "bitflip",             # one storage value corrupted at verify time
     "maintenance_fail",    # an incremental maintenance rule raises
     "session_kill",        # a serving-tier session dies mid-query
+    "wal_torn_write",      # process dies mid-WAL-append (partial frame on disk)
+    "primary_crash",       # the serving primary hard-crashes mid-dispatch
+    "replica_lag",         # shipping to one replica stalls (records buffered)
+    "ship_partition",      # the network link to one replica drops
 )
 
 # Checkpoints inside MaterializedSequenceView.refresh() that a
@@ -47,6 +51,10 @@ _SITE_OF_KIND = {
     "bitflip": "verify",
     "maintenance_fail": "maintenance",
     "session_kill": "serve_query",
+    "wal_torn_write": "wal_append",
+    "primary_crash": "primary",
+    "replica_lag": "ship",
+    "ship_partition": "ship",
 }
 
 

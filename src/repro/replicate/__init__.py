@@ -1,0 +1,59 @@
+"""Durable replication: WAL, recovery, epoch shipping, failover.
+
+The robustness capstone over the serving tier (DESIGN.md §5h):
+
+* :mod:`repro.replicate.wal` — CRC32-framed, fsync'd write-ahead epoch
+  log; every commit is durable *before* it publishes.
+* :mod:`repro.replicate.recovery` — replay the log over the last
+  checkpointed snapshot; digest-verified, then view-verified.
+* :mod:`repro.replicate.replica` / :mod:`repro.replicate.shipper` — warm
+  replicas applying the primary's epoch stream in commit order, with lag
+  buffering, partition catch-up and optional ``min_insync`` acks.
+* :mod:`repro.replicate.failover` — health-probed promotion of the
+  freshest replica and a retry/redirect client.
+
+Submodules import the serving tier, which may itself need
+:mod:`repro.replicate.wal`; exports resolve lazily (PEP 562) so the
+package never participates in an import cycle.
+"""
+
+from typing import TYPE_CHECKING
+
+_EXPORTS = {
+    "EpochRecord": ("repro.replicate.wal", "EpochRecord"),
+    "WriteAheadLog": ("repro.replicate.wal", "WriteAheadLog"),
+    "state_digest": ("repro.replicate.wal", "state_digest"),
+    "RecoveryReport": ("repro.replicate.recovery", "RecoveryReport"),
+    "recover": ("repro.replicate.recovery", "recover"),
+    "wal_path": ("repro.replicate.recovery", "wal_path"),
+    "Replica": ("repro.replicate.replica", "Replica"),
+    "LocalLink": ("repro.replicate.shipper", "LocalLink"),
+    "RemoteLink": ("repro.replicate.shipper", "RemoteLink"),
+    "Shipper": ("repro.replicate.shipper", "Shipper"),
+    "Endpoint": ("repro.replicate.failover", "Endpoint"),
+    "FailoverCoordinator": ("repro.replicate.failover", "FailoverCoordinator"),
+    "ReplicatedClient": ("repro.replicate.failover", "ReplicatedClient"),
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from repro.replicate.failover import (  # noqa: F401
+        Endpoint,
+        FailoverCoordinator,
+        ReplicatedClient,
+    )
+    from repro.replicate.recovery import RecoveryReport, recover, wal_path  # noqa: F401
+    from repro.replicate.replica import Replica  # noqa: F401
+    from repro.replicate.shipper import LocalLink, RemoteLink, Shipper  # noqa: F401
+    from repro.replicate.wal import EpochRecord, WriteAheadLog, state_digest  # noqa: F401
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -7,6 +7,12 @@ the error response (``BackpressureError`` for admission rejections,
 ``SessionKilledError`` for fault-injected kills, ...), so callers handle
 remote errors exactly like local ones.
 
+Transport failures — the peer reset the connection, a broken pipe, a
+read timeout, the server closing mid-request — are wrapped into the
+typed :class:`~repro.errors.ServeConnectionError` carrying the id of the
+in-flight request, so retry/failover logic can distinguish "the network
+died" from "the server said no" without matching on ``OSError`` strings.
+
 Thread-safety: one client drives one connection; share a client across
 threads only with external locking (the benchmark driver opens one client
 per worker instead).
@@ -17,7 +23,7 @@ from __future__ import annotations
 import socket
 from typing import Any, Dict, Iterator, Optional, Sequence
 
-from repro.errors import ProtocolError
+from repro.errors import ServeConnectionError
 from repro.serve import protocol
 
 __all__ = ["ServeClient"]
@@ -29,7 +35,13 @@ class ServeClient:
     def __init__(
         self, host: str = "127.0.0.1", port: int = 0, *, timeout: float = 30.0
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ServeConnectionError(
+                f"cannot connect to {host}:{port}: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
         self._file = self._sock.makefile("rwb")
         self._next_id = 0
 
@@ -41,15 +53,28 @@ class ServeClient:
         Raises:
             ReproError subclass: the exception class named by a failure
                 response.
-            ProtocolError: the connection closed mid-response.
+            ServeConnectionError: the connection failed mid-request (reset,
+                broken pipe, timeout, or closed without a response); carries
+                the in-flight request id.
         """
         self._next_id += 1
         request = {"op": op, "id": self._next_id, **fields}
-        self._file.write(protocol.encode_line(request))
-        self._file.flush()
-        line = self._file.readline()
+        try:
+            self._file.write(protocol.encode_line(request))
+            self._file.flush()
+            line = self._file.readline()
+        except (ConnectionError, BrokenPipeError, socket.timeout, OSError) as exc:
+            raise ServeConnectionError(
+                f"connection failed during {op!r} request "
+                f"{self._next_id}: {type(exc).__name__}: {exc}",
+                request_id=self._next_id,
+            ) from exc
         if not line:
-            raise ProtocolError("connection closed by server")
+            raise ServeConnectionError(
+                f"connection closed by server during {op!r} request "
+                f"{self._next_id}",
+                request_id=self._next_id,
+            )
         import json
 
         response = json.loads(line.decode("utf-8"))
@@ -96,6 +121,18 @@ class ServeClient:
     def epochs(self) -> Dict[str, Any]:
         """The server's epoch-store cleanliness report (verify())."""
         return self.call("epochs")
+
+    def ship(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        """Ship one epoch record to a replica-role server; returns the ack."""
+        return self.call("ship", record=record)
+
+    def promote(self) -> Dict[str, Any]:
+        """Ask a replica-role server to accept the primary role."""
+        return self.call("promote")
+
+    def status(self) -> Dict[str, Any]:
+        """Role/lag probe: ``{replica, applied, primary, diverged}``."""
+        return self.call("status")
 
     def stats(self) -> Dict[str, Any]:
         """Snapshot of the server's metrics registry."""

@@ -37,7 +37,13 @@ import copy
 import threading
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from repro.errors import ConcurrencyError, InjectedFault, SessionKilledError
+from repro.errors import (
+    ConcurrencyError,
+    DivergenceError,
+    InjectedFault,
+    ReplicationError,
+    SessionKilledError,
+)
 from repro.relational.catalog import Catalog
 from repro.relational.engine import Database
 from repro.serve.epochs import EpochStore, Pin, Snapshot, ViewState
@@ -133,10 +139,18 @@ class ConcurrentWarehouse:
         execution: default ExecutionConfig for *writes* (refresh &
             maintenance band recomputation); readers carry their own
             per-session config.
+        wal: a :class:`~repro.replicate.wal.WriteAheadLog`; when set,
+            every mutation appends its logical op to the log — fsync'd —
+            *before* the epoch is published (write-ahead discipline).
+        initial_epoch: publish the initial snapshot at this epoch id
+            instead of 1.  Recovery uses it to restart the epoch counter
+            at the checkpointed snapshot's epoch so WAL replay continues
+            the primary's numbering.
     """
 
     def __init__(self, warehouse: Optional[DataWarehouse] = None, *,
-                 execution=None) -> None:
+                 execution=None, wal=None,
+                 initial_epoch: Optional[int] = None) -> None:
         wh = warehouse if warehouse is not None else DataWarehouse(execution=execution)
         if getattr(wh, "_concurrent_owner", None) is not None:
             raise ConcurrencyError(
@@ -146,11 +160,20 @@ class ConcurrentWarehouse:
         self._write_lock = threading.RLock()
         self._local = threading.local()
         self.epochs = EpochStore()
+        self._wal = wal
+        self._commit_listeners: List[Any] = []
+        self._epoch_override: Optional[int] = None
+        self._poisoned: Optional[str] = None
         wh._concurrent_owner = self
         with self._write_lock:
             self._mark_write()
             try:
-                self._publish()
+                if initial_epoch is not None and initial_epoch > 0:
+                    self._epoch_override = initial_epoch
+                try:
+                    self._publish()
+                finally:
+                    self._epoch_override = None
             finally:
                 self._unmark_write()
 
@@ -174,18 +197,39 @@ class ConcurrentWarehouse:
 
     # -- write path ----------------------------------------------------------
 
-    def _write(self, fn, *, cow_tables: Iterable[str] = (),
+    def _write(self, fn, *, op: Optional[str] = None,
+               args: Optional[Dict[str, Any]] = None,
+               cow_tables: Iterable[str] = (),
                cow_views: Iterable[str] = ()):
-        """Run one mutation serialized, copy-on-write, and publish an epoch.
+        """Run one mutation serialized, copy-on-write, logged, published.
 
         The clone step installs fresh table objects (and view mirrors) in
         the *live* catalog for everything ``fn`` will mutate in place;
-        epochs published earlier keep the originals.  The commit publishes
-        even when ``fn`` raises: partial effects that stand by design
-        (e.g. a failed refresh quarantining its view) must become visible
-        to new readers.
+        epochs published earlier keep the originals.
+
+        Write-ahead discipline (when a WAL is attached and ``op`` names a
+        logical operation): after ``fn`` succeeds, the op — with its
+        JSON-safe arguments and a post-state content digest — is appended
+        and fsync'd *before* the epoch publishes.  A WAL append failure
+        (torn write, disk error) **poisons** the wrapper: the epoch is not
+        published, every later write is refused, and the owner must
+        recover from the log.  Readers keep serving already-published
+        epochs.
+
+        A *failed* mutation still publishes (no WAL record): partial
+        effects that stand by design — a failed refresh quarantining its
+        view — must become visible to new readers, and quarantine is
+        advisory local state that replication deliberately does not carry.
+
+        Commit listeners (the replica shipper) run after publish, still
+        under the write lock so shipments observe commit order.
         """
         with self._write_lock:
+            if self._poisoned is not None:
+                raise ReplicationError(
+                    f"warehouse is poisoned after a WAL failure "
+                    f"({self._poisoned}); recover from the log"
+                )
             self._mark_write()
             try:
                 for name in cow_tables:
@@ -198,10 +242,39 @@ class ConcurrentWarehouse:
                     if view is not None:
                         view.reporting = copy.deepcopy(view.reporting)
                         view.raw = {k: list(v) for k, v in view.raw.items()}
-                return fn()
-            finally:
+                try:
+                    result = fn()
+                except BaseException:
+                    self._publish()
+                    raise
+                record = self._log_commit(op, args)
                 self._publish()
+                if record is not None:
+                    for listener in list(self._commit_listeners):
+                        listener(record)
+                return result
+            finally:
                 self._unmark_write()
+
+    def _log_commit(self, op: Optional[str], args: Optional[Dict[str, Any]]):
+        """Build and durably append this commit's EpochRecord (or None when
+        the op is unlogged or nobody is listening)."""
+        if op is None or (self._wal is None and not self._commit_listeners):
+            return None
+        from repro.replicate.wal import EpochRecord, encode_args, state_digest
+
+        epoch = self._epoch_override or self.epochs.latest_epoch + 1
+        record = EpochRecord(
+            epoch=epoch, op=op, args=encode_args(args or {}),
+            digest=state_digest(self._wh),
+        )
+        if self._wal is not None:
+            try:
+                self._wal.append(record)
+            except BaseException as exc:
+                self._poisoned = f"{type(exc).__name__}: {exc}"
+                raise
+        return record
 
     def _publish(self) -> Snapshot:
         tables = {t.name: t for t in self._wh.db.catalog.tables()}
@@ -217,7 +290,7 @@ class ConcurrentWarehouse:
             )
             for name, v in self._wh.views.items()
         }
-        return self.epochs.publish(tables, views)
+        return self.epochs.publish(tables, views, epoch=self._epoch_override)
 
     def _maintenance_cow(self, table: str) -> Dict[str, List[str]]:
         """COW targets of one base-data change: the table, plus every
@@ -231,50 +304,81 @@ class ConcurrentWarehouse:
             "views": [v.name for v in dependents],
         }
 
-    # -- mutations (all serialized, all publish) -----------------------------
+    # -- mutations (all serialized, all logged, all publish) -----------------
 
     def create_table(self, name: str, columns, **kwargs):
-        return self._write(lambda: self._wh.create_table(name, columns, **kwargs))
+        columns = [tuple(c) if isinstance(c, (list, tuple)) else c
+                   for c in columns]
+        return self._write(
+            lambda: self._wh.create_table(name, columns, **kwargs),
+            op="create_table",
+            args={"name": name, "columns": columns, "kwargs": kwargs},
+        )
 
     def drop_table(self, name: str, **kwargs) -> None:
-        return self._write(lambda: self._wh.drop_table(name, **kwargs))
+        return self._write(
+            lambda: self._wh.drop_table(name, **kwargs),
+            op="drop_table", args={"name": name, "kwargs": kwargs},
+        )
 
     def insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
+        rows = [list(r) for r in rows]  # materialize: logged after fn() runs
         return self._write(
-            lambda: self._wh.insert(table, rows), cow_tables=[table]
+            lambda: self._wh.insert(table, rows), cow_tables=[table],
+            op="insert", args={"table": table, "rows": rows},
         )
 
     def create_index(self, table: str, name: str, columns, **kwargs):
         return self._write(
             lambda: self._wh.create_index(table, name, columns, **kwargs),
             cow_tables=[table],
+            op="create_index",
+            args={"table": table, "name": name, "columns": list(columns),
+                  "kwargs": kwargs},
         )
 
     def create_view(self, name: str, definition, *, complete: bool = True):
+        from repro.replicate.wal import encode_view_definition
+
+        if isinstance(definition, str):
+            logged = {"sql": definition}
+        else:
+            logged = encode_view_definition(definition)
         return self._write(
-            lambda: self._wh.create_view(name, definition, complete=complete)
+            lambda: self._wh.create_view(name, definition, complete=complete),
+            op="create_view",
+            args={"name": name, "definition": logged, "complete": complete},
         )
 
     def drop_view(self, name: str) -> None:
-        return self._write(lambda: self._wh.drop_view(name))
+        return self._write(
+            lambda: self._wh.drop_view(name),
+            op="drop_view", args={"name": name},
+        )
 
     def refresh_view(self, name: str) -> None:
         # Refresh is already copy-on-write: it stages a shadow storage
         # table and fresh mirrors, then swaps atomically.
-        return self._write(lambda: self._wh.refresh_view(name))
+        return self._write(
+            lambda: self._wh.refresh_view(name),
+            op="refresh_view", args={"name": name},
+        )
 
     def update_measure(self, table: str, **kwargs) -> List[Any]:
         cow = self._maintenance_cow(table)
         return self._write(
             lambda: self._wh.update_measure(table, **kwargs),
             cow_tables=cow["tables"], cow_views=cow["views"],
+            op="update_measure", args={"table": table, "kwargs": kwargs},
         )
 
     def insert_row(self, table: str, values: Sequence[Any]) -> List[Any]:
         cow = self._maintenance_cow(table)
+        values = list(values)
         return self._write(
             lambda: self._wh.insert_row(table, values),
             cow_tables=cow["tables"], cow_views=cow["views"],
+            op="insert_row", args={"table": table, "values": values},
         )
 
     def delete_row(self, table: str, *, keys: Dict[str, Any]) -> List[Any]:
@@ -282,13 +386,20 @@ class ConcurrentWarehouse:
         return self._write(
             lambda: self._wh.delete_row(table, keys=keys),
             cow_tables=cow["tables"], cow_views=cow["views"],
+            op="delete_row", args={"table": table, "keys": dict(keys)},
         )
 
     def repair(self, name: Optional[str] = None) -> Dict[str, Any]:
-        return self._write(lambda: self._wh.repair(name))
+        return self._write(
+            lambda: self._wh.repair(name),
+            op="repair", args={"name": name},
+        )
 
     def quarantine_view(self, name: str, reason: str) -> None:
-        return self._write(lambda: self._wh.quarantine_view(name, reason))
+        return self._write(
+            lambda: self._wh.quarantine_view(name, reason),
+            op="quarantine_view", args={"name": name, "reason": reason},
+        )
 
     def verify(self, *, quarantine: bool = True):
         # The verify-time bitflip fault hook corrupts storage in place;
@@ -303,11 +414,18 @@ class ConcurrentWarehouse:
 
     def save(self, directory: str, **kwargs) -> None:
         """Persist under the write lock (exclusive with writers; readers
-        keep serving their pinned epochs meanwhile)."""
+        keep serving their pinned epochs meanwhile).
+
+        With a WAL attached, a successful save checkpoints the log at the
+        saved epoch: segments fully covered by the dump are deleted, so
+        recovery replays only what the snapshot does not already contain.
+        """
         with self._write_lock:
             self._mark_write()
             try:
                 self._wh.save(directory, **kwargs)
+                if self._wal is not None:
+                    self._wal.checkpoint(self.epochs.latest_epoch)
             finally:
                 self._unmark_write()
 
@@ -317,6 +435,116 @@ class ConcurrentWarehouse:
         wh = DataWarehouse.load(directory)
         wh.execution = execution
         return cls(wh)
+
+    # -- replication ---------------------------------------------------------
+
+    @property
+    def wal(self):
+        """The attached write-ahead log (or None)."""
+        return self._wal
+
+    @property
+    def poisoned(self) -> Optional[str]:
+        """Why writes are refused after a WAL failure (None = healthy)."""
+        return self._poisoned
+
+    def attach_wal(self, wal) -> None:
+        """Attach a WAL after construction (recovery replays *without* a
+        log attached, then attaches it so new writes append at the epoch
+        numbering the replay established)."""
+        with self._write_lock:
+            self._wal = wal
+
+    def add_commit_listener(self, listener) -> None:
+        """Register ``listener(record)`` to run after each logged commit
+        publishes (under the write lock — commit order is shipment order)."""
+        with self._write_lock:
+            self._commit_listeners.append(listener)
+
+    def remove_commit_listener(self, listener) -> None:
+        with self._write_lock:
+            if listener in self._commit_listeners:
+                self._commit_listeners.remove(listener)
+
+    def apply_record(self, record) -> None:
+        """Re-execute one shipped/replayed logical op at the primary's epoch.
+
+        The record's op is dispatched through the normal mutator path —
+        same COW discipline, same WAL append (a replica with its own log
+        is durable too), same publish — but the published epoch is forced
+        to ``record.epoch`` so both sides agree on what each epoch means.
+
+        Raises:
+            ReplicationError: the record does not advance the epoch (the
+                shipper re-sent something already applied) or names an
+                unknown op.
+            DivergenceError: the post-apply content digest disagrees with
+                the digest the primary recorded — the replica has diverged
+                and must not be promoted.
+        """
+        from repro.replicate.wal import decode_args, state_digest
+
+        with self._write_lock:
+            latest = self.epochs.latest_epoch
+            if record.epoch <= latest:
+                raise ReplicationError(
+                    f"cannot apply epoch {record.epoch}: already at {latest}"
+                )
+            self._epoch_override = record.epoch
+            try:
+                self._dispatch_op(record.op, decode_args(record.args))
+            finally:
+                self._epoch_override = None
+            digest = state_digest(self._wh)
+            if record.digest and digest != record.digest:
+                raise DivergenceError(
+                    f"replica diverged at epoch {record.epoch} "
+                    f"({record.op}): digest {digest[:12]} != primary "
+                    f"{record.digest[:12]}"
+                )
+
+    def _dispatch_op(self, op: str, args: Dict[str, Any]) -> None:
+        """Replay one decoded logical op against the owned warehouse."""
+        if op == "create_table":
+            self.create_table(
+                args["name"], [tuple(c) for c in args["columns"]],
+                **args.get("kwargs", {}),
+            )
+        elif op == "drop_table":
+            self.drop_table(args["name"], **args.get("kwargs", {}))
+        elif op == "insert":
+            self.insert(args["table"], args["rows"])
+        elif op == "create_index":
+            self.create_index(
+                args["table"], args["name"], args["columns"],
+                **args.get("kwargs", {}),
+            )
+        elif op == "create_view":
+            from repro.replicate.wal import decode_view_definition
+
+            doc = args["definition"]
+            definition = (
+                doc["sql"] if "sql" in doc else decode_view_definition(doc)
+            )
+            self.create_view(
+                args["name"], definition, complete=args.get("complete", True)
+            )
+        elif op == "drop_view":
+            self.drop_view(args["name"])
+        elif op == "refresh_view":
+            self.refresh_view(args["name"])
+        elif op == "update_measure":
+            self.update_measure(args["table"], **args.get("kwargs", {}))
+        elif op == "insert_row":
+            self.insert_row(args["table"], args["values"])
+        elif op == "delete_row":
+            self.delete_row(args["table"], keys=args["keys"])
+        elif op == "repair":
+            self.repair(args.get("name"))
+        elif op == "quarantine_view":
+            self.quarantine_view(args["name"], args["reason"])
+        else:
+            raise ReplicationError(f"unknown replicated op {op!r}")
 
     def release(self) -> DataWarehouse:
         """Relinquish ownership: the warehouse becomes single-caller again.

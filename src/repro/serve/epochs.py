@@ -116,10 +116,29 @@ class EpochStore:
         self,
         tables: Mapping[str, Any],
         views: Mapping[str, ViewState],
+        *,
+        epoch: Optional[int] = None,
     ) -> Snapshot:
-        """Register the next epoch and GC unpinned predecessors."""
+        """Register the next epoch and GC unpinned predecessors.
+
+        Args:
+            epoch: force this epoch id instead of ``latest + 1``.  Used by
+                replication: a replica applying a shipped record (or a
+                recovery replaying the WAL) publishes at the *primary's*
+                epoch id so both sides agree on what each epoch means.
+                Gaps are legal (the primary publishes unlogged epochs, e.g.
+                a failed refresh's quarantine) but going backwards is not.
+        """
         with self._lock:
-            self._epoch += 1
+            if epoch is None:
+                self._epoch += 1
+            elif epoch <= self._epoch:
+                raise ServeError(
+                    f"cannot publish epoch {epoch}: store is already at "
+                    f"{self._epoch}"
+                )
+            else:
+                self._epoch = epoch
             snapshot = Snapshot(self._epoch, dict(tables), dict(views))
             self._retained[self._epoch] = snapshot
             self._gc_locked()

@@ -22,7 +22,16 @@ Operations::
     {"op": "delete_row", "table": ..., "keys": {...}}
     {"op": "epochs"}                                 -> epoch-store verify() report
     {"op": "stats"}                                  -> metrics-registry snapshot
+    {"op": "ship", "record": {...}}                  -> replica applies one epoch record
+    {"op": "promote"}                                -> replica accepts the primary role
+    {"op": "status"}                                 -> {replica, applied, primary, diverged}
     {"op": "close"}                                  -> server closes the connection
+
+Replication: a server hosting a replica role answers ``ship`` (apply one
+:class:`~repro.replicate.wal.EpochRecord`), ``promote`` and ``status``;
+write ops against an unpromoted replica fail with ``NotPrimaryError`` and
+its query responses carry ``"stale": true`` (last-replicated-epoch reads
+during failover).
 
 Backpressure: when the bounded admission queue is full a ``query`` is
 *rejected immediately* with ``error.type == "BackpressureError"`` — the
@@ -57,6 +66,9 @@ OPS = (
     "delete_row",
     "epochs",
     "stats",
+    "ship",
+    "promote",
+    "status",
     "close",
 )
 

@@ -38,7 +38,14 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional
 
-from repro.errors import BackpressureError, ProtocolError, ServeError
+from repro.errors import (
+    BackpressureError,
+    InjectedFault,
+    NotPrimaryError,
+    ProtocolError,
+    ReplicationError,
+    ServeError,
+)
 from repro.parallel.config import ExecutionConfig
 from repro.serve import protocol
 from repro.serve.concurrent import ConcurrentWarehouse
@@ -82,33 +89,51 @@ class ServeServer:
     """The serving front end; one instance per ConcurrentWarehouse.
 
     Args:
-        warehouse: the concurrent warehouse to serve.
+        warehouse: the concurrent warehouse to serve; pass ``None`` with
+            ``replica`` to serve the replica's own warehouse.
         host/port: bind address; ``port=0`` (default) picks an ephemeral
             port, available as ``.port`` once started.
         max_queue: admission bound — maximum queries in flight at once.
         workers: worker threads executing queries and writes.
+        replica: a :class:`~repro.replicate.replica.Replica` role.  The
+            server then answers ``ship``/``promote``; until promotion,
+            write ops fail with :class:`NotPrimaryError` and query
+            responses carry ``"stale": true`` (graceful degradation —
+            reads keep serving the last replicated epoch).
+        name: identity for ``status`` probes and as the target of
+            ``primary_crash`` fault specs.
     """
 
     def __init__(
         self,
-        warehouse: ConcurrentWarehouse,
+        warehouse: Optional[ConcurrentWarehouse] = None,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
         max_queue: int = 8,
         workers: int = 4,
+        replica=None,
+        name: str = "primary",
     ) -> None:
         if max_queue < 1:
             raise ServeError(f"max_queue must be >= 1, got {max_queue}")
+        if warehouse is None:
+            if replica is None:
+                raise ServeError("a warehouse or a replica role is required")
+            warehouse = replica.warehouse
         self.warehouse = warehouse
         self.host = host
         self.port = port  # rebound to the concrete port on start
         self.max_queue = max_queue
+        self.replica = replica
+        self.name = name
+        self.crashed = False
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
         self._inflight = 0  # event-loop-confined; no lock needed
         self._sessions = 0
+        self._writers: set = set()  # loop-confined open connections
         self._server: Optional[asyncio.AbstractServer] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -140,9 +165,10 @@ class ServeServer:
     ) -> None:
         session = Session()
         self._sessions += 1
+        self._writers.add(writer)
         self._set_gauges()
         try:
-            while True:
+            while not self.crashed:
                 try:
                     line = await reader.readline()
                 except (ConnectionError, asyncio.LimitOverrunError):
@@ -153,9 +179,20 @@ class ServeServer:
                     continue
                 request_id = None
                 try:
+                    from repro.faults import injector
+
+                    # The primary_crash fault site: the process "dies"
+                    # mid-dispatch — every connection is aborted with no
+                    # response, exactly what clients of a crashed primary
+                    # observe (ServeConnectionError), and the listener
+                    # stops accepting.
+                    injector.check("primary", self.name)
                     request = protocol.decode_line(line)
                     request_id = request.get("id")
                     response = await self._dispatch(session, request)
+                except InjectedFault:
+                    self._crash()
+                    return
                 except Exception as exc:  # every failure -> error response
                     response = protocol.error_response(exc, request_id)
                 response.setdefault("id", request_id)
@@ -168,12 +205,31 @@ class ServeServer:
                     break
         finally:
             self._sessions -= 1
+            self._writers.discard(writer)
             self._set_gauges()
             writer.close()
             try:
                 await writer.wait_closed()
             except ConnectionError:
                 pass
+
+    def _crash(self) -> None:
+        """Hard-stop serving: abort every connection, close the listener.
+
+        Runs on the event loop.  The hosting thread's loop keeps running
+        (so ``stop()`` still works) but no request gets a response and new
+        connections are refused — the crash signature failover probes for.
+        """
+        self.crashed = True
+        if self._server is not None:
+            self._server.close()
+        for w in list(self._writers):
+            transport = w.transport
+            if transport is not None:
+                transport.abort()
+        from repro.obs import runtime
+
+        runtime.event("serve.crashed", server=self.name)
 
     async def _dispatch(
         self, session: Session, request: Dict[str, Any]
@@ -195,9 +251,51 @@ class ServeServer:
             return {**ok, **report}
         if op == "stats":
             return {**ok, "metrics": self._registry().to_json()}
+        if op == "status":
+            return {**ok, **self._status()}
+        if op == "promote":
+            return {**ok, **await self._run_promote()}
+        if op == "ship":
+            return {**ok, **await self._run_ship(request)}
         # Remaining ops are writes: serialized by the warehouse's write
         # lock, run off-loop so a refresh cannot stall other sessions.
         return {**ok, **await self._run_write(request)}
+
+    # -- replication role ----------------------------------------------------
+
+    @property
+    def _is_stale_replica(self) -> bool:
+        return self.replica is not None and not self.replica.is_primary
+
+    def _status(self) -> Dict[str, Any]:
+        if self.replica is not None:
+            return self.replica.status()
+        return {
+            "replica": self.name,
+            "applied": self.warehouse.epochs.latest_epoch,
+            "primary": True,
+            "diverged": None,
+        }
+
+    async def _run_promote(self) -> Dict[str, Any]:
+        if self.replica is None:
+            return self._status()  # idempotent: already the primary
+        return await asyncio.get_running_loop().run_in_executor(
+            self._pool, self.replica.promote
+        )
+
+    async def _run_ship(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        if self.replica is None:
+            raise ReplicationError(
+                f"server {self.name!r} is not a replica; nothing accepts "
+                "shipped records here"
+            )
+        from repro.replicate.wal import EpochRecord
+
+        record = EpochRecord.from_dict(dict(request.get("record") or {}))
+        return await asyncio.get_running_loop().run_in_executor(
+            self._pool, self.replica.apply, record
+        )
 
     async def _run_query(
         self, session: Session, request: Dict[str, Any]
@@ -237,7 +335,12 @@ class ServeServer:
                 "repro_serve_query_seconds",
                 help="Serving-tier query wall time (admission to response)",
             ).observe(time.perf_counter() - started)
-        return {**protocol.result_payload(result), "session": session.name}
+        payload = {**protocol.result_payload(result), "session": session.name}
+        if self._is_stale_replica:
+            # Degraded mode: the replica serves its last replicated epoch;
+            # the flag tells clients the answer may trail the (dead) primary.
+            payload["stale"] = True
+        return payload
 
     def _query_on_worker(self, session, sql, hold_ms, options):
         from repro.obs import runtime
@@ -261,6 +364,14 @@ class ServeServer:
         return await asyncio.get_running_loop().run_in_executor(self._pool, call)
 
     def _write_on_worker(self, op: str, request: Dict[str, Any]) -> Dict[str, Any]:
+        if self._is_stale_replica:
+            # Fail fast: writes against an unpromoted replica would fork
+            # history the moment the primary comes back.
+            raise NotPrimaryError(
+                f"server {self.name!r} is an unpromoted replica "
+                f"(applied epoch {self.warehouse.epochs.latest_epoch}); "
+                "writes go to the primary"
+            )
         wh = self.warehouse
 
         def need(field: str):
@@ -347,9 +458,24 @@ class ServeServer:
         return self
 
     def stop(self, *, timeout: float = 10.0) -> None:
-        """Stop the background-thread loop and release the worker pool."""
+        """Stop the background-thread loop and release the worker pool.
+
+        Lingering connections (e.g. clients of a crashed server that never
+        sent ``close``) are aborted first so their handler tasks finish
+        before the loop stops.
+        """
         if self._loop is not None and self._thread is not None:
-            self._loop.call_soon_threadsafe(self._loop.stop)
+            loop = self._loop
+
+            def shutdown() -> None:
+                for w in list(self._writers):
+                    transport = w.transport
+                    if transport is not None:
+                        transport.abort()
+                # One beat for the aborted handlers to unwind, then stop.
+                loop.call_later(0.05, loop.stop)
+
+            self._loop.call_soon_threadsafe(shutdown)
             self._thread.join(timeout)
             self._thread = None
             self._loop = None

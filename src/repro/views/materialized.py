@@ -75,6 +75,89 @@ class MaterializedSequenceView:
         self.quarantine_reason: Optional[str] = None
         self.refresh()
 
+    # -- construction from an existing dump -----------------------------------
+
+    @classmethod
+    def from_storage(
+        cls,
+        db: Database,
+        definition: SequenceViewDefinition,
+        *,
+        complete: bool = True,
+        exec_config=None,
+    ) -> "MaterializedSequenceView":
+        """Rehydrate a view from its dumped storage table, *without* a
+        refresh.
+
+        ``DataWarehouse.load`` normally replaces dumped storage with a
+        fresh recomputation, which guarantees base/view consistency but is
+        not bit-identical to incrementally-maintained values (float
+        addition is non-associative, so ``old - x + x'`` can differ from a
+        recompute in the last ulp).  Recovery replays a WAL whose records
+        carry digests of the *primary's live* state, so it must preserve
+        the dumped bits exactly; this constructor wraps the stored values
+        via :meth:`CompleteSequence.from_values` instead of recomputing.
+
+        Raises:
+            ViewError: the storage table is missing (never refreshed).
+        """
+        d = definition
+        if not db.catalog.has_table(d.storage_table):
+            raise ViewError(
+                f"cannot rehydrate view {d.name!r}: storage table "
+                f"{d.storage_table!r} is not in the dump"
+            )
+        view = cls.__new__(cls)
+        view.db = db
+        view.definition = definition
+        view.complete = complete
+        view.exec_config = exec_config
+        view.quarantined = False
+        view.quarantine_reason = None
+        view.epoch = 1
+
+        part_arity = len(d.partition_by)
+        order_arity = len(d.order_by)
+        groups: Dict[Key, List[Tuple[int, float, bool, Key]]] = {}
+        for row in db.table(d.storage_table).rows:
+            pkey = tuple(row[:part_arity])
+            okey = tuple(row[part_arity:part_arity + order_arity])
+            pos = row[part_arity + order_arity]
+            value = row[part_arity + order_arity + 1]
+            core = bool(row[part_arity + order_arity + 2])
+            groups.setdefault(pkey, []).append((pos, value, core, okey))
+        partitions: Dict[Key, PartitionData] = {}
+        for pkey, entries in groups.items():
+            entries.sort(key=lambda e: e[0])
+            order_keys = [e[3] for e in entries if e[2]]
+            seq = CompleteSequence.from_values(
+                d.window,
+                d.aggregate,
+                sum(1 for e in entries if e[2]),
+                [(e[0], e[1]) for e in entries],
+                complete=complete,
+            )
+            partitions[pkey] = PartitionData(order_keys, seq)
+        view.reporting = ReportingSequence(
+            d.partition_by, d.order_by, d.window, d.aggregate, partitions
+        )
+        # Raw mirrors come from the base table — base rows round-trip the
+        # dump exactly, so these are the same floats maintenance last saw.
+        base_groups: Dict[Key, List[dict]] = {}
+        for row in view._base_rows():
+            key = tuple(row[c] for c in d.partition_by)
+            base_groups.setdefault(key, []).append(row)
+        view.raw = {
+            key: [
+                float(r[d.value_col])
+                for r in sorted(
+                    rows, key=lambda r: tuple(r[c] for c in d.order_by)
+                )
+            ]
+            for key, rows in base_groups.items()
+        }
+        return view
+
     # -- storage ------------------------------------------------------------------
 
     def _create_storage(self, table_name: str):

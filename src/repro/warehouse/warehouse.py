@@ -648,8 +648,18 @@ class DataWarehouse:
         os.replace(tmp, path)
 
     @classmethod
-    def load(cls, directory: str) -> "DataWarehouse":
-        """Rebuild a warehouse saved with :meth:`save`."""
+    def load(cls, directory: str, *, rehydrate: bool = False) -> "DataWarehouse":
+        """Rebuild a warehouse saved with :meth:`save`.
+
+        Args:
+            rehydrate: wrap each view's *dumped* storage table instead of
+                refreshing it.  The default refresh guarantees base/view
+                consistency; rehydration guarantees **bit-identity** with
+                the warehouse that called ``save`` (incrementally
+                maintained values differ from a recompute in the last
+                ulp), which is what WAL recovery needs before it replays
+                digest-checked records on top.
+        """
         import json
         import os
 
@@ -681,7 +691,14 @@ class DataWarehouse:
                 aggregate_name=entry["aggregate"],
                 where=parse_expression(entry["where"]) if entry["where"] else None,
             )
-            wh.create_view(entry["name"], definition, complete=entry["complete"])
+            if rehydrate:
+                wh.views[entry["name"]] = MaterializedSequenceView.from_storage(
+                    wh.db, definition, complete=entry["complete"]
+                )
+            else:
+                wh.create_view(
+                    entry["name"], definition, complete=entry["complete"]
+                )
         return wh
 
     def _cache_admit(self, stmt: SelectStmt) -> bool:

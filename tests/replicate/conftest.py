@@ -1,0 +1,46 @@
+"""Shared fixtures for the replication tests.
+
+Fault plans are process-global; every test starts and ends clean.  The
+workload helpers mirror the serving-tier conftest but attach the
+durability pieces (WAL, shipper) from genesis — replicas must see the
+full epoch stream to stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import injector
+from repro.serve import ConcurrentWarehouse
+from repro.warehouse import sequence_values
+
+VIEW_SQL = (
+    "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING "
+    "AND 2 FOLLOWING) AS w FROM seq"
+)
+QUERY = VIEW_SQL + " ORDER BY pos"
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state():
+    injector.clear()
+    yield
+    injector.clear()
+
+
+def run_workload(cw: ConcurrentWarehouse, rows: int = 30, *,
+                 seed: int = 7, view: bool = True) -> None:
+    """The standard logged workload: table, bulk insert, view, row ops."""
+    cw.create_table("seq", [("pos", "INTEGER"), ("val", "FLOAT")],
+                    primary_key=["pos"])
+    cw.insert("seq", [(i + 1, v)
+                      for i, v in enumerate(sequence_values(rows, seed=seed))])
+    if view:
+        cw.create_view("mv", VIEW_SQL)
+    cw.insert_row("seq", (rows + 1, 2.5))
+    cw.update_measure("seq", keys={"pos": 3}, value_col="val", new_value=9.75)
+    cw.delete_row("seq", keys={"pos": rows + 1})
+
+
+def answer(cw: ConcurrentWarehouse):
+    return [list(r) for r in cw.query(QUERY).rows]

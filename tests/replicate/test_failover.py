@@ -1,0 +1,159 @@
+"""Serve-tier failover tests: replication ops over TCP, crash-driven
+promotion, client retry/redirect, and typed connection errors."""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro.errors import (
+    NotPrimaryError,
+    ReplicationError,
+    ServeConnectionError,
+)
+from repro.faults import FaultPlan, FaultSpec, injector
+from repro.replicate import (
+    Endpoint,
+    FailoverCoordinator,
+    RemoteLink,
+    Replica,
+    ReplicatedClient,
+    Shipper,
+)
+from repro.serve import ConcurrentWarehouse
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeServer
+
+from tests.replicate.conftest import QUERY, run_workload
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture
+def replica_set():
+    """Primary + two replica servers wired with remote shipping."""
+    replicas = [Replica(name="replica-1"), Replica(name="replica-2")]
+    servers = [ServeServer(replica=r, name=r.name).start() for r in replicas]
+    primary = ConcurrentWarehouse()
+    primary_server = ServeServer(primary, name="primary").start()
+    shipper = Shipper(primary, [
+        RemoteLink("127.0.0.1", s.port, name=s.name) for s in servers
+    ], min_insync=1)
+    coordinator = FailoverCoordinator(
+        [Endpoint("primary", "127.0.0.1", primary_server.port)]
+        + [Endpoint(s.name, "127.0.0.1", s.port) for s in servers],
+        timeout=3.0,
+    )
+    try:
+        yield primary, replicas, servers, primary_server, shipper, coordinator
+    finally:
+        shipper.close()
+        primary_server.stop()
+        for s in servers:
+            s.stop()
+
+
+class TestReplicationOps:
+    def test_remote_shipping_keeps_replicas_current(self, replica_set):
+        primary, replicas, servers, *_ = replica_set
+        run_workload(primary)
+        for server, replica in zip(servers, replicas):
+            with ServeClient(port=server.port) as client:
+                status = client.status()
+            assert status["applied"] == primary.epochs.latest_epoch
+            assert status["primary"] is False
+            assert status["diverged"] is None
+
+    def test_write_to_stale_replica_raises_not_primary(self, replica_set):
+        primary, _, servers, *_ = replica_set
+        run_workload(primary)
+        with ServeClient(port=servers[0].port) as client:
+            with pytest.raises(NotPrimaryError):
+                client.insert_row("seq", [999, 1.0])
+            # Reads still work, flagged stale.
+            result = client.call("query", sql=QUERY)
+            assert result["stale"] is True
+
+    def test_ship_to_primary_role_server_is_rejected(self, replica_set):
+        _, _, _, primary_server, *_ = replica_set
+        with ServeClient(port=primary_server.port) as client:
+            with pytest.raises(ReplicationError):
+                client.ship({"epoch": 1, "op": "insert_row", "args": {}})
+
+
+class TestFailover:
+    def test_crash_promotes_freshest_replica_and_redirects(self, replica_set):
+        primary, replicas, servers, primary_server, shipper, coordinator = (
+            replica_set
+        )
+        run_workload(primary)
+        with ReplicatedClient(coordinator) as client:
+            before = client.query(QUERY)
+            assert before["served_by"] == "primary"
+            assert before["stale"] is False
+            plan = FaultPlan([FaultSpec("primary_crash", target="primary")])
+            with injector.active(plan):
+                degraded = client.query(QUERY)
+                # Availability holds: a replica answered, flagged stale.
+                assert degraded["stale"] is True
+                assert degraded["served_by"] in ("replica-1", "replica-2")
+                assert degraded["rows"] == before["rows"]
+                # The write retries through re-election onto the replica.
+                client.write("insert_row", table="seq", values=[777, 5.0])
+            assert plan.fired_count("primary_crash") == 1
+            assert primary_server.crashed is True
+            assert coordinator.primary_name != "primary"
+            promoted = next(
+                r for r in replicas if r.name == coordinator.primary_name
+            )
+            assert promoted.is_primary
+            after = client.query(QUERY)
+            assert after["stale"] is False
+            assert any(r[0] == 777 for r in after["rows"])
+
+    def test_no_live_replica_fails_the_write(self):
+        coordinator = FailoverCoordinator(
+            [Endpoint("nobody", "127.0.0.1", _free_port())], timeout=0.5
+        )
+        with ReplicatedClient(coordinator, max_attempts=2) as client:
+            with pytest.raises(ReplicationError):
+                client.write("insert_row", table="seq", values=[1, 1.0])
+            with pytest.raises(ReplicationError):
+                client.query(QUERY)
+
+    def test_promotion_is_idempotent(self, replica_set):
+        primary, replicas, servers, *_ = replica_set
+        run_workload(primary)
+        with ServeClient(port=servers[0].port) as client:
+            first = client.promote()
+            second = client.promote()
+        assert first["primary"] is True and second["primary"] is True
+        assert replicas[0].is_primary
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestServeConnectionError:
+    """Raw socket failures surface as one typed, request-tagged error."""
+
+    def test_connect_refused_is_wrapped(self):
+        with pytest.raises(ServeConnectionError):
+            ServeClient(port=_free_port(), timeout=0.5)
+
+    def test_crash_midstream_carries_request_id(self, replica_set):
+        primary, _, _, primary_server, *_ = replica_set
+        run_workload(primary)
+        client = ServeClient(port=primary_server.port)
+        first = client.call("query", sql=QUERY)
+        plan = FaultPlan([FaultSpec("primary_crash", target="primary")])
+        with injector.active(plan):
+            with pytest.raises(ServeConnectionError) as err:
+                client.call("query", sql=QUERY)
+        assert err.value.request_id is not None
+        assert err.value.request_id > first["id"]
+        client.close()

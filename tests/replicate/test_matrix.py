@@ -1,0 +1,149 @@
+"""Replication fault matrix (ISSUE acceptance): all four injected fault
+kinds — ``wal_torn_write``, ``primary_crash``, ``replica_lag``,
+``ship_partition`` — end with answers bit-identical to a never-faulted
+run, and recovery truncates at most the torn tail."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InjectedFault, ReplicationError
+from repro.faults import KINDS, FaultPlan, FaultSpec, injector
+from repro.replicate import (
+    Endpoint,
+    FailoverCoordinator,
+    LocalLink,
+    RemoteLink,
+    Replica,
+    ReplicatedClient,
+    Shipper,
+    WriteAheadLog,
+    recover,
+    wal_path,
+)
+from repro.serve import ConcurrentWarehouse
+
+from tests.replicate.conftest import QUERY, answer, run_workload
+
+pytestmark = pytest.mark.faults
+
+REPLICATION_KINDS = {
+    "wal_torn_write", "primary_crash", "replica_lag", "ship_partition",
+}
+
+
+def test_replication_kinds_are_registered():
+    assert REPLICATION_KINDS <= set(KINDS)
+
+
+def reference_answer(extra_rows=()):
+    reference = ConcurrentWarehouse()
+    run_workload(reference)
+    for pos, val in extra_rows:
+        reference.insert_row("seq", (pos, val))
+    return answer(reference)
+
+
+def test_wal_torn_write_recovers_bit_identical(tmp_path):
+    home = str(tmp_path)
+    cw = ConcurrentWarehouse(wal=WriteAheadLog(wal_path(home)))
+    run_workload(cw)
+    expected = reference_answer()
+    committed = cw.epochs.latest_epoch
+
+    plan = FaultPlan([FaultSpec("wal_torn_write", at=0)])
+    with injector.active(plan):
+        with pytest.raises(InjectedFault):
+            cw.insert_row("seq", (600, 1.0))
+    assert plan.fired_count("wal_torn_write") == 1
+    cw.wal.close()
+
+    report = recover(home)
+    # Recovery truncates at most the torn tail: every committed epoch
+    # survives, the uncommitted record is gone, nothing else changed.
+    assert report.truncated_bytes > 0
+    assert report.last_epoch == committed
+    assert report.clean
+    assert answer(report.warehouse) == expected
+    report.warehouse.wal.close()
+
+
+def test_primary_crash_promoted_answers_bit_identical():
+    from repro.serve.server import ServeServer
+
+    expected = reference_answer(extra_rows=[(600, 1.0)])
+    replicas = [Replica(name="replica-1"), Replica(name="replica-2")]
+    servers = [ServeServer(replica=r, name=r.name).start() for r in replicas]
+    primary = ConcurrentWarehouse()
+    primary_server = ServeServer(primary, name="primary").start()
+    shipper = Shipper(primary, [
+        RemoteLink("127.0.0.1", s.port, name=s.name) for s in servers
+    ], min_insync=1)
+    coordinator = FailoverCoordinator(
+        [Endpoint("primary", "127.0.0.1", primary_server.port)]
+        + [Endpoint(s.name, "127.0.0.1", s.port) for s in servers],
+        timeout=3.0,
+    )
+    try:
+        run_workload(primary)
+        with ReplicatedClient(coordinator) as client:
+            before = client.query(QUERY)["rows"]
+            plan = FaultPlan([FaultSpec("primary_crash", target="primary")])
+            with injector.active(plan):
+                degraded = client.query(QUERY)
+                client.write("insert_row", table="seq", values=[600, 1.0])
+                after = client.query(QUERY)["rows"]
+        assert degraded["stale"] and degraded["rows"] == before
+        assert coordinator.primary_name != "primary"
+        assert [list(r) for r in after] == expected
+    finally:
+        shipper.close()
+        primary_server.stop()
+        for s in servers:
+            s.stop()
+
+
+def test_replica_lag_catches_up_bit_identical():
+    expected = reference_answer(extra_rows=[(600, 1.0)])
+    primary = ConcurrentWarehouse()
+    replica = Replica(name="lagger")
+    shipper = Shipper(primary, [LocalLink(replica)])
+    run_workload(primary)
+    plan = FaultPlan([FaultSpec("replica_lag", target="lagger")])
+    with injector.active(plan):
+        primary.insert_row("seq", (600, 1.0))
+        assert shipper.lag("lagger") == 1
+    assert shipper.catch_up("lagger")["lagger"]
+    assert replica.applied_epoch == primary.epochs.latest_epoch
+    assert answer(replica.warehouse) == expected
+
+
+def test_ship_partition_heals_bit_identical():
+    expected = reference_answer(extra_rows=[(600, 1.0)])
+    primary = ConcurrentWarehouse()
+    replicas = [Replica(name="cut"), Replica(name="ok")]
+    shipper = Shipper(primary, [LocalLink(r) for r in replicas], min_insync=1)
+    run_workload(primary)
+    plan = FaultPlan([FaultSpec("ship_partition", target="cut", times=100)])
+    with injector.active(plan):
+        primary.insert_row("seq", (600, 1.0))  # "ok" acks; insync met
+        assert shipper.link_status()["cut"]["down"] is True
+    # The stale replica serves a consistent (older) prefix meanwhile.
+    assert answer(replicas[0].warehouse) == reference_answer()
+    assert shipper.catch_up("cut")["cut"]
+    for replica in replicas:
+        assert answer(replica.warehouse) == expected
+
+
+def test_under_replicated_write_is_reported_not_lost():
+    primary = ConcurrentWarehouse()
+    replica = Replica(name="only")
+    Shipper(primary, [LocalLink(replica)], min_insync=1)
+    run_workload(primary)
+    plan = FaultPlan([FaultSpec("ship_partition", target="only", times=100)])
+    with injector.active(plan):
+        with pytest.raises(ReplicationError) as err:
+            primary.insert_row("seq", (600, 1.0))
+    assert "locally durable" in str(err.value)
+    assert any(r[0] == 600 for r in primary.query(
+        "SELECT pos FROM seq ORDER BY pos").rows)

@@ -1,0 +1,150 @@
+"""Recovery tests: WAL replay over snapshots is bit-identical, and a torn
+tail loses at most the uncommitted record."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InjectedFault, ReplicationError
+from repro.faults import FaultPlan, FaultSpec, injector
+from repro.replicate import WriteAheadLog, recover, state_digest, wal_path
+from repro.serve import ConcurrentWarehouse
+
+from tests.replicate.conftest import QUERY, answer, run_workload
+
+
+def build_logged(home: str) -> ConcurrentWarehouse:
+    wal = WriteAheadLog(wal_path(home))
+    return ConcurrentWarehouse(wal=wal)
+
+
+def test_recover_fresh_replays_full_log(tmp_path):
+    home = str(tmp_path)
+    cw = build_logged(home)
+    run_workload(cw)
+    expected = answer(cw)
+    epoch = cw.epochs.latest_epoch
+    digest = state_digest(cw.warehouse)
+    cw.wal.close()
+
+    report = recover(home)
+    assert report.base_epoch == 0
+    assert report.truncated_bytes == 0
+    assert report.last_epoch == epoch
+    assert report.clean and all(report.verified.values())
+    assert answer(report.warehouse) == expected
+    assert state_digest(report.warehouse.warehouse) == digest
+    report.warehouse.wal.close()
+
+
+def test_recover_from_snapshot_plus_tail(tmp_path):
+    """save() checkpoints the log; recovery replays only the suffix."""
+    home = str(tmp_path)
+    cw = build_logged(home)
+    run_workload(cw)
+    cw.save(home)
+    checkpoint = cw.epochs.latest_epoch
+    cw.insert_row("seq", (200, 4.25))  # post-snapshot tail
+    expected = answer(cw)
+    epoch = cw.epochs.latest_epoch
+    cw.wal.close()
+
+    report = recover(home)
+    assert report.base_epoch == checkpoint
+    assert report.replayed == [epoch]
+    assert report.last_epoch == epoch
+    assert answer(report.warehouse) == expected
+    report.warehouse.wal.close()
+
+
+def test_recovery_truncates_only_torn_tail(tmp_path):
+    home = str(tmp_path)
+    cw = build_logged(home)
+    run_workload(cw)
+    expected = answer(cw)
+    committed = cw.epochs.latest_epoch
+
+    plan = FaultPlan([FaultSpec("wal_torn_write", at=0)])
+    with injector.active(plan):
+        with pytest.raises(InjectedFault):
+            cw.insert_row("seq", (300, 9.0))
+    assert plan.fired_count("wal_torn_write") == 1
+    assert cw.poisoned is not None
+    cw.wal.close()
+
+    report = recover(home)
+    assert report.truncated_bytes > 0
+    # Every committed epoch survives; only the torn record is gone.
+    assert report.last_epoch == committed
+    assert answer(report.warehouse) == expected
+    assert report.clean
+    report.warehouse.wal.close()
+
+
+def test_poisoned_warehouse_refuses_writes_but_serves_reads(tmp_path):
+    cw = build_logged(str(tmp_path))
+    run_workload(cw)
+    expected = answer(cw)
+    plan = FaultPlan([FaultSpec("wal_torn_write", at=0)])
+    with injector.active(plan):
+        with pytest.raises(InjectedFault):
+            cw.insert_row("seq", (300, 9.0))
+    with pytest.raises(ReplicationError):
+        cw.insert_row("seq", (301, 1.0))
+    # Published epochs keep serving.
+    assert answer(cw) == expected
+    cw.wal.close()
+
+
+def test_recovered_warehouse_accepts_new_writes(tmp_path):
+    home = str(tmp_path)
+    cw = build_logged(home)
+    run_workload(cw)
+    cw.wal.close()
+
+    report = recover(home)
+    recovered = report.warehouse
+    recovered.insert_row("seq", (400, 1.5))
+    assert recovered.wal.last_epoch == recovered.epochs.latest_epoch
+    recovered.wal.close()
+
+    # The continued log recovers again, including the post-recovery write.
+    expected = answer(recovered)
+    second = recover(home)
+    assert answer(second.warehouse) == expected
+    second.warehouse.wal.close()
+
+
+def test_recovery_replays_failed_refresh_gap(tmp_path):
+    """A failed refresh publishes an unlogged epoch (quarantine) on the
+    primary; recovery replays around the gap and still verifies clean."""
+    home = str(tmp_path)
+    cw = build_logged(home)
+    run_workload(cw)
+    plan = FaultPlan([FaultSpec("refresh_interrupt", target="mv",
+                                point="write")])
+    with injector.active(plan):
+        with pytest.raises(InjectedFault):
+            cw.refresh_view("mv")
+    assert plan.fired_count() == 1
+    cw.repair("mv")
+    cw.insert_row("seq", (500, 2.0))
+    expected = answer(cw)
+    logged = {r.epoch for r in cw.wal.records()}
+    assert cw.epochs.latest_epoch not in (None, 0)
+    # The quarantine epoch is a gap: published but never logged.
+    assert len(logged) < cw.epochs.latest_epoch
+    cw.wal.close()
+
+    report = recover(home)
+    assert answer(report.warehouse) == expected
+    assert report.clean
+    report.warehouse.wal.close()
+
+
+def test_recover_missing_directory_is_empty_warehouse(tmp_path):
+    report = recover(str(tmp_path / "never-written"))
+    assert report.base_epoch == 0
+    assert report.replayed == []
+    assert report.clean
+    report.warehouse.wal.close()

@@ -1,0 +1,142 @@
+"""Shipper tests: in-order delivery, lag buffering, partitions, insync
+accounting and divergence fencing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReplicationError
+from repro.faults import FaultPlan, FaultSpec, injector
+from repro.replicate import LocalLink, Replica, Shipper, state_digest
+from repro.serve import ConcurrentWarehouse
+
+from tests.replicate.conftest import answer, run_workload
+
+
+def build_set(n: int = 2, *, min_insync: int = 0):
+    primary = ConcurrentWarehouse()
+    replicas = [Replica(name=f"replica-{i + 1}") for i in range(n)]
+    shipper = Shipper(primary, [LocalLink(r) for r in replicas],
+                      min_insync=min_insync)
+    return primary, replicas, shipper
+
+
+def test_replicas_stay_bit_identical():
+    primary, replicas, shipper = build_set()
+    run_workload(primary)
+    expected = answer(primary)
+    digest = state_digest(primary.warehouse)
+    for replica in replicas:
+        assert replica.applied_epoch == primary.epochs.latest_epoch
+        assert state_digest(replica.warehouse.warehouse) == digest
+        assert answer(replica.warehouse) == expected
+        assert shipper.lag(replica.name) == 0
+    assert shipper.insync_count() == 2
+
+
+def test_min_insync_validated_against_link_count():
+    primary = ConcurrentWarehouse()
+    with pytest.raises(ReplicationError):
+        Shipper(primary, [LocalLink(Replica())], min_insync=2)
+
+
+def test_replica_lag_buffers_and_catches_up():
+    primary, replicas, shipper = build_set()
+    run_workload(primary)
+    plan = FaultPlan([FaultSpec("replica_lag", target="replica-1")])
+    with injector.active(plan):
+        primary.insert_row("seq", (900, 1.0))
+    assert plan.fired_count("replica_lag") == 1
+    assert shipper.lag("replica-1") == 1
+    assert shipper.lag("replica-2") == 0
+    assert replicas[0].applied_epoch < primary.epochs.latest_epoch
+
+    healed = shipper.catch_up("replica-1")
+    assert healed["replica-1"] is True
+    assert shipper.lag("replica-1") == 0
+    assert answer(replicas[0].warehouse) == answer(primary)
+
+
+def test_lagged_records_drain_in_commit_order():
+    primary, replicas, shipper = build_set(1)
+    run_workload(primary)
+    plan = FaultPlan([FaultSpec("replica_lag", target="replica-1", times=2)])
+    with injector.active(plan):
+        primary.insert_row("seq", (901, 1.0))
+        primary.insert_row("seq", (902, 2.0))
+    assert shipper.lag("replica-1") == 2
+    # The next healthy commit drains the whole backlog, oldest first.
+    primary.insert_row("seq", (903, 3.0))
+    assert shipper.lag("replica-1") == 0
+    assert replicas[0].applied_epoch == primary.epochs.latest_epoch
+    assert answer(replicas[0].warehouse) == answer(primary)
+
+
+def test_ship_partition_marks_link_down_and_min_insync_trips():
+    primary, replicas, shipper = build_set(2, min_insync=1)
+    run_workload(primary)
+    plan = FaultPlan([
+        FaultSpec("ship_partition", target="replica-1", times=100),
+        # The second link survives one more commit, then partitions too.
+        FaultSpec("ship_partition", target="replica-2", at=1, times=100),
+    ])
+    with injector.active(plan):
+        primary.insert_row("seq", (910, 1.0))  # replica-2 still acks
+        status = shipper.link_status()
+        assert status["replica-1"]["down"] is True
+        assert status["replica-2"]["down"] is False
+        assert shipper.insync_count() == 1
+        # Both links down: min_insync=1 is now unmeetable.
+        with pytest.raises(ReplicationError) as err:
+            primary.insert_row("seq", (911, 2.0))
+        assert "locally durable" in str(err.value)
+    # The under-replicated write IS on the primary (locally durable)...
+    assert [r for r in primary.query(
+        "SELECT pos FROM seq ORDER BY pos").rows if r[0] == 911]
+    # ...and healing the partition ships the backlog bit-identically.
+    healed = shipper.catch_up()
+    assert healed == {"replica-1": True, "replica-2": True}
+    for replica in replicas:
+        assert answer(replica.warehouse) == answer(primary)
+        assert state_digest(replica.warehouse.warehouse) == state_digest(
+            primary.warehouse
+        )
+
+
+def test_diverged_replica_fences_itself():
+    primary, replicas, shipper = build_set(1, min_insync=1)
+    run_workload(primary)
+    # Corrupt the replica behind the protocol's back (straight into its
+    # table storage): the next shipped record's digest cannot match.
+    replicas[0].warehouse.warehouse.db.table("seq").delete_slots([0])
+    with pytest.raises(ReplicationError):
+        primary.insert_row("seq", (920, 1.0))
+    assert replicas[0].diverged is not None
+    # Applies and promotion are refused from now on.
+    with pytest.raises(ReplicationError):
+        replicas[0].promote()
+    down = shipper.link_status()["replica-1"]
+    assert down["last_error"]
+    # The primary's writes stand (locally durable) even though the sole
+    # replica is fenced and min_insync keeps failing.
+    with pytest.raises(ReplicationError):
+        primary.insert_row("seq", (921, 2.0))
+    positions = [r[0] for r in primary.query(
+        "SELECT pos FROM seq ORDER BY pos").rows]
+    assert 920 in positions and 921 in positions
+
+
+def test_lag_gauge_reports_backlog():
+    from repro.obs import runtime
+
+    primary, replicas, shipper = build_set(1)
+    run_workload(primary)
+    plan = FaultPlan([FaultSpec("replica_lag", target="replica-1")])
+    with injector.active(plan):
+        primary.insert_row("seq", (930, 1.0))
+    gauge = runtime.get_registry().gauge(
+        "repro_replica_lag_epochs", {"replica": "replica-1"}
+    )
+    assert gauge.value == 1.0
+    shipper.catch_up()
+    assert gauge.value == 0.0

@@ -1,0 +1,183 @@
+"""WriteAheadLog unit tests: framing, rotation, torn tails, checkpoints."""
+
+from __future__ import annotations
+
+import datetime
+import os
+import struct
+
+import pytest
+
+from repro.errors import InjectedFault, ReplicationError, WalCorruptionError
+from repro.faults import FaultPlan, FaultSpec, injector
+from repro.replicate import EpochRecord, WriteAheadLog
+from repro.replicate.wal import decode_args, encode_args
+
+
+def record(epoch: int, **args) -> EpochRecord:
+    return EpochRecord(epoch=epoch, op="insert_row",
+                       args=args or {"table": "seq", "values": [epoch, 0.5]},
+                       digest=f"d{epoch}")
+
+
+def segments(directory: str):
+    return sorted(n for n in os.listdir(directory) if n.endswith(".wal"))
+
+
+class TestFraming:
+    def test_append_and_iterate_roundtrip(self, tmp_path):
+        with WriteAheadLog(str(tmp_path)) as wal:
+            originals = [record(e) for e in (1, 2, 3)]
+            for r in originals:
+                wal.append(r)
+            assert list(wal.records()) == originals
+            assert wal.last_epoch == 3
+
+    def test_records_since_filters(self, tmp_path):
+        with WriteAheadLog(str(tmp_path)) as wal:
+            for e in (1, 2, 3, 4):
+                wal.append(record(e))
+            assert [r.epoch for r in wal.records(since=2)] == [3, 4]
+
+    def test_out_of_order_append_rejected(self, tmp_path):
+        with WriteAheadLog(str(tmp_path)) as wal:
+            wal.append(record(5))
+            with pytest.raises(ReplicationError):
+                wal.append(record(5))
+            with pytest.raises(ReplicationError):
+                wal.append(record(4))
+            assert wal.last_epoch == 5
+
+    def test_epoch_gaps_are_legal(self, tmp_path):
+        """Unlogged epochs (failed refresh's quarantine publish) leave gaps."""
+        with WriteAheadLog(str(tmp_path)) as wal:
+            wal.append(record(1))
+            wal.append(record(7))
+            assert [r.epoch for r in wal.records()] == [1, 7]
+
+    def test_survives_reopen(self, tmp_path):
+        with WriteAheadLog(str(tmp_path)) as wal:
+            wal.append(record(1))
+            wal.append(record(2))
+        with WriteAheadLog(str(tmp_path)) as wal:
+            assert wal.last_epoch == 2
+            wal.append(record(3))
+            assert [r.epoch for r in wal.records()] == [1, 2, 3]
+
+    def test_args_codec_roundtrips_dates_and_types(self):
+        from repro.relational import INTEGER
+
+        args = {"when": datetime.date(2002, 3, 1),
+                "columns": [("pos", INTEGER)], "n": 3}
+        encoded = encode_args(args)
+        assert encoded["when"] == {"$date": "2002-03-01"}
+        assert encoded["columns"] == [["pos", "INTEGER"]]
+        decoded = decode_args(encoded)
+        assert decoded["when"] == datetime.date(2002, 3, 1)
+
+    def test_malformed_wire_record_rejected(self):
+        with pytest.raises(ReplicationError):
+            EpochRecord.from_dict({"op": "insert_row"})  # no epoch
+        with pytest.raises(ReplicationError):
+            EpochRecord.from_dict({"epoch": "x", "op": "insert_row"})
+
+
+class TestRotation:
+    def test_segments_rotate_and_replay_in_order(self, tmp_path):
+        with WriteAheadLog(str(tmp_path), segment_bytes=128) as wal:
+            for e in range(1, 11):
+                wal.append(record(e))
+            assert len(segments(str(tmp_path))) > 1
+            assert [r.epoch for r in wal.records()] == list(range(1, 11))
+        # Reopen validates every segment and lands on the same tail epoch.
+        with WriteAheadLog(str(tmp_path), segment_bytes=128) as wal:
+            assert wal.last_epoch == 10
+
+    def test_segment_name_carries_first_epoch(self, tmp_path):
+        with WriteAheadLog(str(tmp_path)) as wal:
+            wal.append(record(4))
+        assert segments(str(tmp_path)) == ["segment-000000000004.wal"]
+
+
+class TestTornTail:
+    def test_torn_tail_is_truncated_on_open(self, tmp_path):
+        with WriteAheadLog(str(tmp_path)) as wal:
+            for e in (1, 2, 3):
+                wal.append(record(e))
+        name = segments(str(tmp_path))[-1]
+        path = tmp_path / name
+        with open(path, "ab") as fh:
+            fh.write(struct.pack("<II", 999, 0) + b"half a frame")
+        with WriteAheadLog(str(tmp_path)) as wal:
+            assert wal.truncated_bytes > 0
+            # At most the torn record is lost, never a committed epoch.
+            assert [r.epoch for r in wal.records()] == [1, 2, 3]
+            wal.append(record(4))  # the log is append-ready again
+
+    def test_injected_torn_write_leaves_half_frame(self, tmp_path):
+        plan = FaultPlan([FaultSpec("wal_torn_write", at=0)])
+        with WriteAheadLog(str(tmp_path)) as wal:
+            wal.append(record(1))
+            with injector.active(plan):
+                with pytest.raises(InjectedFault):
+                    wal.append(record(2))
+        assert plan.fired_count("wal_torn_write") == 1
+        with WriteAheadLog(str(tmp_path)) as wal:
+            assert wal.truncated_bytes > 0
+            assert [r.epoch for r in wal.records()] == [1]
+
+    def test_mid_log_corruption_raises(self, tmp_path):
+        with WriteAheadLog(str(tmp_path), segment_bytes=128) as wal:
+            for e in range(1, 11):
+                wal.append(record(e))
+        assert len(segments(str(tmp_path))) > 1
+        first = tmp_path / segments(str(tmp_path))[0]
+        data = bytearray(first.read_bytes())
+        data[10] ^= 0xFF  # flip one payload byte in a *non-final* segment
+        first.write_bytes(bytes(data))
+        with pytest.raises(WalCorruptionError):
+            WriteAheadLog(str(tmp_path), segment_bytes=128)
+
+    def test_non_monotonic_log_is_corruption(self, tmp_path):
+        with WriteAheadLog(str(tmp_path)) as wal:
+            wal.append(record(2))
+        # Hand-craft a duplicate epoch frame at the tail.
+        from repro.replicate.wal import _frame
+
+        name = segments(str(tmp_path))[-1]
+        with open(tmp_path / name, "ab") as fh:
+            fh.write(_frame(record(2)))
+        with pytest.raises(WalCorruptionError):
+            WriteAheadLog(str(tmp_path))
+
+
+class TestCheckpoint:
+    def test_checkpoint_deletes_covered_segments(self, tmp_path):
+        with WriteAheadLog(str(tmp_path), segment_bytes=128) as wal:
+            for e in range(1, 11):
+                wal.append(record(e))
+            before = segments(str(tmp_path))
+            assert len(before) > 2
+            removed = wal.checkpoint(wal.last_epoch)
+            assert removed == len(before) - 1  # active segment always kept
+            assert wal.checkpoint_epoch() == 10
+            # Replay from the checkpoint still works after reopen.
+        with WriteAheadLog(str(tmp_path), segment_bytes=128) as wal:
+            assert wal.checkpoint_epoch() == 10
+            assert [r.epoch for r in wal.records(since=10)] == []
+
+    def test_checkpoint_keeps_uncovered_segments(self, tmp_path):
+        with WriteAheadLog(str(tmp_path), segment_bytes=128) as wal:
+            for e in range(1, 11):
+                wal.append(record(e))
+            first = segments(str(tmp_path))[1]
+            first_epoch = int(first[len("segment-"):-len(".wal")])
+            wal.checkpoint(first_epoch - 1)
+            # Only segments *fully* covered by the snapshot are deletable.
+            remaining = [r.epoch for r in wal.records()]
+            assert remaining[0] <= first_epoch - 1 + 1
+            assert remaining[-1] == 10
+
+    def test_tiny_segment_bytes_rejected(self, tmp_path):
+        with pytest.raises(ReplicationError):
+            WriteAheadLog(str(tmp_path), segment_bytes=8)

@@ -128,3 +128,89 @@ def test_concurrent_pin_unpin_is_clean():
     report = store.verify()
     assert report["clean"]
     assert report["retained"] == [report["latest"]]
+
+
+def test_verify_reports_orphaned_epochs():
+    """An orphan (retained, unpinned, non-latest) can only appear if a
+    kill tore the store; verify must name it rather than hide it."""
+    store = EpochStore()
+    s1 = store.publish({}, {})
+    store.publish({}, {})
+    # Simulate the torn state directly: resurrect a GC'd snapshot.
+    store._retained[s1.epoch] = s1
+    report = store.verify()
+    assert report["orphaned"] == [1]
+    assert report["clean"] is False
+    # Another publish GCs the orphan; the store heals itself.
+    store.publish({}, {})
+    assert store.verify() == {
+        "latest": 3, "pinned": [], "orphaned": [], "retained": [3],
+        "clean": True,
+    }
+
+
+def test_forced_epoch_publish_gaps_keep_verify_clean():
+    """Replication's forced epoch ids (gaps legal, backwards not) must not
+    confuse the retained-set invariant."""
+    store = EpochStore()
+    store.publish({}, {})
+    pin = store.pin()
+    store.publish({}, {}, epoch=7)  # a gap: epochs 2-6 never existed
+    report = store.verify()
+    assert report["latest"] == 7
+    assert report["retained"] == [1, 7]
+    assert report["pinned"] == [1]
+    with pytest.raises(ServeError):
+        store.publish({}, {}, epoch=7)  # backwards/equal is corruption
+    pin.release()
+    assert store.verify()["clean"]
+
+
+def test_retained_is_latest_union_pinned_under_churn():
+    """The GC invariant — retained == {latest} ∪ pinned — holds at every
+    observable instant while pin/unpin churn races publishes and GC."""
+    store = EpochStore()
+    store.publish({}, {})
+    errors = []
+    stop = threading.Event()
+
+    def churner() -> None:
+        try:
+            while not stop.is_set():
+                pins = [store.pin() for _ in range(3)]
+                for pin in pins:
+                    pin.release()
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    def auditor() -> None:
+        try:
+            for _ in range(300):
+                report = store.verify()
+                retained = set(report["retained"])
+                allowed = set(report["pinned"]) | {report["latest"]}
+                # GC is eager: nothing outside {latest} ∪ pinned survives.
+                if not retained <= allowed:
+                    errors.append(
+                        AssertionError(f"retained {retained} > {allowed}")
+                    )
+                if report["orphaned"]:
+                    errors.append(AssertionError(str(report)))
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=churner) for _ in range(3)]
+    threads += [threading.Thread(target=auditor)]
+    for t in threads:
+        t.start()
+    for _ in range(100):
+        store.publish({}, {})
+    stop.set()
+    for t in threads:
+        t.join()
+    assert not errors
+    # After the churn drains, the steady state is exactly {latest}.
+    report = store.verify()
+    assert report["clean"]
+    assert report["retained"] == [report["latest"]]
+    assert store.pin_count() == 0
