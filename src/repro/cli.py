@@ -165,7 +165,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
     query = args.query or (
         "SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 "
         "PRECEDING AND 1 FOLLOWING) AS s FROM seq ORDER BY pos")
-    options = {"algorithm": args.algorithm}
+    options = {"algorithm": args.algorithm, "planner": args.planner}
     if not args.use_views:
         options["use_views"] = False
     if args.analyze:
@@ -655,6 +655,17 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         with open(args.json_path, "w", encoding="utf-8") as fh:
             json.dump(report.to_dict(), fh, indent=2)
         print(f"report written to {args.json_path}")
+    if args.parity_out:
+        parity = {
+            "base_seed": report.base_seed,
+            "seeds": report.seeds,
+            "oracle": report.oracle,
+            "path_agreements": report.path_agreements,
+            "ok": report.ok,
+        }
+        with open(args.parity_out, "w", encoding="utf-8") as fh:
+            json.dump(parity, fh, indent=2)
+        print(f"planner parity written to {args.parity_out}")
     return 0 if report.ok else 1
 
 
@@ -828,6 +839,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="SELECT to explain (default: the demo's "
                               "derivable window (3,1) query)")
     explain.add_argument("--rows", type=int, default=200)
+    explain.add_argument("--planner", choices=["rule", "cost"], default="rule",
+                         help="planner mode: heuristic rules or the "
+                              "statistics-driven cost model")
     explain.add_argument("--algorithm", choices=["auto", "maxoa", "minoa"],
                          default="auto")
     explain.add_argument("--native", dest="use_views", action="store_false",
@@ -891,6 +905,9 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--trace", action="store_true",
                       help="rerun the same seed batch with tracing enabled "
                            "and assert bit-identical outcomes")
+    fuzz.add_argument("--parity-out", dest="parity_out", default=None,
+                      help="write per-path agreement counts (the planner "
+                           "parity artifact) to this JSON file")
     fuzz.add_argument("--json", dest="json_path", default=None,
                       help="write the machine-readable report to this path")
     fuzz.set_defaults(func=cmd_fuzz)

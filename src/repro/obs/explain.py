@@ -46,9 +46,13 @@ def explain_analyze_plan(
     with PlanProbe(plan, tracer) as probe:
         result = db.run(plan, stats)
     elapsed = time.perf_counter() - start
-    text = "\n".join([
-        probe.render(),
-        f"Execution time: {elapsed * 1000:.3f} ms",
-        f"Stats: {result.stats.summary()}",
-    ])
+    lines = [probe.render()]
+    mode = getattr(plan, "planner_mode", None)
+    if mode is not None:
+        lines.append(f"Planner: {mode}")
+        for note in getattr(plan, "planner_notes", ()) or ():
+            lines.append(f"  {note}")
+    lines.append(f"Execution time: {elapsed * 1000:.3f} ms")
+    lines.append(f"Stats: {result.stats.summary()}")
+    text = "\n".join(lines)
     return text, result

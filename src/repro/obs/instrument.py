@@ -165,8 +165,14 @@ def render_annotated(
     """EXPLAIN-style tree annotated with the probe's actual measurements."""
     measure = measures.get(id(plan))
     note = ""
+    est = getattr(plan, "analyze_est", None)
+    est_parts = (
+        [f"est rows={est['est_rows']}", f"est cost={est['est_cost']}"]
+        if est
+        else []
+    )
     if measure is not None and measure.calls:
-        parts = [
+        parts = est_parts + [
             f"actual rows={measure.rows_out}",
             f"time={measure.wall * 1000:.3f} ms",
         ]
@@ -179,7 +185,7 @@ def render_annotated(
             parts.extend(f"{k}={v}" for k, v in sorted(extra.items()))
         note = "  (" + ", ".join(parts) + ")"
     elif measure is not None:
-        note = "  (never executed)"
+        note = "  (" + ", ".join(est_parts + ["never executed"]) + ")"
     lines = ["  " * indent + plan.label() + note]
     for child in plan.children():
         lines.append(render_annotated(child, measures, indent + 1))

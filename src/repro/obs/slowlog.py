@@ -20,11 +20,19 @@ __all__ = ["SlowQueryLog"]
 class SlowQueryLog:
     """Ring buffer of slow queries (threshold in milliseconds)."""
 
-    def __init__(self, threshold_ms: float = 100.0, capacity: int = 128) -> None:
+    def __init__(
+        self,
+        threshold_ms: float = 100.0,
+        capacity: int = 128,
+        q_error_threshold: float = 2.0,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.threshold_ms = float(threshold_ms)
         self.capacity = capacity
+        # Queries whose cardinality q-error reaches this are kept even when
+        # fast: misestimates are a planner bug signal, not a latency one.
+        self.q_error_threshold = float(q_error_threshold)
         self._entries: deque = deque(maxlen=capacity)
         self._lock = threading.Lock()
         self.total_queries = 0
@@ -36,20 +44,28 @@ class SlowQueryLog:
         *,
         rewrite: Optional[str] = None,
         summary: Optional[str] = None,
+        q_error: Optional[float] = None,
     ) -> bool:
-        """Report one query; returns True when it was slow enough to keep."""
+        """Report one query; returns True when it was kept (slow, or with a
+        cardinality estimate off by at least ``q_error_threshold``x)."""
         with self._lock:
             self.total_queries += 1
             ms = seconds * 1000.0
-            if ms < self.threshold_ms:
+            misestimated = (
+                q_error is not None and q_error >= self.q_error_threshold
+            )
+            if ms < self.threshold_ms and not misestimated:
                 return False
-            self._entries.append({
+            entry = {
                 "sql": sql,
                 "ms": round(ms, 3),
                 "when": time.time(),
                 "rewrite": rewrite,
                 "stats": summary,
-            })
+            }
+            if q_error is not None:
+                entry["q_error"] = round(q_error, 2)
+            self._entries.append(entry)
             return True
 
     def entries(self) -> List[Dict[str, Any]]:

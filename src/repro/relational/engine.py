@@ -99,11 +99,20 @@ def _fmt(value: Any) -> str:
     return str(value)
 
 
+# Tables at or below this row count are re-analyzed on every bulk insert;
+# larger tables keep their (now stale) statistics until an explicit ANALYZE,
+# so loads stay O(rows) and the planner degrades to rule-based choices.
+AUTO_ANALYZE_MAX_ROWS = 200_000
+
+
 class Database:
     """An in-memory relational database instance."""
 
     def __init__(self) -> None:
+        from repro.stats.catalog import StatsCatalog
+
         self.catalog = Catalog()
+        self.stats = StatsCatalog()
 
     # -- DDL -----------------------------------------------------------------
 
@@ -121,10 +130,13 @@ class Database:
 
     def drop_table(self, name: str, *, if_exists: bool = False) -> None:
         self.catalog.drop_table(name, if_exists=if_exists)
+        self.stats.drop(name)
 
     def rename_table(self, old: str, new: str, *, replace: bool = False) -> Table:
         """Atomically rebind a table name (see :meth:`Catalog.rename_table`)."""
-        return self.catalog.rename_table(old, new, replace=replace)
+        table = self.catalog.rename_table(old, new, replace=replace)
+        self.stats.rename(old, new)
+        return table
 
     def create_index(
         self,
@@ -145,7 +157,18 @@ class Database:
     # -- DML -----------------------------------------------------------------
 
     def insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
-        return self.catalog.table(table).insert_many(rows)
+        tbl = self.catalog.table(table)
+        count = tbl.insert_many(rows)
+        if len(tbl) <= AUTO_ANALYZE_MAX_ROWS:
+            self.stats.analyze(tbl)
+        return count
+
+    def analyze(self, table: Optional[str] = None) -> dict:
+        """Collect optimizer statistics for one table (or all of them)."""
+        tables = (
+            [self.table(table)] if table is not None else list(self.catalog.tables())
+        )
+        return {t.name: self.stats.analyze(t) for t in tables}
 
     def table(self, name: str) -> Table:
         return self.catalog.table(name)

@@ -162,6 +162,9 @@ def save_database(
             "data_file": data_file,
             "crc32": zlib.crc32(payload),
         }
+        stats_doc = db.stats.dump(table.name)
+        if stats_doc is not None:
+            entry["stats"] = stats_doc
         catalog["tables"].append(entry)
         _atomic_write(os.path.join(data_dir, data_file), payload)
     _atomic_write(
@@ -251,6 +254,15 @@ def load_database(directory: str) -> Database:
         else:
             rows = _decode_rows(payload)
         table.insert_many(rows)
+        # Optimizer statistics travel with the dump; older dumps (or tables
+        # saved before their first ANALYZE) re-collect on load instead.
+        from repro.relational.engine import AUTO_ANALYZE_MAX_ROWS
+
+        stats_doc = entry.get("stats")
+        if stats_doc is not None:
+            db.stats.load(entry["name"], stats_doc)
+        elif len(table) <= AUTO_ANALYZE_MAX_ROWS:
+            db.stats.analyze(table)
         for index in entry["indexes"]:
             table.create_index(
                 index["name"],

@@ -6,6 +6,29 @@ Planning follows the paper's processing strategy for reporting functions
 their column-wise partitioning/ordering/windowing, and finally the global
 ORDER BY / LIMIT.
 
+Since the cost-based optimizer landed, planning is an explicit two-phase
+logical→physical split:
+
+1. :func:`build_logical` lowers the AST to a tree of
+   :mod:`repro.sql.logical` nodes (binding checks happen here — logical
+   schemas mirror the physical operators exactly);
+2. :class:`PhysicalPlanner` maps each logical node to a physical
+   operator, estimating cardinality and cost per node from the
+   :class:`~repro.stats.catalog.StatsCatalog` (annotated as
+   ``analyze_est`` so EXPLAIN ANALYZE can show estimated vs. actual).
+
+Two planner modes:
+
+* ``planner="rule"`` (default) — the historical fixed rules: serial
+  pipelined window kernels, parallelism exactly as configured.  Estimates
+  are still annotated, but never change the plan.
+* ``planner="cost"`` — the estimates *choose*: window kernel
+  (pipelined vs. vectorized), parallelism placement (a parallel
+  ExecutionConfig is dropped when the estimated rows cannot amortize the
+  pool), and the multi-window factor-derivation sharing rewrite.  Stale
+  or absent statistics degrade every choice back to the rule-based
+  default, never to a wrong answer.
+
 Join planning is deliberately modest (the queries at hand join at most a
 few tables): WHERE conjuncts are pushed to single-table filters where
 possible, cross-table equality conjuncts drive hash joins, everything else
@@ -23,6 +46,7 @@ Two window-execution strategies implement Table 1's comparison:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.errors import BindError, PlanError, SchemaError, UnsupportedSqlError
@@ -30,7 +54,17 @@ from repro.relational.aggregate import AggSpec, HashAggregate
 from repro.relational.engine import Database, Result
 from repro.relational.expr import And, ColumnRef, Comparison, Expr, col
 from repro.relational.join import HashJoin, NestedLoopJoin
-from repro.relational.operators import Alias, Filter, Limit, Operator, Project, Sort, TableScan
+from repro.relational.operators import (
+    Alias,
+    Distinct,
+    Filter,
+    Limit,
+    Operator,
+    Project,
+    Sort,
+    TableScan,
+    UnionAll,
+)
 from repro.sql.ast_nodes import (
     AggregateCall,
     OrderItem,
@@ -38,11 +72,40 @@ from repro.sql.ast_nodes import (
     SelectStmt,
     WindowCall,
 )
+from repro.sql.logical import (
+    LAggregate,
+    LAlias,
+    LDistinct,
+    LFilter,
+    LJoin,
+    LLimit,
+    LPhysical,
+    LProject,
+    LScan,
+    LSort,
+    LUnionAll,
+    LWindow,
+    LogicalNode,
+)
 from repro.sql.parser import parse_select
 from repro.sql.patterns import self_join_window
 from repro.sql.window_exec import WindowColumnSpec, WindowOperator
+from repro.stats.collect import TableStats
+from repro.stats.cost import (
+    DEFAULT_SELECTIVITY,
+    CostModel,
+    predicate_selectivity,
+)
 
-__all__ = ["build_plan", "execute_sql", "explain_sql"]
+__all__ = [
+    "build_plan",
+    "build_logical",
+    "execute_sql",
+    "explain_sql",
+    "PhysicalPlanner",
+]
+
+PLANNER_MODES = ("rule", "cost")
 
 
 def execute_sql(db: Database, text: str, **options: Any) -> Result:
@@ -68,6 +131,7 @@ def build_plan(
     window_strategy: str = "native",
     use_index: Any = "auto",
     exec_config: Any = None,
+    planner: str = "rule",
 ) -> Operator:
     """Lower a SELECT (or UNION ALL compound) AST to an operator tree.
 
@@ -80,15 +144,18 @@ def build_plan(
             — e.g. a process pool that crashed earlier in this process —
             is downgraded to serial execution at plan time, so queries
             self-heal instead of re-triggering the crash path.
+        planner: ``"rule"`` (fixed rules, the historical behavior) or
+            ``"cost"`` (statistics-driven strategy choice; degrades to the
+            rule-based choice wherever statistics are absent or stale).
     """
     from repro.obs import runtime
-    from repro.relational.operators import UnionAll
-    from repro.sql.ast_nodes import CompoundSelect
 
     if window_strategy not in ("native", "selfjoin"):
         raise PlanError(f"unknown window strategy {window_strategy!r}")
+    if planner not in PLANNER_MODES:
+        raise PlanError(f"unknown planner mode {planner!r}")
     with runtime.get_tracer().span(
-        "query.plan", window_strategy=window_strategy
+        "query.plan", window_strategy=window_strategy, planner=planner
     ):
         return _build_plan(
             db,
@@ -96,6 +163,7 @@ def build_plan(
             window_strategy=window_strategy,
             use_index=use_index,
             exec_config=exec_config,
+            planner=planner,
         )
 
 
@@ -106,14 +174,35 @@ def _build_plan(
     window_strategy: str,
     use_index: Any,
     exec_config: Any,
+    planner: str,
 ) -> Operator:
-    from repro.relational.operators import UnionAll
+    exec_config = _route_exec_config(exec_config)
+    logical = build_logical(
+        db,
+        stmt,
+        window_strategy=window_strategy,
+        use_index=use_index,
+        exec_config=exec_config,
+    )
+    return PhysicalPlanner(db, planner=planner, exec_config=exec_config).lower_root(
+        logical
+    )
+
+
+def build_logical(
+    db: Database,
+    stmt,
+    *,
+    window_strategy: str = "native",
+    use_index: Any = "auto",
+    exec_config: Any = None,
+) -> LogicalNode:
+    """Phase 1: lower the AST to a logical plan (no execution state)."""
     from repro.sql.ast_nodes import CompoundSelect
 
-    exec_config = _route_exec_config(exec_config)
     if isinstance(stmt, CompoundSelect):
         branches = [
-            build_plan(
+            build_logical(
                 db,
                 sub,
                 window_strategy=window_strategy,
@@ -122,21 +211,21 @@ def _build_plan(
             )
             for sub in stmt.selects
         ]
-        plan: Operator = UnionAll(branches)
+        node: LogicalNode = LUnionAll(branches)
         if stmt.order_by:
             keys = []
             for item in stmt.order_by:
-                if not _binds(item.expr, plan.schema):
+                if not _binds(item.expr, node.schema):
                     raise BindError(
                         f"compound ORDER BY expression {item.expr} does not "
                         "bind to the union's output columns"
                     )
                 keys.append((item.expr, item.ascending))
-            plan = Sort(plan, keys)
+            node = LSort(node, keys)
         if stmt.limit is not None:
-            plan = Limit(plan, stmt.limit)
-        return plan
-    builder = _Builder(db, stmt, window_strategy, use_index, exec_config)
+            node = LLimit(node, stmt.limit)
+        return node
+    builder = _LogicalBuilder(db, stmt, window_strategy, use_index, exec_config)
     return builder.build()
 
 
@@ -165,7 +254,9 @@ def _binds(expr: Expr, schema) -> bool:
         return False
 
 
-class _Builder:
+class _LogicalBuilder:
+    """Lower one SELECT statement to a logical plan."""
+
     def __init__(
         self,
         db: Database,
@@ -182,7 +273,7 @@ class _Builder:
 
     # -- entry point -------------------------------------------------------------
 
-    def build(self) -> Operator:
+    def build(self) -> LogicalNode:
         stmt = self.stmt
         plan = self._from_where()
         from_schema = plan.schema
@@ -200,29 +291,27 @@ class _Builder:
 
         plan = self._project(plan, from_schema, has_group, window_names)
         if stmt.distinct:
-            from repro.relational.operators import Distinct
-
-            plan = Distinct(plan)
+            plan = LDistinct(plan)
         plan = self._order_limit(plan)
         return plan
 
     # -- FROM / WHERE --------------------------------------------------------------
 
-    def _from_where(self) -> Operator:
+    def _from_where(self) -> LogicalNode:
         stmt = self.stmt
-        scans: List[Operator] = []
+        scans: List[LogicalNode] = []
         for t in stmt.tables:
             if t.is_subquery:
-                sub = build_plan(
+                sub = build_logical(
                     self.db,
                     t.subquery,
                     window_strategy="native",
                     use_index=self.use_index,
                     exec_config=self.exec_config,
                 )
-                scans.append(Alias(sub, t.binding))
+                scans.append(LAlias(sub, t.binding))
             else:
-                scans.append(TableScan(self.db.table(t.name), t.binding))
+                scans.append(LScan(self.db.table(t.name), t.binding))
         conjuncts = _split_and(stmt.where)
 
         # Push single-table conjuncts down to their scan.
@@ -231,7 +320,7 @@ class _Builder:
             pushed = False
             for i, scan in enumerate(scans):
                 if _binds(conj, scan.schema):
-                    scans[i] = Filter(scan, conj)
+                    scans[i] = LFilter(scan, conj)
                     pushed = True
                     break
             if not pushed:
@@ -254,21 +343,28 @@ class _Builder:
                     residual.append(conj)
             res = And(*residual) if residual else None
             if eq_left:
-                plan = HashJoin(plan, scan, eq_left, eq_right, residual=res)
+                plan = LJoin(
+                    plan,
+                    scan,
+                    algorithm="hash",
+                    eq_left=eq_left,
+                    eq_right=eq_right,
+                    residual=res,
+                )
             else:
-                plan = NestedLoopJoin(plan, scan, res)
+                plan = LJoin(plan, scan, algorithm="nested", residual=res)
         if remaining:
             leftover = And(*remaining) if len(remaining) > 1 else remaining[0]
             if not _binds(leftover, plan.schema):
                 raise BindError(
                     f"WHERE clause references unknown columns: {leftover}"
                 )
-            plan = Filter(plan, leftover)
+            plan = LFilter(plan, leftover)
         return plan
 
     # -- GROUP BY / aggregates --------------------------------------------------------
 
-    def _aggregate(self, plan: Operator) -> Operator:
+    def _aggregate(self, plan: LogicalNode) -> LogicalNode:
         stmt = self.stmt
         group_outputs: List[Tuple[Expr, str]] = []
         for i, expr in enumerate(stmt.group_by):
@@ -286,7 +382,7 @@ class _Builder:
                 continue  # evaluated after grouping, over the aggregate output
             elif item.star:
                 raise UnsupportedSqlError("SELECT * cannot be combined with GROUP BY")
-        plan = HashAggregate(plan, group_outputs, agg_specs)
+        plan = LAggregate(plan, group_outputs, agg_specs)
 
         if stmt.having is not None:
             if not _binds(stmt.having, plan.schema):
@@ -294,12 +390,16 @@ class _Builder:
                     "HAVING must reference grouping columns or aggregate "
                     "aliases from the select list"
                 )
-            plan = Filter(plan, stmt.having)
+            plan = LFilter(plan, stmt.having)
         return plan
 
     # -- reporting functions -------------------------------------------------------------
 
-    def _windows(self, plan: Operator, calls: Sequence[WindowCall]) -> Tuple[Operator, List[str]]:
+    def _windows(
+        self, plan: LogicalNode, calls: Sequence[WindowCall]
+    ) -> Tuple[LogicalNode, List[str]]:
+        from repro.sql.window_exec import RANKING_FUNCS
+
         specs: List[WindowColumnSpec] = []
         names: List[str] = []
         used = set(c.qualified_name for c in plan.schema)
@@ -310,7 +410,6 @@ class _Builder:
             name = item.alias or _fresh_name(f"{call.func.lower()}_over_{i}", used)
             used.add(name)
             names.append(name)
-            from repro.sql.window_exec import RANKING_FUNCS
 
             frame = call.over.frame
             window = None
@@ -332,14 +431,18 @@ class _Builder:
                     range_frame=range_frame,
                 )
             )
-        return WindowOperator(plan, specs, self.exec_config), names
+        return LWindow(plan, specs), names
 
-    def _selfjoin_query(self, calls: Sequence[WindowCall]) -> Operator:
+    def _selfjoin_query(self, calls: Sequence[WindowCall]) -> LogicalNode:
         """Table 1's "self join method": fig. 2 instead of the window operator.
 
         Restricted to the pattern's preconditions: a single table, one
         reporting function ordered by a dense integer position column, and a
         select list of the shape ``pos[, val], agg(val) OVER (...)``.
+
+        The pattern is built directly as a physical tree (it *is* a
+        physical rewrite) and enters the logical plan through
+        :class:`LPhysical`.
         """
         stmt = self.stmt
         if len(stmt.tables) != 1 or len(calls) != 1:
@@ -377,7 +480,7 @@ class _Builder:
         for item in stmt.items:
             if isinstance(item.value, WindowCall) and item.alias:
                 out_name = item.alias
-        plan = self_join_window(
+        pattern = self_join_window(
             self.db,
             stmt.tables[0].name,
             window=over.window(),
@@ -388,6 +491,7 @@ class _Builder:
             use_index=self.use_index,
             output_name=out_name,
         )
+        plan: LogicalNode = LPhysical(pattern, note="self-join fig.2")
         plan = self._order_limit(plan)
         return plan
 
@@ -395,11 +499,11 @@ class _Builder:
 
     def _project(
         self,
-        plan: Operator,
+        plan: LogicalNode,
         from_schema,
         has_group: bool,
         window_names: List[str],
-    ) -> Operator:
+    ) -> LogicalNode:
         stmt = self.stmt
         outputs: List[Tuple[Expr, str]] = []
         w = 0
@@ -445,9 +549,9 @@ class _Builder:
         # were not projected (standard SQL allows ordering by them).
         self._projection_child = plan
         self._projection_outputs = final
-        return Project(plan, final)
+        return LProject(plan, final)
 
-    def _order_limit(self, plan: Operator) -> Operator:
+    def _order_limit(self, plan: LogicalNode) -> LogicalNode:
         stmt = self.stmt
         if stmt.order_by:
             keys: List[Tuple[Expr, bool]] = []
@@ -478,12 +582,14 @@ class _Builder:
             if hidden:
                 plan = self._sort_with_hidden_columns(keys)
             else:
-                plan = Sort(plan, keys)
+                plan = LSort(plan, keys)
         if stmt.limit is not None:
-            plan = Limit(plan, stmt.limit)
+            plan = LLimit(plan, stmt.limit)
         return plan
 
-    def _sort_with_hidden_columns(self, keys: List[Tuple[Expr, bool]]) -> Operator:
+    def _sort_with_hidden_columns(
+        self, keys: List[Tuple[Expr, bool]]
+    ) -> LogicalNode:
         """Project visible + hidden sort columns, sort, strip the hidden ones."""
         child = self._projection_child
         outputs = list(self._projection_outputs)
@@ -491,15 +597,304 @@ class _Builder:
         extended = list(outputs)
         rewritten_keys: List[Tuple[Expr, bool]] = []
         for i, (expr, asc) in enumerate(keys):
-            if _binds(expr, Project(child, outputs).schema):
+            if _binds(expr, LProject(child, outputs).schema):
                 rewritten_keys.append((expr, asc))
             else:
                 hidden_name = f"__ord_{i}"
                 extended.append((expr, hidden_name))
                 rewritten_keys.append((col(hidden_name), asc))
-        wide = Project(child, extended)
-        ordered = Sort(wide, rewritten_keys)
-        return Project(ordered, [(col(name), name) for name in visible])
+        wide = LProject(child, extended)
+        ordered = LSort(wide, rewritten_keys)
+        return LProject(ordered, [(col(name), name) for name in visible])
+
+
+# -- phase 2: physical lowering + costing -------------------------------------------
+
+
+@dataclass
+class _Est:
+    """Running estimate while lowering: output rows, cumulative cost,
+    whether every contributing base table had *fresh* statistics (the
+    cost planner only acts when True), and — for single-table subtrees —
+    the base table's statistics for selectivity/NDV lookups."""
+
+    rows: float
+    cost: float
+    fresh: bool
+    table: Optional[TableStats] = None
+
+
+class PhysicalPlanner:
+    """Phase 2: logical → physical, with per-node cost annotation.
+
+    Every lowered operator gets an ``analyze_est`` dict
+    (``{"est_rows": int, "est_cost": float}``) that EXPLAIN ANALYZE
+    renders next to the probe's actuals.  Strategy decisions (recorded in
+    ``planner_notes`` on the root) only deviate from the rule-based
+    defaults under ``planner="cost"`` *and* fresh statistics.
+    """
+
+    def __init__(
+        self, db: Database, *, planner: str = "rule", exec_config: Any = None
+    ) -> None:
+        self.db = db
+        self.mode = planner
+        self.exec_config = exec_config
+        self.cost_model = CostModel(db.stats.adaptive)
+        self.notes: List[str] = []
+
+    def lower_root(self, node: LogicalNode) -> Operator:
+        op, _est = self._lower(node)
+        op.planner_mode = self.mode
+        op.planner_notes = list(self.notes)
+        return op
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _lower(self, node: LogicalNode) -> Tuple[Operator, _Est]:
+        method = getattr(self, f"_lower_{type(node).__name__}", None)
+        if method is None:  # pragma: no cover - exhaustive dispatch
+            raise PlanError(f"no lowering for logical node {type(node).__name__}")
+        op, est = method(node)
+        rows = max(int(round(est.rows)), 0)
+        op.analyze_est = {"est_rows": rows, "est_cost": round(est.cost, 1)}
+        return op, est
+
+    # -- leaves --------------------------------------------------------------
+
+    def _lower_LScan(self, node: LScan) -> Tuple[Operator, _Est]:
+        stats = self.db.stats.get(node.table.name)
+        rows = float(stats.row_count) if stats is not None else float(len(node.table))
+        fresh = self.db.stats.fresh(node.table) is not None
+        op = TableScan(node.table, node.binding)
+        return op, _Est(rows, self.cost_model.scan_cost(rows), fresh, stats)
+
+    def _lower_LPhysical(self, node: LPhysical) -> Tuple[Operator, _Est]:
+        rows = float(_pattern_rows(node.plan))
+        # Pattern subtrees are opaque to the cost model: nominal cost,
+        # never fresh (no cost-based decision applies inside them).
+        return node.plan, _Est(rows, self.cost_model.scan_cost(rows), False)
+
+    # -- unary relational nodes ----------------------------------------------
+
+    def _lower_LAlias(self, node: LAlias) -> Tuple[Operator, _Est]:
+        child, est = self._lower(node.child)
+        return Alias(child, node.alias), est
+
+    def _lower_LFilter(self, node: LFilter) -> Tuple[Operator, _Est]:
+        child, est = self._lower(node.child)
+        sel = predicate_selectivity(node.predicate, est.table)
+        rows = est.rows * sel
+        cost = est.cost + self.cost_model.filter_cost(est.rows)
+        return Filter(child, node.predicate), _Est(rows, cost, est.fresh, est.table)
+
+    def _lower_LProject(self, node: LProject) -> Tuple[Operator, _Est]:
+        child, est = self._lower(node.child)
+        cost = est.cost + self.cost_model.project_cost(est.rows)
+        # Projection renames break the column->stats mapping.
+        return Project(child, node.outputs), _Est(est.rows, cost, est.fresh)
+
+    def _lower_LDistinct(self, node: LDistinct) -> Tuple[Operator, _Est]:
+        child, est = self._lower(node.child)
+        cost = est.cost + self.cost_model.distinct_cost(est.rows)
+        return Distinct(child), _Est(est.rows, cost, est.fresh)
+
+    def _lower_LSort(self, node: LSort) -> Tuple[Operator, _Est]:
+        child, est = self._lower(node.child)
+        cost = est.cost + self.cost_model.sort_cost(est.rows)
+        return Sort(child, node.keys), _Est(est.rows, cost, est.fresh, est.table)
+
+    def _lower_LLimit(self, node: LLimit) -> Tuple[Operator, _Est]:
+        child, est = self._lower(node.child)
+        rows = min(est.rows, float(node.limit))
+        return (
+            Limit(child, node.limit, node.offset),
+            _Est(rows, est.cost, est.fresh, est.table),
+        )
+
+    def _lower_LAggregate(self, node: LAggregate) -> Tuple[Operator, _Est]:
+        child, est = self._lower(node.child)
+        if not node.group_outputs:
+            groups = 1.0
+        else:
+            groups = _ndv_product(
+                (expr for expr, _ in node.group_outputs), est.table
+            )
+            if groups is None:
+                # Unknown grouping cardinality: the square-root heuristic.
+                groups = max(1.0, est.rows**0.5)
+            groups = min(groups, max(est.rows, 1.0))
+        cost = est.cost + self.cost_model.aggregate_cost(est.rows)
+        op = HashAggregate(child, node.group_outputs, node.agg_specs)
+        return op, _Est(groups, cost, est.fresh)
+
+    # -- joins / unions ------------------------------------------------------
+
+    def _lower_LJoin(self, node: LJoin) -> Tuple[Operator, _Est]:
+        left, lest = self._lower(node.left)
+        right, rest = self._lower(node.right)
+        fresh = lest.fresh and rest.fresh
+        product = lest.rows * rest.rows
+        if node.algorithm == "hash":
+            ndv_l = _ndv_product(node.eq_left, lest.table)
+            ndv_r = _ndv_product(node.eq_right, rest.table)
+            denom = max(ndv_l or 1.0, ndv_r or 1.0)
+            rows = product / max(denom, 1.0)
+            if node.residual is not None:
+                rows *= DEFAULT_SELECTIVITY
+            cost = (
+                lest.cost
+                + rest.cost
+                + self.cost_model.hash_join_cost(lest.rows, rest.rows)
+            )
+            op: Operator = HashJoin(
+                left, right, node.eq_left, node.eq_right, residual=node.residual
+            )
+        else:
+            rows = product * (DEFAULT_SELECTIVITY if node.residual is not None else 1.0)
+            cost = (
+                lest.cost
+                + rest.cost
+                + self.cost_model.nested_join_cost(lest.rows, rest.rows)
+            )
+            op = NestedLoopJoin(left, right, node.residual)
+        return op, _Est(rows, cost, fresh)
+
+    def _lower_LUnionAll(self, node: LUnionAll) -> Tuple[Operator, _Est]:
+        branches = []
+        rows = cost = 0.0
+        fresh = True
+        for branch in node.branches:
+            op, est = self._lower(branch)
+            branches.append(op)
+            rows += est.rows
+            cost += est.cost
+            fresh = fresh and est.fresh
+        return UnionAll(branches), _Est(rows, cost, fresh)
+
+    # -- the window operator: where the cost model earns its keep -------------
+
+    def _lower_LWindow(self, node: LWindow) -> Tuple[Operator, _Est]:
+        child, est = self._lower(node.child)
+        rows = est.rows
+        specs = node.specs
+        cm = self.cost_model
+
+        parallel_ok = self.exec_config is not None and getattr(
+            self.exec_config, "is_parallel", False
+        )
+        jobs = self.exec_config.jobs if parallel_ok else 1
+        groups = self._estimate_groups(specs, est)
+        # The vectorized route is admissible only when it is bit-identical
+        # to the pipelined kernel: MIN/MAX (comparisons only) and COUNT
+        # (integer-exact).  SUM/AVG would reorder float summation, and a
+        # cost-based plan must never change results.
+        vector_ok = all(
+            not s.is_ranking
+            and not s.is_range
+            and s.window is not None
+            and s.func in ("MIN", "MAX", "COUNT")
+            for s in specs
+        )
+
+        def total(strategy: str) -> float:
+            out = 0.0
+            for spec in specs:
+                width = _spec_width(spec)
+                if strategy == "vectorized" and spec.func in ("MIN", "MAX") and (
+                    spec.window is not None and spec.window.is_sliding
+                ):
+                    # The strided MIN/MAX kernel does O(n·w) comparisons.
+                    out += cm.window_cost("vectorized", rows * width)
+                else:
+                    out += cm.window_cost(
+                        strategy, rows, width=width, jobs=jobs, groups=groups
+                    )
+            return out
+
+        kernel = "pipelined"
+        share = False
+        op_config = self.exec_config
+        chosen = "parallel" if parallel_ok else "pipelined"
+        if self.mode == "cost" and est.fresh:
+            share = True
+            candidates = {"pipelined": total("pipelined")}
+            if vector_ok:
+                candidates["vectorized"] = total("vectorized")
+            if parallel_ok:
+                candidates["parallel"] = total("parallel")
+            chosen = min(
+                candidates, key=lambda s: (candidates[s], s != "pipelined")
+            )
+            if chosen == "vectorized":
+                kernel = "vectorized"
+                op_config = None
+            elif chosen == "pipelined":
+                # Includes the parallel->serial downgrade for small inputs.
+                op_config = None
+            wcost = candidates[chosen]
+            self.notes.append(
+                f"window[{','.join(s.name for s in specs)}]: {chosen} "
+                f"(est_rows={int(rows)}, est_groups={int(groups)}, "
+                f"est_cost={wcost:.1f}, "
+                f"alternatives={ {k: round(v, 1) for k, v in candidates.items()} })"
+            )
+        else:
+            wcost = total(chosen)
+            if self.mode == "cost":
+                self.notes.append(
+                    f"window[{','.join(s.name for s in specs)}]: {chosen} "
+                    "(rule fallback: statistics absent or stale)"
+                )
+        op = WindowOperator(
+            child, specs, op_config, kernel=kernel, share_derivation=share
+        )
+        return op, _Est(rows, est.cost + wcost, est.fresh, est.table)
+
+    def _estimate_groups(self, specs, est: _Est) -> float:
+        """Estimated PARTITION BY group count (max over the window specs)."""
+        worst = 1.0
+        for spec in specs:
+            if not spec.partition_by:
+                continue
+            ndv = _ndv_product(spec.partition_by, est.table)
+            if ndv is None:
+                ndv = max(1.0, est.rows**0.5)
+            worst = max(worst, min(ndv, max(est.rows, 1.0)))
+        return worst
+
+
+def _spec_width(spec: WindowColumnSpec) -> float:
+    if spec.window is not None and spec.window.is_sliding:
+        return float(spec.window.width)
+    return 1.0
+
+
+def _ndv_product(exprs, table_stats: Optional[TableStats]) -> Optional[float]:
+    """Product of the NDVs of plain column references; None when unknown."""
+    if table_stats is None:
+        return None
+    product = 1.0
+    for expr in exprs:
+        if not isinstance(expr, ColumnRef):
+            return None
+        col_stats = table_stats.column(expr.name)
+        if col_stats is None:
+            return None
+        product *= max(col_stats.ndv, 1)
+    return product
+
+
+def _pattern_rows(plan: Operator) -> int:
+    """Row estimate for an opaque pattern subtree: its largest base table."""
+    best = 0
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, TableScan):
+            best = max(best, len(node.table))
+        stack.extend(node.children())
+    return best
 
 
 # -- helpers ------------------------------------------------------------------------

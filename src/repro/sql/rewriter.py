@@ -42,7 +42,7 @@ from repro.sql.patterns import (
 from repro.views.matcher import Match, QueryShape, rank_matches
 from repro.views.materialized import MaterializedSequenceView
 
-__all__ = ["RewriteInfo", "describe_rewrite", "try_rewrite"]
+__all__ = ["RewriteInfo", "describe_rewrite", "estimate_route_costs", "try_rewrite"]
 
 Key = Tuple[object, ...]
 
@@ -67,11 +67,18 @@ def try_rewrite(
     algorithm: str = "auto",
     variant: str = "disjunctive",
     mode: str = "auto",
+    planner: str = "rule",
 ) -> Optional[Tuple[Result, RewriteInfo]]:
     """Attempt to answer ``stmt`` from a materialized view.
 
     Returns ``None`` when the statement shape is not rewritable or no view
     matches; raises only on internal errors of a chosen rewrite.
+
+    Under ``planner="cost"`` (and fresh base-table statistics) the view
+    route is additionally gated on estimated cost: a derivation whose
+    per-position work grows with the sequence length (raw reconstruction,
+    prefix tiling) loses to a base-table recompute at scale, and the
+    rewrite is declined so the planner's base route runs instead.
     """
     shape_info = _rewritable_shape(stmt)
     if shape_info is None:
@@ -79,6 +86,8 @@ def try_rewrite(
     shape, call = shape_info
     matches = rank_matches(shape, list(views))
     if matches:
+        if planner == "cost" and not _view_route_wins(db, shape, matches[0]):
+            return None
         return _execute_match(
             db, stmt, shape, call, matches[0],
             algorithm=algorithm, variant=variant, mode=mode,
@@ -86,6 +95,71 @@ def try_rewrite(
     if shape.func == "AVG":
         return _try_avg_combination(db, stmt, shape, views, mode=mode)
     return None
+
+
+def _view_route_wins(db: Database, shape: QueryShape, match: Match) -> bool:
+    """Cost-compare the matched view route against a base-table recompute.
+
+    True (keep the rewrite) when statistics are absent/stale — the
+    rule-based behavior — or when the view's estimated cost is no worse.
+    """
+    costs = estimate_route_costs(db, shape, match)
+    if costs is None:
+        return True
+    view_cost, base_cost = costs
+    return view_cost <= base_cost
+
+
+def estimate_route_costs(
+    db: Database, shape: QueryShape, match: Match
+) -> Optional[Tuple[float, float]]:
+    """``(view_cost, base_cost)`` in cost-model units, or None without
+    fresh statistics for the base table.
+
+    The base route is scan + partition sort + pipelined window; the view
+    route is a storage scan plus the derivation's per-position lookups
+    (MaxOA touches at most 3 shifted values per position, MinOA one
+    sub-window tiling, reconstruction/prefix a whole O(n/Wx) chain).
+    """
+    from repro.stats.cost import CostModel
+
+    try:
+        base_table = db.table(shape.base_table)
+    except Exception:  # pragma: no cover - matcher validated the table
+        return None
+    stats = db.stats.fresh(base_table)
+    if stats is None:
+        return None
+    n = float(stats.row_count)
+    cm = CostModel(db.stats.adaptive)
+    base_cost = (
+        cm.scan_cost(n) + cm.sort_cost(n) + cm.window_cost("pipelined", n)
+    )
+    view_cost = cm.scan_cost(n) + _per_position_lookups(shape, match, n) * n
+    return view_cost, base_cost
+
+
+def _per_position_lookups(shape: QueryShape, match: Match, n: float) -> float:
+    """Sequence-value lookups per output position for one match."""
+    d_window = match.view.definition.window
+    view_width = float(d_window.width) if d_window.is_sliding else 1.0
+    if match.kind != "direct" or match.derivation is None:
+        # Reductions reconstruct raw data first (section 6).
+        return max(n / (2.0 * view_width), 1.0)
+    algo = match.derivation.algorithm
+    if algo == "identity":
+        return 1.0
+    if algo == "maxoa":
+        return 3.0  # values at k-Δl, k, k+Δh
+    if algo == "minoa":
+        target_width = (
+            float(shape.window.width) if shape.window.is_sliding else 1.0
+        )
+        return target_width / view_width + 1.0
+    if algo == "cumulative":
+        return 2.0  # x̃_{k+h} - x̃_{k-l-1}
+    # reconstruct / prefix: an O(n/Wx) telescoping chain per position.
+    return max(n / (2.0 * view_width), 1.0)
 
 
 def _try_avg_combination(
@@ -149,6 +223,7 @@ def describe_rewrite(
     algorithm: str = "auto",
     variant: str = "disjunctive",
     mode: str = "auto",
+    planner: str = "rule",
 ) -> Optional[RewriteInfo]:
     """Plan (but do not execute) the rewrite ``try_rewrite`` would choose.
 
@@ -163,6 +238,8 @@ def describe_rewrite(
     matches = rank_matches(shape, list(views))
     if matches:
         match = matches[0]
+        if planner == "cost" and not _view_route_wins(db, shape, match):
+            return None
         view = match.view
         if match.kind == "direct":
             dplan = match.derivation

@@ -19,6 +19,20 @@ within long groups — is evaluated on a shared
 :class:`~repro.parallel.executor.ExecutorPool`, and per-group results merge
 back in deterministic order.  Ranking functions and RANGE frames keep the
 serial path (their kernels are not chunkable yet).
+
+Queries with several OVER clauses share work across the clauses in three
+tiers:
+
+1. *partition/sort sharing* (always on) — clauses with the same
+   PARTITION BY / ORDER BY signature group and sort the input once;
+2. *result dedup* (always on) — textually identical clauses are computed
+   once;
+3. *factor-window derivation* (``share_derivation=True``, set by the cost
+   planner) — a MIN/MAX clause whose frame widens a sibling clause's frame
+   is *derived* from the sibling's computed sequence with the paper's
+   MaxOA algorithm (section 4), exactly the way sequence views derive one
+   another.  MIN/MAX derivation is comparisons-only, so the derived column
+   is bit-identical to direct evaluation.
 """
 
 from __future__ import annotations
@@ -30,6 +44,7 @@ from repro.columns import Column as DataColumn
 from repro.columns import kind_for_type
 from repro.core.aggregates import by_name
 from repro.core.compute import compute_pipelined
+from repro.core.vectorized import compute_vectorized
 from repro.core.window import WindowSpec
 from repro.errors import ParallelError, PlanError, SchemaError
 from repro.relational.expr import ColumnRef, Expr
@@ -113,6 +128,14 @@ class WindowOperator(Operator):
         exec_config: when parallel, frame aggregates are computed through
             the partition-parallel subsystem (chunked across and within
             PARTITION BY groups); ``None`` keeps the serial pipelined path.
+        kernel: serial frame kernel — ``"pipelined"`` (section 2.2,
+            amortised O(1) per row) or ``"vectorized"`` (NumPy bulk
+            kernels; chosen by the cost planner for large inputs).
+            Ranking functions and RANGE frames always use their dedicated
+            serial kernels.
+        share_derivation: enable the MaxOA factor-window sharing tier
+            between MIN/MAX clauses (see the module docstring).  Off by
+            default; the cost planner turns it on.
     """
 
     def __init__(
@@ -120,11 +143,18 @@ class WindowOperator(Operator):
         child: Operator,
         specs: Sequence[WindowColumnSpec],
         exec_config=None,
+        *,
+        kernel: str = "pipelined",
+        share_derivation: bool = False,
     ) -> None:
         if not specs:
             raise PlanError("window operator needs at least one column spec")
+        if kernel not in ("pipelined", "vectorized"):
+            raise PlanError(f"unknown window kernel {kernel!r}")
         self.child = child
         self.exec_config = exec_config
+        self.kernel = kernel
+        self.share_derivation = share_derivation
         self.specs = list(specs)
         columns = list(child.schema.columns)
         for spec in self.specs:
@@ -155,19 +185,55 @@ class WindowOperator(Operator):
             # Sharing the stats block surfaces retry/fallback counters in
             # the query result.
             pool = ExecutorPool(self.exec_config, stats=stats)
+        # cost_units mirrors the planner's charging basis for the strategy
+        # (rows x width for the vectorized kernel, rows otherwise) so the
+        # adaptive table calibrates seconds-per-unit against the same
+        # quantity the cost model multiplies.
+        units = len(rows)
+        if pool is None and self.kernel == "vectorized":
+            width = 1.0
+            for spec in self.specs:
+                if spec.window is not None and spec.window.is_sliding:
+                    width = max(width, float(spec.window.width))
+            units = int(len(rows) * width)
         self.analyze_extra = {
-            "strategy": "parallel" if pool is not None else "pipelined"
+            "strategy": "parallel" if pool is not None else self.kernel,
+            "rows": len(rows),
+            "cost_units": units,
         }
+        self._share_sources = {} if self.share_derivation else None
         try:
             extras: List[List[float]] = []
             measure_cache: dict = {}
+            sort_cache: dict = {}
+            result_cache: dict = {}
             for spec, (arg, partition, order) in zip(self.specs, self._bound):
-                measure = self._measure_column(spec, rows, measure_cache)
-                extras.append(
-                    self._evaluate(
-                        spec, arg, partition, order, rows, stats, pool, measure
-                    )
+                sig = (
+                    tuple(str(e) for e in spec.partition_by),
+                    tuple((str(o.expr), o.ascending) for o in spec.order_by),
                 )
+                dedup_key = (
+                    sig,
+                    spec.func,
+                    str(spec.arg) if spec.arg is not None else None,
+                    spec.window,
+                    spec.range_frame,
+                )
+                if dedup_key in result_cache:
+                    self.analyze_extra["deduped"] = (
+                        self.analyze_extra.get("deduped", 0) + 1
+                    )
+                    extras.append(result_cache[dedup_key])
+                    continue
+                groups = self._partition_and_sort(
+                    sig, partition, order, rows, sort_cache
+                )
+                measure = self._measure_column(spec, rows, measure_cache)
+                values = self._evaluate(
+                    spec, arg, order, sig, groups, rows, stats, pool, measure
+                )
+                result_cache[dedup_key] = values
+                extras.append(values)
         finally:
             if pool is not None:
                 pool.close()
@@ -231,12 +297,44 @@ class WindowOperator(Operator):
             return node.table.column_values(idx)
         return None
 
+    def _partition_and_sort(
+        self, sig, partition, order, rows: List[Row], cache: dict
+    ) -> dict:
+        """Partition + locally sort the input once per distinct signature.
+
+        Clauses sharing a (PARTITION BY, ORDER BY) signature reuse the
+        sorted index lists — the always-on sharing tier.  The lists are
+        never re-sorted afterwards, so sharing is safe.
+        """
+        from repro.obs import runtime
+
+        if sig in cache:
+            runtime.get_registry().counter(
+                "repro_window_sort_cache_hits_total",
+                help="Partition/sort passes served from the shared cache",
+            ).inc()
+            self.analyze_extra["shared_sorts"] = (
+                self.analyze_extra.get("shared_sorts", 0) + 1
+            )
+            return cache[sig]
+        groups: dict = {}
+        for i, row in enumerate(rows):
+            key = tuple(p(row) for p in partition)
+            groups.setdefault(key, []).append(i)
+        for indexes in groups.values():
+            # Local sort order per reporting function (stable multi-key).
+            for key_fn, asc in reversed(order):
+                indexes.sort(key=lambda i: key_fn(rows[i]), reverse=not asc)
+        cache[sig] = groups
+        return groups
+
     def _evaluate(
         self,
         spec: WindowColumnSpec,
         arg,
-        partition,
         order,
+        sig,
+        groups: dict,
         rows: List[Row],
         stats: ExecutionStats,
         pool=None,
@@ -245,20 +343,11 @@ class WindowOperator(Operator):
         from repro.obs import runtime
 
         aggregate = None if spec.is_ranking else by_name(spec.func)
-        groups: dict = {}
-        for i, row in enumerate(rows):
-            key = tuple(p(row) for p in partition)
-            groups.setdefault(key, []).append(i)
         runtime.get_registry().counter(
             "repro_window_groups_total",
             help="PARTITION BY groups evaluated by the window operator",
         ).inc(len(groups))
         self.analyze_extra["groups"] = len(groups)
-        out = [0.0] * len(rows)
-        for indexes in groups.values():
-            # Local sort order per reporting function (stable multi-key).
-            for key_fn, asc in reversed(order):
-                indexes.sort(key=lambda i: key_fn(rows[i]), reverse=not asc)
         if pool is not None and not spec.is_ranking and not spec.is_range:
             try:
                 return self._evaluate_parallel(
@@ -272,30 +361,98 @@ class WindowOperator(Operator):
                 stats.bump(serial_fallbacks=1)
                 self.analyze_extra["strategy"] = "pipelined-fallback"
                 runtime.event("window.serial_fallback", spec=spec.name)
-        for indexes in groups.values():
+        share_key = None
+        if (
+            self._share_sources is not None
+            and pool is None
+            and aggregate is not None
+            and aggregate.name in ("MIN", "MAX")
+            and spec.window is not None
+            and spec.window.is_sliding
+        ):
+            share_key = (
+                sig,
+                aggregate.name,
+                str(spec.arg) if spec.arg is not None else None,
+            )
+            derived = self._derive_from_sibling(share_key, spec, groups, rows, stats)
+            if derived is not None:
+                return derived
+        seqs: dict = {}
+        out = [0.0] * len(rows)
+        for gkey, indexes in groups.items():
             stats.rows_sorted += len(indexes)
             if spec.is_ranking:
                 values = self._rank(spec.func, indexes, rows, order)
             elif spec.is_range:
                 values = self._range_frame(spec, aggregate, arg, indexes, rows, order)
-            elif arg is None:
-                values = compute_pipelined([1.0] * len(indexes), spec.window, aggregate)
             else:
-                values = compute_pipelined(
-                    self._raw_sequence(arg, measure, indexes, rows).tolist()
-                    if measure is not None
+                if arg is None:
+                    raw: Sequence[float] = [1.0] * len(indexes)
+                elif measure is not None:
+                    raw = self._raw_sequence(arg, measure, indexes, rows)
+                else:
                     # The sequence model has no NULLs; absent measures
                     # count as 0 (row fallback for computed arguments).
-                    else [
+                    raw = [
                         float(v) if (v := arg(rows[i])) is not None else 0.0
                         for i in indexes
-                    ],
-                    spec.window,
-                    aggregate,
-                )
+                    ]
+                if self.kernel == "vectorized" and spec.window is not None:
+                    values = compute_vectorized(raw, spec.window, aggregate)
+                else:
+                    values = compute_pipelined(
+                        raw.tolist() if hasattr(raw, "tolist") else raw,
+                        spec.window,
+                        aggregate,
+                    )
+                if share_key is not None:
+                    seqs[gkey] = _as_complete_sequence(
+                        raw, values, spec.window, aggregate
+                    )
             for i, value in zip(indexes, values):
                 out[i] = value
+        if share_key is not None:
+            # Register this clause as a derivation source for later siblings.
+            self._share_sources.setdefault(share_key, []).append(
+                (spec.window, seqs)
+            )
         return out
+
+    def _derive_from_sibling(
+        self, share_key, spec: WindowColumnSpec, groups: dict, rows, stats
+    ) -> Optional[List[float]]:
+        """Factor-window sharing: derive this clause from a sibling's sequence.
+
+        Looks for an already-computed MIN/MAX clause over the same
+        partition/order/measure whose (narrower) frame MaxOA-derives this
+        clause's frame, and evaluates the derivation per group — exactly
+        the paper's view-derivation step, applied between the OVER clauses
+        of one query.
+        """
+        from repro.core import derivation
+        from repro.errors import DerivationError
+        from repro.obs import runtime
+
+        for view_window, seqs in self._share_sources.get(share_key, ()):
+            try:
+                chosen = derivation.plan(view_window, spec.window, minmax=True)
+            except DerivationError:
+                continue
+            out = [0.0] * len(rows)
+            for gkey, indexes in groups.items():
+                stats.rows_sorted += len(indexes)
+                values = derivation.derive(seqs[gkey], spec.window, chosen=chosen)
+                for i, value in zip(indexes, values):
+                    out[i] = value
+            runtime.get_registry().counter(
+                "repro_window_shared_derivations_total",
+                help="Window columns derived from a sibling OVER clause's "
+                "sequence (factor-window sharing)",
+            ).inc()
+            self.analyze_extra["derived"] = self.analyze_extra.get("derived", 0) + 1
+            return out
+        return None
 
     @staticmethod
     def _raw_sequence(arg, measure: DataColumn, indexes, rows):
@@ -441,3 +598,24 @@ class WindowOperator(Operator):
                     f"{s.window.to_frame_sql()} AS {s.name}"
                 )
         return f"WindowOperator({', '.join(parts)})"
+
+
+def _as_complete_sequence(raw, values, window, aggregate):
+    """Wrap one group's computed core values as a :class:`CompleteSequence`.
+
+    The clause already computed positions ``1..n``; only the header and
+    trailer (``l + h`` extra positions) are evaluated naively — cheap for
+    the bounded frames MaxOA applies to.
+    """
+    from repro.core.complete import CompleteSequence
+    from repro.core.sequence import SequenceSpec
+
+    raw_list = raw.tolist() if hasattr(raw, "tolist") else list(raw)
+    n = len(raw_list)
+    sspec = SequenceSpec(window, aggregate)
+    pairs = list(zip(range(1, n + 1), values))
+    for k in range(1 - window.header_span(), 1):
+        pairs.append((k, sspec.value_at(raw_list, k)))
+    for k in range(n + 1, n + window.trailer_span() + 1):
+        pairs.append((k, sspec.value_at(raw_list, k)))
+    return CompleteSequence.from_values(window, aggregate, n, pairs, complete=True)

@@ -1,0 +1,82 @@
+"""Adaptive re-costing: feed observed runtimes back into the cost model.
+
+The cost model's unit constants are guesses about relative kernel speed.
+Every executed window operator reports ``(strategy, rows, seconds)`` here;
+once a strategy has enough observations, :class:`CostModel` replaces its
+per-row unit constant with the *observed* seconds-per-row ratio against
+the pipelined baseline.  The table is bounded (a deque per strategy), so
+a long-running warehouse tracks drift instead of averaging over its whole
+history.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+__all__ = ["AdaptiveCostTable", "MIN_OBSERVATIONS"]
+
+# Observations of a strategy needed before its unit cost is re-calibrated.
+MIN_OBSERVATIONS = 3
+
+
+class AdaptiveCostTable:
+    """Bounded per-strategy record of observed (rows, seconds) samples."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        self.capacity = capacity
+        self._samples: Dict[str, Deque[Tuple[int, float]]] = {}
+        self._lock = threading.Lock()
+
+    def record(self, strategy: str, rows: int, seconds: float) -> None:
+        """Record one observed execution (ignored when trivially small)."""
+        if rows <= 0 or seconds < 0:
+            return
+        with self._lock:
+            bucket = self._samples.setdefault(strategy, deque(maxlen=self.capacity))
+            bucket.append((rows, seconds))
+
+    def observations(self, strategy: str) -> int:
+        with self._lock:
+            return len(self._samples.get(strategy, ()))
+
+    def seconds_per_row(self, strategy: str) -> Optional[float]:
+        """Median observed seconds-per-row, or None below the floor."""
+        with self._lock:
+            bucket = self._samples.get(strategy)
+            if bucket is None or len(bucket) < MIN_OBSERVATIONS:
+                return None
+            ratios = sorted(sec / rows for rows, sec in bucket if rows)
+        mid = len(ratios) // 2
+        if len(ratios) % 2:
+            return ratios[mid]
+        return (ratios[mid - 1] + ratios[mid]) / 2.0
+
+    def unit_factor(self, strategy: str, baseline: str = "pipelined") -> Optional[float]:
+        """Observed per-row cost of ``strategy`` relative to ``baseline``.
+
+        ``None`` until both strategies have enough observations; the cost
+        model then keeps its static constant.
+        """
+        spr = self.seconds_per_row(strategy)
+        base = self.seconds_per_row(baseline)
+        if spr is None or base is None or base <= 0:
+            return None
+        return spr / base
+
+    def snapshot(self) -> dict:
+        """Current calibration state (for EXPLAIN / debugging)."""
+        with self._lock:
+            return {
+                strategy: {
+                    "observations": len(bucket),
+                    "rows": sum(r for r, _ in bucket),
+                    "seconds": sum(s for _, s in bucket),
+                }
+                for strategy, bucket in self._samples.items()
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._samples.clear()

@@ -1,0 +1,262 @@
+"""Statistics collection: row counts, NDV, null fractions, histograms.
+
+One :class:`TableStats` per table, one :class:`ColumnStats` per column.
+Numeric columns additionally carry min/max and an *equi-depth* histogram
+(each bucket holds the same number of non-null values, so bucket width
+adapts to skew — the classic warehouse choice).  Collection samples large
+tables with a fixed stride, which keeps ``ANALYZE`` O(sample) regardless
+of table size; sampled NDV and null counts are scaled back up with the
+usual "saturating domain" heuristic.
+
+Everything here is plain data: JSON-serializable via ``to_dict`` /
+``from_dict`` so the storage catalog can persist statistics next to the
+format-v3 table entries.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ColumnStats",
+    "TableStats",
+    "collect_table_stats",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_SAMPLE_LIMIT",
+]
+
+DEFAULT_BUCKETS = 16
+DEFAULT_SAMPLE_LIMIT = 10_000
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics for one column.
+
+    Attributes:
+        name: column name.
+        count: number of table rows the statistics describe (the full
+            table row count, even when the values were sampled).
+        nulls: estimated number of NULLs over those rows.
+        ndv: estimated number of distinct non-NULL values.
+        min_value / max_value: numeric extrema (None for non-numeric or
+            all-NULL columns).
+        bounds: equi-depth histogram bucket *upper* bounds (ascending,
+            ending at ``max_value``); empty when no histogram was built.
+        sampled: True when the values were stride-sampled.
+    """
+
+    name: str
+    count: int
+    nulls: int
+    ndv: int
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+    bounds: Tuple[float, ...] = ()
+    sampled: bool = False
+
+    @property
+    def null_fraction(self) -> float:
+        return self.nulls / self.count if self.count else 0.0
+
+    @property
+    def non_null(self) -> int:
+        return max(self.count - self.nulls, 0)
+
+    # -- selectivity ---------------------------------------------------------
+
+    def selectivity_eq(self, value: Any = None) -> float:
+        """Estimated fraction of rows matching ``col = value``.
+
+        Uses the uniform-frequency assumption ``1/ndv`` over the non-NULL
+        rows; an out-of-range numeric literal estimates to ~0.
+        """
+        if not self.count:
+            return 0.0
+        frac_non_null = 1.0 - self.null_fraction
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if self.min_value is not None and value < self.min_value:
+                return 1.0 / max(self.count, 1)
+            if self.max_value is not None and value > self.max_value:
+                return 1.0 / max(self.count, 1)
+        return frac_non_null / max(self.ndv, 1)
+
+    def fraction_below(self, value: float, *, inclusive: bool = True) -> float:
+        """Estimated fraction of *non-NULL* values ``<= value`` (or ``<``).
+
+        Interpolates linearly inside the containing equi-depth bucket.
+        """
+        if not self.bounds or self.min_value is None or self.max_value is None:
+            return 0.5
+        if value < self.min_value:
+            return 0.0
+        if value >= self.max_value:
+            return 1.0
+        b = len(self.bounds)
+        i = bisect.bisect_left(self.bounds, value)
+        lo = self.min_value if i == 0 else self.bounds[i - 1]
+        hi = self.bounds[i] if i < b else self.max_value
+        within = 0.0 if hi <= lo else (value - lo) / (hi - lo)
+        if not inclusive:
+            within = max(0.0, within - self.selectivity_eq(value))
+        return min(1.0, max(0.0, (i + within) / b))
+
+    def selectivity_cmp(self, op: str, value: Any) -> float:
+        """Estimated selectivity of ``col <op> value`` over all rows."""
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            # Non-numeric comparisons fall back to the equality estimate
+            # for "=" and a fixed guess otherwise.
+            from repro.stats.cost import DEFAULT_SELECTIVITY
+
+            return self.selectivity_eq(value) if op == "=" else DEFAULT_SELECTIVITY
+        frac_non_null = 1.0 - self.null_fraction
+        if op == "=":
+            return self.selectivity_eq(value)
+        if op in ("!=", "<>"):
+            return max(0.0, frac_non_null - self.selectivity_eq(value))
+        if op in ("<", "<="):
+            return frac_non_null * self.fraction_below(
+                float(value), inclusive=(op == "<=")
+            )
+        if op in (">", ">="):
+            below = self.fraction_below(float(value), inclusive=(op == ">"))
+            return frac_non_null * (1.0 - below)
+        from repro.stats.cost import DEFAULT_SELECTIVITY
+
+        return DEFAULT_SELECTIVITY
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "nulls": self.nulls,
+            "ndv": self.ndv,
+            "min": self.min_value,
+            "max": self.max_value,
+            "bounds": list(self.bounds),
+            "sampled": self.sampled,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ColumnStats":
+        return cls(
+            name=doc["name"],
+            count=int(doc["count"]),
+            nulls=int(doc["nulls"]),
+            ndv=int(doc["ndv"]),
+            min_value=doc.get("min"),
+            max_value=doc.get("max"),
+            bounds=tuple(doc.get("bounds") or ()),
+            sampled=bool(doc.get("sampled", False)),
+        )
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics for one table: the row count plus per-column stats."""
+
+    table: str
+    row_count: int
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name)
+
+    def to_dict(self) -> dict:
+        return {
+            "table": self.table,
+            "row_count": self.row_count,
+            "columns": [c.to_dict() for c in self.columns.values()],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "TableStats":
+        cols = [ColumnStats.from_dict(c) for c in doc.get("columns", [])]
+        return cls(
+            table=doc["table"],
+            row_count=int(doc["row_count"]),
+            columns={c.name: c for c in cols},
+        )
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _column_stats(
+    name: str,
+    values: List[Any],
+    total_rows: int,
+    *,
+    buckets: int,
+    sampled: bool,
+) -> ColumnStats:
+    m = len(values)
+    scale = total_rows / m if m else 1.0
+    nulls = sum(1 for v in values if v is None)
+    non_null = [v for v in values if v is not None]
+    distinct = len(set(non_null))
+    if sampled and non_null:
+        # Saturating-domain heuristic: a sample that is mostly distinct
+        # suggests a (near-)unique column — scale the NDV up with the
+        # table; a sample with heavy repetition suggests the sample
+        # already saw the whole domain.
+        if distinct >= 0.9 * len(non_null):
+            ndv = min(total_rows - round(nulls * scale), round(distinct * scale))
+        else:
+            ndv = distinct
+        nulls = round(nulls * scale)
+    else:
+        ndv = distinct
+    numeric = [float(v) for v in non_null if _is_number(v)]
+    min_value = max_value = None
+    bounds: Tuple[float, ...] = ()
+    if numeric and len(numeric) == len(non_null):
+        numeric.sort()
+        min_value, max_value = numeric[0], numeric[-1]
+        k = len(numeric)
+        b = min(buckets, k) or 1
+        bounds = tuple(numeric[min(k - 1, ((j + 1) * k) // b - 1)] for j in range(b))
+    return ColumnStats(
+        name=name,
+        count=total_rows,
+        nulls=min(nulls, total_rows),
+        ndv=max(min(ndv, total_rows), 0 if not non_null else 1),
+        min_value=min_value,
+        max_value=max_value,
+        bounds=bounds,
+        sampled=sampled,
+    )
+
+
+def collect_table_stats(
+    table,
+    *,
+    buckets: int = DEFAULT_BUCKETS,
+    sample_limit: int = DEFAULT_SAMPLE_LIMIT,
+) -> TableStats:
+    """ANALYZE one table: per-column NDV/nulls/histograms in one pass.
+
+    Args:
+        table: a :class:`repro.relational.table.Table` (duck-typed: needs
+            ``__len__``, ``schema`` and ``column_values``).
+        buckets: equi-depth histogram resolution.
+        sample_limit: above this row count, values are stride-sampled.
+    """
+    n = len(table)
+    sampled = n > sample_limit
+    if sampled:
+        step = -(-n // sample_limit)  # ceil: at most sample_limit probes
+        probe = list(range(0, n, step))
+    columns: Dict[str, ColumnStats] = {}
+    for idx, column in enumerate(table.schema):
+        col = table.column_values(idx)
+        values = col.take(probe).to_pylist() if sampled else col.to_pylist()
+        columns[column.name] = _column_stats(
+            column.name, values, n, buckets=buckets, sampled=sampled
+        )
+    return TableStats(table=table.name, row_count=n, columns=columns)

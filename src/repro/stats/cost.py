@@ -1,0 +1,235 @@
+"""The cost model: cardinality and cost estimation from statistics.
+
+Costs are in abstract *row-operation* units, normalized so one pipelined
+window position (or one scanned row) costs ~1.0.  The constants encode
+the measured relative speed of the kernels (see bench_table1 / DESIGN.md
+§5i); when an :class:`~repro.stats.adaptive.AdaptiveCostTable` has enough
+runtime observations for a strategy, the observed seconds-per-row ratio
+against the pipelined baseline replaces the static per-row constant —
+adaptive re-costing.
+
+Cardinality estimation uses the textbook rules: histogram interpolation
+for range predicates, ``1/NDV`` for equalities, independence for AND,
+inclusion-exclusion for OR, and a fixed default where statistics cannot
+help.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.stats.adaptive import AdaptiveCostTable
+from repro.stats.collect import ColumnStats, TableStats
+
+__all__ = [
+    "CostEstimate",
+    "CostModel",
+    "DEFAULT_SELECTIVITY",
+    "predicate_selectivity",
+]
+
+# Selectivity assumed for predicates statistics cannot estimate.
+DEFAULT_SELECTIVITY = 1.0 / 3.0
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Estimated output cardinality and cumulative cost of an operator."""
+
+    rows: float
+    cost: float
+
+    def rounded(self) -> Tuple[int, float]:
+        return max(int(round(self.rows)), 0), round(self.cost, 1)
+
+
+class CostModel:
+    """Cost formulas for scans, joins, sorts and the window strategies."""
+
+    # Per-row unit costs, relative to one pipelined window position = 1.0.
+    SCAN_ROW = 1.0
+    FILTER_ROW = 0.5
+    JOIN_BUILD_ROW = 1.5
+    JOIN_PROBE_ROW = 1.5
+    NESTED_PAIR = 1.0
+    SORT_ROW_FACTOR = 0.6  # x log2(n)
+    AGG_ROW = 1.2
+    PROJECT_ROW = 0.3
+    DISTINCT_ROW = 1.0
+
+    # Window strategies (per position unless noted).
+    NAIVE_POSITION = 1.0  # x window width
+    PIPELINED_ROW = 1.0
+    VECTORIZED_ROW = 0.05
+    VECTORIZED_SETUP = 500.0  # per spec: array staging + kernel dispatch
+    PARALLEL_ROW = 1.0  # divided by the worker count
+    PARALLEL_SETUP = 30_000.0  # pool spin-up + chunk shipping
+    PARALLEL_GROUP = 4.0  # per-group merge bookkeeping
+
+    def __init__(self, adaptive: Optional[AdaptiveCostTable] = None) -> None:
+        self.adaptive = adaptive
+
+    # -- calibrated per-row units -------------------------------------------
+
+    def _unit(self, strategy: str, static: float) -> float:
+        if self.adaptive is not None:
+            observed = self.adaptive.unit_factor(strategy)
+            if observed is not None and observed > 0:
+                return observed * self.PIPELINED_ROW
+        return static
+
+    # -- window strategies ---------------------------------------------------
+
+    def window_cost(
+        self,
+        strategy: str,
+        rows: float,
+        *,
+        width: float = 1.0,
+        jobs: int = 1,
+        groups: float = 1.0,
+    ) -> float:
+        """Cost of evaluating one window column over ``rows`` positions."""
+        rows = max(rows, 0.0)
+        if strategy == "naive":
+            return rows * max(width, 1.0) * self.NAIVE_POSITION
+        if strategy == "pipelined":
+            return rows * self._unit("pipelined", self.PIPELINED_ROW)
+        if strategy == "vectorized":
+            return rows * self._unit("vectorized", self.VECTORIZED_ROW) + (
+                self.VECTORIZED_SETUP
+            )
+        if strategy == "parallel":
+            per_row = self._unit("parallel", self.PARALLEL_ROW) / max(jobs, 1)
+            return (
+                rows * per_row
+                + self.PARALLEL_SETUP
+                + max(groups, 1.0) * self.PARALLEL_GROUP
+            )
+        raise ValueError(f"unknown window strategy {strategy!r}")
+
+    def choose_window_strategy(
+        self,
+        rows: float,
+        *,
+        width: float = 1.0,
+        jobs: int = 1,
+        groups: float = 1.0,
+        vector_ok: bool = True,
+        parallel_ok: bool = False,
+    ) -> Tuple[str, float]:
+        """Cheapest admissible strategy as ``(name, cost)``.
+
+        Ties break toward ``pipelined`` (the rule-based default), so the
+        cost planner never changes route without a predicted win.
+        """
+        candidates = {"pipelined": self.window_cost("pipelined", rows, width=width)}
+        if vector_ok:
+            candidates["vectorized"] = self.window_cost(
+                "vectorized", rows, width=width
+            )
+        if parallel_ok and jobs > 1:
+            candidates["parallel"] = self.window_cost(
+                "parallel", rows, width=width, jobs=jobs, groups=groups
+            )
+        best = min(candidates, key=lambda s: (candidates[s], s != "pipelined"))
+        if candidates[best] >= candidates["pipelined"]:
+            best = "pipelined"
+        return best, candidates[best]
+
+    # -- relational operators ------------------------------------------------
+
+    def scan_cost(self, rows: float) -> float:
+        return rows * self.SCAN_ROW
+
+    def filter_cost(self, input_rows: float) -> float:
+        return input_rows * self.FILTER_ROW
+
+    def sort_cost(self, rows: float) -> float:
+        return rows * self.SORT_ROW_FACTOR * math.log2(max(rows, 2.0))
+
+    def hash_join_cost(self, left: float, right: float) -> float:
+        return left * self.JOIN_BUILD_ROW + right * self.JOIN_PROBE_ROW
+
+    def nested_join_cost(self, left: float, right: float) -> float:
+        return left * right * self.NESTED_PAIR
+
+    def aggregate_cost(self, input_rows: float) -> float:
+        return input_rows * self.AGG_ROW
+
+    def project_cost(self, rows: float) -> float:
+        return rows * self.PROJECT_ROW
+
+    def distinct_cost(self, rows: float) -> float:
+        return rows * self.DISTINCT_ROW
+
+
+# -- predicate selectivity ----------------------------------------------------
+
+
+def _literal_value(expr: Any) -> Optional[Any]:
+    from repro.relational.expr import Literal
+
+    if isinstance(expr, Literal):
+        return expr.value
+    return None
+
+
+def _column_stats_for(expr: Any, stats: Optional[TableStats]) -> Optional[ColumnStats]:
+    from repro.relational.expr import ColumnRef
+
+    if stats is None or not isinstance(expr, ColumnRef):
+        return None
+    return stats.column(expr.name)
+
+
+def predicate_selectivity(pred: Any, stats: Optional[TableStats]) -> float:
+    """Estimated selectivity of a predicate over one table's rows.
+
+    Histogram/NDV-backed for ``column <op> literal`` comparisons; AND
+    multiplies (independence), OR applies inclusion-exclusion, NOT
+    complements.  Anything else gets :data:`DEFAULT_SELECTIVITY`.
+    """
+    from repro.relational.expr import And, Comparison, InList, IsNull, Not, Or
+
+    if isinstance(pred, And):
+        sel = 1.0
+        for item in pred.items:
+            sel *= predicate_selectivity(item, stats)
+        return sel
+    if isinstance(pred, Or):
+        sel = 0.0
+        for item in pred.items:
+            s = predicate_selectivity(item, stats)
+            sel = sel + s - sel * s
+        return sel
+    if isinstance(pred, Not):
+        return max(0.0, 1.0 - predicate_selectivity(pred.item, stats))
+    if isinstance(pred, IsNull):
+        col_stats = _column_stats_for(pred.item, stats)
+        if col_stats is not None:
+            frac = col_stats.null_fraction
+            return frac if not pred.negated else 1.0 - frac
+        return DEFAULT_SELECTIVITY
+    if isinstance(pred, InList):
+        col_stats = _column_stats_for(pred.item, stats)
+        if col_stats is not None:
+            values = [_literal_value(v) for v in pred.options]
+            if all(v is not None for v in values):
+                return min(1.0, sum(col_stats.selectivity_eq(v) for v in values))
+        return DEFAULT_SELECTIVITY
+    if isinstance(pred, Comparison):
+        col_stats = _column_stats_for(pred.left, stats)
+        value = _literal_value(pred.right)
+        op = pred.op
+        if col_stats is None:
+            # Mirror `literal <op> column`.
+            col_stats = _column_stats_for(pred.right, stats)
+            value = _literal_value(pred.left)
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        if col_stats is not None and value is not None:
+            return min(1.0, max(0.0, col_stats.selectivity_cmp(op, value)))
+        return DEFAULT_SELECTIVITY
+    return DEFAULT_SELECTIVITY

@@ -61,6 +61,18 @@ class ReproFile:
                 "partitioned": self.case.partitioned,
                 "window": _window_to_dict(self.case.window),
                 "aggregate": self.case.aggregate_name,
+                # Optional key: only multi-window cases carry it, so older
+                # corpus files (and readers) are unaffected.
+                **(
+                    {
+                        "extra_windows": [
+                            [agg, _window_to_dict(win)]
+                            for agg, win in self.case.extra_windows
+                        ]
+                    }
+                    if self.case.extra_windows
+                    else {}
+                ),
             },
             "paths": list(self.paths),
             "oracle": self.oracle,
@@ -87,6 +99,10 @@ class ReproFile:
             partitioned=c["partitioned"],
             window=_window_from_dict(c["window"]),
             aggregate_name=c["aggregate"],
+            extra_windows=tuple(
+                (agg, _window_from_dict(win))
+                for agg, win in c.get("extra_windows", ())
+            ),
         )
         faults = doc.get("faults") or {}
         return cls(

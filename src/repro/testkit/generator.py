@@ -46,6 +46,10 @@ class FuzzCase:
         partitioned: whether the query has a ``PARTITION BY g`` clause.
         window: the query's window frame.
         aggregate_name: SUM/COUNT/AVG/MIN/MAX.
+        extra_windows: additional ``(aggregate, window)`` OVER clauses on
+            the same partitioning/ordering — the multi-window case family
+            exercising the operator's sort/derivation sharing.  Empty for
+            the classic single-clause cases.
     """
 
     seed: int
@@ -53,19 +57,35 @@ class FuzzCase:
     partitioned: bool
     window: WindowSpec
     aggregate_name: str
+    extra_windows: Tuple[Tuple[str, WindowSpec], ...] = ()
 
     @property
     def aggregate(self) -> Aggregate:
         return by_name(self.aggregate_name)
 
     @property
+    def window_names(self) -> Tuple[str, ...]:
+        """Output column names: ``w`` plus ``w2, w3, ...`` for extras."""
+        return ("w",) + tuple(
+            f"w{i}" for i in range(2, len(self.extra_windows) + 2)
+        )
+
+    def all_windows(self) -> List[Tuple[str, str, WindowSpec]]:
+        """Every OVER clause as ``(column_name, aggregate, window)``."""
+        out = [("w", self.aggregate_name, self.window)]
+        for name, (agg, win) in zip(self.window_names[1:], self.extra_windows):
+            out.append((name, agg, win))
+        return out
+
+    @property
     def sql(self) -> str:
         """The query text every internal engine path executes."""
         over = "PARTITION BY g ORDER BY pos" if self.partitioned else "ORDER BY pos"
-        return (
-            f"SELECT g, pos, {self.aggregate_name}(val) "
-            f"OVER ({over} {self.window.to_frame_sql()}) AS w FROM t"
+        cols = ", ".join(
+            f"{agg}(val) OVER ({over} {win.to_frame_sql()}) AS {name}"
+            for name, agg, win in self.all_windows()
         )
+        return f"SELECT g, pos, {cols} FROM t"
 
     def partitions(self) -> Dict[Tuple[object, ...], List[Row]]:
         """Rows grouped by the query's partitioning, sorted by ``pos``.
@@ -89,9 +109,14 @@ class FuzzCase:
 
     def describe(self) -> str:
         nulls = sum(1 for r in self.rows if r[2] is None)
+        extra = (
+            f" +{len(self.extra_windows)} extra OVER clauses"
+            if self.extra_windows
+            else ""
+        )
         return (
-            f"seed={self.seed}: {self.aggregate_name} over {self.window}, "
-            f"{len(self.rows)} rows ({nulls} NULL), "
+            f"seed={self.seed}: {self.aggregate_name} over {self.window}"
+            f"{extra}, {len(self.rows)} rows ({nulls} NULL), "
             + ("partitioned" if self.partitioned else "unpartitioned")
         )
 
@@ -104,6 +129,10 @@ class CaseGenerator:
             and keeps shrunk repros readable).
         max_bound: upper bound on the window's ``l``/``h``.
         null_rate: probability that a measure is NULL.
+        multi_over_rate: probability that a case carries 1-2 extra OVER
+            clauses (the multi-window family).  The extra draws happen
+            strictly *after* the classic draws, so any seed's base case is
+            identical to what older generators produced.
     """
 
     def __init__(
@@ -112,12 +141,14 @@ class CaseGenerator:
         max_rows: int = 48,
         max_bound: int = 6,
         null_rate: float = 0.15,
+        multi_over_rate: float = 0.2,
     ) -> None:
         if max_rows < 1:
             raise ValueError(f"max_rows must be >= 1, got {max_rows}")
         self.max_rows = max_rows
         self.max_bound = max_bound
         self.null_rate = null_rate
+        self.multi_over_rate = multi_over_rate
 
     def case(self, seed: int) -> FuzzCase:
         rng = random.Random(seed)
@@ -125,12 +156,14 @@ class CaseGenerator:
         window = self._window(rng)
         aggregate_name = rng.choice(AGGREGATE_NAMES)
         rows = self._rows(rng, partitioned)
+        extra = self._extra_windows(rng, aggregate_name, window)
         return FuzzCase(
             seed=seed,
             rows=tuple(rows),
             partitioned=partitioned,
             window=window,
             aggregate_name=aggregate_name,
+            extra_windows=extra,
         )
 
     def cases(self, n: int, *, base_seed: int = 0):
@@ -163,6 +196,36 @@ class CaseGenerator:
             extra = max(k for _, k, _ in rows) + rng.randint(1, 3)
             rows.append((n_groups + 1, extra, self._value(rng)))
         return rows
+
+    def _extra_windows(
+        self, rng: random.Random, aggregate_name: str, window: WindowSpec
+    ) -> Tuple[Tuple[str, WindowSpec], ...]:
+        """1-2 extra OVER clauses for the multi-window family (maybe none).
+
+        MIN/MAX base clauses are biased toward a *same-function wider
+        sliding* sibling — exactly the shape the window operator can serve
+        by MaxOA derivation from the first clause's sequence.
+        """
+        if rng.random() >= self.multi_over_rate:
+            return ()
+        extra = []
+        for _ in range(rng.randint(1, 2)):
+            if (
+                aggregate_name in ("MIN", "MAX")
+                and window.is_sliding
+                and rng.random() < 0.5
+            ):
+                wx = window.width
+                dl = rng.randint(0, min(wx, self.max_bound))
+                dh = rng.randint(0, min(wx, self.max_bound))
+                if dl == 0 and dh == 0:
+                    dh = 1
+                extra.append(
+                    (aggregate_name, sliding(window.l + dl, window.h + dh))
+                )
+            else:
+                extra.append((rng.choice(AGGREGATE_NAMES), self._window(rng)))
+        return tuple(extra)
 
     def _value(self, rng: random.Random) -> Optional[float]:
         roll = rng.random()

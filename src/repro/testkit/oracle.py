@@ -51,14 +51,20 @@ def sqlite_oracle(case: FuzzCase) -> ResultMap:
             f"functions); linked version is {sqlite3.sqlite_version}"
         )
     over = "PARTITION BY g ORDER BY pos" if case.partitioned else "ORDER BY pos"
-    sql = (
-        f"SELECT g, pos, {case.aggregate_name}(COALESCE(val, 0.0)) "
-        f"OVER ({over} {case.window.to_frame_sql()}) FROM t"
+    clauses = case.all_windows()
+    cols = ", ".join(
+        f"{agg}(COALESCE(val, 0.0)) OVER ({over} {win.to_frame_sql()})"
+        for _name, agg, win in clauses
     )
+    sql = f"SELECT g, pos, {cols} FROM t"
+    multi = bool(case.extra_windows)
     with sqlite3.connect(":memory:") as conn:
         conn.execute("CREATE TABLE t (g INTEGER, pos INTEGER, val REAL)")
         conn.executemany("INSERT INTO t VALUES (?, ?, ?)", case.rows)
         out: ResultMap = {}
-        for g, pos, value in conn.execute(sql):
-            out[(g, pos)] = float(value)
+        for row in conn.execute(sql):
+            g, pos = row[0], row[1]
+            for (name, _agg, _win), value in zip(clauses, row[2:]):
+                key = (g, pos, name) if multi else (g, pos)
+                out[key] = float(value)
     return out

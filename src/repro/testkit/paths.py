@@ -11,8 +11,14 @@ Paths:
 ``vectorized``       numpy kernels (skipped when numpy is unavailable)
 ``engine``           full SQL stack: parse -> plan -> WindowOperator
 ``engine-parallel``  same, through the partition-parallel subsystem
+``engine-cost``      same, planned by the cost-based optimizer (statistics
+                     drive the strategy/route choice; results must match)
 ``view-maxoa``       materialized view one step *narrower*, MaxOA (§4)
 ``view-minoa``       materialized view one step *wider*, MinOA (§5)
+
+Multi-window cases (``case.extra_windows``) run on the core and engine
+paths with result keys ``(g, pos, column)``; the view paths return None
+for them (the rewriter targets single reporting-function shapes).
 
 The view paths execute in ``mode="relational"`` wherever the engine has a
 relational pattern (invertible aggregates, identity matches) — the
@@ -50,12 +56,23 @@ def _raw_values(rows) -> List[float]:
 
 
 def _core_path(case: FuzzCase, compute) -> ResultMap:
-    """Evaluate per partition with a core kernel ``compute(raw, window, agg)``."""
+    """Evaluate per partition with a core kernel ``compute(raw, window, agg)``.
+
+    Single-window cases keep the classic ``(g, pos)`` keys; multi-window
+    cases key each value by ``(g, pos, column)`` so one map carries every
+    OVER clause.
+    """
+    from repro.core.aggregates import by_name
+
+    multi = bool(case.extra_windows)
     out: ResultMap = {}
     for _key, rows in case.partitions().items():
-        values = compute(_raw_values(rows), case.window, case.aggregate)
-        for (g, pos, _val), value in zip(rows, values):
-            out[(g, pos)] = float(value)
+        raw = _raw_values(rows)
+        for name, agg_name, window in case.all_windows():
+            values = compute(raw, window, by_name(agg_name))
+            for (g, pos, _val), value in zip(rows, values):
+                key = (g, pos, name) if multi else (g, pos)
+                out[key] = float(value)
     return out
 
 
@@ -78,19 +95,26 @@ def path_vectorized(case: FuzzCase) -> Optional[ResultMap]:
     return _core_path(case, compute_vectorized)
 
 
-def _engine_path(case: FuzzCase, exec_config=None) -> ResultMap:
+def _engine_path(case: FuzzCase, exec_config=None, planner: str = "rule") -> ResultMap:
     """The full SQL stack against the in-process relational engine."""
     from repro.relational import FLOAT, INTEGER
     from repro.warehouse import DataWarehouse
 
-    wh = DataWarehouse(execution=exec_config)
+    wh = DataWarehouse(execution=exec_config, planner=planner)
     wh.create_table("t", [("g", INTEGER), ("pos", INTEGER), ("val", FLOAT)])
     wh.insert("t", list(case.rows))
     result = wh.query(case.sql, use_views=False)
     g_i = result.schema.resolve("g")
     pos_i = result.schema.resolve("pos")
-    w_i = result.schema.resolve("w")
-    return {(row[g_i], row[pos_i]): float(row[w_i]) for row in result.rows}
+    if not case.extra_windows:
+        w_i = result.schema.resolve("w")
+        return {(row[g_i], row[pos_i]): float(row[w_i]) for row in result.rows}
+    slots = [(name, result.schema.resolve(name)) for name in case.window_names]
+    out: ResultMap = {}
+    for row in result.rows:
+        for name, slot in slots:
+            out[(row[g_i], row[pos_i], name)] = float(row[slot])
+    return out
 
 
 def path_engine(case: FuzzCase) -> ResultMap:
@@ -104,6 +128,16 @@ def path_engine_parallel(case: FuzzCase) -> ResultMap:
 
     config = ExecutionConfig(jobs=2, backend="thread", chunk_size=8)
     return _engine_path(case, exec_config=config)
+
+
+def path_engine_cost(case: FuzzCase) -> ResultMap:
+    """The full SQL stack under the cost-based planner.
+
+    The dataset is auto-ANALYZEd on insert, so statistics are fresh and
+    the cost model actually drives the strategy/route/sharing choices;
+    the planner contract says those choices must never change results.
+    """
+    return _engine_path(case, planner="cost")
 
 
 # -- view-derived paths -----------------------------------------------------
@@ -151,7 +185,9 @@ def _rewrite_mode(case: FuzzCase, source: WindowSpec) -> str:
     return "relational"
 
 
-def _view_path(case: FuzzCase, source: WindowSpec, algorithm: str) -> ResultMap:
+def _view_path(case: FuzzCase, source: WindowSpec, algorithm: str) -> Optional[ResultMap]:
+    if case.extra_windows:
+        return None  # the rewriter answers single reporting-function shapes
     from repro.faults import injector
     from repro.relational import FLOAT, INTEGER
     from repro.warehouse import DataWarehouse
@@ -222,6 +258,7 @@ PATHS: Dict[str, PathFn] = {
     "vectorized": path_vectorized,
     "engine": path_engine,
     "engine-parallel": path_engine_parallel,
+    "engine-cost": path_engine_cost,
     "view-maxoa": path_view_maxoa,
     "view-minoa": path_view_minoa,
 }

@@ -56,6 +56,9 @@ class FuzzReport:
     relations: List[str]
     cases_run: int = 0
     paths_skipped: Dict[str, int] = field(default_factory=dict)
+    # Per-path parity: {"path": {"agree": n, "disagree": n, "skipped": n}}
+    # against the run's reference — the planner-parity artifact CI uploads.
+    path_agreements: Dict[str, Dict[str, int]] = field(default_factory=dict)
     failures: List[CaseOutcome] = field(default_factory=list)
     elapsed: float = 0.0
 
@@ -83,6 +86,7 @@ class FuzzReport:
             "relations": self.relations,
             "cases_run": self.cases_run,
             "paths_skipped": self.paths_skipped,
+            "path_agreements": self.path_agreements,
             "failing_seeds": [f.seed for f in self.failures],
             "failures": [f.to_dict() for f in self.failures],
             "elapsed": self.elapsed,
@@ -133,6 +137,7 @@ class FuzzRunner:
         self.tolerance = tolerance
         self.shrink = shrink
         self._skipped: Dict[str, int] = {}
+        self._agreements: Dict[str, Dict[str, int]] = {}
 
     # -- single case --------------------------------------------------------
 
@@ -156,6 +161,15 @@ class FuzzRunner:
         else:
             reference = "pipelined"
         found = diff_paths(results, reference=reference, tolerance=self.tolerance)
+        if count_skips:
+            disagreeing = {d.path for d in found}
+            for name in results:
+                if name == reference:
+                    continue
+                bucket = self._agreements.setdefault(
+                    name, {"agree": 0, "disagree": 0}
+                )
+                bucket["disagree" if name in disagreeing else "agree"] += 1
         if self.relations:
             found.extend(run_relations(case, self.relations))
         return found
@@ -192,6 +206,7 @@ class FuzzRunner:
                 case (the CLI uses it for a live line).
         """
         self._skipped = {}
+        self._agreements = {}
         report = FuzzReport(
             base_seed=base_seed,
             seeds=seeds,
@@ -209,6 +224,14 @@ class FuzzRunner:
             if found:
                 report.failures.append(self._record_failure(case, found))
         report.paths_skipped = dict(sorted(self._skipped.items()))
+        report.path_agreements = {
+            name: {
+                "agree": self._agreements.get(name, {}).get("agree", 0),
+                "disagree": self._agreements.get(name, {}).get("disagree", 0),
+                "skipped": self._skipped.get(name, 0),
+            }
+            for name in self.paths
+        }
         report.elapsed = time.perf_counter() - start
         return report
 

@@ -120,15 +120,58 @@ def candidate_windows(workload: Sequence[WorkloadQuery]) -> List[WindowSpec]:
     return seen
 
 
+def _lookups_at(dplan, n: float) -> float:
+    """Re-evaluate a plan's lookup formula at a *real* sequence length.
+
+    ``DerivationPlan.estimated_lookups`` is the per-algorithm formula
+    evaluated at the normalised n=1000 (good enough for ranking
+    strategies against each other); when table statistics supply the
+    actual row count, this evaluates the *same* formulas at that length
+    so candidate views are compared at the workload's true scale.
+    """
+    wx = float(dplan.view.width) if dplan.view.is_sliding else 1.0
+    algo = dplan.algorithm
+    if algo == "identity":
+        return n
+    if algo == "cumulative":
+        return 2.0 * n
+    if algo == "prefix":
+        return n * n / (2.0 * wx)
+    if algo == "maxoa":
+        return 2.0 * n * n / wx
+    if algo == "minoa":
+        return n * n / wx
+    # reconstruct
+    return n * n / wx
+
+
 def _query_cost(
-    candidate: WindowSpec, query: WorkloadQuery, fallback_cost: Optional[float]
+    candidate: WindowSpec,
+    query: WorkloadQuery,
+    fallback_cost: Optional[float],
+    row_count: Optional[int],
 ) -> Optional[QueryPlanCost]:
     try:
         dplan = derivation_plan(candidate, query.window, minmax=query.minmax)
-        return QueryPlanCost(query, dplan.algorithm, dplan.estimated_lookups * query.weight)
+        lookups = (
+            _lookups_at(dplan, float(row_count))
+            if row_count is not None
+            else dplan.estimated_lookups
+        )
+        return QueryPlanCost(query, dplan.algorithm, lookups * query.weight)
     except DerivationError:
         if fallback_cost is None:
             return None
+        if row_count is not None:
+            # Statistics-informed fallback: recomputing from base data costs
+            # one scan + sort + pipelined window pass over the real table.
+            from repro.stats.cost import CostModel
+
+            cm = CostModel()
+            n = float(row_count)
+            fallback_cost = (
+                cm.scan_cost(n) + cm.sort_cost(n) + cm.window_cost("pipelined", n)
+            )
         return QueryPlanCost(query, "fallback", fallback_cost * query.weight)
 
 
@@ -137,6 +180,7 @@ def recommend(
     *,
     top: int = 3,
     fallback_cost: Optional[float] = 5_000_000.0,
+    row_count: Optional[int] = None,
 ) -> List[Recommendation]:
     """Rank candidate view windows for the workload, best first.
 
@@ -144,6 +188,10 @@ def recommend(
         top: number of recommendations to return.
         fallback_cost: cost charged for queries the candidate cannot serve
             (None = such candidates are disqualified entirely).
+        row_count: actual base-sequence length from table statistics; when
+            given, per-query costs are evaluated at this length (and the
+            fallback is priced as a real base recompute) instead of the
+            normalised n=1000 ranking numbers.
 
     Raises:
         ValueError: on an empty workload.
@@ -155,7 +203,7 @@ def recommend(
         per_query: List[QueryPlanCost] = []
         disqualified = False
         for query in workload:
-            cost = _query_cost(candidate, query, fallback_cost)
+            cost = _query_cost(candidate, query, fallback_cost, row_count)
             if cost is None:
                 disqualified = True
                 break

@@ -58,6 +58,9 @@ class QueryResult(Result):
 
     rewrite: Optional[RewriteInfo] = None
     epoch: Optional[int] = None
+    # Cardinality q-error max(est/actual, actual/est) of the root operator's
+    # estimate — set for natively planned queries, None for rewrites.
+    q_error: Optional[float] = None
 
     @classmethod
     def wrap(cls, result: Result, rewrite: Optional[RewriteInfo]) -> "QueryResult":
@@ -75,9 +78,22 @@ class DataWarehouse:
             maintenance-band recomputation.  ``None`` (the default) runs
             everything serially; a parallel configuration routes those paths
             through the partition-parallel subsystem (:mod:`repro.parallel`).
+        planner: default planner mode for ``query()``/``explain()`` —
+            ``"rule"`` (heuristic, the default) or ``"cost"``
+            (statistics-driven strategy/route/parallelism choice; falls
+            back to the rules whenever statistics are absent or stale).
     """
 
-    def __init__(self, execution=None) -> None:
+    def __init__(self, execution=None, planner: str = "rule") -> None:
+        from repro.sql.planner import PLANNER_MODES
+
+        if planner not in PLANNER_MODES:
+            from repro.errors import PlanError
+
+            raise PlanError(
+                f"unknown planner {planner!r} (expected one of {PLANNER_MODES})"
+            )
+        self.planner = planner
         self.db = Database()
         self.views: Dict[str, MaterializedSequenceView] = {}
         self.cache = None  # set by enable_query_cache()
@@ -179,6 +195,9 @@ class DataWarehouse:
             self.db, definition, complete=complete, exec_config=self.execution
         )
         self.views[name] = view
+        # Views materialize through direct table writes (bypassing the
+        # insert() auto-ANALYZE), so collect storage-table stats here.
+        self.db.analyze(definition.storage_table)
         return view
 
     def create_views_for_query(
@@ -257,6 +276,7 @@ class DataWarehouse:
         except Exception as exc:
             self.quarantine_view(name, f"refresh failed: {exc}")
             raise
+        self.db.analyze(view.definition.storage_table)
 
     # -- quarantine & repair -----------------------------------------------------
 
@@ -316,6 +336,7 @@ class DataWarehouse:
         mode: str = "auto",
         window_strategy: str = "native",
         use_index: Any = "auto",
+        planner: Optional[str] = None,
     ) -> QueryResult:
         """Run a SELECT, preferring materialized views when possible.
 
@@ -331,6 +352,8 @@ class DataWarehouse:
                 ``"memory"``).
             window_strategy / use_index: forwarded to the native planner
                 (Table 1's execution alternatives).
+            planner: ``"rule"`` or ``"cost"``; ``None`` uses the
+                warehouse default set at construction.
         """
         import time
 
@@ -346,12 +369,19 @@ class DataWarehouse:
             mode=mode,
             window_strategy=window_strategy,
             use_index=use_index,
+            planner=planner or self.planner,
         )
         elapsed = time.perf_counter() - started
         runtime.get_registry().histogram(
             "repro_engine_query_seconds",
             help="Warehouse query() wall time",
         ).observe(elapsed)
+        # Adaptive re-costing: each executed window operator reports its
+        # strategy and size in the cost model's charging basis (rows, or
+        # rows x width for the vectorized kernel) so calibration compares
+        # seconds-per-unit against the same quantity the planner multiplies.
+        for strategy, units in getattr(result, "window_feedback", ()) or ():
+            self.db.stats.adaptive.record(strategy, units, elapsed)
         if self.slow_queries is not None:
             info = result.rewrite
             self.slow_queries.record(
@@ -359,6 +389,7 @@ class DataWarehouse:
                 elapsed,
                 rewrite=info.description if info is not None else None,
                 summary=result.stats.summary(),
+                q_error=result.q_error,
             )
         return result
 
@@ -373,6 +404,7 @@ class DataWarehouse:
         mode: str,
         window_strategy: str,
         use_index: Any,
+        planner: str,
     ) -> "QueryResult":
         from repro.sql.ast_nodes import CompoundSelect
         from repro.sql.parser import parse_query
@@ -381,14 +413,12 @@ class DataWarehouse:
         if isinstance(stmt, CompoundSelect):
             # UNION ALL compounds are evaluated natively (branch rewriting
             # would need per-branch provenance; run them against base data).
-            plan = build_plan(
-                self.db,
+            return self._run_native(
                 stmt,
                 window_strategy=window_strategy,
                 use_index=use_index,
-                exec_config=self.execution,
+                planner=planner,
             )
-            return QueryResult.wrap(self.db.run(plan), None)
         healthy = self.healthy_views()
         if use_views and healthy:
             try:
@@ -399,6 +429,7 @@ class DataWarehouse:
                     algorithm=algorithm,
                     variant=variant,
                     mode=mode,
+                    planner=planner,
                 )
             except ReproError as exc:
                 # Self-healing routing: a rewrite that blows up mid-flight
@@ -418,7 +449,8 @@ class DataWarehouse:
             if admitted:
                 rewritten = try_rewrite(
                     self.db, stmt, self.healthy_views(),
-                    algorithm=algorithm, variant=variant, mode=mode)
+                    algorithm=algorithm, variant=variant, mode=mode,
+                    planner=planner)
                 if rewritten is not None:
                     return QueryResult.wrap(*rewritten)
         if require_rewrite:
@@ -426,14 +458,51 @@ class DataWarehouse:
                 "no materialized view can answer this query "
                 f"(registered: {sorted(self.views)})"
             )
+        return self._run_native(
+            stmt,
+            window_strategy=window_strategy,
+            use_index=use_index,
+            planner=planner,
+        )
+
+    def _run_native(
+        self, stmt, *, window_strategy: str, use_index: Any, planner: str
+    ) -> "QueryResult":
+        """Plan and run a statement natively, capturing planner feedback.
+
+        Attaches the root-operator cardinality q-error (estimated vs
+        returned rows) and, for every executed window operator, a
+        ``(strategy, rows)`` sample destined for the adaptive cost table.
+        """
         plan = build_plan(
             self.db,
             stmt,
             window_strategy=window_strategy,
             use_index=use_index,
             exec_config=self.execution,
+            planner=planner,
         )
-        return QueryResult.wrap(self.db.run(plan), None)
+        result = QueryResult.wrap(self.db.run(plan), None)
+        est = getattr(plan, "analyze_est", None)
+        if est is not None:
+            est_rows = max(float(est["est_rows"]), 1.0)
+            actual = max(float(len(result.rows)), 1.0)
+            result.q_error = max(est_rows / actual, actual / est_rows)
+        feedback = []
+        stack = [plan]
+        while stack:
+            node = stack.pop()
+            extra = getattr(node, "analyze_extra", None)
+            if extra is not None and "strategy" in extra:
+                feedback.append(
+                    (
+                        extra["strategy"],
+                        extra.get("cost_units", extra.get("rows", 0)),
+                    )
+                )
+            stack.extend(node.children())
+        result.window_feedback = feedback
+        return result
 
     def explain(self, sql: str, **options: Any) -> str:
         """Describe how a query would be answered (rewrite or native plan)."""
@@ -448,6 +517,7 @@ class DataWarehouse:
                 algorithm=options.get("algorithm", "auto"),
                 variant=options.get("variant", "disjunctive"),
                 mode=options.get("mode", "auto"),
+                planner=options.get("planner", self.planner),
             )
             if info is not None:
                 return (
@@ -462,6 +532,7 @@ class DataWarehouse:
             window_strategy=options.get("window_strategy", "native"),
             use_index=options.get("use_index", "auto"),
             exec_config=self.execution,
+            planner=options.get("planner", self.planner),
         )
         return "NATIVE PLAN:\n" + plan.explain()
 
@@ -491,6 +562,7 @@ class DataWarehouse:
                 algorithm=options.get("algorithm", "auto"),
                 variant=options.get("variant", "disjunctive"),
                 mode=options.get("mode", "auto"),
+                planner=options.get("planner", self.planner),
             )
             if info is not None:
                 tracer = Tracer()
@@ -511,8 +583,9 @@ class DataWarehouse:
         planner_options = {
             k: v
             for k, v in options.items()
-            if k in ("window_strategy", "use_index")
+            if k in ("window_strategy", "use_index", "planner")
         }
+        planner_options.setdefault("planner", self.planner)
         return self.db.explain_analyze(
             sql, exec_config=self.execution, **planner_options
         )
@@ -726,6 +799,10 @@ class DataWarehouse:
 
         Queries that are not rewritable reporting-function shapes (joins,
         GROUP BY, expression arguments, ...) are ignored.
+
+        When the base table has collected statistics, each group's costs
+        are evaluated at the real row count rather than the advisor's
+        normalised length.
         """
         from repro.views.advisor import WorkloadQuery, recommend
         from repro.views.matcher import QueryShape
@@ -754,8 +831,18 @@ class DataWarehouse:
                     minmax=shape.func in ("MIN", "MAX"),
                 )
             )
+        def _rows(base_table: str) -> Optional[int]:
+            stats = self.db.stats.get(base_table)
+            if stats is not None:
+                return stats.row_count
+            try:
+                return len(self.db.table(base_table))
+            except CatalogError:
+                return None
+
         return {
-            key: recommend(workload, top=top) for key, workload in groups.items()
+            key: recommend(workload, top=top, row_count=_rows(key[0]))
+            for key, workload in groups.items()
         }
 
     # -- base-data modification with incremental view maintenance ------------------------

@@ -1,0 +1,269 @@
+"""Golden-plan snapshots and cost-model properties for the two planner modes.
+
+The snapshots pin the *shape* of the plan plus the planner's recorded
+decisions on three fixtures spanning the decision space (tiny, uniform
+large, skewed partitioned).  The property tests state the contracts the
+cost model must keep: cost is monotonic in the row count, stale or absent
+statistics degrade every choice to the rule-based plan, and EXPLAIN
+ANALYZE estimates stay within the documented q-error bound on analyzed
+data.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import Database, FLOAT, INTEGER
+from repro.sql.parser import parse_query
+from repro.sql.planner import build_plan
+from repro.stats.cost import CostModel
+
+# The documented estimation bound on freshly analyzed fixtures (DESIGN.md
+# §5i): est/actual and actual/est both stay under this factor.
+Q_ERROR_BOUND = 2.0
+
+WINDOW_SQL = (
+    "SELECT pos, MIN(val) OVER ({over} ROWS BETWEEN 4 PRECEDING "
+    "AND 4 FOLLOWING) AS m FROM seq"
+)
+
+
+def make_db(n, groups=1, seed=7):
+    rng = random.Random(seed)
+    db = Database()
+    db.create_table("seq", [("g", INTEGER), ("pos", INTEGER), ("val", FLOAT)])
+    db.insert("seq", [(1 + i % groups, i, rng.uniform(-100, 100)) for i in range(n)])
+    return db
+
+
+def plan_for(db, *, planner, groups=1, sql=None):
+    over = "PARTITION BY g ORDER BY pos" if groups > 1 else "ORDER BY pos"
+    text = (sql or WINDOW_SQL).format(over=over)
+    return build_plan(db, parse_query(text), planner=planner)
+
+
+def window_op(plan):
+    from repro.sql.window_exec import WindowOperator
+
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, WindowOperator):
+            return node
+        stack.extend(node.children())
+    raise AssertionError("no window operator in plan")
+
+
+class TestGoldenPlans:
+    """Plan-shape snapshots: operator tree, kernel choice, recorded notes."""
+
+    GOLDEN = (
+        "Project(pos AS pos, m AS m)\n"
+        "  WindowOperator(MIN(val) ROWS BETWEEN 4 PRECEDING AND 4 FOLLOWING AS m)\n"
+        "    TableScan(seq)"
+    )
+
+    def test_uniform_large_cost_plan(self):
+        db = make_db(4000)
+        plan = plan_for(db, planner="cost")
+        assert plan.explain() == self.GOLDEN
+        assert plan.planner_mode == "cost"
+        # Fresh statistics + large uniform input: the vectorized MIN/MAX
+        # kernel amortizes its setup and wins.
+        assert window_op(plan).kernel == "vectorized"
+        (note,) = plan.planner_notes
+        assert note.startswith("window[m]: vectorized ")
+        assert "alternatives={'pipelined'" in note
+
+    def test_tiny_cost_plan_stays_pipelined(self):
+        db = make_db(120)
+        plan = plan_for(db, planner="cost")
+        assert plan.explain() == self.GOLDEN
+        # 120 rows cannot pay the vectorized setup cost.
+        assert window_op(plan).kernel == "pipelined"
+        (note,) = plan.planner_notes
+        assert note.startswith("window[m]: pipelined ")
+
+    def test_skewed_partitioned_cost_plan(self):
+        db = make_db(3000, groups=6)
+        plan = plan_for(db, planner="cost", groups=6)
+        assert plan.explain() == self.GOLDEN
+        note = plan.planner_notes[0]
+        # The NDV of the partition column feeds the group estimate.
+        assert "est_groups=6" in note
+
+    def test_rule_plan_never_annotates_decisions(self):
+        db = make_db(4000)
+        plan = plan_for(db, planner="rule")
+        assert plan.explain() == self.GOLDEN
+        assert plan.planner_mode == "rule"
+        assert plan.planner_notes == []
+        assert window_op(plan).kernel == "pipelined"
+
+    def test_every_operator_carries_estimates(self):
+        db = make_db(400)
+        plan = plan_for(db, planner="cost")
+        stack = [plan]
+        while stack:
+            node = stack.pop()
+            est = node.analyze_est
+            assert set(est) == {"est_rows", "est_cost"}
+            assert est["est_rows"] >= 0 and est["est_cost"] >= 0
+            stack.extend(node.children())
+
+    def test_estimates_annotated_even_in_rule_mode(self):
+        db = make_db(400)
+        plan = plan_for(db, planner="rule")
+        assert plan.analyze_est["est_rows"] == 400
+
+
+class TestDegradation:
+    """Stale or absent statistics must reproduce the rule-based plan."""
+
+    def _assert_same_as_rule(self, db):
+        cost = plan_for(db, planner="cost")
+        rule = plan_for(db, planner="rule")
+        assert cost.explain() == rule.explain()
+        assert window_op(cost).kernel == window_op(rule).kernel == "pipelined"
+        assert window_op(cost).share_derivation is False
+
+    def test_absent_stats_degrade_to_rule(self):
+        db = Database()
+        db.create_table("seq", [("g", INTEGER), ("pos", INTEGER), ("val", FLOAT)])
+        # Direct table writes never collect statistics.
+        db.table("seq").insert_many([(1, i, float(i)) for i in range(4000)])
+        assert db.stats.get("seq") is None
+        self._assert_same_as_rule(db)
+        (note,) = plan_for(db, planner="cost").planner_notes
+        assert "rule fallback" in note
+
+    def test_stale_stats_degrade_to_rule(self):
+        db = make_db(4000)
+        # Grow the table 50% behind the catalog's back: stats go stale.
+        db.table("seq").insert_many([(1, 4000 + i, 1.0) for i in range(2000)])
+        assert db.stats.is_stale(db.table("seq"))
+        self._assert_same_as_rule(db)
+
+    def test_stale_stats_still_annotate_estimates(self):
+        db = make_db(4000)
+        db.table("seq").insert_many([(1, 4000 + i, 1.0) for i in range(2000)])
+        plan = plan_for(db, planner="cost")
+        # Estimation uses what the catalog has (possibly off) — only
+        # *decisions* require freshness.
+        assert plan.analyze_est["est_rows"] == 4000
+
+
+class TestCostProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=st.integers(min_value=0, max_value=10**6),
+        extra=st.integers(min_value=1, max_value=10**5),
+        strategy=st.sampled_from(["naive", "pipelined", "vectorized", "parallel"]),
+    )
+    def test_window_cost_monotonic_in_rows(self, rows, extra, strategy):
+        cm = CostModel()
+        small = cm.window_cost(strategy, rows, width=9.0, jobs=4, groups=3.0)
+        large = cm.window_cost(strategy, rows + extra, width=9.0, jobs=4, groups=3.0)
+        assert large >= small
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows=st.integers(min_value=0, max_value=10**6),
+           extra=st.integers(min_value=1, max_value=10**5))
+    def test_relational_costs_monotonic_in_rows(self, rows, extra):
+        cm = CostModel()
+        for fn in (cm.scan_cost, cm.filter_cost, cm.sort_cost,
+                   cm.aggregate_cost, cm.project_cost, cm.distinct_cost):
+            assert fn(rows + extra) >= fn(rows)
+
+    @settings(max_examples=25, deadline=None)
+    @given(n_small=st.integers(min_value=10, max_value=300),
+           factor=st.integers(min_value=2, max_value=20))
+    def test_plan_cost_monotonic_in_table_size(self, n_small, factor):
+        small = plan_for(make_db(n_small), planner="cost")
+        large = plan_for(make_db(n_small * factor), planner="cost")
+        assert large.analyze_est["est_cost"] >= small.analyze_est["est_cost"]
+        assert large.analyze_est["est_rows"] >= small.analyze_est["est_rows"]
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(min_value=0, max_value=3000))
+    def test_chosen_strategy_never_costlier_than_pipelined(self, n):
+        cm = CostModel()
+        strategy, cost = cm.choose_window_strategy(
+            float(n), width=9.0, jobs=4, groups=2.0,
+            vector_ok=True, parallel_ok=True,
+        )
+        assert cost <= cm.window_cost("pipelined", float(n), width=9.0)
+        if strategy != "pipelined":
+            assert cost < cm.window_cost("pipelined", float(n), width=9.0)
+
+
+class TestEstimateAccuracy:
+    """EXPLAIN ANALYZE estimated vs. actual rows on analyzed fixtures."""
+
+    def _est_actual_pairs(self, text):
+        import re
+
+        pairs = []
+        for m in re.finditer(r"est rows=(\d+).*?actual rows=(\d+)", text):
+            pairs.append((int(m.group(1)), int(m.group(2))))
+        return pairs
+
+    @pytest.mark.parametrize("n,groups", [(400, 1), (1500, 4)])
+    def test_analyzed_fixture_within_bound(self, n, groups):
+        db = make_db(n, groups=groups)
+        over = "PARTITION BY g ORDER BY pos" if groups > 1 else "ORDER BY pos"
+        text = db.explain_analyze(WINDOW_SQL.format(over=over), planner="cost")
+        pairs = self._est_actual_pairs(text)
+        assert pairs, f"no est/actual annotations in:\n{text}"
+        for est, actual in pairs:
+            q = max(max(est, 1) / max(actual, 1), max(actual, 1) / max(est, 1))
+            assert q <= Q_ERROR_BOUND, (est, actual, text)
+
+    def test_filtered_query_within_bound(self):
+        db = make_db(2000, groups=4)
+        text = db.explain_analyze(
+            "SELECT pos FROM seq WHERE pos < 1000 AND g = 2", planner="cost"
+        )
+        for est, actual in self._est_actual_pairs(text):
+            q = max(max(est, 1) / max(actual, 1), max(actual, 1) / max(est, 1))
+            assert q <= Q_ERROR_BOUND, (est, actual, text)
+
+    def test_planner_section_rendered(self):
+        db = make_db(4000)
+        text = db.explain_analyze(WINDOW_SQL.format(over="ORDER BY pos"),
+                                  planner="cost")
+        assert "Planner: cost" in text
+        assert "window[m]: vectorized" in text
+
+
+class TestQErrorSlowLog:
+    """Misestimated queries are force-kept in the slow-query log."""
+
+    def test_misestimate_recorded_despite_fast_runtime(self):
+        from repro.warehouse import DataWarehouse
+
+        wh = DataWarehouse()
+        wh.enable_slow_query_log(threshold_ms=1e9)  # nothing is "slow" by time
+        wh.create_table("seq", [("g", INTEGER), ("pos", INTEGER), ("val", FLOAT)])
+        wh.insert("seq", [(1, i, float(i)) for i in range(200)])
+        # Triple the table behind the catalog's back: the row estimate is
+        # now off by 3x, beyond the documented bound.
+        wh.db.table("seq").insert_many([(1, 200 + i, 1.0) for i in range(400)])
+        result = wh.query("SELECT pos, val FROM seq", use_views=False)
+        assert result.q_error == pytest.approx(3.0)
+        entries = wh.slow_queries.entries()
+        assert len(entries) == 1
+        assert entries[0]["q_error"] == pytest.approx(3.0)
+
+    def test_accurate_fast_query_not_kept(self):
+        from repro.warehouse import DataWarehouse
+
+        wh = DataWarehouse()
+        wh.enable_slow_query_log(threshold_ms=1e9)
+        wh.create_table("seq", [("g", INTEGER), ("pos", INTEGER), ("val", FLOAT)])
+        wh.insert("seq", [(1, i, float(i)) for i in range(200)])
+        result = wh.query("SELECT pos, val FROM seq", use_views=False)
+        assert result.q_error == pytest.approx(1.0)
+        assert wh.slow_queries.entries() == []
