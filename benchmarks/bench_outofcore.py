@@ -1,0 +1,159 @@
+"""Out-of-core execution benchmark: correctness + overhead gates.
+
+Builds a warehouse whose v4 (paged) dump is at least 4x larger than the
+buffer-pool budget, then proves the out-of-core path end to end:
+
+* **outofcore** — the dataset is saved in the paged format and reloaded
+  behind a deliberately tiny ``memory_budget_bytes``.  The reporting-
+  function query and a measure update + view refresh must produce rows
+  bit-identical to the in-memory warehouse, and the buffer pool's
+  eviction counter must show pages actually cycled (i.e. the run really
+  was out of core, not resident).
+* **warm** — the same dump reloaded with an ample budget; wall time is
+  compared against the in-memory path and must stay within
+  ``--tolerance`` (default 25%) at small scale, since warm paged reads
+  are served from admitted snapshot caches.
+
+The JSON artifact (``BENCH_outofcore.json``) records dataset/budget
+sizes, timings, buffer-pool counters and the per-gate verdicts; with
+``--check`` any wrong answer, eviction-free "out-of-core" run, or
+over-tolerance regression exits 1.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_outofcore.py \
+        [--rows 4000] [--budget-bytes 16384] [--page-size 512] \
+        [--out BENCH_outofcore.json] [--check] [--tolerance 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.warehouse import DataWarehouse, create_sequence_table
+
+SEED = 29
+QUERY = ("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 3 PRECEDING "
+         "AND 2 FOLLOWING) AS w FROM seq ORDER BY pos")
+VIEW_SQL = ("SELECT pos, SUM(val) OVER (ORDER BY pos ROWS BETWEEN 2 "
+            "PRECEDING AND 1 FOLLOWING) AS s FROM seq")
+
+
+def build_wh(rows: int) -> DataWarehouse:
+    wh = DataWarehouse()
+    create_sequence_table(wh.db, "seq", rows, seed=SEED)
+    wh.create_view("mv", VIEW_SQL)
+    return wh
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    out = fn(*args, **kwargs)
+    return time.perf_counter() - start, out
+
+
+def _refresh_round(wh: DataWarehouse, rows: int):
+    """One maintenance round: update a measure, refresh the view."""
+    wh.update_measure("seq", keys={"pos": rows // 2}, value_col="val",
+                      new_value=2.5)
+    wh.refresh_view("mv")
+    return wh.query(QUERY, use_views=False).rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=4000)
+    parser.add_argument("--budget-bytes", type=int, default=16384)
+    parser.add_argument("--page-size", type=int, default=512)
+    parser.add_argument("--out", default="BENCH_outofcore.json")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 on wrong answers, an eviction-free "
+                             "out-of-core run, or a warm-path regression")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="max allowed warm-path slowdown vs in-memory")
+    args = parser.parse_args(argv)
+
+    # -- in-memory reference ------------------------------------------------
+    ref_wh = build_wh(args.rows)
+    mem_time, reference = _timed(
+        lambda: ref_wh.query(QUERY, use_views=False).rows
+    )
+    ref_refreshed = _refresh_round(ref_wh, args.rows)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        build_wh(args.rows).save(
+            tmp, storage_format=4, page_size=args.page_size
+        )
+        dump_bytes = sum(
+            os.path.getsize(os.path.join(tmp, "data", name))
+            for name in os.listdir(os.path.join(tmp, "data"))
+            if name.endswith(".pages")
+        )
+
+        # -- out-of-core gate: tiny budget, evictions must occur ------------
+        cold = DataWarehouse.load(tmp, memory_budget_bytes=args.budget_bytes)
+        cold_time, cold_rows = _timed(
+            lambda: cold.query(QUERY, use_views=False).rows
+        )
+        cold_refreshed = _refresh_round(cold, args.rows)
+        pool_stats = (
+            cold.db.buffer_pool.snapshot()
+            if cold.db.buffer_pool is not None
+            else {}
+        )
+
+        # -- warm gate: ample budget, overhead must stay bounded ------------
+        warm = DataWarehouse.load(tmp, memory_budget_bytes=64 * 1024 * 1024)
+        warm.query(QUERY, use_views=False)  # fault in + admit caches
+        warm_time, warm_rows = _timed(
+            lambda: warm.query(QUERY, use_views=False).rows
+        )
+
+    ratio = dump_bytes / max(args.budget_bytes, 1)
+    slowdown = warm_time / max(mem_time, 1e-9)
+    gates = {
+        "dataset_exceeds_4x_budget": ratio >= 4.0,
+        "cold_answers_match": cold_rows == reference,
+        "cold_refresh_matches": cold_refreshed == ref_refreshed,
+        "warm_answers_match": warm_rows == reference,
+        "evictions_occurred": pool_stats.get("evictions", 0) > 0,
+        "warm_within_tolerance": slowdown <= 1.0 + args.tolerance,
+    }
+    artifact = {
+        "report": "outofcore",
+        "rows": args.rows,
+        "page_size": args.page_size,
+        "budget_bytes": args.budget_bytes,
+        "dump_bytes": dump_bytes,
+        "dump_to_budget_ratio": round(ratio, 2),
+        "in_memory_seconds": round(mem_time, 4),
+        "out_of_core_seconds": round(cold_time, 4),
+        "warm_seconds": round(warm_time, 4),
+        "warm_slowdown": round(slowdown, 3),
+        "tolerance": args.tolerance,
+        "buffer_pool": pool_stats,
+        "gates": gates,
+        "ok": all(gates.values()),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2)
+
+    for name, passed in gates.items():
+        print(f"  {name}: {'ok' if passed else 'FAIL'}")
+    print(
+        f"dump {dump_bytes}B vs budget {args.budget_bytes}B "
+        f"({ratio:.1f}x), evictions={pool_stats.get('evictions')}, "
+        f"warm slowdown {slowdown:.2f}x; wrote {args.out}"
+    )
+    if args.check and not artifact["ok"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -402,6 +402,49 @@ def run_ship_partition(rows):
     }
 
 
+def run_page_read_corrupt(rows):
+    from repro.errors import PageCorruptError
+
+    # The dataset must overflow the buffer budget, or every page stays
+    # resident after load and the query never faults one in (the hook
+    # fires on fault-in, not on hits).
+    rows = rows * 25
+    reference = build_wh(rows, view=False).query(QUERY, use_views=False).rows
+    with tempfile.TemporaryDirectory() as tmp:
+        build_wh(rows, view=False).save(tmp, storage_format=4, page_size=512)
+        wh = DataWarehouse.load(tmp, memory_budget_bytes=4096)
+        pool = wh.db.buffer_pool
+        plan = FaultPlan([FaultSpec("page_read_corrupt", target="seq")])
+        raised = False
+        with injector.active(plan):
+            try:
+                wh.query(QUERY, use_views=False)
+            except PageCorruptError:
+                raised = True
+        quarantined = len(pool.quarantined_pages())
+        # Quarantine is sticky: the bad page keeps failing after the plan
+        # is cleared, until repair() drops the poisoned state.
+        sticky = False
+        try:
+            wh.query(QUERY, use_views=False)
+        except PageCorruptError:
+            sticky = True
+        pool.repair()
+        repaired = wh.query(QUERY, use_views=False).rows == reference
+        # The dump itself is untouched: a fresh load is bit-identical.
+        fresh = DataWarehouse.load(tmp, memory_budget_bytes=4096)
+        match = fresh.query(QUERY, use_views=False).rows == reference
+    return {
+        "fired": plan.fired_count(),
+        "detection": "per-page CRC32 fails on fault-in; PageCorruptError",
+        "degradation": (
+            f"page quarantined (count={quarantined}); no bad values served"
+        ),
+        "answers_match": raised and sticky and quarantined > 0 and match,
+        "repaired_clean": repaired,
+    }
+
+
 SCENARIOS = {
     "worker_crash": run_worker_crash,
     "worker_hang": run_worker_hang,
@@ -414,6 +457,7 @@ SCENARIOS = {
     "primary_crash": run_primary_crash,
     "replica_lag": run_replica_lag,
     "ship_partition": run_ship_partition,
+    "page_read_corrupt": run_page_read_corrupt,
 }
 
 

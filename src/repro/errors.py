@@ -91,6 +91,27 @@ class ConstraintError(RelationalError):
     """Violation of a declared constraint (e.g. duplicate primary key)."""
 
 
+class PageCorruptError(CatalogError):
+    """A storage page failed its CRC32 check (or is quarantined).
+
+    Raised by the buffer pool when a v4 page read decodes to bytes whose
+    checksum disagrees with the page header / catalog directory.  The
+    page is *quarantined* — subsequent reads fail fast with this error
+    instead of retrying the bad bytes — and no corrupt values are ever
+    returned to the engine.  Subclasses :class:`CatalogError` so existing
+    corruption handling (verify CLI, warehouse fallback) applies.
+    """
+
+
+class PageCapacityError(RelationalError):
+    """An updated value no longer fits its fixed-size storage page.
+
+    Internal control flow: :class:`~repro.storage.paged.PagedTable`
+    catches it and falls back to hydrating the column into memory before
+    retrying the update.
+    """
+
+
 class ExpressionError(RelationalError):
     """Malformed expression tree or evaluation failure."""
 

@@ -37,6 +37,7 @@ __all__ = [
     "check",
     "clear",
     "install",
+    "page_read_hook",
     "refresh_write_hook",
     "ship_hook",
     "take_task_faults",
@@ -186,6 +187,27 @@ def wal_torn_hook(target: str = "") -> bool:
     fired = False
     for spec in plan.fire("wal_append", target):
         plan.record(spec.kind, "wal_append", target, "torn frame at the tail")
+        fired = True
+    return fired
+
+
+def page_read_hook(target: str = "") -> bool:
+    """Fire ``page_read_corrupt`` specs for one buffer-pool page fault-in.
+
+    Returns True when the read should hand the pool *corrupted* bytes:
+    the pool flips payload bytes before its CRC check, which must then
+    raise :class:`~repro.errors.PageCorruptError` and quarantine the page
+    — never return the bad values.  ``target`` is the table name, so a
+    spec can aim at one table's pages.  The dump on disk is untouched
+    (the flip happens to the in-memory read buffer), so a reload after
+    the plan is cleared recovers bit-identical answers.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return False
+    fired = False
+    for spec in plan.fire("page_read", target):
+        plan.record(spec.kind, "page_read", target, "flipped payload bytes")
         fired = True
     return fired
 

@@ -36,6 +36,7 @@ KINDS = (
     "primary_crash",       # the serving primary hard-crashes mid-dispatch
     "replica_lag",         # shipping to one replica stalls (records buffered)
     "ship_partition",      # the network link to one replica drops
+    "page_read_corrupt",   # a v4 page read returns flipped bytes (pre-CRC)
 )
 
 # Checkpoints inside MaterializedSequenceView.refresh() that a
@@ -55,6 +56,7 @@ _SITE_OF_KIND = {
     "primary_crash": "primary",
     "replica_lag": "ship",
     "ship_partition": "ship",
+    "page_read_corrupt": "page_read",
 }
 
 

@@ -110,6 +110,87 @@ class _Accumulator:
             return self.total / self.count
         return self.extreme
 
+    # -- spill support --------------------------------------------------------
+
+    def state(self) -> Tuple[int, float, Any]:
+        """Picklable mergeable state (see :class:`_AggSpill`)."""
+        return (self.count, self.total, self.extreme)
+
+    def merge_state(self, state: Tuple[int, float, Any]) -> None:
+        count, total, extreme = state
+        self.count += count
+        self.total += total
+        if extreme is not None:
+            if self.extreme is None:
+                self.extreme = extreme
+            elif self.func == "MIN":
+                self.extreme = min(self.extreme, extreme)
+            elif self.func == "MAX":
+                self.extreme = max(self.extreme, extreme)
+
+
+class _AggSpill:
+    """Spills hash-aggregate partition state under a memory budget.
+
+    When the ambient :func:`repro.storage.spill.active_budget` is set and
+    the estimated group-state footprint crosses half of it, the current
+    partials are pickled to the spill store and the hash table is
+    cleared; emission merges every spilled partial (chronological order,
+    so the global first-seen group order is preserved) with the live
+    tail.  SUM/AVG merge partial totals, so a spilled run may differ from
+    the unspilled sequential sum in the last ulp — the same documented
+    deviation as the batch plane's pairwise summation.
+    """
+
+    # Rough per-group resident bytes: key tuple + dict slot + accumulators.
+    def __init__(self, n_aggs: int, n_keys: int) -> None:
+        self.store = None
+        self.handles: List[Any] = []
+        self.per_group = 120 + 88 * n_aggs + 32 * max(n_keys, 1)
+
+    def maybe_spill(self, groups: Dict, order: List, budget: Optional[int]) -> None:
+        if budget is None or not groups:
+            return
+        if len(groups) * self.per_group <= max(budget // 2, 1):
+            return
+        from repro.storage.spill import SpillStore
+
+        if self.store is None:
+            self.store = SpillStore()
+        self.handles.append(
+            self.store.write_obj(
+                [(key, [acc.state() for acc in groups[key]]) for key in order]
+            )
+        )
+        groups.clear()
+        order.clear()
+
+    def merge(self, groups: Dict, order: List, make_accs) -> Tuple[Dict, List]:
+        """Fold spilled partials + the live tail into one (groups, order)."""
+        if not self.handles:
+            return groups, order
+        merged: Dict = {}
+        morder: List = []
+        for handle in self.handles:
+            for key, states in self.store.read_obj(handle):
+                accs = merged.get(key)
+                if accs is None:
+                    accs = make_accs()
+                    merged[key] = accs
+                    morder.append(key)
+                for acc, st in zip(accs, states):
+                    acc.merge_state(st)
+        for key in order:
+            accs = merged.get(key)
+            if accs is None:
+                merged[key] = groups[key]
+                morder.append(key)
+            else:
+                for acc, live in zip(accs, groups[key]):
+                    acc.merge_state(live.state())
+        self.store.close()
+        return merged, morder
+
 
 class HashAggregate(Operator):
     """``GROUP BY`` + aggregates in one hash pass.
@@ -144,6 +225,10 @@ class HashAggregate(Operator):
         ]
 
     def execute(self, stats: ExecutionStats) -> Iterator[Row]:
+        from repro.storage.spill import active_budget
+
+        budget = active_budget()
+        spill = _AggSpill(len(self.aggregates), len(self.group_by))
         groups: Dict[Tuple[Any, ...], List[_Accumulator]] = {}
         order: List[Tuple[Any, ...]] = []
         consumed = 0
@@ -157,7 +242,13 @@ class HashAggregate(Operator):
                 order.append(key)
             for acc, arg in zip(accs, self._args):
                 acc.add(arg(row) if arg is not None else 1)
+            if budget is not None and consumed % 4096 == 0:
+                spill.maybe_spill(groups, order, budget)
         stats.rows_aggregated += consumed
+        groups, order = spill.merge(
+            groups, order,
+            lambda: [_Accumulator(spec.func) for spec in self.aggregates],
+        )
         if not groups and not self.group_by:
             # Global aggregate over empty input still emits one row.
             groups[()] = [_Accumulator(spec.func) for spec in self.aggregates]
@@ -187,6 +278,10 @@ class HashAggregate(Operator):
             for spec in self.aggregates
         ] if vector_args else []
 
+        from repro.storage.spill import active_budget
+
+        budget = active_budget()
+        spill = _AggSpill(len(self.aggregates), len(self.group_by))
         groups: Dict[Tuple[Any, ...], List[_Accumulator]] = {}
         order: List[Tuple[Any, ...]] = []
         for batch in self.child.execute_batches(stats, chunk_rows):
@@ -217,6 +312,12 @@ class HashAggregate(Operator):
                     order.append(key)
                 for acc, arg in zip(accs, self._args):
                     acc.add(arg(row) if arg is not None else 1)
+            if budget is not None:
+                spill.maybe_spill(groups, order, budget)
+        groups, order = spill.merge(
+            groups, order,
+            lambda: [_Accumulator(spec.func) for spec in self.aggregates],
+        )
         if not groups and not self.group_by:
             groups[()] = [_Accumulator(spec.func) for spec in self.aggregates]
             order.append(())

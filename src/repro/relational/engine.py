@@ -113,6 +113,13 @@ class Database:
 
         self.catalog = Catalog()
         self.stats = StatsCatalog()
+        # Out-of-core knobs: set by load_database() for v4 (paged) dumps,
+        # or directly by callers that want bounded-memory execution.
+        # memory_budget_bytes caps both buffer-pool residency and operator
+        # state (hash-aggregate partitions / window runs spill past it);
+        # None keeps the historical unlimited in-memory behaviour.
+        self.buffer_pool = None
+        self.memory_budget_bytes: Optional[int] = None
 
     # -- DDL -----------------------------------------------------------------
 
@@ -194,16 +201,27 @@ class Database:
         if owns_stats:
             stats = ExecutionStats()
         tracer = runtime.get_tracer()
-        if tracer.enabled and "execute" not in plan.__dict__:
-            from repro.obs.instrument import PlanProbe
+        with self._budget_scope():
+            if tracer.enabled and "execute" not in plan.__dict__:
+                from repro.obs.instrument import PlanProbe
 
-            with tracer.span("query.run"), PlanProbe(plan, tracer):
+                with tracer.span("query.run"), PlanProbe(plan, tracer):
+                    rows = list(plan.execute(stats))
+            else:
                 rows = list(plan.execute(stats))
-        else:
-            rows = list(plan.execute(stats))
         if owns_stats:
             self._publish(stats)
         return Result(plan.schema, rows, stats)
+
+    def _budget_scope(self):
+        """Ambient spill budget for one plan execution (no-op when unset)."""
+        from contextlib import nullcontext
+
+        if self.memory_budget_bytes is None:
+            return nullcontext()
+        from repro.storage.spill import engine_budget
+
+        return engine_budget(self.memory_budget_bytes)
 
     @staticmethod
     def _publish(stats: ExecutionStats) -> None:
@@ -237,13 +255,14 @@ class Database:
         if owns_stats:
             stats = ExecutionStats()
         tracer = runtime.get_tracer()
-        if tracer.enabled and "execute" not in plan.__dict__:
-            from repro.obs.instrument import PlanProbe
+        with self._budget_scope():
+            if tracer.enabled and "execute" not in plan.__dict__:
+                from repro.obs.instrument import PlanProbe
 
-            with tracer.span("query.run"), PlanProbe(plan, tracer):
+                with tracer.span("query.run"), PlanProbe(plan, tracer):
+                    chunks = list(plan.execute_batches(stats, chunk_rows))
+            else:
                 chunks = list(plan.execute_batches(stats, chunk_rows))
-        else:
-            chunks = list(plan.execute_batches(stats, chunk_rows))
         if owns_stats:
             self._publish(stats)
         return ChunkedBatch(plan.schema.names(), chunks)

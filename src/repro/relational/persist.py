@@ -3,7 +3,9 @@
 Layout::
 
     <dir>/catalog.json              tables, schemas, primary keys, indexes,
-                                    CRCs, format version
+                                    CRCs, page directories, format version
+    <dir>/data/<table>.pages        format v4: fixed-size CRC32 pages of
+                                    column chunks (out-of-core)
     <dir>/data/<table>.cols.json    format v3: one JSON array per column
     <dir>/data/<table>.jsonl        formats v1/v2: one JSON array per row
 
@@ -13,6 +15,14 @@ each column buffer sequentially instead of materializing row tuples.
 Versions 1 (no checksums) and 2 (row JSON-lines + CRC32) remain loadable;
 ``save_database(..., format_version=2)`` still writes the row format for
 interoperability, and ``repro migrate`` upgrades old dumps in place.
+
+Format v4 (``format_version=4``) is the *out-of-core* format: each
+column is packed into fixed-size pages (:mod:`repro.storage.page`) with a
+per-page CRC32 recorded in the catalog's page directory, and loading
+builds :class:`~repro.storage.paged.PagedTable`s behind a shared
+:class:`~repro.storage.buffer_pool.BufferPool` (``memory_budget_bytes``)
+instead of ingesting rows eagerly — only the index rebuild streams the
+data once; afterwards residency is bounded by the pool budget.
 
 Values are typed through a small codec shared by all versions (dates
 become ``{"$date": "YYYY-MM-DD"}``, NULL is JSON ``null``).  Loading
@@ -34,35 +44,31 @@ chosen table and assert that the pre-existing dump survives untouched.
 
 from __future__ import annotations
 
-import datetime
 import json
 import os
 import zlib
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.errors import CatalogError
 from repro.relational.engine import Database
 from repro.relational.types import type_by_name
+from repro.storage.page import (
+    DEFAULT_PAGE_SIZE,
+    decode_value as _decode_value,
+    encode_value as _encode_value,
+    paginate_values,
+)
 
 __all__ = ["save_database", "load_database"]
 
 # Version history: 1 = row JSONL, no checksums; 2 = row JSONL + per-table
-# CRC32; 3 = columnar JSON (one array per column) + CRC32.  All three load.
+# CRC32; 3 = columnar JSON (one array per column) + CRC32; 4 = paged
+# columnar (fixed-size CRC32 pages, loaded out-of-core).  All four load;
+# v3 stays the default write format (v4 is opt-in — callers that want
+# bounded-memory loading ask for it explicitly).
 _FORMAT_VERSION = 3
-_SUPPORTED_VERSIONS = (1, 2, 3)
-_WRITABLE_VERSIONS = (2, 3)
-
-
-def _encode_value(value: Any) -> Any:
-    if isinstance(value, datetime.date):
-        return {"$date": value.isoformat()}
-    return value
-
-
-def _decode_value(value: Any) -> Any:
-    if isinstance(value, dict) and "$date" in value:
-        return datetime.date.fromisoformat(value["$date"])
-    return value
+_SUPPORTED_VERSIONS = (1, 2, 3, 4)
+_WRITABLE_VERSIONS = (2, 3, 4)
 
 
 def _atomic_write(path: str, payload: bytes) -> None:
@@ -104,20 +110,50 @@ def _columnar_payload(table) -> bytes:
     return json.dumps(doc, separators=(",", ":")).encode("utf-8")
 
 
+def _paged_payload(table, page_size: int):
+    """Format v4 data payload + page directory.
+
+    Each column's values are packed into fixed-size pages; the directory
+    records ``{column: [{page, start, rows, crc32}, ...]}`` so the loader
+    can seek straight to the band of pages a read needs.
+    """
+    blobs: List[bytes] = []
+    directory: Dict[str, Any] = {}
+    page_no = 0
+    for i, column in enumerate(table.schema):
+        values = table.column_values(i).to_pylist()
+        raw_pages, entries = paginate_values(
+            table.name, column.name, values, page_size, page_no
+        )
+        blobs.extend(raw_pages)
+        directory[column.name] = entries
+        page_no += len(raw_pages)
+    return b"".join(blobs), directory
+
+
 def _data_filename(table_name: str, format_version: int) -> str:
+    if format_version >= 4:
+        return f"{table_name}.pages"
     if format_version >= 3:
         return f"{table_name}.cols.json"
     return f"{table_name}.jsonl"
 
 
 def save_database(
-    db: Database, directory: str, *, format_version: int = _FORMAT_VERSION
+    db: Database,
+    directory: str,
+    *,
+    format_version: int = _FORMAT_VERSION,
+    page_size: int = DEFAULT_PAGE_SIZE,
 ) -> None:
     """Write every table (schema, rows, indexes) under ``directory``.
 
     Args:
-        format_version: 3 (columnar, default) or 2 (row JSON-lines, for
+        format_version: 3 (columnar, default), 4 (paged columnar for
+            out-of-core loading) or 2 (row JSON-lines, for
             interoperability with older readers).
+        page_size: fixed page size in bytes for format 4 (ignored
+            otherwise).
 
     Atomic at file granularity: each data file and the catalog are staged
     to a temp sibling and renamed into place, and the catalog — the file
@@ -137,7 +173,10 @@ def save_database(
     catalog: Dict[str, Any] = {"version": format_version, "tables": []}
     for table in db.catalog.tables():
         injector.check("storage_write", table.name)
-        if format_version >= 3:
+        page_directory = None
+        if format_version >= 4:
+            payload, page_directory = _paged_payload(table, page_size)
+        elif format_version >= 3:
             payload = _columnar_payload(table)
         else:
             payload = _row_payload(table)
@@ -162,6 +201,16 @@ def save_database(
             "data_file": data_file,
             "crc32": zlib.crc32(payload),
         }
+        if page_directory is not None:
+            # v4: integrity is per page (header CRC + the directory CRCs
+            # below); drop the whole-file CRC so loading never has to
+            # read the entire file up front.
+            del entry["crc32"]
+            entry["pages"] = {
+                "page_size": page_size,
+                "num_rows": len(table),
+                "columns": page_directory,
+            }
         stats_doc = db.stats.dump(table.name)
         if stats_doc is not None:
             entry["stats"] = stats_doc
@@ -209,13 +258,69 @@ def _decode_columnar(
     return [list(row) for row in zip(*decoded)] if num_rows else []
 
 
-def load_database(directory: str) -> Database:
+def _attach_paged(db: Database, table, entry: Dict[str, Any], path: str):
+    """Turn a freshly created empty table into a PagedTable over ``path``."""
+    from repro.columns import kind_for_type
+    from repro.storage.buffer_pool import PageRef
+    from repro.storage.paged import PagedColumnStore, PagedTable
+    from repro.storage.pager import PageFile
+
+    pages = entry["pages"]
+    if not os.path.exists(path) and pages["num_rows"]:
+        raise CatalogError(
+            f"data file for table {entry['name']!r} is missing: {path}"
+        )
+    file = PageFile(path, pages["page_size"])
+    stores = []
+    for column in table.schema:
+        refs = [
+            PageRef(
+                file,
+                e["page"],
+                table.name,
+                column.name,
+                e["start"],
+                e["rows"],
+                e.get("crc32"),
+            )
+            for e in pages["columns"].get(column.name, [])
+        ]
+        stores.append(
+            PagedColumnStore(
+                kind_for_type(column.type.name),
+                db.buffer_pool,
+                file,
+                table.name,
+                column.name,
+                refs,
+            )
+        )
+    for i, store in enumerate(stores):
+        if len(store) != pages["num_rows"]:
+            raise CatalogError(
+                f"table {entry['name']!r}: page directory for column "
+                f"{table.schema.columns[i].name!r} covers {len(store)} rows "
+                f"for {pages['num_rows']} rows"
+            )
+    return PagedTable.attach(table, stores, db.buffer_pool, pages["num_rows"])
+
+
+def load_database(
+    directory: str, *, memory_budget_bytes: Optional[int] = None
+) -> Database:
     """Rebuild a database saved with :func:`save_database`.
+
+    Args:
+        memory_budget_bytes: buffer-pool budget for v4 (paged) dumps —
+            the cap on resident page bytes.  Defaults to
+            :data:`~repro.storage.buffer_pool.DEFAULT_MEMORY_BUDGET`;
+            ignored for fully in-memory formats (v1–v3).
 
     Raises:
         CatalogError: missing or version-incompatible dump, or a data file
             whose CRC32 no longer matches the catalog (the error names the
-            corrupt table).
+            corrupt table).  v4 page CRCs are checked lazily on first
+            fault-in (:class:`~repro.errors.PageCorruptError`).
     """
     catalog_path = os.path.join(directory, "catalog.json")
     if not os.path.exists(catalog_path):
@@ -229,6 +334,20 @@ def load_database(directory: str) -> Database:
         )
     version = catalog.get("version")
     db = Database()
+    if version >= 4:
+        from repro.storage.buffer_pool import DEFAULT_MEMORY_BUDGET, BufferPool
+
+        budget = (
+            DEFAULT_MEMORY_BUDGET
+            if memory_budget_bytes is None
+            else memory_budget_bytes
+        )
+        page_size = max(
+            (e["pages"]["page_size"] for e in catalog["tables"] if "pages" in e),
+            default=4096,
+        )
+        db.buffer_pool = BufferPool(budget, page_size=page_size)
+        db.memory_budget_bytes = budget
     for entry in catalog["tables"]:
         columns = [(c["name"], type_by_name(c["type"])) for c in entry["columns"]]
         table = db.create_table(
@@ -238,22 +357,25 @@ def load_database(directory: str) -> Database:
             entry["name"], version
         )
         path = os.path.join(directory, "data", data_file)
-        payload = b""
-        if os.path.exists(path):
-            with open(path, "rb") as fh:
-                payload = fh.read()
-        want = entry.get("crc32")
-        if want is not None and zlib.crc32(payload) != want:
-            raise CatalogError(
-                f"data file for table {entry['name']!r} is corrupt: "
-                f"CRC32 {zlib.crc32(payload)} != cataloged {want} "
-                f"({path})"
-            )
-        if data_file.endswith(".cols.json"):
-            rows = _decode_columnar(entry["name"], payload, len(columns))
+        if "pages" in entry:
+            table = _attach_paged(db, table, entry, path)
         else:
-            rows = _decode_rows(payload)
-        table.insert_many(rows)
+            payload = b""
+            if os.path.exists(path):
+                with open(path, "rb") as fh:
+                    payload = fh.read()
+            want = entry.get("crc32")
+            if want is not None and zlib.crc32(payload) != want:
+                raise CatalogError(
+                    f"data file for table {entry['name']!r} is corrupt: "
+                    f"CRC32 {zlib.crc32(payload)} != cataloged {want} "
+                    f"({path})"
+                )
+            if data_file.endswith(".cols.json"):
+                rows = _decode_columnar(entry["name"], payload, len(columns))
+            else:
+                rows = _decode_rows(payload)
+            table.insert_many(rows)
         # Optimizer statistics travel with the dump; older dumps (or tables
         # saved before their first ANALYZE) re-collect on load instead.
         from repro.relational.engine import AUTO_ANALYZE_MAX_ROWS

@@ -667,7 +667,16 @@ class PhysicalPlanner:
         rows = float(stats.row_count) if stats is not None else float(len(node.table))
         fresh = self.db.stats.fresh(node.table) is not None
         op = TableScan(node.table, node.binding)
-        return op, _Est(rows, self.cost_model.scan_cost(rows), fresh, stats)
+        # Paged (v4) tables pay per-page fault-in on top of the per-row
+        # cost, so the planner prefers plans touching fewer pages.
+        pages = (
+            float(getattr(node.table, "pages_total", 0))
+            if getattr(node.table, "is_paged", False)
+            else 0.0
+        )
+        return op, _Est(
+            rows, self.cost_model.scan_cost(rows, pages=pages), fresh, stats
+        )
 
     def _lower_LPhysical(self, node: LPhysical) -> Tuple[Operator, _Est]:
         rows = float(_pattern_rows(node.plan))

@@ -132,10 +132,27 @@ def estimate_route_costs(
         return None
     n = float(stats.row_count)
     cm = CostModel(db.stats.adaptive)
+
+    def _pages(table) -> float:
+        # v4 (paged) tables pay per-page fault-in; in-memory tables don't.
+        if getattr(table, "is_paged", False):
+            return float(getattr(table, "pages_total", 0))
+        return 0.0
+
     base_cost = (
-        cm.scan_cost(n) + cm.sort_cost(n) + cm.window_cost("pipelined", n)
+        cm.scan_cost(n, pages=_pages(base_table))
+        + cm.sort_cost(n)
+        + cm.window_cost("pipelined", n)
     )
-    view_cost = cm.scan_cost(n) + _per_position_lookups(shape, match, n) * n
+    try:
+        storage = db.table(match.view.definition.storage_table)
+        storage_pages = _pages(storage)
+    except Exception:
+        storage_pages = 0.0
+    view_cost = (
+        cm.scan_cost(n, pages=storage_pages)
+        + _per_position_lookups(shape, match, n) * n
+    )
     return view_cost, base_cost
 
 

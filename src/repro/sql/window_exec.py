@@ -202,6 +202,17 @@ class WindowOperator(Operator):
             "cost_units": units,
         }
         self._share_sources = {} if self.share_derivation else None
+        # Run-state spilling ("Support Aggregate Analytic Window Function
+        # over Large Data by Spilling"): under an ambient memory budget,
+        # computed window columns past the in-memory allowance are written
+        # to the spill store as chunked float64 runs and read back
+        # sequentially at emit — values are bit-identical (float64 round-
+        # trips exactly), only residency changes.
+        from repro.storage.spill import SpilledFloatRun, SpillStore, active_budget
+
+        budget = active_budget()
+        spill_store: Optional[SpillStore] = None
+        held_bytes = 0
         try:
             extras: List[List[float]] = []
             measure_cache: dict = {}
@@ -232,6 +243,23 @@ class WindowOperator(Operator):
                 values = self._evaluate(
                     spec, arg, order, sig, groups, rows, stats, pool, measure
                 )
+                if budget is not None:
+                    run_bytes = 8 * len(values)
+                    if held_bytes + run_bytes > max(budget // 2, 1) and all(
+                        isinstance(v, float) for v in values
+                    ):
+                        import numpy as np
+
+                        if spill_store is None:
+                            spill_store = SpillStore()
+                        values = SpilledFloatRun(
+                            spill_store, np.asarray(values, dtype=np.float64)
+                        )
+                        self.analyze_extra["spilled_runs"] = (
+                            self.analyze_extra.get("spilled_runs", 0) + 1
+                        )
+                    else:
+                        held_bytes += run_bytes
                 result_cache[dedup_key] = values
                 extras.append(values)
         finally:
@@ -248,8 +276,12 @@ class WindowOperator(Operator):
             if span is not None:
                 span.set(positions=len(rows) * len(self.specs),
                          **self.analyze_extra)
-        for i, row in enumerate(rows):
-            yield row + tuple(extra[i] for extra in extras)
+        try:
+            for i, row in enumerate(rows):
+                yield row + tuple(extra[i] for extra in extras)
+        finally:
+            if spill_store is not None:
+                spill_store.close()
 
     # -- columnar measure extraction ------------------------------------------
 

@@ -58,6 +58,11 @@ class CostModel:
     AGG_ROW = 1.2
     PROJECT_ROW = 0.3
     DISTINCT_ROW = 1.0
+    # Faulting one 4 KiB page into the buffer pool: read + CRC + decode.
+    # Charged per page for scans over v4 (paged) tables, so the cost
+    # planner prefers plans that touch fewer pages (band answers, view
+    # matches) once data lives out of core.
+    PAGE_IO = 40.0
 
     # Window strategies (per position unless noted).
     NAIVE_POSITION = 1.0  # x window width
@@ -141,8 +146,8 @@ class CostModel:
 
     # -- relational operators ------------------------------------------------
 
-    def scan_cost(self, rows: float) -> float:
-        return rows * self.SCAN_ROW
+    def scan_cost(self, rows: float, *, pages: float = 0.0) -> float:
+        return rows * self.SCAN_ROW + pages * self.PAGE_IO
 
     def filter_cost(self, input_rows: float) -> float:
         return input_rows * self.FILTER_ROW

@@ -1,0 +1,347 @@
+"""The buffer pool: bounded page cache with pin/unpin and LRU eviction.
+
+One :class:`BufferPool` fronts every page file of a loaded v4 database.
+Frames hold *decoded* column chunks (Python value lists) but are
+accounted at their on-disk ``page_size`` — the budget bounds how much of
+the dump may be resident at once, which is what makes a dataset ≫
+``memory_budget_bytes`` queryable.
+
+Lifecycle of a page:
+
+* **fault-in** — a miss reads the raw page (overlay slot if the page was
+  ever written back, else the immutable base file), runs the
+  ``page_read`` fault hook (the ``page_read_corrupt`` kind flips payload
+  bytes *before* the CRC check), verifies the header CRC and the catalog
+  directory CRC, and decodes the chunk;
+* **pin/unpin** — readers pin the frame while extracting values; pinned
+  frames are never evicted;
+* **evict** — when occupancy exceeds the budget the least-recently-used
+  unpinned frame is dropped; dirty frames are written back to the
+  overlay first (``writebacks`` metric);
+* **quarantine** — a CRC failure quarantines the page: every later read
+  fails fast with :class:`~repro.errors.PageCorruptError` instead of
+  re-reading bytes already known bad.  :meth:`repair` lifts the
+  quarantine (used after the fault plan is cleared — the *dump* is never
+  mutated by a read fault, so a clean re-read recovers).
+
+Hit/miss/eviction/write-back counters and occupancy/budget gauges are
+exported through :mod:`repro.obs` by :meth:`publish` (called from
+``snapshot()``, the stats CLI and the benches; counters are kept as
+plain ints on the hot path).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import PageCapacityError, PageCorruptError
+from repro.storage.page import HEADER_SIZE, chunk_payload, decode_chunk, decode_page, encode_page
+from repro.storage.pager import OverlayFile, PageFile
+
+__all__ = ["BufferPool", "Frame", "PageRef"]
+
+DEFAULT_MEMORY_BUDGET = 64 * 1024 * 1024
+
+
+class PageRef:
+    """Identity + codec context of one logical page.
+
+    ``overlay_slot`` migrates the page from the immutable base file to
+    the session overlay the first time a dirty frame is written back.
+    """
+
+    __slots__ = (
+        "file", "page_no", "table", "column", "start", "rows", "crc32",
+        "overlay_slot",
+    )
+
+    def __init__(
+        self,
+        file: PageFile,
+        page_no: int,
+        table: str,
+        column: str,
+        start: int,
+        rows: int,
+        crc32: Optional[int],
+    ) -> None:
+        self.file = file
+        self.page_no = page_no
+        self.table = table
+        self.column = column
+        self.start = start
+        self.rows = rows
+        self.crc32 = crc32
+        self.overlay_slot: Optional[int] = None
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        return (self.file.path, self.page_no)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PageRef({self.table}.{self.column} page={self.page_no} "
+            f"rows=[{self.start},{self.start + self.rows}))"
+        )
+
+
+class Frame:
+    """One resident decoded page."""
+
+    __slots__ = ("ref", "values", "dirty", "pins")
+
+    def __init__(self, ref: PageRef, values: List[Any]) -> None:
+        self.ref = ref
+        self.values = values
+        self.dirty = False
+        self.pins = 0
+
+
+class BufferPool:
+    """See module docstring."""
+
+    def __init__(
+        self,
+        memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET,
+        *,
+        page_size: int = 4096,
+    ) -> None:
+        self.memory_budget_bytes = int(memory_budget_bytes)
+        self.page_size = page_size
+        self._frames: "OrderedDict[Tuple[str, int], Frame]" = OrderedDict()
+        self._quarantined: Dict[Tuple[str, int], str] = {}
+        self._overlay = OverlayFile(page_size)
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    # -- page access ---------------------------------------------------------
+
+    def pin(self, ref: PageRef) -> Frame:
+        """Fault the page in if needed, pin it, and return the frame."""
+        with self._lock:
+            key = ref.key
+            reason = self._quarantined.get(key)
+            if reason is not None:
+                raise PageCorruptError(
+                    f"page {ref.page_no} of {ref.table}.{ref.column} is "
+                    f"quarantined: {reason}"
+                )
+            frame = self._frames.get(key)
+            if frame is not None:
+                self.hits += 1
+                self._frames.move_to_end(key)
+                frame.pins += 1
+                return frame
+            self.misses += 1
+            values = self._fault_in(ref)
+            frame = Frame(ref, values)
+            frame.pins = 1
+            self._frames[key] = frame
+            self._evict_to_budget()
+            return frame
+
+    def unpin(self, frame: Frame) -> None:
+        with self._lock:
+            if frame.pins > 0:
+                frame.pins -= 1
+
+    def get_values(self, ref: PageRef) -> List[Any]:
+        """Pin, grab the decoded values list, unpin.  The list must be
+        treated as read-only (writes go through :meth:`set_value`)."""
+        frame = self.pin(ref)
+        try:
+            return frame.values
+        finally:
+            self.unpin(frame)
+
+    def set_value(self, ref: PageRef, offset: int, value: Any) -> None:
+        """Write-through one value of a resident page (marks it dirty).
+
+        Validates that the re-encoded chunk still fits the fixed page
+        before mutating anything.
+
+        Raises:
+            PageCapacityError: the new value over-fills the page; the
+                frame is left unchanged (callers hydrate and retry).
+        """
+        frame = self.pin(ref)
+        try:
+            with self._lock:
+                values = list(frame.values)
+                values[offset] = value
+                payload = chunk_payload(ref.table, ref.column, ref.start, values)
+                if HEADER_SIZE + len(payload) > self.page_size:
+                    raise PageCapacityError(
+                        f"updated value at row {ref.start + offset} of "
+                        f"{ref.table}.{ref.column} over-fills page "
+                        f"{ref.page_no} ({HEADER_SIZE + len(payload)} > "
+                        f"{self.page_size} bytes)"
+                    )
+                frame.values = values
+                frame.dirty = True
+        finally:
+            self.unpin(frame)
+
+    # -- internals -----------------------------------------------------------
+
+    def _fault_in(self, ref: PageRef) -> List[Any]:
+        from repro.faults import injector
+
+        if ref.overlay_slot is not None:
+            raw = self._overlay.read_slot(ref.overlay_slot)
+            expect = None  # overlaid pages carry their own header CRC
+        else:
+            raw = ref.file.read_page(ref.page_no)
+            if injector.page_read_hook(ref.table):
+                # Flip payload bytes *before* the CRC check — the model of
+                # a disk/DMA corruption on the read path.
+                raw = bytearray(raw)
+                for i in range(HEADER_SIZE, min(HEADER_SIZE + 4, len(raw))):
+                    raw[i] ^= 0xFF
+                raw = bytes(raw)
+            expect = ref.crc32
+        context = f"{ref.table}.{ref.column} in {ref.file.path}"
+        try:
+            payload = decode_page(
+                raw, ref.page_no, self.page_size,
+                expect_crc=expect, context=context,
+            )
+        except PageCorruptError as exc:
+            self._quarantined[ref.key] = str(exc)
+            raise
+        doc, values = decode_chunk(payload)
+        if doc.get("n") != ref.rows or doc.get("r") != ref.start:
+            self._quarantined[ref.key] = "chunk header disagrees with directory"
+            raise PageCorruptError(
+                f"page {ref.page_no} of {ref.table}.{ref.column} chunk "
+                f"header [{doc.get('r')},+{doc.get('n')}) disagrees with "
+                f"directory [{ref.start},+{ref.rows})"
+            )
+        return values
+
+    def _evict_to_budget(self) -> None:
+        budget_frames = max(1, self.memory_budget_bytes // self.page_size)
+        while len(self._frames) > budget_frames:
+            victim_key = None
+            for key, frame in self._frames.items():
+                if frame.pins == 0:
+                    victim_key = key
+                    break
+            if victim_key is None:
+                return  # everything pinned: run over budget rather than fail
+            frame = self._frames.pop(victim_key)
+            if frame.dirty:
+                self._write_back(frame)
+            self.evictions += 1
+
+    def _write_back(self, frame: Frame) -> None:
+        ref = frame.ref
+        payload = chunk_payload(ref.table, ref.column, ref.start, frame.values)
+        raw = encode_page(ref.page_no, payload, self.page_size)
+        if ref.overlay_slot is None:
+            ref.overlay_slot = self._overlay.allocate()
+        self._overlay.write_slot(ref.overlay_slot, raw)
+        self.writebacks += 1
+
+    # -- maintenance ---------------------------------------------------------
+
+    def flush(self) -> int:
+        """Write every dirty frame back to the overlay (frames stay
+        resident).  Returns the number of pages written."""
+        with self._lock:
+            count = 0
+            for frame in self._frames.values():
+                if frame.dirty:
+                    self._write_back(frame)
+                    frame.dirty = False
+                    count += 1
+            return count
+
+    def drop_file(self, file: PageFile) -> None:
+        """Invalidate every frame of one page file without write-back
+        (the owning store was rebuilt/truncated/hydrated)."""
+        with self._lock:
+            for key in [k for k in self._frames if k[0] == file.path]:
+                del self._frames[key]
+            for key in [k for k in self._quarantined if k[0] == file.path]:
+                del self._quarantined[key]
+
+    def repair(self) -> int:
+        """Lift every quarantine (after the corruption source is gone);
+        returns how many pages were quarantined."""
+        with self._lock:
+            count = len(self._quarantined)
+            self._quarantined.clear()
+            return count
+
+    def quarantined_pages(self) -> List[Tuple[str, int]]:
+        with self._lock:
+            return sorted(self._quarantined)
+
+    def close(self) -> None:
+        with self._lock:
+            self._frames.clear()
+            self._quarantined.clear()
+            self._overlay.close()
+
+    # -- accounting / observability ------------------------------------------
+
+    def occupancy_bytes(self) -> int:
+        with self._lock:
+            return len(self._frames) * self.page_size
+
+    def resident_keys(self) -> List[Tuple[str, int]]:
+        with self._lock:
+            return list(self._frames)
+
+    def contains(self, key: Tuple[str, int]) -> bool:
+        with self._lock:
+            return key in self._frames
+
+    def snapshot(self) -> Dict[str, int]:
+        """Counters + occupancy as a plain dict (also published to obs)."""
+        with self._lock:
+            snap = {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "writebacks": self.writebacks,
+                "resident_pages": len(self._frames),
+                "occupancy_bytes": len(self._frames) * self.page_size,
+                "budget_bytes": self.memory_budget_bytes,
+                "quarantined_pages": len(self._quarantined),
+            }
+        self.publish()
+        return snap
+
+    def publish(self, registry=None) -> None:
+        """Export pool metrics into the (or a given) metrics registry."""
+        from repro.obs import runtime
+
+        reg = registry if registry is not None else runtime.get_registry()
+        with self._lock:
+            values = {
+                "hits": float(self.hits),
+                "misses": float(self.misses),
+                "evictions": float(self.evictions),
+                "writebacks": float(self.writebacks),
+            }
+            occupancy = float(len(self._frames) * self.page_size)
+        for name, value in values.items():
+            reg.gauge(
+                f"repro_buffer_pool_{name}_total",
+                help=f"Buffer pool {name} since pool creation",
+            ).set(value)
+        reg.gauge(
+            "repro_buffer_pool_occupancy_bytes",
+            help="Bytes of resident pages (frames x page_size)",
+        ).set(occupancy)
+        reg.gauge(
+            "repro_buffer_pool_budget_bytes",
+            help="Configured memory_budget_bytes of the pool",
+        ).set(float(self.memory_budget_bytes))

@@ -1,0 +1,109 @@
+"""Page files: the base (immutable) dump file and the session overlay.
+
+A :class:`PageFile` wraps one ``data/<table>.pages`` dump file for random
+page reads.  Dumps are immutable snapshots — the atomic-swap commit
+contract of every storage format version — so the base file is opened
+read-only and never rewritten in place.
+
+Dirty pages (in-place ``UPDATE`` write-through) therefore write back to a
+:class:`OverlayFile`: an anonymous temp file of fixed-size page slots,
+allocated append-only per table.  The overlay is the durable *scratch*
+tier of the buffer pool — evicting a dirty frame lands it there, and the
+next fault-in reads the overlaid bytes instead of the stale base page.
+Durability of mutations still flows through ``save()`` (which re-pages
+the whole table) exactly as it does for in-memory tables; the overlay
+dies with the process.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from typing import Optional
+
+from repro.errors import CatalogError
+
+__all__ = ["OverlayFile", "PageFile"]
+
+
+class PageFile:
+    """Random page reads over one immutable ``.pages`` dump file."""
+
+    def __init__(self, path: str, page_size: int) -> None:
+        self.path = path
+        self.page_size = page_size
+        self._fh = None
+        self._lock = threading.Lock()
+
+    def num_pages(self) -> int:
+        try:
+            return os.path.getsize(self.path) // self.page_size
+        except OSError:
+            return 0
+
+    def read_page(self, page_no: int) -> bytes:
+        with self._lock:
+            if self._fh is None:
+                try:
+                    self._fh = open(self.path, "rb")
+                except OSError as exc:
+                    raise CatalogError(
+                        f"cannot open page file {self.path!r}: {exc}"
+                    ) from exc
+            self._fh.seek(page_no * self.page_size)
+            return self._fh.read(self.page_size)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PageFile({self.path!r}, page_size={self.page_size})"
+
+
+class OverlayFile:
+    """Append-allocated page slots in an anonymous temp file.
+
+    ``TemporaryFile`` is unlinked at creation, so overlay storage can
+    never outlive the process or leak into the dump directory.
+    """
+
+    def __init__(self, page_size: int) -> None:
+        self.page_size = page_size
+        self._fh: Optional[object] = None
+        self._next_slot = 0
+        self._lock = threading.Lock()
+
+    def allocate(self) -> int:
+        with self._lock:
+            slot = self._next_slot
+            self._next_slot += 1
+            return slot
+
+    def write_slot(self, slot: int, raw: bytes) -> None:
+        if len(raw) != self.page_size:
+            raise CatalogError(
+                f"overlay write of {len(raw)} bytes != page size {self.page_size}"
+            )
+        with self._lock:
+            if self._fh is None:
+                self._fh = tempfile.TemporaryFile(prefix="repro-overlay-")
+            self._fh.seek(slot * self.page_size)
+            self._fh.write(raw)
+
+    def read_slot(self, slot: int) -> bytes:
+        with self._lock:
+            if self._fh is None:
+                raise CatalogError(f"overlay slot {slot} was never written")
+            self._fh.seek(slot * self.page_size)
+            return self._fh.read(self.page_size)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            self._next_slot = 0

@@ -1,0 +1,178 @@
+"""Spilling execution state to temp pages under a memory budget.
+
+"Support Aggregate Analytic Window Function over Large Data by Spilling"
+(PAPERS.md) is the shape followed here: when an operator's transient
+state (hash-aggregate partitions, window run vectors) would exceed the
+configured ``memory_budget_bytes``, it is written to CRC-framed blocks in
+an anonymous temp file and read back streaming at emit time — answers are
+unchanged, residency is bounded.
+
+The budget travels as an ambient context: :meth:`Database.run` wraps plan
+execution in :func:`engine_budget` with the database's
+``memory_budget_bytes`` (set when a v4 dump is loaded, or directly by
+tests/benchmarks), and operators consult :func:`active_budget` — ``None``
+means unlimited, the historical in-memory behaviour.
+
+Spill I/O is counted into the metrics registry
+(``repro_spill_blocks_total`` / ``repro_spill_bytes_total``).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import tempfile
+import threading
+import zlib
+from contextlib import contextmanager
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import RelationalError
+
+__all__ = [
+    "SpillStore",
+    "SpilledFloatRun",
+    "active_budget",
+    "engine_budget",
+]
+
+_STATE = threading.local()
+
+_BLOCK_HEADER = struct.Struct("<IIQ")  # crc32, kind, length
+
+
+def active_budget() -> Optional[int]:
+    """The ambient memory budget in bytes, or None (unlimited)."""
+    return getattr(_STATE, "budget", None)
+
+
+@contextmanager
+def engine_budget(budget_bytes: Optional[int]):
+    """Install ``budget_bytes`` as the ambient budget for the block."""
+    previous = getattr(_STATE, "budget", None)
+    _STATE.budget = budget_bytes
+    try:
+        yield
+    finally:
+        _STATE.budget = previous
+
+
+def _count(blocks: int, nbytes: int) -> None:
+    from repro.obs import runtime
+
+    registry = runtime.get_registry()
+    registry.counter(
+        "repro_spill_blocks_total", help="Operator state blocks spilled to disk"
+    ).inc(blocks)
+    registry.counter(
+        "repro_spill_bytes_total", help="Bytes of operator state spilled to disk"
+    ).inc(nbytes)
+
+
+class SpillStore:
+    """Append-only CRC-framed blocks in an anonymous temp file.
+
+    Two block kinds: raw float64 runs (kind 0 — window extras) and
+    pickled objects (kind 1 — hash-aggregate partition partials).  A
+    handle is ``(offset, kind, length, crc32)``; reads verify the CRC so
+    a torn or overwritten spill block surfaces as an error, never as a
+    wrong answer.
+    """
+
+    _FLOATS = 0
+    _PICKLE = 1
+
+    def __init__(self) -> None:
+        self._fh = tempfile.TemporaryFile(prefix="repro-spill-")
+        self._offset = 0
+        self._lock = threading.Lock()
+        self.blocks = 0
+        self.bytes = 0
+
+    def _write(self, kind: int, body: bytes) -> Tuple[int, int, int, int]:
+        with self._lock:
+            offset = self._offset
+            frame = _BLOCK_HEADER.pack(zlib.crc32(body), kind, len(body)) + body
+            self._fh.seek(offset)
+            self._fh.write(frame)
+            self._offset = offset + len(frame)
+            self.blocks += 1
+            self.bytes += len(frame)
+        _count(1, len(frame))
+        return (offset, kind, len(body), zlib.crc32(body))
+
+    def _read(self, handle: Tuple[int, int, int, int]) -> bytes:
+        offset, kind, length, crc = handle
+        with self._lock:
+            self._fh.seek(offset)
+            raw = self._fh.read(_BLOCK_HEADER.size + length)
+        stored_crc, stored_kind, stored_len = _BLOCK_HEADER.unpack_from(raw)
+        body = raw[_BLOCK_HEADER.size:]
+        if (
+            stored_kind != kind
+            or stored_len != length
+            or len(body) != length
+            or zlib.crc32(body) != crc
+            or stored_crc != crc
+        ):
+            raise RelationalError(
+                f"spill block at offset {offset} failed verification"
+            )
+        return body
+
+    # -- float runs (window extras) -------------------------------------------
+
+    def write_floats(self, values: np.ndarray) -> Tuple[int, int, int, int]:
+        return self._write(
+            self._FLOATS, np.asarray(values, dtype=np.float64).tobytes()
+        )
+
+    def read_floats(self, handle) -> np.ndarray:
+        return np.frombuffer(self._read(handle), dtype=np.float64)
+
+    # -- pickled partials (hash aggregate) ------------------------------------
+
+    def write_obj(self, obj: Any) -> Tuple[int, int, int, int]:
+        return self._write(
+            self._PICKLE, pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
+    def read_obj(self, handle) -> Any:
+        return pickle.loads(self._read(handle))
+
+    def close(self) -> None:
+        with self._lock:
+            self._fh.close()
+
+
+class SpilledFloatRun:
+    """Sequential ``run[i]`` access over spilled float64 chunks.
+
+    The window operator emits positions in ascending order, so a single
+    cached chunk suffices; random access still works (it just re-reads).
+    """
+
+    __slots__ = ("_store", "_handles", "_chunk", "_length", "_cache_no", "_cache")
+
+    def __init__(self, store: SpillStore, values: np.ndarray, chunk: int = 8192):
+        self._store = store
+        self._chunk = chunk
+        self._length = len(values)
+        self._handles: List[Tuple[int, int, int, int]] = [
+            store.write_floats(values[start:start + chunk])
+            for start in range(0, len(values), chunk)
+        ]
+        self._cache_no = -1
+        self._cache: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, i: int) -> float:
+        no = i // self._chunk
+        if no != self._cache_no:
+            self._cache = self._store.read_floats(self._handles[no])
+            self._cache_no = no
+        return float(self._cache[i % self._chunk])

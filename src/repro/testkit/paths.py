@@ -13,6 +13,8 @@ Paths:
 ``engine-parallel``  same, through the partition-parallel subsystem
 ``engine-cost``      same, planned by the cost-based optimizer (statistics
                      drive the strategy/route choice; results must match)
+``engine-paged``     same, on a v4 paged store loaded behind a small
+                     buffer-pool budget (out-of-core reads + spilling)
 ``view-maxoa``       materialized view one step *narrower*, MaxOA (§4)
 ``view-minoa``       materialized view one step *wider*, MinOA (§5)
 
@@ -95,15 +97,31 @@ def path_vectorized(case: FuzzCase) -> Optional[ResultMap]:
     return _core_path(case, compute_vectorized)
 
 
-def _engine_path(case: FuzzCase, exec_config=None, planner: str = "rule") -> ResultMap:
-    """The full SQL stack against the in-process relational engine."""
+def _engine_path(
+    case: FuzzCase, exec_config=None, planner: str = "rule", paged: bool = False
+) -> ResultMap:
+    """The full SQL stack against the in-process relational engine.
+
+    With ``paged=True`` the dataset takes a detour through the v4 paged
+    dump format: saved with a small page size, reloaded behind a buffer
+    pool with a deliberately tiny memory budget, and queried out of core
+    — results must stay bit-identical to the in-memory paths.
+    """
     from repro.relational import FLOAT, INTEGER
     from repro.warehouse import DataWarehouse
 
     wh = DataWarehouse(execution=exec_config, planner=planner)
     wh.create_table("t", [("g", INTEGER), ("pos", INTEGER), ("val", FLOAT)])
     wh.insert("t", list(case.rows))
-    result = wh.query(case.sql, use_views=False)
+    if paged:
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            wh.save(tmp, storage_format=4, page_size=512)
+            wh = DataWarehouse.load(tmp, memory_budget_bytes=4096)
+            result = wh.query(case.sql, use_views=False)
+    else:
+        result = wh.query(case.sql, use_views=False)
     g_i = result.schema.resolve("g")
     pos_i = result.schema.resolve("pos")
     if not case.extra_windows:
@@ -138,6 +156,16 @@ def path_engine_cost(case: FuzzCase) -> ResultMap:
     the planner contract says those choices must never change results.
     """
     return _engine_path(case, planner="cost")
+
+
+def path_engine_paged(case: FuzzCase) -> ResultMap:
+    """The full SQL stack over a v4 paged store with a tiny buffer budget.
+
+    Exercises the out-of-core read path end to end: page encode/decode
+    with CRCs, buffer-pool fault-in and eviction, and the spilling window
+    plan — all of which must be invisible in the answers.
+    """
+    return _engine_path(case, paged=True)
 
 
 # -- view-derived paths -----------------------------------------------------
@@ -259,6 +287,7 @@ PATHS: Dict[str, PathFn] = {
     "engine": path_engine,
     "engine-parallel": path_engine_parallel,
     "engine-cost": path_engine_cost,
+    "engine-paged": path_engine_paged,
     "view-maxoa": path_view_maxoa,
     "view-minoa": path_view_minoa,
 }

@@ -672,12 +672,21 @@ class DataWarehouse:
 
     # -- persistence ----------------------------------------------------------------------
 
-    def save(self, directory: str, *, storage_format: Optional[int] = None) -> None:
+    def save(
+        self,
+        directory: str,
+        *,
+        storage_format: Optional[int] = None,
+        page_size: Optional[int] = None,
+    ) -> None:
         """Persist base tables, indexes and view definitions to a directory.
 
         Args:
             storage_format: dump format version (3 = columnar, the
-                default; 2 = row JSON-lines for older readers).
+                default; 4 = paged columnar for out-of-core loads;
+                2 = row JSON-lines for older readers).
+            page_size: fixed page size in bytes for v4 dumps (ignored for
+                other formats; default 4096).
 
         Views are stored as definitions and re-materialized on load (the
         dump also contains their storage tables, which load() replaces with
@@ -690,10 +699,12 @@ class DataWarehouse:
 
         self._assert_exclusive("save")
 
-        if storage_format is None:
-            save_database(self.db, directory)
-        else:
-            save_database(self.db, directory, format_version=storage_format)
+        kwargs = {}
+        if storage_format is not None:
+            kwargs["format_version"] = storage_format
+        if page_size is not None:
+            kwargs["page_size"] = page_size
+        save_database(self.db, directory, **kwargs)
         views = []
         for view in self.views.values():
             d = view.definition
@@ -721,7 +732,13 @@ class DataWarehouse:
         os.replace(tmp, path)
 
     @classmethod
-    def load(cls, directory: str, *, rehydrate: bool = False) -> "DataWarehouse":
+    def load(
+        cls,
+        directory: str,
+        *,
+        rehydrate: bool = False,
+        memory_budget_bytes: Optional[int] = None,
+    ) -> "DataWarehouse":
         """Rebuild a warehouse saved with :meth:`save`.
 
         Args:
@@ -732,6 +749,9 @@ class DataWarehouse:
                 maintained values differ from a recompute in the last
                 ulp), which is what WAL recovery needs before it replays
                 digest-checked records on top.
+            memory_budget_bytes: buffer-pool + operator memory budget for
+                v4 (paged) dumps; ignored for in-memory formats.  ``None``
+                uses the storage layer's default budget.
         """
         import json
         import os
@@ -741,7 +761,7 @@ class DataWarehouse:
         from repro.sql.parser import parse_expression
 
         wh = cls()
-        wh.db = load_database(directory)
+        wh.db = load_database(directory, memory_budget_bytes=memory_budget_bytes)
         views_path = os.path.join(directory, "views.json")
         entries = []
         if os.path.exists(views_path):

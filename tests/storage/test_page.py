@@ -1,0 +1,136 @@
+"""The v4 fixed-size page codec: framing, CRCs, validity, pagination."""
+
+import datetime
+import zlib
+
+import pytest
+
+from repro.errors import CatalogError, PageCorruptError
+from repro.storage.page import (
+    DEFAULT_PAGE_SIZE,
+    HEADER_SIZE,
+    chunk_payload,
+    decode_chunk,
+    decode_page,
+    encode_page,
+    paginate_values,
+)
+
+
+class TestChunkCodec:
+    def test_values_round_trip(self):
+        values = [1.5, -2.25, 0.0, 1e300]
+        doc, out = decode_chunk(chunk_payload("t", "val", 7, values))
+        assert out == values
+        assert (doc["t"], doc["c"], doc["r"], doc["n"]) == ("t", "val", 7, 4)
+
+    def test_nulls_round_trip_via_validity_bitmap(self):
+        values = [1.0, None, 3.0, None, None, 6.0, 7.0, 8.0, None]
+        _doc, out = decode_chunk(chunk_payload("t", "v", 0, values))
+        assert out == values
+
+    def test_validity_bitmap_is_authoritative(self):
+        # A stored value whose validity bit is clear decodes to NULL.
+        import base64
+        import json
+
+        payload = chunk_payload("t", "v", 0, [1.0, 2.0])
+        doc = json.loads(payload)
+        bits = bytearray(1)
+        bits[0] |= 1  # only position 0 valid
+        doc["validity"] = base64.b64encode(bytes(bits)).decode()
+        _doc, out = decode_chunk(json.dumps(doc).encode())
+        assert out == [1.0, None]
+
+    def test_all_valid_chunk_has_no_bitmap(self):
+        doc, _ = decode_chunk(chunk_payload("t", "v", 0, [1, 2, 3]))
+        assert doc["validity"] is None
+
+    def test_dates_round_trip(self):
+        values = [datetime.date(2001, 2, 3), None, datetime.date(1999, 12, 31)]
+        _doc, out = decode_chunk(chunk_payload("t", "d", 0, values))
+        assert out == values
+
+    def test_text_round_trip(self):
+        values = ["a", "o'brien", None, "", "snowman ☃"]
+        _doc, out = decode_chunk(chunk_payload("t", "s", 0, values))
+        assert out == values
+
+
+class TestPageFraming:
+    def test_round_trip(self):
+        payload = chunk_payload("t", "v", 0, [1.0, 2.0])
+        raw = encode_page(3, payload, 512)
+        assert len(raw) == 512
+        assert decode_page(raw, 3, 512) == payload
+
+    def test_payload_too_large_rejected(self):
+        with pytest.raises(CatalogError, match="exceeds page size"):
+            encode_page(0, b"x" * 600, 512)
+
+    def test_flipped_payload_byte_detected(self):
+        raw = bytearray(encode_page(0, chunk_payload("t", "v", 0, [1.0]), 256))
+        raw[HEADER_SIZE + 2] ^= 0xFF
+        with pytest.raises(PageCorruptError, match="CRC32"):
+            decode_page(bytes(raw), 0, 256)
+
+    def test_wrong_page_number_detected(self):
+        raw = encode_page(5, chunk_payload("t", "v", 0, [1.0]), 256)
+        with pytest.raises(PageCorruptError, match="claims page 5"):
+            decode_page(raw, 6, 256)
+
+    def test_bad_magic_detected(self):
+        raw = bytearray(encode_page(0, b"{}", 256))
+        raw[0] = 0x00
+        with pytest.raises(PageCorruptError, match="bad magic"):
+            decode_page(bytes(raw), 0, 256)
+
+    def test_truncated_page_detected(self):
+        with pytest.raises(PageCorruptError, match="truncated"):
+            decode_page(b"\x00" * 4, 0, 256)
+
+    def test_catalog_crc_mismatch_detected(self):
+        payload = chunk_payload("t", "v", 0, [1.0])
+        raw = encode_page(0, payload, 256)
+        with pytest.raises(PageCorruptError, match="cataloged"):
+            decode_page(raw, 0, 256, expect_crc=zlib.crc32(payload) ^ 1)
+
+
+class TestPaginate:
+    def test_directory_covers_all_rows_in_order(self):
+        values = list(range(1000))
+        pages, entries = paginate_values("t", "v", values, 512, 0)
+        assert len(pages) == len(entries)
+        pos = 0
+        for i, e in enumerate(entries):
+            assert e["page"] == i and e["start"] == pos
+            pos += e["rows"]
+        assert pos == len(values)
+
+    def test_pages_decode_back_to_the_values(self):
+        values = [float(i) / 3 for i in range(500)]
+        pages, entries = paginate_values("t", "v", values, 512, 0)
+        out = []
+        for raw, e in zip(pages, entries):
+            payload = decode_page(raw, e["page"], 512, expect_crc=e["crc32"])
+            _doc, chunk = decode_chunk(payload)
+            out.extend(chunk)
+        assert out == values
+
+    def test_wide_text_gets_fewer_rows_per_page(self):
+        values = ["x" * 150 for _ in range(20)]
+        pages, entries = paginate_values("t", "s", values, 512, 0)
+        assert len(pages) > 5  # far fewer than the numeric rows-per-page
+        assert sum(e["rows"] for e in entries) == 20
+
+    def test_single_oversized_value_rejected(self):
+        with pytest.raises(CatalogError, match="too small"):
+            paginate_values("t", "s", ["y" * 1000], 512, 0)
+
+    def test_first_page_no_offsets_numbering(self):
+        _pages, entries = paginate_values("t", "v", [1, 2, 3], 512, 17)
+        assert entries[0]["page"] == 17
+
+    def test_empty_column(self):
+        pages, entries = paginate_values("t", "v", [], DEFAULT_PAGE_SIZE, 0)
+        assert pages == [] and entries == []

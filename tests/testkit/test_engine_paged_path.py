@@ -1,0 +1,67 @@
+"""The engine-paged differential path: save-v4/tiny-budget reload parity."""
+
+import pytest
+
+from repro.core.window import sliding
+from repro.testkit import PATHS, SQLITE_WINDOWS_OK, sqlite_oracle
+from repro.testkit.differ import diff_results
+from repro.testkit.generator import CaseGenerator, FuzzCase
+from repro.testkit.paths import run_path, run_paths
+
+pytestmark = pytest.mark.fuzz
+
+needs_sqlite = pytest.mark.skipif(
+    not SQLITE_WINDOWS_OK, reason="SQLite < 3.25 has no window functions"
+)
+
+GEN = CaseGenerator()
+
+
+class TestRegistration:
+    def test_path_is_registered(self):
+        assert "engine-paged" in PATHS
+
+    def test_default_sweep_includes_it(self):
+        from repro.testkit.paths import DEFAULT_PATHS
+
+        assert "engine-paged" in DEFAULT_PATHS
+
+
+class TestParity:
+    def test_known_tiny_case(self):
+        case = FuzzCase(
+            seed=0,
+            rows=((1, 1, 1.0), (1, 2, 2.0), (1, 3, 3.0)),
+            partitioned=True,
+            window=sliding(1, 0),
+            aggregate_name="SUM",
+        )
+        assert run_path("engine-paged", case) == {
+            (1, 1): 1.0, (1, 2): 3.0, (1, 3): 5.0,
+        }
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_matches_the_in_memory_engine_path(self, seed):
+        case = GEN.case(seed)
+        reference = run_path("engine", case)
+        result = run_path("engine-paged", case)
+        found = diff_results("engine", reference, "engine-paged", result)
+        assert not found, (
+            f"{case.describe()}: {[d.detail for d in found]}"
+        )
+
+    @needs_sqlite
+    @pytest.mark.parametrize("seed", range(25))
+    def test_matches_the_sqlite_oracle(self, seed):
+        case = GEN.case(seed)
+        oracle = sqlite_oracle(case)
+        result = run_path("engine-paged", case)
+        found = diff_results("sqlite", oracle, "engine-paged", result)
+        assert not found, (
+            f"{case.describe()}: {[d.detail for d in found]}"
+        )
+
+    def test_run_paths_carries_the_paged_column(self):
+        case = GEN.case(3)
+        results = run_paths(case, ("engine", "engine-paged"))
+        assert results["engine-paged"] == results["engine"]
