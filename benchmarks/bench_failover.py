@@ -26,7 +26,16 @@ and the audit verdicts.  Exit status 0 only when every property holds.
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_failover.py \
-        [--rows 80] [--writes 6] [--reads 8] [--out BENCH_failover.json]
+        [--rows 80] [--writes 6] [--reads 8] [--out BENCH_failover.json] \
+        [--trace-sample 1.0] [--trace-out TRACES.json] [--metrics-out M.prom]
+
+With ``--trace-sample`` above zero a tracer is installed for the whole
+run and the artifact gains a ``trace`` section: the promote request must
+form a single connected span tree (client.request → replica.promote under
+failover.promote), and a disconnected tree fails the benchmark exactly
+like a wrong answer.  ``--trace-out`` exports every span tree as JSON and
+``--metrics-out`` snapshots the registry in Prometheus text format — the
+CI ``obs-dist`` job uploads both.
 """
 
 from __future__ import annotations
@@ -77,7 +86,24 @@ def main(argv=None) -> int:
                         help="reads issued through the outage window")
     parser.add_argument("--min-insync", dest="min_insync", type=int, default=1)
     parser.add_argument("--out", default="BENCH_failover.json")
+    parser.add_argument("--trace-sample", dest="trace_sample", type=float,
+                        default=0.0,
+                        help="install a tracer sampling this fraction of "
+                             "traces; enables the trace-connectivity gate")
+    parser.add_argument("--trace-out", dest="trace_out", default=None,
+                        help="export every recorded span tree to this JSON "
+                             "file (implies --trace-sample 1.0 if unset)")
+    parser.add_argument("--metrics-out", dest="metrics_out", default=None,
+                        help="write a Prometheus-text registry snapshot here")
     args = parser.parse_args(argv)
+
+    tracer = None
+    if args.trace_sample > 0 or args.trace_out:
+        from repro.obs import runtime
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(sample_rate=args.trace_sample or 1.0)
+        runtime.set_tracer(tracer)
 
     home = tempfile.mkdtemp(prefix="repro-bench-failover-")
     replicas = [Replica(name="replica-1"), Replica(name="replica-2")]
@@ -176,6 +202,37 @@ def main(argv=None) -> int:
     replay.insert_row("seq", [args.rows + 1 + args.writes, 999.0])
     final_expected = row_hash(replay.query(QUERY).rows)
 
+    # -- trace audit: the promotion must be one connected span tree ----------
+    trace_audit = None
+    if tracer is not None:
+        promote_traces = sorted({
+            s.trace_id for s in tracer.spans("failover.promote")
+        })
+        promote_trees = [tracer.trace_tree(tid) for tid in promote_traces]
+        trace_audit = {
+            "sample_rate": tracer.sample_rate,
+            "traces": len(tracer.trace_ids()),
+            "spans": len(tracer.spans()),
+            "promote_traces": len(promote_traces),
+            "promote_connected": bool(promote_trees)
+            and all(t["connected"] for t in promote_trees),
+        }
+        if args.trace_out:
+            with open(args.trace_out, "w", encoding="utf-8") as fh:
+                json.dump(
+                    {
+                        "promote_trace_ids": promote_traces,
+                        "trees": [tracer.trace_tree(tid)
+                                  for tid in tracer.trace_ids()],
+                    },
+                    fh, indent=2,
+                )
+        if args.metrics_out:
+            from repro.obs import runtime
+
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(runtime.get_registry().to_prometheus())
+
     stale_reads = sum(1 for stale, _, _ in outage_reads if stale)
     fresh_reads = len(outage_reads) - stale_reads
     artifact = {
@@ -211,6 +268,8 @@ def main(argv=None) -> int:
         },
         "errors": errors,
     }
+    if trace_audit is not None:
+        artifact["trace"] = trace_audit
     ok = (not errors
           and len(outage_reads) == args.reads
           and stale_reads >= 1 and fresh_reads >= 1
@@ -218,7 +277,10 @@ def main(argv=None) -> int:
           and artifact["audit"]["degraded_answer_matches"]
           and artifact["audit"]["promoted_answer_matches"]
           and recovery["clean"] and recovery["matches_replay"]
-          and recovery["epoch_matches"])
+          and recovery["epoch_matches"]
+          and (trace_audit is None
+               or (trace_audit["promote_traces"] >= 1
+                   and trace_audit["promote_connected"])))
     artifact["ok"] = ok
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(artifact, fh, indent=2)

@@ -6,11 +6,14 @@ Usage::
                          [--inject-fault KIND] [--profile]
     python -m repro explain [--analyze] [--query "SELECT ..."] [--rows N]
     python -m repro stats [--format json|prom] [--out PATH]
+                          [--addr HOST:PORT ...]
     python -m repro table1 [--sizes 500,1000,2000]
     python -m repro table2 [--sizes 100,500,1000]
     python -m repro advise --query "SELECT ..." [--query "..."]
     python -m repro parallel [--rows N] [--jobs 1,2,4] [--backend thread]
     python -m repro serve [--rows N] [--port P] [--max-queue Q]
+                          [--ops-port P] [--trace-sample R]
+    python -m repro ops [--rows N] [--port P] [--latency-target S]
     python -m repro replicate [--rows N] [--replicas R] [--min-insync K]
                               [--inject-fault KIND] [--dir DIR]
     python -m repro recover --dir DIR [--query "SELECT ..."] [--json PATH]
@@ -177,13 +180,33 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    """Run a compact multi-layer workload and dump the metrics registry."""
+    """Run a compact multi-layer workload and dump the metrics registry.
+
+    With ``--addr host:port`` (repeatable), skips the local workload and
+    instead fetches the ``stats`` snapshot from each serving-tier node,
+    folding them into one cluster-wide registry — counters and histograms
+    sum, so the dump reads the same whether it came from one process or
+    a primary plus replicas.
+    """
     from repro.obs import runtime
     from repro.obs.metrics import MetricsRegistry
 
     registry = MetricsRegistry()
-    with runtime.use(registry=registry):
-        _stats_workload(args.rows)
+    if getattr(args, "addrs", None):
+        from repro.serve.client import ServeClient
+
+        for addr in args.addrs:
+            host, _, port_text = addr.rpartition(":")
+            if not host or not port_text.isdigit():
+                print(f"bad --addr {addr!r}: expected HOST:PORT")
+                return 2
+            with ServeClient(host, int(port_text)) as client:
+                registry.merge_json(client.stats())
+        print(f"merged metrics from {len(args.addrs)} node(s)",
+              file=sys.stderr)
+    else:
+        with runtime.use(registry=registry):
+            _stats_workload(args.rows)
     if args.format == "prom":
         text = registry.to_prometheus()
     else:
@@ -325,6 +348,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve.protocol import OPS
     from repro.serve.server import ServeServer
 
+    if args.trace_sample > 0:
+        from repro.obs import Tracer, runtime
+
+        runtime.set_tracer(Tracer(sample_rate=args.trace_sample))
     cw = ConcurrentWarehouse(execution=_exec_config(args))
     cw.create_table("seq", [("pos", INTEGER), ("val", FLOAT)],
                     primary_key=["pos"])
@@ -345,6 +372,36 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
     )
     server.start()
+    ops_server = None
+    timeseries = None
+    if args.ops_port is not None:
+        from repro.obs import OpsServer, Slo, SloEvaluator, TimeSeriesRegistry
+
+        from repro.obs import runtime as obs_runtime
+
+        slowlog = cw.warehouse.slow_queries
+        if slowlog is None:
+            slowlog = cw.warehouse.enable_slow_query_log(threshold_ms=100.0)
+        timeseries = TimeSeriesRegistry(interval=1.0).start()
+        evaluator = SloEvaluator(
+            timeseries,
+            registry=obs_runtime.get_registry(),
+            slowlog=slowlog,
+        )
+        evaluator.add(Slo(
+            name="serve-availability", kind="availability", target=0.999,
+            total_metric="repro_serve_queries_total",
+            error_metric="repro_serve_query_errors_total",
+        ))
+        evaluator.add(Slo(
+            name="serve-latency-p99", kind="latency", target=0.99,
+            histogram_metric="repro_serve_query_seconds",
+            latency_target_s=0.25,
+        ))
+        ops_server = OpsServer(
+            host=args.host, port=args.ops_port, health=server._status,
+            slo=evaluator,
+        ).start()
     # Flushed eagerly: supervisors scrape the ephemeral port from stdout.
     print(
         f"serving seq({args.rows} rows) + view 'mv' on "
@@ -354,12 +411,67 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     print(f"protocol: one JSON object per line; ops: {', '.join(OPS)}",
           flush=True)
+    if ops_server is not None:
+        print(
+            f"ops endpoint on http://{ops_server.address} "
+            f"(/metrics /healthz /trace/<id>)",
+            flush=True,
+        )
     try:
         threading.Event().wait()
     except KeyboardInterrupt:
         print("\nshutting down")
     finally:
+        if ops_server is not None:
+            ops_server.stop()
+        if timeseries is not None:
+            timeseries.stop()
         server.stop()
+    return 0
+
+
+def cmd_ops(args: argparse.Namespace) -> int:
+    """Run the ops endpoint standalone over a demo workload.
+
+    Populates the global registry with the same multi-layer workload as
+    ``repro stats`` (under a 100%-sampled tracer so ``/trace/<id>`` has
+    trees to show), wires default availability/latency SLOs over a
+    background time-series sampler, then serves until interrupted.
+    """
+    import threading
+
+    from repro.obs import (
+        OpsServer, Slo, SloEvaluator, TimeSeriesRegistry, Tracer, runtime,
+    )
+
+    runtime.set_tracer(Tracer())
+    _stats_workload(args.rows)
+    timeseries = TimeSeriesRegistry(interval=args.interval).start()
+    evaluator = SloEvaluator(timeseries, registry=runtime.get_registry())
+    evaluator.add(Slo(
+        name="query-availability", kind="availability", target=0.999,
+        total_metric="repro_engine_queries_total",
+        error_metric="repro_engine_query_errors_total",
+    ))
+    evaluator.add(Slo(
+        name="query-latency-p99", kind="latency", target=0.99,
+        histogram_metric="repro_engine_query_seconds",
+        latency_target_s=args.latency_target,
+    ))
+    ops_server = OpsServer(host=args.host, port=args.port, slo=evaluator)
+    ops_server.start()
+    print(
+        f"ops endpoint on http://{ops_server.address} "
+        f"(/metrics /healthz /trace/<id> /traces /slo)",
+        flush=True,
+    )
+    try:
+        threading.Event().wait()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        ops_server.stop()
+        timeseries.stop()
     return 0
 
 
@@ -882,6 +994,12 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--rows", type=int, default=400)
     stats.add_argument("--out", default=None,
                        help="write the dump to this path instead of stdout")
+    stats.add_argument("--addr", dest="addrs", action="append", default=None,
+                       metavar="HOST:PORT",
+                       help="fetch and merge the metrics snapshot from this "
+                            "serving-tier node instead of running the local "
+                            "workload (repeatable: primary + replicas give "
+                            "the cluster-wide view)")
     stats.set_defaults(func=cmd_stats)
 
     t1 = sub.add_parser("table1", help="rerun the paper's Table 1 sweep")
@@ -961,8 +1079,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission bound: max queries in flight at once")
     serve.add_argument("--workers", type=int, default=4,
                        help="worker threads executing queries and writes")
+    serve.add_argument("--ops-port", dest="ops_port", type=int, default=None,
+                       help="also start the ops HTTP endpoint "
+                            "(/metrics /healthz /trace/<id>) on this port "
+                            "(0 picks an ephemeral port)")
+    serve.add_argument("--trace-sample", dest="trace_sample", type=float,
+                       default=0.0,
+                       help="install a tracer sampling this fraction of "
+                            "traces (0 disables tracing, 1.0 records all)")
     _add_parallel_flags(serve)
     serve.set_defaults(func=cmd_serve)
+
+    ops = sub.add_parser(
+        "ops",
+        help="standalone ops endpoint over a demo workload "
+             "(/metrics /healthz /trace/<id> /slo)",
+    )
+    ops.add_argument("--rows", type=int, default=400)
+    ops.add_argument("--host", default="127.0.0.1")
+    ops.add_argument("--port", type=int, default=0,
+                     help="bind port (0 picks an ephemeral port)")
+    ops.add_argument("--interval", type=float, default=1.0,
+                     help="time-series sampling interval in seconds")
+    ops.add_argument("--latency-target", dest="latency_target", type=float,
+                     default=0.25,
+                     help="latency SLO target in seconds (p99)")
+    ops.set_defaults(func=cmd_ops)
 
     rep = sub.add_parser(
         "replicate",

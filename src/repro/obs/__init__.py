@@ -11,7 +11,13 @@ Zero-dependency building blocks:
   the single-publication rule for per-query stats;
 * :mod:`repro.obs.instrument` — per-operator probes over a physical plan;
 * :mod:`repro.obs.explain` — ``EXPLAIN ANALYZE`` rendering;
-* :mod:`repro.obs.slowlog` — the warehouse slow-query ring buffer.
+* :mod:`repro.obs.slowlog` — the warehouse slow-query ring buffer;
+* :mod:`repro.obs.context` — W3C-traceparent-style context propagation;
+* :mod:`repro.obs.timeseries` — ring-buffer sampling of the registry with
+  windowed rate/percentile queries;
+* :mod:`repro.obs.slo` — multi-window burn-rate SLO evaluation;
+* :mod:`repro.obs.httpd` — the ``/metrics`` · ``/healthz`` · ``/trace/<id>``
+  ops endpoint.
 """
 
 from repro.obs.metrics import (
@@ -21,11 +27,21 @@ from repro.obs.metrics import (
     MetricsRegistry,
     DEFAULT_BUCKETS,
 )
+from repro.obs.context import TraceContext
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
 from repro.obs import runtime
 from repro.obs.slowlog import SlowQueryLog
+from repro.obs.timeseries import TimeSeriesRegistry
+from repro.obs.slo import Slo, SloEvaluator, SloStatus
+from repro.obs.httpd import OpsServer
 
 __all__ = [
+    "TraceContext",
+    "TimeSeriesRegistry",
+    "Slo",
+    "SloEvaluator",
+    "SloStatus",
+    "OpsServer",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,109 @@
+"""Trace context: the W3C-traceparent-shaped identity of one distributed trace.
+
+A :class:`TraceContext` is the portable part of a span — ``trace_id``
+(32 lowercase hex chars, shared by every span of one request), ``span_id``
+(16 hex chars naming the span that is the remote parent), and the
+``sampled`` flag (whether the originating tracer decided to record this
+trace).  It crosses three kinds of boundary in this codebase:
+
+* the **serve protocol** — encoded as a ``traceparent`` header field in the
+  request object (``{"trace": {"traceparent": "00-<trace>-<span>-01"}}``);
+* the **process-pool executor** — pickled into each task as a plain dict so
+  worker-side spans parent correctly across ``fork`` *and* ``spawn``;
+* the **replication path** — captured at commit time so shipments that
+  drain later (lag buffering, ``catch_up``) still carry the originating
+  commit's context.
+
+The wire format follows the W3C Trace Context ``traceparent`` layout
+(``version "00"``, flags ``01`` = sampled / ``00`` = unsampled).  Parsing
+is strict on shape but never raises on garbage from the network: malformed
+input decodes to ``None`` so a bad client cannot crash the server's
+dispatch loop.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "TraceContext",
+    "new_trace_id",
+    "new_span_id",
+    "parse_traceparent",
+]
+
+_TRACEPARENT_RE = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace_id>[0-9a-f]{32})-"
+    r"(?P<span_id>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})$"
+)
+
+_ALL_ZERO_TRACE = "0" * 32
+_ALL_ZERO_SPAN = "0" * 16
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (32 lowercase hex chars, never all-zero)."""
+    while True:
+        tid = os.urandom(16).hex()
+        if tid != _ALL_ZERO_TRACE:  # pragma: no branch - astronomically rare
+            return tid
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id (16 lowercase hex chars, never all-zero)."""
+    while True:
+        sid = os.urandom(8).hex()
+        if sid != _ALL_ZERO_SPAN:  # pragma: no branch - astronomically rare
+            return sid
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of one trace: ids plus the sampling decision."""
+
+    trace_id: str
+    span_id: str
+    sampled: bool = True
+
+    # -- wire format ---------------------------------------------------------
+
+    def to_traceparent(self) -> str:
+        """``00-<trace_id>-<span_id>-<flags>`` (flags: 01 sampled, 00 not)."""
+        flags = "01" if self.sampled else "00"
+        return f"00-{self.trace_id}-{self.span_id}-{flags}"
+
+    @classmethod
+    def from_traceparent(cls, text: str) -> Optional["TraceContext"]:
+        """Parse a traceparent string; ``None`` when malformed or all-zero."""
+        if not isinstance(text, str):
+            return None
+        # Strict per the W3C spec: uppercase hex is invalid, not normalized.
+        match = _TRACEPARENT_RE.match(text.strip())
+        if match is None:
+            return None
+        trace_id = match.group("trace_id")
+        span_id = match.group("span_id")
+        if trace_id == _ALL_ZERO_TRACE or span_id == _ALL_ZERO_SPAN:
+            return None
+        sampled = bool(int(match.group("flags"), 16) & 0x01)
+        return cls(trace_id=trace_id, span_id=span_id, sampled=sampled)
+
+    # -- dict codec (for pickling into tasks / JSON protocol fields) ---------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"traceparent": self.to_traceparent()}
+
+    @classmethod
+    def from_dict(cls, doc: Optional[Dict[str, Any]]) -> Optional["TraceContext"]:
+        """Decode the ``{"traceparent": ...}`` shape; tolerant of garbage."""
+        if not isinstance(doc, dict):
+            return None
+        return cls.from_traceparent(doc.get("traceparent"))
+
+
+def parse_traceparent(text: Any) -> Optional[TraceContext]:
+    """Module-level alias of :meth:`TraceContext.from_traceparent`."""
+    return TraceContext.from_traceparent(text)

@@ -269,6 +269,62 @@ class MetricsRegistry:
                 mine = self.counter(inst.name, dict(inst.labels), help=inst.help)
             mine._merge(inst)
 
+    def merge_json(self, doc: Dict[str, Any]) -> int:
+        """Fold a :meth:`to_json` document into this registry.
+
+        The over-the-wire counterpart of :meth:`merge`: the serve tier's
+        ``stats`` op ships ``to_json()`` snapshots, and ``repro stats
+        --addr`` folds one per node into a cluster-wide view.  Histogram
+        buckets arrive cumulative (Prometheus-style) and are de-cumulated
+        back into per-bucket counts before merging; same-name histograms
+        with different bounds raise, exactly like :meth:`merge`.
+
+        Returns the number of instruments folded in.
+        """
+        folded = 0
+        for name, entries in doc.items():
+            for entry in entries:
+                kind = entry.get("kind", "counter")
+                labels = entry.get("labels") or None
+                if kind == "histogram":
+                    buckets = entry.get("buckets", [])
+                    bounds = [
+                        float(b["le"]) for b in buckets
+                        if b["le"] != "+Inf"
+                        and not (isinstance(b["le"], float)
+                                 and math.isinf(b["le"]))
+                    ]
+                    if not bounds:
+                        continue
+                    mine = self.histogram(name, labels, buckets=bounds)
+                    other = Histogram(name, mine.labels, buckets=bounds)
+                    prev = 0
+                    counts: List[int] = []
+                    for b in buckets:
+                        n = int(b["count"])
+                        counts.append(max(n - prev, 0))
+                        prev = n
+                    # to_json always emits len(bounds)+1 buckets (+Inf
+                    # last); pad defensively against truncated documents.
+                    counts += [0] * (len(bounds) + 1 - len(counts))
+                    other.counts = counts[: len(bounds) + 1]
+                    other.sum = float(entry.get("sum", 0.0))
+                    other.count = int(entry.get("count", 0))
+                    mine._merge(other)
+                elif kind == "gauge":
+                    self.gauge(name, labels).inc(float(entry.get("value", 0)))
+                else:
+                    self.counter(name, labels).inc(float(entry.get("value", 0)))
+                folded += 1
+        return folded
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`to_json` document."""
+        registry = cls()
+        registry.merge_json(doc)
+        return registry
+
     def clear(self) -> None:
         with self._lock:
             self._instruments.clear()
@@ -302,8 +358,12 @@ class MetricsRegistry:
         for name in sorted(by_name):
             family = sorted(by_name[name], key=lambda i: i.labels)
             head = family[0]
-            if head.help:
-                lines.append(f"# HELP {name} {_escape_help(head.help)}")
+            # HELP/TYPE exactly once per family, even when labeled series
+            # interleave and only some carry help text: take the first
+            # non-empty help in the family, not the first member's.
+            help_text = next((i.help for i in family if i.help), "")
+            if help_text:
+                lines.append(f"# HELP {name} {_escape_help(help_text)}")
             lines.append(f"# TYPE {name} {head.kind}")
             for inst in family:
                 if isinstance(inst, Histogram):
@@ -336,6 +396,12 @@ class MetricsRegistry:
 def _fmt_value(value: float) -> str:
     if isinstance(value, bool):  # pragma: no cover - defensive
         return "1" if value else "0"
+    # Prometheus text format spells non-finite values +Inf/-Inf/NaN;
+    # repr(float) would emit 'inf'/'nan', which scrapers reject.
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
     if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
         return str(int(value))
     return repr(float(value))

@@ -36,6 +36,7 @@ __all__ = [
     "set_registry",
     "use",
     "event",
+    "current_context",
     "publish_stats",
 ]
 
@@ -88,6 +89,15 @@ def event(name: str, **attributes) -> None:
     tracer = _tracer
     if tracer.enabled:
         tracer.event(name, **attributes)
+
+
+def current_context():
+    """The active span's :class:`~repro.obs.context.TraceContext`, or None
+    (tracing off, or no span open on this thread)."""
+    tracer = _tracer
+    if not tracer.enabled:
+        return None
+    return tracer.current_context()
 
 
 def publish_stats(stats, registry: Optional[MetricsRegistry] = None) -> None:

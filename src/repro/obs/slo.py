@@ -1,0 +1,253 @@
+"""SLO evaluation: availability and latency burn rates over the time series.
+
+An :class:`Slo` names a target (``availability`` >= 99.9%, or latency
+``p99`` <= 250 ms) for one request stream — a counter pair
+(total/errors) for availability, a histogram for latency.  The
+:class:`SloEvaluator` checks each SLO against the sampled
+:class:`~repro.obs.timeseries.TimeSeriesRegistry` using the standard
+multi-window multi-burn-rate recipe (Google SRE workbook ch. 5):
+
+* **burn rate** = observed badness / allowed badness.  For availability
+  the observed badness is the error ratio over the window and the
+  allowance is the error budget ``1 - target``; burn 1.0 means errors
+  arriving exactly fast enough to spend the whole budget by the end of
+  the SLO period.  For latency, badness is the fraction of requests over
+  the latency target (from cumulative histogram-bucket deltas) against
+  the same budget.
+* **two windows** — an alert fires only when *both* the fast window
+  (pages quickly, resets quickly) and the slow window (filters blips)
+  exceed ``burn_threshold``.
+
+Alerts are emitted as structured events: a
+``repro_slo_alerts_total{slo=...}`` counter increment in the metrics
+registry and a ``slowlog.note("slo_alert", ...)`` entry, so both
+``/metrics`` scrapes and the slow-query log tell the story.  Evaluation
+is pull-based (``evaluate()``), typically driven by the ops endpoint or a
+bench loop; there is no background thread of its own.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesRegistry
+
+__all__ = ["Slo", "SloEvaluator", "SloStatus"]
+
+
+@dataclass(frozen=True)
+class Slo:
+    """One objective over one request stream.
+
+    ``kind`` is ``"availability"`` (error ratio vs. ``target`` success
+    ratio, from ``total_metric``/``error_metric`` counters) or
+    ``"latency"`` (fraction of ``histogram_metric`` observations over
+    ``latency_target_s`` vs. the same ``1 - target`` budget, at the
+    quantile ``quantile`` for reporting).
+    """
+
+    name: str
+    kind: str  # "availability" | "latency"
+    target: float  # e.g. 0.999 -> 0.1% error budget
+    total_metric: str = ""
+    error_metric: str = ""
+    histogram_metric: str = ""
+    latency_target_s: float = 0.25
+    quantile: float = 0.99
+    fast_window_s: float = 60.0
+    slow_window_s: float = 600.0
+    burn_threshold: float = 1.0
+    labels: Optional[Dict[str, str]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.kind == "availability" and not self.total_metric:
+            raise ValueError("availability SLO needs total_metric")
+        if self.kind == "latency" and not self.histogram_metric:
+            raise ValueError("latency SLO needs histogram_metric")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the allowed bad-request ratio."""
+        return 1.0 - self.target
+
+
+@dataclass
+class SloStatus:
+    """One evaluation result for one SLO."""
+
+    slo: str
+    kind: str
+    healthy: bool
+    burn_fast: float
+    burn_slow: float
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "slo": self.slo,
+            "kind": self.kind,
+            "healthy": self.healthy,
+            "burn_fast": round(self.burn_fast, 4),
+            "burn_slow": round(self.burn_slow, 4),
+            **self.detail,
+        }
+
+
+class SloEvaluator:
+    """Evaluates SLOs against a time series; emits alerts on breach.
+
+    Alerts edge-trigger: a breach emits one alert event and further
+    evaluations stay silent until the SLO recovers (both windows back
+    under threshold), which then emits an ``slo_recovered`` event.
+    """
+
+    def __init__(
+        self,
+        timeseries: TimeSeriesRegistry,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        slowlog: Optional[Any] = None,
+    ) -> None:
+        self.timeseries = timeseries
+        self.registry = registry
+        self.slowlog = slowlog
+        self._slos: List[Slo] = []
+        self._breached: Dict[str, bool] = {}
+        self._lock = threading.Lock()
+
+    def add(self, slo: Slo) -> "SloEvaluator":
+        with self._lock:
+            if any(s.name == slo.name for s in self._slos):
+                raise ValueError(f"duplicate SLO name {slo.name!r}")
+            self._slos.append(slo)
+            self._breached[slo.name] = False
+        return self
+
+    def slos(self) -> List[Slo]:
+        with self._lock:
+            return list(self._slos)
+
+    # -- burn-rate math ------------------------------------------------------
+
+    def _availability_burn(
+        self, slo: Slo, window: float, now: Optional[float]
+    ) -> Dict[str, float]:
+        ts = self.timeseries
+        total = ts.delta(slo.total_metric, slo.labels, window=window, now=now)
+        errors = (
+            ts.delta(slo.error_metric, slo.labels, window=window, now=now)
+            if slo.error_metric
+            else 0.0
+        )
+        ratio = (errors / total) if total > 0 else 0.0
+        return {
+            "total": total,
+            "errors": errors,
+            "error_ratio": ratio,
+            "burn": ratio / slo.budget,
+        }
+
+    def _latency_burn(
+        self, slo: Slo, window: float, now: Optional[float]
+    ) -> Dict[str, Any]:
+        ts = self.timeseries
+        hist = ts._hist_delta(slo.histogram_metric, slo.labels, window, now)
+        if hist is None:
+            return {"total": 0.0, "slow_ratio": 0.0, "burn": 0.0, "p": None}
+        bounds, cum, _count = hist
+        total = float(cum[-1]) if cum else 0.0
+        if total <= 0:
+            return {"total": 0.0, "slow_ratio": 0.0, "burn": 0.0, "p": None}
+        # Requests at or under the latency target: the cumulative count at
+        # the first bound >= target (conservative when the target falls
+        # between bounds — everything in the straddling bucket counts as
+        # slow).
+        under = 0.0
+        for i, bound in enumerate(bounds):
+            if bound <= slo.latency_target_s:
+                under = float(cum[i])
+            else:
+                break
+        slow_ratio = (total - under) / total
+        p = ts.percentile(
+            slo.histogram_metric, slo.quantile, slo.labels,
+            window=window, now=now,
+        )
+        return {
+            "total": total,
+            "slow_ratio": slow_ratio,
+            "burn": slow_ratio / slo.budget,
+            "p": p,
+        }
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self, now: Optional[float] = None) -> List[SloStatus]:
+        """Evaluate every SLO once; emits alert/recovery events on edges."""
+        statuses: List[SloStatus] = []
+        for slo in self.slos():
+            if slo.kind == "availability":
+                fast = self._availability_burn(slo, slo.fast_window_s, now)
+                slow = self._availability_burn(slo, slo.slow_window_s, now)
+                detail = {
+                    "target": slo.target,
+                    "error_ratio_fast": round(fast["error_ratio"], 6),
+                    "error_ratio_slow": round(slow["error_ratio"], 6),
+                }
+            else:
+                fast = self._latency_burn(slo, slo.fast_window_s, now)
+                slow = self._latency_burn(slo, slo.slow_window_s, now)
+                detail = {
+                    "target": slo.target,
+                    "latency_target_s": slo.latency_target_s,
+                    "quantile": slo.quantile,
+                    "p_fast": fast["p"],
+                    "p_slow": slow["p"],
+                }
+            breached = (
+                fast["burn"] > slo.burn_threshold
+                and slow["burn"] > slo.burn_threshold
+            )
+            status = SloStatus(
+                slo=slo.name,
+                kind=slo.kind,
+                healthy=not breached,
+                burn_fast=fast["burn"],
+                burn_slow=slow["burn"],
+                detail=detail,
+            )
+            statuses.append(status)
+            self._transition(slo, status)
+        return statuses
+
+    def _transition(self, slo: Slo, status: SloStatus) -> None:
+        with self._lock:
+            was = self._breached.get(slo.name, False)
+            now_breached = not status.healthy
+            if was == now_breached:
+                return
+            self._breached[slo.name] = now_breached
+        event = "slo_alert" if now_breached else "slo_recovered"
+        if self.registry is not None:
+            self.registry.counter(
+                "repro_slo_alerts_total",
+                {"slo": slo.name, "event": event},
+                help="SLO burn-rate alert transitions",
+            ).inc()
+        if self.slowlog is not None:
+            self.slowlog.note(event, **status.to_dict())
+
+    def breached(self) -> List[str]:
+        """Names of SLOs currently in breach."""
+        with self._lock:
+            return [name for name, bad in self._breached.items() if bad]
+
+    def to_dict(self, now: Optional[float] = None) -> Dict[str, Any]:
+        return {"slos": [s.to_dict() for s in self.evaluate(now)]}

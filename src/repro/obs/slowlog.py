@@ -45,9 +45,15 @@ class SlowQueryLog:
         rewrite: Optional[str] = None,
         summary: Optional[str] = None,
         q_error: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> bool:
         """Report one query; returns True when it was kept (slow, or with a
-        cardinality estimate off by at least ``q_error_threshold``x)."""
+        cardinality estimate off by at least ``q_error_threshold``x).
+
+        ``trace_id`` links the entry to its span tree: with the ops
+        endpoint running, ``/trace/<trace_id>`` shows exactly where the
+        slow query spent its time.
+        """
         with self._lock:
             self.total_queries += 1
             ms = seconds * 1000.0
@@ -65,8 +71,23 @@ class SlowQueryLog:
             }
             if q_error is not None:
                 entry["q_error"] = round(q_error, 2)
+            if trace_id is not None:
+                entry["trace_id"] = trace_id
             self._entries.append(entry)
             return True
+
+    def note(self, kind: str, /, **detail: Any) -> Dict[str, Any]:
+        """Append a structured non-query event (always kept).
+
+        The SLO evaluator files its alerts here — ``kind`` like
+        ``"slo_alert"`` plus arbitrary JSON-safe detail — so one ring
+        buffer tells the whole latency story: the slow queries and the
+        burn-rate alarms they tripped.
+        """
+        entry = {"event": kind, "when": time.time(), **detail}
+        with self._lock:
+            self._entries.append(entry)
+        return entry
 
     def entries(self) -> List[Dict[str, Any]]:
         """Oldest-to-newest snapshot of the retained slow queries."""

@@ -1,0 +1,273 @@
+"""Ring-buffer time series over the metrics registry.
+
+A :class:`TimeSeriesRegistry` periodically snapshots every instrument of a
+:class:`~repro.obs.metrics.MetricsRegistry` into per-instrument ring
+buffers (bounded ``capacity`` points each), turning the registry's
+point-in-time values into short windows of history that the SLO evaluator
+and ``/healthz`` can query:
+
+* :meth:`rate` — per-second increase of a counter over a window (clamped
+  at zero across restarts/resets);
+* :meth:`percentile` — a quantile estimate from the *delta* of a
+  histogram's cumulative buckets over a window (linear interpolation
+  inside the winning bucket, the same estimator Prometheus'
+  ``histogram_quantile`` uses);
+* :meth:`window` — the raw ``(t, value)`` points for a gauge/counter.
+
+Sampling is either manual (``sample()`` — deterministic tests pass an
+explicit ``now``) or a daemon thread (``start(interval)``).  Everything is
+stdlib-only; memory is bounded by ``capacity × instruments``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = ["TimeSeriesRegistry"]
+
+Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+# A histogram sample: (count, sum, cumulative bucket counts).
+HistPoint = Tuple[int, float, Tuple[int, ...]]
+
+
+class TimeSeriesRegistry:
+    """Sampled history of one metrics registry, bounded per instrument."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        *,
+        interval: float = 1.0,
+        capacity: int = 600,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        self.registry = registry
+        self.interval = float(interval)
+        self.capacity = capacity
+        self._series: Dict[Key, deque] = {}
+        self._bounds: Dict[Key, Tuple[float, ...]] = {}
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample(self, now: Optional[float] = None) -> int:
+        """Snapshot every instrument once; returns instruments sampled.
+
+        ``now`` defaults to ``time.time()``; tests pass explicit times to
+        make window queries deterministic.
+        """
+        from repro.obs import runtime
+
+        registry = self.registry
+        if registry is None:
+            registry = runtime.get_registry()
+        t = time.time() if now is None else float(now)
+        sampled = 0
+        for inst in registry.instruments():
+            key = (inst.name, inst.labels)
+            if isinstance(inst, Histogram):
+                value: Any = (
+                    inst.count, inst.sum,
+                    tuple(n for _le, n in inst.bucket_counts()),
+                )
+                bounds = inst.bounds
+            else:
+                value = float(inst.value)
+                bounds = None
+            with self._lock:
+                ring = self._series.get(key)
+                if ring is None:
+                    ring = self._series[key] = deque(maxlen=self.capacity)
+                if bounds is not None:
+                    self._bounds[key] = bounds
+                ring.append((t, value))
+            sampled += 1
+        return sampled
+
+    def start(self, interval: Optional[float] = None) -> "TimeSeriesRegistry":
+        """Start the background sampler thread (idempotent)."""
+        if interval is not None:
+            self.interval = float(interval)
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(self.interval):
+                try:
+                    self.sample()
+                except Exception:  # pragma: no cover - sampler must survive
+                    pass
+
+        self._thread = threading.Thread(
+            target=loop, name="repro-ts-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._stop.set()
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "TimeSeriesRegistry":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- window queries ------------------------------------------------------
+
+    def _points(
+        self, name: str, labels: Optional[Dict[str, str]], window: float,
+        now: Optional[float],
+    ) -> List[Tuple[float, Any]]:
+        key = (name, _freeze(labels))
+        with self._lock:
+            ring = self._series.get(key)
+            points = list(ring) if ring is not None else []
+        if not points:
+            return []
+        end = points[-1][0] if now is None else float(now)
+        lo = end - float(window)
+        return [(t, v) for t, v in points if lo <= t <= end]
+
+    def window(
+        self, name: str, labels: Optional[Dict[str, str]] = None, *,
+        window: float, now: Optional[float] = None,
+    ) -> List[Tuple[float, Any]]:
+        """The raw sampled ``(t, value)`` points inside the window."""
+        return self._points(name, labels, window, now)
+
+    def rate(
+        self, name: str, labels: Optional[Dict[str, str]] = None, *,
+        window: float, now: Optional[float] = None,
+    ) -> float:
+        """Per-second increase of a counter over the window (>= 0).
+
+        Needs at least two points in the window; a decrease (process
+        restart) clamps to zero rather than going negative.
+        """
+        points = self._points(name, labels, window, now)
+        if len(points) < 2:
+            return 0.0
+        (t0, v0), (t1, v1) = points[0], points[-1]
+        if t1 <= t0:
+            return 0.0
+        return max(float(v1) - float(v0), 0.0) / (t1 - t0)
+
+    def delta(
+        self, name: str, labels: Optional[Dict[str, str]] = None, *,
+        window: float, now: Optional[float] = None,
+    ) -> float:
+        """Absolute increase of a counter over the window (>= 0)."""
+        points = self._points(name, labels, window, now)
+        if len(points) < 2:
+            return 0.0
+        return max(float(points[-1][1]) - float(points[0][1]), 0.0)
+
+    def gauge_stats(
+        self, name: str, labels: Optional[Dict[str, str]] = None, *,
+        window: float, now: Optional[float] = None,
+    ) -> Optional[Dict[str, float]]:
+        """min/max/avg/last of a gauge over the window (None when empty)."""
+        points = self._points(name, labels, window, now)
+        values = [float(v) for _t, v in points]
+        if not values:
+            return None
+        return {
+            "min": min(values), "max": max(values),
+            "avg": sum(values) / len(values), "last": values[-1],
+        }
+
+    # -- histogram-window quantiles ------------------------------------------
+
+    def _hist_delta(
+        self, name: str, labels: Optional[Dict[str, str]], window: float,
+        now: Optional[float],
+    ) -> Optional[Tuple[Tuple[float, ...], List[int], int]]:
+        key = (name, _freeze(labels))
+        points = self._points(name, labels, window, now)
+        hist_points = [
+            (t, v) for t, v in points
+            if isinstance(v, tuple) and len(v) == 3
+        ]
+        if len(hist_points) < 2:
+            return None
+        bounds = self._bounds.get(key)
+        if bounds is None:
+            return None
+        first, last = hist_points[0][1], hist_points[-1][1]
+        if len(first[2]) != len(last[2]):
+            return None  # bucket layout changed mid-window
+        cum = [max(b - a, 0) for a, b in zip(first[2], last[2])]
+        total = max(last[0] - first[0], 0)
+        return bounds, cum, total
+
+    def percentile(
+        self, name: str, q: float,
+        labels: Optional[Dict[str, str]] = None, *,
+        window: float, now: Optional[float] = None,
+    ) -> Optional[float]:
+        """Quantile (``q`` in [0, 1]) of a histogram's observations that
+        fell inside the window, from cumulative-bucket deltas.
+
+        Linear interpolation inside the winning bucket; values in the
+        +Inf bucket report the largest finite bound.  ``None`` when the
+        window holds fewer than two samples or saw no observations.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        hist = self._hist_delta(name, labels, window, now)
+        if hist is None:
+            return None
+        bounds, cum, _total = hist
+        observations = cum[-1] if cum else 0
+        if observations <= 0:
+            return None
+        rank = q * observations
+        prev_cum = 0
+        prev_bound = 0.0
+        for i, bound in enumerate(bounds):
+            if cum[i] >= rank:
+                in_bucket = cum[i] - prev_cum
+                if in_bucket <= 0:
+                    return float(bound)
+                frac = (rank - prev_cum) / in_bucket
+                return float(prev_bound + (bound - prev_bound) * frac)
+            prev_cum = cum[i]
+            prev_bound = float(bound)
+        return float(bounds[-1]) if bounds else None
+
+    # -- inspection ----------------------------------------------------------
+
+    def series_names(self) -> List[Tuple[str, Dict[str, str]]]:
+        with self._lock:
+            return [(name, dict(labels)) for name, labels in self._series]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._series)
+
+
+def _freeze(labels: Optional[Dict[str, str]]):
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+# Re-exported for the SLO evaluator's latency math.
+INF = math.inf

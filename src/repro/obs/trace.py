@@ -7,23 +7,37 @@ spans exactly as the operators nest.  Span durations are therefore
 *inclusive* wall time (everything that happens while the operator is live),
 the same convention ``EXPLAIN ANALYZE`` uses in mainstream engines.
 
+Distributed traces (DESIGN.md §5k): every span carries a ``trace_id``
+(inherited from its parent; a fresh one per root span) and a globally
+unique random ``span_id``, so spans recorded by *different* tracers — a
+client process, a serve worker thread, a process-pool child — stitch into
+one tree.  A remote parent is adopted by passing a
+:class:`~repro.obs.context.TraceContext` as ``parent_context``; spans
+recorded in a worker process come back as dicts and are folded in with
+:meth:`Tracer.ingest`.  Sampling is decided once per root span
+(``sample_rate``) and propagates with the context; unsampled spans keep
+the stack honest but are never recorded.
+
 The default tracer everywhere is :data:`NULL_TRACER`: ``enabled`` is False
 and ``span()`` returns a shared do-nothing context manager, so the
 instrumented hot paths cost one attribute check when tracing is off (the
 bench-smoke gate enforces this stays ≤ a few percent).
 
-Exports: ``to_json()`` (flat span list with parent ids) and
+Exports: ``to_json()`` (flat span list with parent ids),
 ``to_chrome_trace()`` (Chrome ``trace_event`` "X" complete events — load
-the file in ``chrome://tracing`` / Perfetto).
+the file in ``chrome://tracing`` / Perfetto), and ``trace_tree()`` (the
+nested JSON span tree of one trace id, what ``/trace/<id>`` serves).
 """
 
 from __future__ import annotations
 
-import itertools
 import json
+import random
 import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.context import TraceContext, new_span_id, new_trace_id
 
 __all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
 
@@ -32,22 +46,27 @@ class Span:
     """One timed operation: name, attributes, events, parent link."""
 
     __slots__ = (
-        "tracer", "name", "span_id", "parent_id", "thread_id",
-        "start", "end", "attributes", "events",
+        "tracer", "name", "span_id", "parent_id", "trace_id", "sampled",
+        "thread_id", "start", "end", "attributes", "events",
     )
 
     def __init__(
         self,
         tracer: "Tracer",
         name: str,
-        span_id: int,
-        parent_id: Optional[int],
+        span_id: str,
+        parent_id: Optional[str],
         attributes: Dict[str, Any],
+        *,
+        trace_id: str,
+        sampled: bool = True,
     ) -> None:
         self.tracer = tracer
         self.name = name
         self.span_id = span_id
         self.parent_id = parent_id
+        self.trace_id = trace_id
+        self.sampled = sampled
         self.thread_id = threading.get_ident()
         self.start = time.perf_counter()
         self.end: Optional[float] = None
@@ -64,6 +83,12 @@ class Span:
     def add_event(self, name: str, **attributes: Any) -> None:
         """Record a point-in-time event inside this span."""
         self.events.append((name, time.perf_counter(), attributes))
+
+    def context(self) -> TraceContext:
+        """The propagable identity of this span (see ``repro.obs.context``)."""
+        return TraceContext(
+            trace_id=self.trace_id, span_id=self.span_id, sampled=self.sampled
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -88,6 +113,7 @@ class Span:
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
             "thread_id": self.thread_id,
             "start": self.start,
             "duration": self.duration,
@@ -98,17 +124,59 @@ class Span:
             ],
         }
 
+    @classmethod
+    def from_dict(cls, tracer: "Tracer", doc: Dict[str, Any]) -> "Span":
+        """Rebuild a finished span from its exported dict (never touches the
+        tracer's stack — used to fold worker-process spans into a parent).
+
+        Cross-process ``start`` values are each process's own
+        ``perf_counter`` epoch; durations and parent links are exact, the
+        absolute placement on a shared timeline is not.
+        """
+        span = cls.__new__(cls)
+        span.tracer = tracer
+        span.name = str(doc.get("name", ""))
+        span.span_id = doc.get("span_id")
+        span.parent_id = doc.get("parent_id")
+        span.trace_id = doc.get("trace_id")
+        span.sampled = bool(doc.get("sampled", True))
+        span.thread_id = int(doc.get("thread_id", 0))
+        span.start = float(doc.get("start", 0.0))
+        span.end = span.start + float(doc.get("duration", 0.0))
+        span.attributes = dict(doc.get("attributes") or {})
+        span.events = [
+            (
+                str(e.get("name", "")),
+                float(e.get("at", span.start)),
+                dict(e.get("attributes") or {}),
+            )
+            for e in (doc.get("events") or [])
+        ]
+        return span
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Span({self.name!r}, id={self.span_id}, dur={self.duration:.6f})"
 
 
 class Tracer:
-    """Collects finished spans; hands out nested span context managers."""
+    """Collects finished spans; hands out nested span context managers.
+
+    Args:
+        sample_rate: probability that a *root* span (and therefore its
+            whole trace) is recorded.  1.0 records everything; 0.0 keeps
+            the stack bookkeeping but records nothing.  Non-root spans
+            always inherit their parent's decision.
+        seed: seeds the sampling RNG for deterministic tests.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
-        self._ids = itertools.count(1)
+    def __init__(self, *, sample_rate: float = 1.0,
+                 seed: Optional[int] = None) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
+        self.sample_rate = float(sample_rate)
+        self._rng = random.Random(seed)
         self._local = threading.local()
         self._lock = threading.Lock()
         self.finished: List[Span] = []
@@ -125,16 +193,42 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
-    def span(self, name: str, **attributes: Any) -> Span:
-        """Open a span; use as a context manager (or call ``finish()``)."""
+    def span(
+        self,
+        name: str,
+        parent_context: Optional[TraceContext] = None,
+        **attributes: Any,
+    ) -> Span:
+        """Open a span; use as a context manager (or call ``finish()``).
+
+        ``parent_context`` adopts a remote parent (a span living in another
+        process or thread): the new span joins that trace under that span
+        id, inheriting its sampling decision.  An explicit remote parent
+        wins over the thread-local stack — it names the *causal* parent
+        even when some unrelated span happens to be open locally.  With
+        neither, the span roots a brand-new trace and this tracer's
+        ``sample_rate`` decides whether the trace is recorded.
+        """
         stack = self._stack()
         parent = stack[-1] if stack else None
+        if parent_context is not None:
+            trace_id = parent_context.trace_id
+            parent_id = parent_context.span_id
+            sampled = parent_context.sampled
+        elif parent is not None:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+            sampled = parent.sampled
+        else:
+            trace_id = new_trace_id()
+            parent_id = None
+            sampled = (
+                self.sample_rate >= 1.0
+                or self._rng.random() < self.sample_rate
+            )
         span = Span(
-            self,
-            name,
-            next(self._ids),
-            parent.span_id if parent is not None else None,
-            attributes,
+            self, name, new_span_id(), parent_id, attributes,
+            trace_id=trace_id, sampled=sampled,
         )
         stack.append(span)
         return span
@@ -142,6 +236,11 @@ class Tracer:
     def current_span(self) -> Optional[Span]:
         stack = self._stack()
         return stack[-1] if stack else None
+
+    def current_context(self) -> Optional[TraceContext]:
+        """The context of the innermost open span on this thread (or None)."""
+        span = self.current_span()
+        return span.context() if span is not None else None
 
     def event(self, name: str, **attributes: Any) -> None:
         """Attach an event to the current span (or the loose-event list)."""
@@ -161,8 +260,24 @@ class Tracer:
                 stack.pop()
             if stack:
                 stack.pop()
+        if not span.sampled:
+            return  # unsampled traces keep the stack honest, nothing else
         with self._lock:
             self.finished.append(span)
+
+    def ingest(self, span_docs: List[Dict[str, Any]]) -> int:
+        """Fold spans exported by another tracer (a worker process) into
+        this one; returns how many were added.  Span/trace ids are globally
+        unique random values, so no remapping is needed."""
+        added = [
+            Span.from_dict(self, doc)
+            for doc in span_docs
+            if isinstance(doc, dict)
+        ]
+        if added:
+            with self._lock:
+                self.finished.extend(added)
+        return len(added)
 
     # -- queries -------------------------------------------------------------
 
@@ -175,6 +290,52 @@ class Tracer:
 
     def slowest(self, n: int = 5) -> List[Span]:
         return sorted(self.spans(), key=lambda s: s.duration, reverse=True)[:n]
+
+    def trace_ids(self) -> List[str]:
+        """Distinct trace ids in first-seen order."""
+        seen: Dict[str, None] = {}
+        for span in self.spans():
+            if span.trace_id is not None and span.trace_id not in seen:
+                seen[span.trace_id] = None
+        return list(seen)
+
+    def spans_for(self, trace_id: str) -> List[Span]:
+        return [s for s in self.spans() if s.trace_id == trace_id]
+
+    def trace_tree(self, trace_id: str) -> Dict[str, Any]:
+        """The nested span tree of one trace (what ``/trace/<id>`` serves).
+
+        ``roots`` holds every span whose parent is not itself part of the
+        trace; a *connected* trace has exactly one.
+        """
+        spans = self.spans_for(trace_id)
+        children: Dict[Optional[str], List[Span]] = {}
+        for span in spans:
+            children.setdefault(span.parent_id, []).append(span)
+        for kids in children.values():
+            kids.sort(key=lambda s: s.start)
+        by_id = {s.span_id: s for s in spans}
+
+        def node(span: Span) -> Dict[str, Any]:
+            doc = span.to_dict()
+            doc["children"] = [
+                node(child) for child in children.get(span.span_id, [])
+            ]
+            return doc
+
+        roots = [s for s in spans if s.parent_id not in by_id]
+        roots.sort(key=lambda s: s.start)
+        return {
+            "trace_id": trace_id,
+            "span_count": len(spans),
+            "connected": len(roots) == 1 if spans else False,
+            "roots": [node(r) for r in roots],
+        }
+
+    def is_connected(self, trace_id: str) -> bool:
+        """True when the trace has spans and they form a single-root tree."""
+        tree = self.trace_tree(trace_id)
+        return bool(tree["span_count"]) and tree["connected"]
 
     # -- exporters -----------------------------------------------------------
 
@@ -216,7 +377,7 @@ class Tracer:
     def render_tree(self, *, min_duration: float = 0.0) -> str:
         """Indented text rendering of the span forest (for ``--profile``)."""
         spans = self.spans()
-        children: Dict[Optional[int], List[Span]] = {}
+        children: Dict[Optional[str], List[Span]] = {}
         for span in spans:
             children.setdefault(span.parent_id, []).append(span)
         for kids in children.values():
@@ -252,6 +413,10 @@ class _NullSpan:
 
     __slots__ = ()
     name = ""
+    span_id = None
+    parent_id = None
+    trace_id = None
+    sampled = False
     attributes: Dict[str, Any] = {}
     events: List[Any] = []
     duration = 0.0
@@ -268,6 +433,9 @@ class _NullSpan:
     def add_event(self, name: str, **attributes: Any) -> None:
         return None
 
+    def context(self) -> None:
+        return None
+
     def finish(self) -> None:
         return None
 
@@ -279,21 +447,48 @@ class NullTracer:
     """The off switch: hot paths pay one attribute check and nothing else."""
 
     enabled = False
+    sample_rate = 0.0
 
-    def span(self, name: str, **attributes: Any) -> _NullSpan:
+    def span(
+        self,
+        name: str,
+        parent_context: Optional[TraceContext] = None,
+        **attributes: Any,
+    ) -> _NullSpan:
         return _NULL_SPAN
 
     def current_span(self) -> None:
         return None
 
+    def current_context(self) -> None:
+        return None
+
     def event(self, name: str, **attributes: Any) -> None:
         return None
+
+    def ingest(self, span_docs: List[Dict[str, Any]]) -> int:
+        return 0
 
     def spans(self, name: Optional[str] = None) -> List[Span]:
         return []
 
     def slowest(self, n: int = 5) -> List[Span]:
         return []
+
+    def trace_ids(self) -> List[str]:
+        return []
+
+    def spans_for(self, trace_id: str) -> List[Span]:
+        return []
+
+    def trace_tree(self, trace_id: str) -> Dict[str, Any]:
+        return {
+            "trace_id": trace_id, "span_count": 0,
+            "connected": False, "roots": [],
+        }
+
+    def is_connected(self, trace_id: str) -> bool:
+        return False
 
 
 NULL_TRACER = NullTracer()

@@ -53,6 +53,85 @@ class _PoolBroken(Exception):
     """Internal: the underlying executor died; switch to serial."""
 
 
+def _plain(value: Any) -> Any:
+    """Pickle/JSON-safe projection of one span attribute value."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+class _TaskSpans:
+    """Picklable envelope: a task's result plus the spans it recorded.
+
+    Only process-pool children wrap their result — the parent unwraps in
+    :meth:`ExecutorPool._absorb`, folding the span dicts into its own
+    tracer so the cross-process tree stays connected.
+    """
+
+    __slots__ = ("result", "spans")
+
+    def __init__(self, result: Any, spans: List[dict]) -> None:
+        self.result = result
+        self.spans = spans
+
+
+class _TracedTask:
+    """Picklable task wrapper carrying the spawning span's trace context.
+
+    In-process execution (thread backend, the serial fallback, a retry on
+    the calling thread) opens a ``parallel.task`` span against the shared
+    tracer, explicitly parented to the captured context — worker threads
+    have their own empty span stacks, so without this every task span
+    would be an orphan root.  In a process-pool child (fork *or* spawn)
+    the global tracer is not the parent's object, so the task records into
+    a private tracer and ships its spans back inside a :class:`_TaskSpans`
+    envelope.
+    """
+
+    __slots__ = ("fn", "context")
+
+    def __init__(self, fn: Callable[[Any], Any], context: dict) -> None:
+        self.fn = fn
+        self.context = context
+
+    def __call__(self, item: Any) -> Any:
+        import multiprocessing
+
+        from repro.obs import runtime
+        from repro.obs.context import TraceContext
+
+        ctx = TraceContext.from_dict(self.context)
+        if multiprocessing.parent_process() is None:
+            tracer = runtime.get_tracer()
+            if not tracer.enabled:  # pragma: no cover - defensive
+                return self.fn(item)
+            with tracer.span("parallel.task", parent_context=ctx):
+                return self.fn(item)
+        from repro.obs.trace import Tracer
+
+        child = Tracer()
+        with runtime.use(tracer=child):
+            with child.span("parallel.task", parent_context=ctx):
+                result = self.fn(item)
+        docs = []
+        for span in child.spans():
+            doc = span.to_dict()
+            doc["attributes"] = {
+                str(k): _plain(v) for k, v in doc["attributes"].items()
+            }
+            doc["events"] = [
+                {
+                    "name": e["name"], "at": e["at"],
+                    "attributes": {
+                        str(k): _plain(v) for k, v in e["attributes"].items()
+                    },
+                }
+                for e in doc["events"]
+            ]
+            docs.append(doc)
+        return _TaskSpans(result, docs)
+
+
 class ExecutorPool:
     """Ordered map over a serial, thread, or process worker pool."""
 
@@ -159,7 +238,13 @@ class ExecutorPool:
         with tracer.span(
             "parallel.map", backend=self.config.backend,
             jobs=self.config.resolved_jobs, tasks=len(items),
-        ):
+        ) as span:
+            ctx = span.context()
+            if ctx is not None and ctx.sampled:
+                # Every task — pooled, retried, or serial-fallback — runs
+                # under this span's context, so worker-side spans never
+                # orphan (process children ship theirs back, see _absorb).
+                fn = _TracedTask(fn, ctx.to_dict())
             try:
                 return self._map_pool(fn, items)
             finally:
@@ -232,8 +317,18 @@ class ExecutorPool:
             backend=self.config.backend, remaining=len(pending),
         )
         for i in pending:
-            results[i] = fn(items[i])
+            results[i] = self._absorb(fn(items[i]))
         return results
+
+    def _absorb(self, value: Any) -> Any:
+        """Unwrap a :class:`_TaskSpans` envelope, folding the child-process
+        spans into the active tracer; pass every other value through."""
+        if isinstance(value, _TaskSpans):
+            from repro.obs import runtime
+
+            runtime.get_tracer().ingest(value.spans)
+            return value.result
+        return value
 
     def _collect(self, futures, pending, results):
         """Wait for pending futures in submission order; return the indexes
@@ -250,7 +345,9 @@ class ExecutorPool:
         for i in pending:
             started = time.perf_counter()
             try:
-                results[i] = futures[i].result(timeout=self.config.task_timeout)
+                results[i] = self._absorb(
+                    futures[i].result(timeout=self.config.task_timeout)
+                )
                 task_seconds.observe(time.perf_counter() - started)
             except concurrent.futures.BrokenExecutor as exc:
                 # The pool is gone; every remaining future is doomed.

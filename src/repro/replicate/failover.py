@@ -135,6 +135,18 @@ class FailoverCoordinator:
         return best
 
     def _promote(self, endpoint: Endpoint) -> None:
+        from repro.obs import runtime
+
+        tracer = runtime.get_tracer()
+        if not tracer.enabled:
+            return self._promote_inner(endpoint)
+        # The promote RPC roots (or joins) a trace: the client.request span
+        # inside ServeClient and the replica-side replica.promote span both
+        # hang off this one, so /trace/<id> shows the whole election.
+        with tracer.span("failover.promote", replica=endpoint.name):
+            return self._promote_inner(endpoint)
+
+    def _promote_inner(self, endpoint: Endpoint) -> None:
         with ServeClient(endpoint.host, endpoint.port,
                          timeout=self.timeout) as client:
             client.promote()

@@ -131,6 +131,11 @@ class Shipper:
         self._state: Dict[str, _LinkState] = {
             link.name: _LinkState() for link in self.links
         }
+        # Originating commit's trace context per epoch, so a shipment that
+        # drains *later* (lag buffering, catch_up) still joins the commit's
+        # trace instead of whichever unrelated span is open at drain time.
+        self._commit_ctx: Dict[int, Any] = {}
+        self._commit_ctx_cap = 512
         self._lock = threading.Lock()
         warehouse.add_commit_listener(self.on_commit)
 
@@ -140,9 +145,15 @@ class Shipper:
         """Ship one committed record to every link (called under the
         primary's write lock, so shipments observe commit order)."""
         from repro.faults import injector
+        from repro.obs import runtime
 
         acked = 0
         with self._lock:
+            ctx = runtime.current_context()
+            if ctx is not None and ctx.sampled:
+                self._commit_ctx[record.epoch] = ctx
+                while len(self._commit_ctx) > self._commit_ctx_cap:
+                    self._commit_ctx.pop(next(iter(self._commit_ctx)))
             for link in self.links:
                 state = self._state[link.name]
                 state.pending.append(record)
@@ -169,14 +180,30 @@ class Shipper:
         buffered; a later commit (or catch_up) retries from there — the
         replica never observes an out-of-order or gapped stream.
         """
+        from repro.obs import runtime
+
+        tracer = runtime.get_tracer()
         while state.pending:
             record = state.pending[0]
+            span = None
+            if tracer.enabled:
+                span = tracer.span(
+                    "replicate.ship",
+                    parent_context=self._commit_ctx.get(record.epoch),
+                    replica=link.name, epoch=record.epoch, op=record.op,
+                )
             try:
                 link.ship(record)
             except Exception as exc:
                 state.down = True
                 state.last_error = f"{type(exc).__name__}: {exc}"
+                if span is not None:
+                    span.set(acked=False, error=state.last_error)
+                    span.finish()
                 return False
+            if span is not None:
+                span.set(acked=True)
+                span.finish()
             state.pending.pop(0)
             state.acked_epoch = record.epoch
             state.down = False

@@ -50,6 +50,11 @@ class ServeClient:
     def call(self, op: str, **fields: Any) -> Dict[str, Any]:
         """Send one op and return its decoded response payload.
 
+        With tracing on, the request runs inside a ``client.request`` span
+        and carries that span's context as a W3C-style ``traceparent``
+        field — the server parents its own spans under it, so one trace id
+        covers the whole client → server → engine path (DESIGN.md §5k).
+
         Raises:
             ReproError subclass: the exception class named by a failure
                 response.
@@ -57,6 +62,21 @@ class ServeClient:
                 broken pipe, timeout, or closed without a response); carries
                 the in-flight request id.
         """
+        from repro.obs import runtime
+
+        tracer = runtime.get_tracer()
+        if not tracer.enabled:
+            return self._call(op, fields)
+        with tracer.span("client.request", op=op) as span:
+            ctx = span.context()
+            if ctx is not None and ctx.sampled:
+                fields = {**fields, "trace": ctx.to_dict()}
+            response = self._call(op, fields)
+            if isinstance(response, dict) and response.get("trace_id"):
+                span.set(trace_id=response["trace_id"])
+            return response
+
+    def _call(self, op: str, fields: Dict[str, Any]) -> Dict[str, Any]:
         self._next_id += 1
         request = {"op": op, "id": self._next_id, **fields}
         try:

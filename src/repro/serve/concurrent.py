@@ -106,6 +106,10 @@ class SnapshotHandle:
     def query(self, sql: str, *, config=None, **options: Any) -> QueryResult:
         """Run a SELECT at this epoch (bit-identical until released)."""
         wh = _warehouse_at(self._pin.snapshot, config)
+        # Served reads report into the owner's slow-query log (the log is
+        # lock-protected), so slow snapshot queries — trace ids included —
+        # show up in one place instead of dying with the throwaway wrapper.
+        wh.slow_queries = self._owner._wh.slow_queries
         result = wh.query(sql, **options)
         result.epoch = self._pin.epoch
         self._owner._note_read_incidents(wh.incidents)

@@ -37,6 +37,16 @@ Backpressure: when the bounded admission queue is full a ``query`` is
 *rejected immediately* with ``error.type == "BackpressureError"`` — the
 client is expected to retry with backoff; nothing is silently queued
 beyond the configured depth.
+
+Trace context: any request may carry an optional
+``"trace": {"traceparent": "00-<trace32>-<span16>-<flags>"}`` field (the
+W3C traceparent layout, see :mod:`repro.obs.context`).  The server adopts
+it as the remote parent of the spans it opens for that request, so one
+trace id covers client send → serve.query/serve.write → engine spans →
+replica ship/ack.  Query responses echo the serving span's ``trace_id``
+(``None`` when tracing is off), which is also stamped onto
+``QueryResult`` and slow-query-log entries.  Malformed trace fields are
+ignored, never fatal.
 """
 
 from __future__ import annotations
@@ -54,6 +64,7 @@ __all__ = [
     "error_response",
     "exception_for",
     "result_payload",
+    "trace_context",
 ]
 
 OPS = (
@@ -134,4 +145,16 @@ def result_payload(result) -> Dict[str, Any]:
         "rows": [list(row) for row in result.rows],
         "epoch": getattr(result, "epoch", None),
         "rewrite": info.description if info is not None else None,
+        "trace_id": getattr(result, "trace_id", None),
     }
+
+
+def trace_context(request: Dict[str, Any]):
+    """Decode a request's optional trace field into a TraceContext (or None).
+
+    Garbage — wrong types, malformed traceparent — decodes to ``None``; a
+    broken client must not be able to crash the dispatch loop.
+    """
+    from repro.obs.context import TraceContext
+
+    return TraceContext.from_dict(request.get("trace"))

@@ -254,7 +254,7 @@ class ServeServer:
         if op == "status":
             return {**ok, **self._status()}
         if op == "promote":
-            return {**ok, **await self._run_promote()}
+            return {**ok, **await self._run_promote(request)}
         if op == "ship":
             return {**ok, **await self._run_ship(request)}
         # Remaining ops are writes: serialized by the warehouse's write
@@ -277,11 +277,26 @@ class ServeServer:
             "diverged": None,
         }
 
-    async def _run_promote(self) -> Dict[str, Any]:
+    async def _run_promote(
+        self, request: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
         if self.replica is None:
             return self._status()  # idempotent: already the primary
+        ctx = protocol.trace_context(request or {})
+
+        def promote():
+            from repro.obs import runtime
+
+            tracer = runtime.get_tracer()
+            if not tracer.enabled:
+                return self.replica.promote()
+            with tracer.span(
+                "replica.promote", parent_context=ctx, replica=self.name
+            ):
+                return self.replica.promote()
+
         return await asyncio.get_running_loop().run_in_executor(
-            self._pool, self.replica.promote
+            self._pool, promote
         )
 
     async def _run_ship(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -293,8 +308,22 @@ class ServeServer:
         from repro.replicate.wal import EpochRecord
 
         record = EpochRecord.from_dict(dict(request.get("record") or {}))
+        ctx = protocol.trace_context(request)
+
+        def apply():
+            from repro.obs import runtime
+
+            tracer = runtime.get_tracer()
+            if not tracer.enabled:
+                return self.replica.apply(record)
+            with tracer.span(
+                "replica.apply", parent_context=ctx, replica=self.name,
+                epoch=record.epoch, op=record.op,
+            ):
+                return self.replica.apply(record)
+
         return await asyncio.get_running_loop().run_in_executor(
-            self._pool, self.replica.apply, record
+            self._pool, apply
         )
 
     async def _run_query(
@@ -317,6 +346,7 @@ class ServeServer:
         self._inflight += 1
         self._set_gauges()
         started = time.perf_counter()
+        failed = True
         try:
             result = await asyncio.get_running_loop().run_in_executor(
                 self._pool,
@@ -326,15 +356,29 @@ class ServeServer:
                     sql,
                     hold_ms,
                     options,
+                    protocol.trace_context(request),
                 ),
             )
+            failed = False
         finally:
             self._inflight -= 1
             self._set_gauges()
-            self._registry().histogram(
+            registry = self._registry()
+            registry.histogram(
                 "repro_serve_query_seconds",
                 help="Serving-tier query wall time (admission to response)",
             ).observe(time.perf_counter() - started)
+            # The availability SLO's request stream: total and errors as
+            # counters so the time-series layer can window burn rates.
+            registry.counter(
+                "repro_serve_queries_total",
+                help="Queries admitted by the serving tier",
+            ).inc()
+            if failed:
+                registry.counter(
+                    "repro_serve_query_errors_total",
+                    help="Admitted queries that raised instead of answering",
+                ).inc()
         payload = {**protocol.result_payload(result), "session": session.name}
         if self._is_stale_replica:
             # Degraded mode: the replica serves its last replicated epoch;
@@ -342,11 +386,11 @@ class ServeServer:
             payload["stale"] = True
         return payload
 
-    def _query_on_worker(self, session, sql, hold_ms, options):
+    def _query_on_worker(self, session, sql, hold_ms, options, ctx=None):
         from repro.obs import runtime
 
         with runtime.get_tracer().span(
-            "serve.query", session=session.name, sql=sql
+            "serve.query", parent_context=ctx, session=session.name, sql=sql
         ) as span:
             result = self.warehouse.query(
                 sql,
@@ -356,6 +400,11 @@ class ServeServer:
                 **options,
             )
             span.set(epoch=result.epoch)
+            if span.sampled and result.trace_id is None:
+                # Tracing is on but the engine did not stamp an id (e.g. a
+                # snapshot warehouse without a slow-query log): the serving
+                # span's trace is still the right link target.
+                result.trace_id = span.trace_id
             return result
 
     async def _run_write(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -364,6 +413,25 @@ class ServeServer:
         return await asyncio.get_running_loop().run_in_executor(self._pool, call)
 
     def _write_on_worker(self, op: str, request: Dict[str, Any]) -> Dict[str, Any]:
+        from repro.obs import runtime
+
+        tracer = runtime.get_tracer()
+        if not tracer.enabled:
+            return self._write_inner(op, request)
+        # The commit listener (the replica shipper) runs on this thread
+        # inside the write, so ship/ack spans nest under serve.write and
+        # the whole commit → replica path shares one trace id.
+        with tracer.span(
+            "serve.write", parent_context=protocol.trace_context(request),
+            op=op, server=self.name,
+        ) as span:
+            payload = self._write_inner(op, request)
+            span.set(epoch=payload.get("epoch"))
+            if span.sampled:
+                payload["trace_id"] = span.trace_id
+            return payload
+
+    def _write_inner(self, op: str, request: Dict[str, Any]) -> Dict[str, Any]:
         if self._is_stale_replica:
             # Fail fast: writes against an unpromoted replica would fork
             # history the moment the primary comes back.

@@ -61,6 +61,11 @@ class QueryResult(Result):
     # Cardinality q-error max(est/actual, actual/est) of the root operator's
     # estimate — set for natively planned queries, None for rewrites.
     q_error: Optional[float] = None
+    # Distributed tracing: the trace id of the span tree this query ran
+    # under (None when tracing is off or the trace was unsampled).  The
+    # same id is stamped on the slow-query-log entry and resolvable at the
+    # ops endpoint's /trace/<id>.
+    trace_id: Optional[str] = None
 
     @classmethod
     def wrap(cls, result: Result, rewrite: Optional[RewriteInfo]) -> "QueryResult":
@@ -360,17 +365,25 @@ class DataWarehouse:
         from repro.obs import runtime
 
         started = time.perf_counter()
-        result = self._query(
-            sql,
-            use_views=use_views,
-            require_rewrite=require_rewrite,
-            algorithm=algorithm,
-            variant=variant,
-            mode=mode,
-            window_strategy=window_strategy,
-            use_index=use_index,
-            planner=planner or self.planner,
-        )
+        tracer = runtime.get_tracer()
+        span = tracer.span("warehouse.query", sql=sql) if tracer.enabled else None
+        try:
+            result = self._query(
+                sql,
+                use_views=use_views,
+                require_rewrite=require_rewrite,
+                algorithm=algorithm,
+                variant=variant,
+                mode=mode,
+                window_strategy=window_strategy,
+                use_index=use_index,
+                planner=planner or self.planner,
+            )
+        finally:
+            if span is not None:
+                span.finish()
+        if span is not None and span.sampled:
+            result.trace_id = span.trace_id
         elapsed = time.perf_counter() - started
         runtime.get_registry().histogram(
             "repro_engine_query_seconds",
@@ -390,6 +403,7 @@ class DataWarehouse:
                 rewrite=info.description if info is not None else None,
                 summary=result.stats.summary(),
                 q_error=result.q_error,
+                trace_id=result.trace_id,
             )
         return result
 

@@ -1,0 +1,63 @@
+"""TraceContext: traceparent round-trips, strict parsing, dict transport."""
+
+import pytest
+
+from repro.obs.context import TraceContext, new_span_id, new_trace_id
+
+
+class TestRoundTrip:
+    def test_traceparent_round_trips(self):
+        ctx = TraceContext(
+            trace_id=new_trace_id(), span_id=new_span_id(), sampled=True
+        )
+        assert TraceContext.from_traceparent(ctx.to_traceparent()) == ctx
+
+    def test_unsampled_flag_round_trips(self):
+        ctx = TraceContext(
+            trace_id=new_trace_id(), span_id=new_span_id(), sampled=False
+        )
+        header = ctx.to_traceparent()
+        assert header.endswith("-00")
+        parsed = TraceContext.from_traceparent(header)
+        assert parsed is not None and not parsed.sampled
+
+    def test_dict_round_trips(self):
+        ctx = TraceContext(trace_id=new_trace_id(), span_id=new_span_id())
+        assert TraceContext.from_dict(ctx.to_dict()) == ctx
+
+    def test_header_shape(self):
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        assert ctx.to_traceparent() == f"00-{'ab' * 16}-{'cd' * 8}-01"
+
+
+class TestStrictParse:
+    @pytest.mark.parametrize("garbage", [
+        None,
+        "",
+        "not-a-traceparent",
+        "00-zz" + "0" * 30 + "-" + "1" * 16 + "-01",  # non-hex trace id
+        "00-" + "a" * 31 + "-" + "b" * 16 + "-01",    # short trace id
+        "00-" + "a" * 32 + "-" + "b" * 15 + "-01",    # short span id
+        "00-" + "0" * 32 + "-" + "b" * 16 + "-01",    # all-zero trace id
+        "00-" + "a" * 32 + "-" + "0" * 16 + "-01",    # all-zero span id
+        "00-" + "A" * 32 + "-" + "b" * 16 + "-01",    # uppercase is invalid
+    ])
+    def test_garbage_decodes_to_none(self, garbage):
+        assert TraceContext.from_traceparent(garbage) is None
+
+    def test_dict_garbage_decodes_to_none(self):
+        assert TraceContext.from_dict(None) is None
+        assert TraceContext.from_dict({}) is None
+        assert TraceContext.from_dict({"traceparent": 42}) is None
+        assert TraceContext.from_dict({"traceparent": "junk"}) is None
+
+
+class TestIds:
+    def test_ids_are_lowercase_hex_of_expected_width(self):
+        assert len(new_trace_id()) == 32
+        assert len(new_span_id()) == 16
+        int(new_trace_id(), 16)
+        int(new_span_id(), 16)
+
+    def test_ids_are_distinct(self):
+        assert len({new_trace_id() for _ in range(64)}) == 64

@@ -1,0 +1,126 @@
+"""Prometheus exposition regressions: family headers, escaping, non-finite
+values, and the over-the-wire JSON merge."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestFamilyHeaders:
+    def test_type_and_help_once_per_family_with_labeled_series(self):
+        # Interleaved labeled series of one family must share one
+        # TYPE/HELP header block, not repeat it per series.
+        registry = MetricsRegistry()
+        registry.counter("repro_ships_total", {"replica": "b"},
+                         help="Shipments").inc(1)
+        registry.counter("repro_other_total").inc(1)
+        registry.counter("repro_ships_total", {"replica": "a"},
+                         help="Shipments").inc(2)
+        text = registry.to_prometheus()
+        assert text.count("# TYPE repro_ships_total counter") == 1
+        assert text.count("# HELP repro_ships_total Shipments") == 1
+        lines = text.splitlines()
+        type_at = lines.index("# TYPE repro_ships_total counter")
+        # Both series directly follow their single header, sorted by label.
+        assert lines[type_at + 1] == 'repro_ships_total{replica="a"} 2'
+        assert lines[type_at + 2] == 'repro_ships_total{replica="b"} 1'
+
+    def test_help_taken_from_first_member_that_has_it(self):
+        # The series created first has no help text; the family header
+        # must still carry the help supplied by a later series.
+        registry = MetricsRegistry()
+        registry.counter("repro_ships_total", {"replica": "a"}).inc()
+        registry.counter("repro_ships_total", {"replica": "b"},
+                         help="Shipments per replica").inc()
+        text = registry.to_prometheus()
+        assert "# HELP repro_ships_total Shipments per replica" in text
+
+    def test_histogram_family_header_is_single(self):
+        registry = MetricsRegistry()
+        for session in ("s2", "s1"):
+            registry.histogram(
+                "repro_q_seconds", {"session": session}, buckets=(0.1, 1.0)
+            ).observe(0.05)
+        text = registry.to_prometheus()
+        assert text.count("# TYPE repro_q_seconds histogram") == 1
+        assert 'repro_q_seconds_bucket{session="s1",le="0.1"} 1' in text
+        assert 'repro_q_seconds_count{session="s2"} 1' in text
+
+
+class TestEscaping:
+    def test_label_values_with_newlines_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_sql_total", {"sql": 'SELECT 1\nFROM "t" \\ x'}
+        ).inc()
+        text = registry.to_prometheus()
+        (line,) = [l for l in text.splitlines() if l.startswith("repro_sql_total{")]
+        assert "\n" not in line  # the raw newline must never survive
+        assert '\\n' in line
+        assert '\\"t\\"' in line
+        assert "\\\\ x" in line
+
+    def test_help_with_newline_is_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", help="line one\nline two").inc()
+        text = registry.to_prometheus()
+        assert "# HELP repro_x_total line one\\nline two" in text
+
+
+class TestNonFiniteValues:
+    def test_inf_and_nan_render_prometheus_style(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_pos_inf").set(math.inf)
+        registry.gauge("repro_neg_inf").set(-math.inf)
+        registry.gauge("repro_nan").set(math.nan)
+        text = registry.to_prometheus()
+        assert "repro_pos_inf +Inf" in text
+        assert "repro_neg_inf -Inf" in text
+        assert "repro_nan NaN" in text
+        assert "inf\n" not in text  # repr() spelling must not leak
+
+
+class TestJsonMerge:
+    def test_round_trip_preserves_values(self):
+        source = MetricsRegistry()
+        source.counter("repro_c_total", {"node": "a"}).inc(5)
+        source.gauge("repro_g").set(7)
+        h = source.histogram("repro_h_seconds", buckets=(0.1, 0.5))
+        h.observe(0.05)
+        h.observe(0.3)
+        h.observe(2.0)
+
+        rebuilt = MetricsRegistry.from_json(source.to_json())
+        assert rebuilt.value("repro_c_total", {"node": "a"}) == 5
+        assert rebuilt.value("repro_g") == 7
+        hist = rebuilt.get("repro_h_seconds")
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(2.35)
+        assert hist.counts == [1, 1, 1]  # de-cumulated per-bucket counts
+        assert rebuilt.to_prometheus() == source.to_prometheus()
+
+    def test_merge_json_sums_across_nodes(self):
+        cluster = MetricsRegistry()
+        for inc in (3, 4):
+            node = MetricsRegistry()
+            node.counter("repro_c_total").inc(inc)
+            node.histogram("repro_h_seconds", buckets=(1.0,)).observe(0.5)
+            cluster.merge_json(node.to_json())
+        assert cluster.value("repro_c_total") == 7
+        assert cluster.get("repro_h_seconds").count == 2
+
+    def test_merge_json_rejects_mismatched_bounds(self):
+        left = MetricsRegistry()
+        left.histogram("repro_h", buckets=(0.1,)).observe(0.05)
+        right = MetricsRegistry()
+        right.histogram("repro_h", buckets=(0.2,)).observe(0.05)
+        with pytest.raises(ValueError):
+            left.merge_json(right.to_json())
+
+    def test_merge_json_counts_instruments(self):
+        node = MetricsRegistry()
+        node.counter("a").inc()
+        node.gauge("b").set(1)
+        assert MetricsRegistry().merge_json(node.to_json()) == 2

@@ -1,0 +1,159 @@
+"""SLO evaluator: burn-rate math, multi-window gating, alert events."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import Slo, SloEvaluator
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.timeseries import TimeSeriesRegistry
+
+
+def drive(registry, ts, *, seconds, rps=10, error_ratio=0.0, latency=0.05,
+          start=0.0):
+    """Feed ``seconds`` of synthetic traffic, sampling once per second."""
+    total = registry.counter("requests_total")
+    errors = registry.counter("errors_total")
+    hist = registry.histogram("latency_seconds",
+                              buckets=(0.05, 0.1, 0.25, 0.5, 1.0))
+    for i in range(int(seconds)):
+        total.inc(rps)
+        errors.inc(rps * error_ratio)
+        for _ in range(rps):
+            hist.observe(latency)
+        ts.sample(now=start + i + 1)
+    return start + seconds
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def ts(registry):
+    return TimeSeriesRegistry(registry, capacity=2048)
+
+
+def availability_slo(**overrides):
+    spec = dict(
+        name="avail", kind="availability", target=0.999,
+        total_metric="requests_total", error_metric="errors_total",
+        fast_window_s=60.0, slow_window_s=300.0, burn_threshold=2.0,
+    )
+    spec.update(overrides)
+    return Slo(**spec)
+
+
+def latency_slo(**overrides):
+    spec = dict(
+        name="lat", kind="latency", target=0.99,
+        histogram_metric="latency_seconds", latency_target_s=0.25,
+        fast_window_s=60.0, slow_window_s=300.0, burn_threshold=2.0,
+    )
+    spec.update(overrides)
+    return Slo(**spec)
+
+
+class TestBurnMath:
+    def test_healthy_traffic_burns_nothing(self, registry, ts):
+        drive(registry, ts, seconds=120)
+        ev = SloEvaluator(ts).add(availability_slo()).add(latency_slo())
+        statuses = ev.evaluate(now=120.0)
+        assert all(s.healthy for s in statuses)
+        assert all(s.burn_fast == 0.0 for s in statuses)
+
+    def test_availability_burn_is_error_ratio_over_budget(self, registry, ts):
+        # 1% errors against a 0.1% budget: burn rate 10x in both windows.
+        drive(registry, ts, seconds=300, error_ratio=0.01)
+        ev = SloEvaluator(ts).add(availability_slo())
+        (status,) = ev.evaluate(now=300.0)
+        assert not status.healthy
+        assert status.burn_fast == pytest.approx(10.0, rel=0.05)
+        assert status.burn_slow == pytest.approx(10.0, rel=0.05)
+
+    def test_latency_burn_counts_over_target_requests(self, registry, ts):
+        # Every request at 400ms against a 250ms p99 target: the whole
+        # stream is slow, so burn = 1.0 / 0.01 budget = 100x.
+        drive(registry, ts, seconds=300, latency=0.4)
+        ev = SloEvaluator(ts).add(latency_slo())
+        (status,) = ev.evaluate(now=300.0)
+        assert not status.healthy
+        assert status.burn_fast == pytest.approx(100.0, rel=0.05)
+        assert status.detail["p_fast"] > 0.25
+
+    def test_no_traffic_is_healthy(self, registry, ts):
+        ev = SloEvaluator(ts).add(availability_slo()).add(latency_slo())
+        statuses = ev.evaluate(now=0.0)
+        assert all(s.healthy for s in statuses)
+
+
+class TestMultiWindow:
+    def test_short_blip_does_not_alert(self, registry, ts):
+        # 270s clean, then a 30s error burst: the fast window burns but
+        # the slow window stays under threshold -> no alert.
+        end = drive(registry, ts, seconds=270)
+        drive(registry, ts, seconds=30, error_ratio=0.01, start=end)
+        ev = SloEvaluator(ts).add(availability_slo())
+        (status,) = ev.evaluate(now=300.0)
+        assert status.burn_fast > 2.0
+        assert status.burn_slow < 2.0
+        assert status.healthy
+
+    def test_sustained_burn_alerts(self, registry, ts):
+        drive(registry, ts, seconds=300, error_ratio=0.05)
+        ev = SloEvaluator(ts).add(availability_slo())
+        (status,) = ev.evaluate(now=300.0)
+        assert not status.healthy
+
+
+class TestAlertEvents:
+    def test_alert_edge_triggers_once_and_recovers(self, registry, ts):
+        slowlog = SlowQueryLog()
+        ev = SloEvaluator(ts, registry=registry, slowlog=slowlog)
+        ev.add(availability_slo())
+        end = drive(registry, ts, seconds=300, error_ratio=0.05)
+        ev.evaluate(now=end)
+        ev.evaluate(now=end)  # still breached: no second alert
+        assert ev.breached() == ["avail"]
+        alerts = [e for e in slowlog.entries() if e.get("event") == "slo_alert"]
+        assert len(alerts) == 1
+        assert alerts[0]["slo"] == "avail"
+        assert registry.value(
+            "repro_slo_alerts_total", {"slo": "avail", "event": "slo_alert"}
+        ) == 1
+
+        # Clean traffic long enough to flush both windows -> recovery event.
+        end = drive(registry, ts, seconds=400, start=end)
+        ev.evaluate(now=end)
+        assert ev.breached() == []
+        recoveries = [
+            e for e in slowlog.entries() if e.get("event") == "slo_recovered"
+        ]
+        assert len(recoveries) == 1
+
+    def test_alert_event_carries_burn_detail(self, registry, ts):
+        slowlog = SlowQueryLog()
+        ev = SloEvaluator(ts, slowlog=slowlog).add(latency_slo())
+        end = drive(registry, ts, seconds=300, latency=0.4)
+        ev.evaluate(now=end)
+        (alert,) = [e for e in slowlog.entries() if "event" in e]
+        assert alert["kind"] == "latency"
+        assert alert["burn_fast"] > 2.0
+
+
+class TestValidation:
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ValueError):
+            Slo(name="x", kind="weird", target=0.99)
+        with pytest.raises(ValueError):
+            Slo(name="x", kind="availability", target=1.5,
+                total_metric="t")
+        with pytest.raises(ValueError):
+            Slo(name="x", kind="availability", target=0.99)  # no total
+        with pytest.raises(ValueError):
+            Slo(name="x", kind="latency", target=0.99)  # no histogram
+
+    def test_rejects_duplicate_names(self, ts):
+        ev = SloEvaluator(ts).add(availability_slo())
+        with pytest.raises(ValueError):
+            ev.add(availability_slo())

@@ -1,0 +1,148 @@
+"""TimeSeriesRegistry: sampling, windowed rates, histogram percentiles."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesRegistry
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def ts(registry):
+    return TimeSeriesRegistry(registry, interval=1.0, capacity=64)
+
+
+class TestSampling:
+    def test_sample_counts_instruments(self, registry, ts):
+        registry.counter("c").inc()
+        registry.gauge("g").set(3)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        assert ts.sample(now=1.0) == 3
+        assert len(ts) == 3
+
+    def test_capacity_bounds_each_ring(self, registry):
+        ts = TimeSeriesRegistry(registry, capacity=4)
+        c = registry.counter("c")
+        for i in range(10):
+            c.inc()
+            ts.sample(now=float(i))
+        points = ts.window("c", window=100.0, now=9.0)
+        assert len(points) == 4
+        assert points[0][0] == 6.0  # oldest retained sample
+
+    def test_labeled_series_are_distinct(self, registry, ts):
+        registry.counter("c", {"node": "a"}).inc(5)
+        registry.counter("c", {"node": "b"}).inc(7)
+        ts.sample(now=0.0)
+        registry.counter("c", {"node": "a"}).inc(5)
+        ts.sample(now=10.0)
+        assert ts.delta("c", {"node": "a"}, window=20.0, now=10.0) == 5
+        assert ts.delta("c", {"node": "b"}, window=20.0, now=10.0) == 0
+
+    def test_background_sampler_runs(self, registry):
+        registry.counter("c").inc()
+        with TimeSeriesRegistry(registry, interval=0.01) as ts:
+            import time
+
+            deadline = time.time() + 5.0
+            while len(ts.window("c", window=60.0)) < 2:
+                assert time.time() < deadline, "sampler never ticked"
+                time.sleep(0.01)
+
+    def test_validation(self, registry):
+        with pytest.raises(ValueError):
+            TimeSeriesRegistry(registry, interval=0)
+        with pytest.raises(ValueError):
+            TimeSeriesRegistry(registry, capacity=1)
+
+
+class TestRate:
+    def test_rate_over_window(self, registry, ts):
+        c = registry.counter("c")
+        for i in range(11):
+            c.inc(10)  # 10/s at 1s cadence
+            ts.sample(now=float(i))
+        assert ts.rate("c", window=10.0, now=10.0) == pytest.approx(10.0)
+
+    def test_rate_needs_two_points(self, registry, ts):
+        registry.counter("c").inc()
+        ts.sample(now=0.0)
+        assert ts.rate("c", window=10.0, now=0.0) == 0.0
+        assert ts.rate("missing", window=10.0) == 0.0
+
+    def test_counter_reset_clamps_to_zero(self, registry, ts):
+        c = registry.counter("c")
+        c.inc(100)
+        ts.sample(now=0.0)
+        c.value = 5  # simulates a restarted process's registry
+        ts.sample(now=1.0)
+        assert ts.rate("c", window=10.0, now=1.0) == 0.0
+
+    def test_window_excludes_older_points(self, registry, ts):
+        c = registry.counter("c")
+        c.inc(100)
+        ts.sample(now=0.0)
+        ts.sample(now=50.0)
+        c.inc(10)
+        ts.sample(now=60.0)
+        # Only the last two samples are inside the 15s window.
+        assert ts.delta("c", window=15.0, now=60.0) == pytest.approx(10.0)
+
+    def test_gauge_stats(self, registry, ts):
+        g = registry.gauge("g")
+        for i, v in enumerate([1.0, 5.0, 3.0]):
+            g.set(v)
+            ts.sample(now=float(i))
+        stats = ts.gauge_stats("g", window=10.0, now=2.0)
+        assert stats == {"min": 1.0, "max": 5.0, "avg": 3.0, "last": 3.0}
+        assert ts.gauge_stats("missing", window=10.0) is None
+
+
+class TestPercentile:
+    def test_percentile_from_bucket_deltas(self, registry, ts):
+        h = registry.histogram("h", buckets=(0.1, 0.2, 0.4, 0.8))
+        ts.sample(now=0.0)
+        for _ in range(90):
+            h.observe(0.05)
+        for _ in range(10):
+            h.observe(0.3)
+        ts.sample(now=10.0)
+        p50 = ts.percentile("h", 0.5, window=20.0, now=10.0)
+        p99 = ts.percentile("h", 0.99, window=20.0, now=10.0)
+        assert p50 is not None and p50 <= 0.1
+        assert p99 is not None and 0.2 <= p99 <= 0.4
+
+    def test_percentile_ignores_observations_outside_window(self, registry, ts):
+        h = registry.histogram("h", buckets=(0.1, 1.0))
+        for _ in range(100):
+            h.observe(0.9)  # old slow traffic
+        ts.sample(now=0.0)
+        ts.sample(now=100.0)
+        for _ in range(100):
+            h.observe(0.05)  # recent fast traffic
+        ts.sample(now=110.0)
+        p99 = ts.percentile("h", 0.99, window=15.0, now=110.0)
+        assert p99 is not None and p99 <= 0.1
+
+    def test_percentile_none_without_observations(self, registry, ts):
+        registry.histogram("h", buckets=(1.0,))
+        ts.sample(now=0.0)
+        ts.sample(now=1.0)
+        assert ts.percentile("h", 0.99, window=10.0, now=1.0) is None
+        assert ts.percentile("missing", 0.5, window=10.0) is None
+
+    def test_percentile_validates_q(self, registry, ts):
+        with pytest.raises(ValueError):
+            ts.percentile("h", 1.5, window=10.0)
+
+    def test_overflow_bucket_reports_largest_bound(self, registry, ts):
+        h = registry.histogram("h", buckets=(0.1, 0.2))
+        ts.sample(now=0.0)
+        for _ in range(10):
+            h.observe(5.0)  # all in +Inf
+        ts.sample(now=1.0)
+        assert ts.percentile("h", 0.99, window=10.0, now=1.0) == 0.2

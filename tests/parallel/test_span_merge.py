@@ -1,0 +1,157 @@
+"""Cross-process span merging: one connected trace per parallel map.
+
+Process-backend workers record spans into a private tracer and ship them
+back pickled with each result; the parent ingests them under the
+``parallel.map`` span that launched the task.  These tests pin the
+invariant the ops endpoint's ``/trace/<id>`` relies on: however a map
+executes — process pool, thread pool, retry after a fault, or the serial
+fallback — the trace stays a single connected tree with no orphan roots.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, injector
+from repro.obs import runtime
+from repro.obs.trace import Tracer
+from repro.parallel import ExecutionConfig, ExecutorPool, health
+
+pytestmark = pytest.mark.faults
+
+
+def _square(x: int) -> int:
+    """Module-level task so it pickles to process workers."""
+    return x * x
+
+
+EXPECTED = [i * i for i in range(8)]
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_state():
+    injector.clear()
+    health.reset()
+    yield
+    injector.clear()
+    health.reset()
+
+
+@pytest.fixture
+def tracer():
+    tracer = Tracer()
+    with runtime.use(tracer=tracer):
+        yield tracer
+
+
+def map_traced(tracer, config, items=range(8)):
+    """Run one map under the tracer; returns (results, trace_id)."""
+    with ExecutorPool(config) as pool:
+        results = pool.map(_square, items)
+    (map_span,) = tracer.spans("parallel.map")
+    return results, map_span.trace_id
+
+
+def assert_single_tree(tracer, trace_id, *, min_tasks=1):
+    assert tracer.is_connected(trace_id), (
+        f"trace {trace_id} has orphan roots: "
+        f"{[s.name for s in tracer.spans_for(trace_id) if s.parent_id is None]}"
+    )
+    tree = tracer.trace_tree(trace_id)
+    assert len(tree["roots"]) == 1
+    tasks = [s for s in tracer.spans_for(trace_id) if s.name == "parallel.task"]
+    assert len(tasks) >= min_tasks
+    map_ids = {s.span_id for s in tracer.spans_for(trace_id)
+               if s.name == "parallel.map"}
+    for task in tasks:
+        assert task.parent_id in map_ids, (
+            f"task span {task.span_id} does not parent to a map span"
+        )
+    return tree
+
+
+class TestProcessBackend:
+    def test_worker_spans_merge_into_one_tree(self, tracer):
+        config = ExecutionConfig(jobs=2, backend="process", chunk_size=2)
+        results, trace_id = map_traced(tracer, config)
+        assert results == EXPECTED
+        assert_single_tree(tracer, trace_id, min_tasks=4)
+
+    def test_map_under_query_span_keeps_one_trace_id(self, tracer):
+        config = ExecutionConfig(jobs=2, backend="process", chunk_size=4)
+        with tracer.span("warehouse.query") as root:
+            trace_id = root.trace_id
+            with ExecutorPool(config) as pool:
+                assert pool.map(_square, range(8)) == EXPECTED
+        assert {s.trace_id for s in tracer.spans()} == {trace_id}
+        assert_single_tree(tracer, trace_id, min_tasks=2)
+
+    def test_task_attributes_survive_the_pickle_boundary(self, tracer):
+        config = ExecutionConfig(jobs=2, backend="process", chunk_size=4)
+        _, trace_id = map_traced(tracer, config)
+        task = next(s for s in tracer.spans_for(trace_id)
+                    if s.name == "parallel.task")
+        assert task.duration >= 0.0
+
+    def test_unsampled_trace_ships_no_spans(self):
+        tracer = Tracer(sample_rate=0.0)
+        with runtime.use(tracer=tracer):
+            config = ExecutionConfig(jobs=2, backend="process", chunk_size=4)
+            with ExecutorPool(config) as pool:
+                assert pool.map(_square, range(8)) == EXPECTED
+        assert tracer.spans() == []
+
+
+class TestThreadBackend:
+    def test_thread_spans_form_one_tree_without_shipping(self, tracer):
+        config = ExecutionConfig(jobs=2, backend="thread", chunk_size=2)
+        results, trace_id = map_traced(tracer, config)
+        assert results == EXPECTED
+        assert_single_tree(tracer, trace_id, min_tasks=4)
+
+
+class TestUnderFaults:
+    def test_worker_crash_with_serial_fallback_stays_connected(self, tracer):
+        # A process worker hard-exits; the pool falls back to serial
+        # recomputation on the calling thread.  Replayed tasks record
+        # locally — still one tree, no orphan roots.
+        config = ExecutionConfig(
+            jobs=2, backend="process", chunk_size=2, retry_backoff=0.0
+        )
+        plan = FaultPlan([FaultSpec("worker_crash", at=0)])
+        with injector.active(plan):
+            results, trace_id = map_traced(tracer, config)
+        assert results == EXPECTED
+        assert plan.fired_count("worker_crash") == 1
+        assert_single_tree(tracer, trace_id, min_tasks=1)
+
+    def test_thread_crash_retry_stays_connected(self, tracer):
+        config = ExecutionConfig(
+            jobs=2, backend="thread", chunk_size=2, retry_backoff=0.0
+        )
+        plan = FaultPlan([FaultSpec("worker_crash", at=3)])
+        with injector.active(plan):
+            results, trace_id = map_traced(tracer, config)
+        assert results == EXPECTED
+        assert_single_tree(tracer, trace_id, min_tasks=4)
+
+    def test_worker_hang_retry_stays_connected(self, tracer):
+        config = ExecutionConfig(
+            jobs=2, backend="thread", chunk_size=2, task_timeout=0.1,
+            max_retries=2, retry_backoff=0.0,
+        )
+        plan = FaultPlan([FaultSpec("worker_hang", at=1, seconds=0.6)])
+        with injector.active(plan):
+            results, trace_id = map_traced(tracer, config)
+        assert results == EXPECTED
+        assert_single_tree(tracer, trace_id, min_tasks=4)
+
+    def test_persistent_hang_serial_fallback_stays_connected(self, tracer):
+        config = ExecutionConfig(
+            jobs=2, backend="thread", chunk_size=2, task_timeout=0.1,
+            max_retries=1, retry_backoff=0.0,
+        )
+        plan = FaultPlan([FaultSpec("worker_hang", at=0, times=50,
+                                    seconds=0.4)])
+        with injector.active(plan):
+            results, trace_id = map_traced(tracer, config)
+        assert results == EXPECTED
+        assert_single_tree(tracer, trace_id, min_tasks=1)
